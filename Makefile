@@ -1,0 +1,37 @@
+# wadeploy — build, test and reproduce the paper's evaluation.
+
+GO ?= go
+
+.PHONY: all build vet test bench repro repro-quick examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Full paper-length reproduction: Tables 6-7 and Figures 7-8 at one virtual
+# hour per configuration (about a minute of wall-clock time), plus the
+# DB-replication extension row and diagnostics.
+repro:
+	$(GO) run ./cmd/wadeploy -diag -ext -p95 all
+
+repro-quick:
+	$(GO) run ./cmd/wadeploy -quick all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/custom
+	$(GO) run ./examples/failover
+	$(GO) run ./examples/autoscale
+
+clean:
+	$(GO) clean ./...

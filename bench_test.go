@@ -1,0 +1,556 @@
+package wadeploy
+
+// Benchmark harness: one benchmark per table and figure in the paper's
+// evaluation section, plus ablation benchmarks for the design choices the
+// patterns rest on. Each table/figure iteration executes a shortened but
+// complete experiment run (full workload, warm-up discarded) and reports the
+// measured response-time metrics alongside the usual ns/op of driving the
+// simulation.
+//
+//	go test -bench=Table6 -benchmem        # Pet Store, all five configs
+//	go test -bench=Figure8                 # RUBiS session averages
+//	go test -bench=Ablation                # design-choice ablations
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"wadeploy/internal/container"
+	"wadeploy/internal/core"
+	"wadeploy/internal/experiment"
+	"wadeploy/internal/petstore"
+	"wadeploy/internal/rmi"
+	"wadeploy/internal/rubis"
+	"wadeploy/internal/sim"
+	"wadeploy/internal/simnet"
+	"wadeploy/internal/sqldb"
+	"wadeploy/internal/web"
+)
+
+// benchRunOptions keeps per-iteration cost low while preserving the shapes.
+func benchRunOptions() experiment.RunOptions {
+	return experiment.RunOptions{Seed: 1, Warmup: 20 * time.Second, Duration: 2 * time.Minute}
+}
+
+func reportMs(b *testing.B, name string, d time.Duration) {
+	b.ReportMetric(float64(d)/float64(time.Millisecond), name)
+}
+
+// benchTableConfig runs one (app, config) cell set per iteration and reports
+// the paper's headline metrics for that row.
+func benchTableConfig(b *testing.B, app experiment.AppID, cfg core.ConfigID) {
+	var last *experiment.Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.Run(app, cfg, benchRunOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.StopTimer()
+	if last == nil {
+		return
+	}
+	browser, writer := petstore.PatternBrowser, petstore.PatternBuyer
+	if app == experiment.RUBiS {
+		browser, writer = rubis.PatternBrowser, rubis.PatternBidder
+	}
+	reportMs(b, "loc-browse-ms", last.SessionMeans[browser][true])
+	reportMs(b, "rem-browse-ms", last.SessionMeans[browser][false])
+	reportMs(b, "loc-write-ms", last.SessionMeans[writer][true])
+	reportMs(b, "rem-write-ms", last.SessionMeans[writer][false])
+}
+
+// --- Table 6: Pet Store per-page response times, five configurations. ---
+
+func BenchmarkTable6Centralized(b *testing.B) {
+	benchTableConfig(b, experiment.PetStore, core.Centralized)
+}
+
+func BenchmarkTable6RemoteFacade(b *testing.B) {
+	benchTableConfig(b, experiment.PetStore, core.RemoteFacade)
+}
+
+func BenchmarkTable6StatefulCaching(b *testing.B) {
+	benchTableConfig(b, experiment.PetStore, core.StatefulCaching)
+}
+
+func BenchmarkTable6QueryCaching(b *testing.B) {
+	benchTableConfig(b, experiment.PetStore, core.QueryCaching)
+}
+
+func BenchmarkTable6AsyncUpdates(b *testing.B) {
+	benchTableConfig(b, experiment.PetStore, core.AsyncUpdates)
+}
+
+// --- Table 7: RUBiS per-page response times, five configurations. ---
+
+func BenchmarkTable7Centralized(b *testing.B) {
+	benchTableConfig(b, experiment.RUBiS, core.Centralized)
+}
+
+func BenchmarkTable7RemoteFacade(b *testing.B) {
+	benchTableConfig(b, experiment.RUBiS, core.RemoteFacade)
+}
+
+func BenchmarkTable7StatefulCaching(b *testing.B) {
+	benchTableConfig(b, experiment.RUBiS, core.StatefulCaching)
+}
+
+func BenchmarkTable7QueryCaching(b *testing.B) {
+	benchTableConfig(b, experiment.RUBiS, core.QueryCaching)
+}
+
+func BenchmarkTable7AsyncUpdates(b *testing.B) {
+	benchTableConfig(b, experiment.RUBiS, core.AsyncUpdates)
+}
+
+// --- Figures 7 and 8: session-average bars across all configurations. ---
+
+func benchFigure(b *testing.B, app experiment.AppID) {
+	var results []*experiment.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		results, err = experiment.RunTable(app, benchRunOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if results == nil {
+		return
+	}
+	// Report the final configuration's bars: the paper's punchline.
+	final := results[len(results)-1]
+	for pat, byLocal := range final.SessionMeans {
+		reportMs(b, "final-loc-"+pat+"-ms", byLocal[true])
+		reportMs(b, "final-rem-"+pat+"-ms", byLocal[false])
+	}
+}
+
+func BenchmarkFigure7PetStoreSessions(b *testing.B) { benchFigure(b, experiment.PetStore) }
+
+func BenchmarkFigure8RUBiSSessions(b *testing.B) { benchFigure(b, experiment.RUBiS) }
+
+// --- Ablations: the design choices behind the patterns. ---
+
+// benchEnv builds a two-server WAN for micro-ablation runs.
+func benchEnv(b *testing.B, seed int64) (*sim.Env, *simnet.Network) {
+	b.Helper()
+	env := sim.NewEnv(seed)
+	net, err := simnet.PaperTopology(env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return env, net
+}
+
+// BenchmarkAblationStubCaching quantifies the EJBHomeFactory pattern: the
+// per-call cost of a remote invocation with cached stubs vs a fresh JNDI
+// lookup on every call.
+func BenchmarkAblationStubCaching(b *testing.B) {
+	for _, cached := range []bool{true, false} {
+		name := "uncached-lookup"
+		if cached {
+			name = "cached-stub"
+		}
+		b.Run(name, func(b *testing.B) {
+			env, net := benchEnv(b, 3)
+			rt := rmi.NewRuntime(net, rmi.DefaultOptions)
+			if _, err := rt.Bind(simnet.NodeMain, "svc", func(p *sim.Proc, c *rmi.Call) (any, error) {
+				return nil, nil
+			}); err != nil {
+				b.Fatal(err)
+			}
+			var mean time.Duration
+			env.Spawn("caller", func(p *sim.Proc) {
+				cache := rmi.NewStubCache(rt, simnet.NodeEdge1)
+				if cached {
+					// Warm the cache: the one-time lookup is the point
+					// of the pattern, not part of steady-state cost.
+					if _, err := cache.Get(p, simnet.NodeMain, "svc"); err != nil {
+						b.Fatal(err)
+					}
+				}
+				var total time.Duration
+				for i := 0; i < b.N; i++ {
+					start := p.Now()
+					var stub *rmi.Stub
+					var err error
+					if cached {
+						stub, err = cache.Get(p, simnet.NodeMain, "svc")
+					} else {
+						stub, err = rt.Lookup(p, simnet.NodeEdge1, simnet.NodeMain, "svc")
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := stub.Invoke(p, "m"); err != nil {
+						b.Fatal(err)
+					}
+					total += p.Now() - start
+				}
+				mean = total / time.Duration(b.N)
+			})
+			env.RunAll()
+			env.Close()
+			reportMs(b, "call-ms", mean)
+		})
+	}
+}
+
+// BenchmarkAblationRMIRounds sweeps the RMI rounds-per-call factor the paper
+// attributes to ping/DGC traffic.
+func BenchmarkAblationRMIRounds(b *testing.B) {
+	for _, rounds := range []float64{1.0, 1.25, 1.5, 2.0} {
+		b.Run(time.Duration(rounds*float64(time.Second)).String(), func(b *testing.B) {
+			env, net := benchEnv(b, 3)
+			opts := rmi.DefaultOptions
+			opts.Rounds = rounds
+			rt := rmi.NewRuntime(net, opts)
+			if _, err := rt.Bind(simnet.NodeMain, "svc", func(p *sim.Proc, c *rmi.Call) (any, error) {
+				return nil, nil
+			}); err != nil {
+				b.Fatal(err)
+			}
+			var mean time.Duration
+			env.Spawn("caller", func(p *sim.Proc) {
+				stub, err := rt.LocalStub(simnet.NodeEdge1, simnet.NodeMain, "svc")
+				if err != nil {
+					b.Fatal(err)
+				}
+				var total time.Duration
+				for i := 0; i < b.N; i++ {
+					start := p.Now()
+					if _, err := stub.Invoke(p, "m"); err != nil {
+						b.Fatal(err)
+					}
+					total += p.Now() - start
+				}
+				mean = total / time.Duration(b.N)
+			})
+			env.RunAll()
+			env.Close()
+			reportMs(b, "call-ms", mean)
+		})
+	}
+}
+
+// BenchmarkAblationSyncVsAsyncPush measures the writer-observed cost of one
+// replicated entity update under blocking RMI push vs JMS publication — the
+// Section 4.3 vs 4.5 trade-off in isolation.
+func BenchmarkAblationSyncVsAsyncPush(b *testing.B) {
+	for _, mode := range []container.UpdateMode{container.SyncUpdate, container.AsyncUpdate} {
+		b.Run(mode.String(), func(b *testing.B) {
+			env := sim.NewEnv(5)
+			d, err := core.NewPaperDeployment(env, core.DefaultOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := d.DB.Exec(`CREATE TABLE kv (id INT PRIMARY KEY, v INT NOT NULL)`); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := d.DB.Exec(`INSERT INTO kv VALUES (1, 0)`); err != nil {
+				b.Fatal(err)
+			}
+			rw, err := container.DeployRWEntity(d.Main, "KV", "kv", "id")
+			if err != nil {
+				b.Fatal(err)
+			}
+			d.RegisterRW(rw)
+			if _, err := core.AutoWire(d, &container.ExtendedDescriptor{
+				Topic: "kv-updates",
+				Replicas: []container.ReplicaSpec{
+					{Bean: "KV", Update: mode, Refresh: container.PushRefresh},
+				},
+			}, core.WireOptions{PushBytes: 256}); err != nil {
+				b.Fatal(err)
+			}
+			var mean time.Duration
+			env.Spawn("writer", func(p *sim.Proc) {
+				var total time.Duration
+				for i := 0; i < b.N; i++ {
+					start := p.Now()
+					if _, err := rw.UpdateFields(p, sqldb.Int(1), container.State{
+						"v": sqldb.Int(int64(i)),
+					}); err != nil {
+						b.Fatal(err)
+					}
+					total += p.Now() - start
+				}
+				mean = total / time.Duration(b.N)
+			})
+			env.RunAll()
+			env.Close()
+			reportMs(b, "write-ms", mean)
+		})
+	}
+}
+
+// BenchmarkAblationQueryCacheHit compares serving an aggregate query from an
+// edge query cache against re-executing it across the WAN.
+func BenchmarkAblationQueryCacheHit(b *testing.B) {
+	run := func(b *testing.B, warm bool) {
+		env := sim.NewEnv(6)
+		d, err := core.NewPaperDeployment(env, core.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		edge := d.Edges[0]
+		qc := container.NewQueryCache(edge, "bench", func(p *sim.Proc, key string) (any, error) {
+			// One wide-area round trip stands in for the remote façade.
+			if err := d.Net.Transfer(p, edge.Name(), d.Main.Name(), 256); err != nil {
+				return nil, err
+			}
+			if err := d.Net.Transfer(p, d.Main.Name(), edge.Name(), 2048); err != nil {
+				return nil, err
+			}
+			return "rows", nil
+		})
+		var mean time.Duration
+		env.Spawn("reader", func(p *sim.Proc) {
+			if warm {
+				if _, err := qc.Get(p, "q:1"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var total time.Duration
+			for i := 0; i < b.N; i++ {
+				if !warm {
+					qc.InvalidatePrefix("")
+				}
+				start := p.Now()
+				if _, err := qc.Get(p, "q:1"); err != nil {
+					b.Fatal(err)
+				}
+				total += p.Now() - start
+			}
+			mean = total / time.Duration(b.N)
+		})
+		env.RunAll()
+		env.Close()
+		reportMs(b, "read-ms", mean)
+	}
+	b.Run("cache-hit", func(b *testing.B) { run(b, true) })
+	b.Run("wan-refetch", func(b *testing.B) { run(b, false) })
+}
+
+// --- Substrate micro-benchmarks (real CPU cost, not virtual time). ---
+
+func BenchmarkSubstrateSQLPointQuery(b *testing.B) {
+	db := sqldb.New()
+	if _, err := db.Exec(`CREATE TABLE t (id INT PRIMARY KEY, v TEXT)`); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if _, err := db.Exec(`INSERT INTO t VALUES (?, ?)`, sqldb.Int(int64(i)), sqldb.Str("value")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(`SELECT v FROM t WHERE id = ?`, sqldb.Int(int64(i%1000))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubstrateSimEventThroughput(b *testing.B) {
+	env := sim.NewEnv(1)
+	env.Spawn("ticker", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	b.ResetTimer()
+	env.RunAll()
+	env.Close()
+}
+
+// --- Sensitivity sweeps (extension experiments): latency and load. ---
+
+// BenchmarkSweepWANLatency measures the final configuration's remote-browser
+// insulation as WAN latency grows from 25 to 400 ms one-way.
+func BenchmarkSweepWANLatency(b *testing.B) {
+	lats := []time.Duration{25 * time.Millisecond, 100 * time.Millisecond, 400 * time.Millisecond}
+	var pts []experiment.SweepPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = experiment.LatencySweep(experiment.RUBiS, core.AsyncUpdates, lats, benchRunOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	for _, pt := range pts {
+		reportMs(b, "rem-browse-"+time.Duration(pt.X*float64(time.Millisecond)).String()+"-ms", pt.RemoteBrowser)
+	}
+}
+
+// BenchmarkSweepLoad measures queueing onset as offered load scales.
+func BenchmarkSweepLoad(b *testing.B) {
+	scales := []float64{1, 4}
+	var pts []experiment.SweepPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = experiment.LoadSweep(experiment.PetStore, core.Centralized, scales, benchRunOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	for i, pt := range pts {
+		_ = i
+		reportMs(b, fmt.Sprintf("loc-browse-%.0frps-ms", pt.X), pt.LocalBrowser)
+	}
+}
+
+// BenchmarkAblationDeltaVsFullPush isolates Section 4.3's "transfer only the
+// changes" optimization on a thin WAN pipe, where full-state pushes pay for
+// their payload.
+func BenchmarkAblationDeltaVsFullPush(b *testing.B) {
+	for _, delta := range []bool{false, true} {
+		name := "full-state"
+		if delta {
+			name = "delta"
+		}
+		b.Run(name, func(b *testing.B) {
+			env := sim.NewEnv(9)
+			net := simnet.New(env)
+			for _, id := range []string{"main", "edge"} {
+				if _, err := net.AddNode(id, 2); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// 128 kbit/s: payload size dominates.
+			if _, err := net.AddLink("main", "edge", 100*time.Millisecond, 16*1024); err != nil {
+				b.Fatal(err)
+			}
+			db := sqldb.New()
+			if _, err := db.Exec(`CREATE TABLE wide (id INT PRIMARY KEY, a INT, bb INT, c INT, d INT, e INT)`); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := db.Exec(`INSERT INTO wide VALUES (1, 0, 0, 0, 0, 0)`); err != nil {
+				b.Fatal(err)
+			}
+			rt := rmi.NewRuntime(net, rmi.DefaultOptions)
+			mk := func(nodeName string) *container.Server {
+				s, err := container.NewServer(container.Config{
+					Name: nodeName, DBNode: "main", DB: db, Net: net, RMI: rt,
+					Web: web.DefaultOptions, Costs: container.DefaultCostModel,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				return s
+			}
+			main, edge := mk("main"), mk("edge")
+			rw, err := container.DeployRWEntity(main, "Wide", "wide", "id")
+			if err != nil {
+				b.Fatal(err)
+			}
+			rw.SetDeltaPush(delta)
+			ro, err := container.DeployROEntity(edge, "WideRO", "Wide", nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			uf, err := container.DeployUpdaterFacade(edge, "Updater")
+			if err != nil {
+				b.Fatal(err)
+			}
+			uf.Register("Wide", ro)
+			// Full-state records on this table are large (wide rows).
+			rw.AddPropagator(container.NewSyncPropagator(main, []container.SyncTarget{{Server: "edge", Facade: "Updater"}}, 64*1024))
+			var mean time.Duration
+			env.Spawn("writer", func(p *sim.Proc) {
+				var total time.Duration
+				for i := 0; i < b.N; i++ {
+					start := p.Now()
+					if _, err := rw.UpdateFields(p, sqldb.Int(1), container.State{"a": sqldb.Int(int64(i))}); err != nil {
+						b.Fatal(err)
+					}
+					total += p.Now() - start
+				}
+				mean = total / time.Duration(b.N)
+			})
+			env.RunAll()
+			env.Close()
+			reportMs(b, "write-ms", mean)
+		})
+	}
+}
+
+// BenchmarkAblationSeqVsParallelFanOut compares sequential and parallel
+// blocking fan-out to two edge replicas — the knob that brackets the paper's
+// measured Commit times.
+func BenchmarkAblationSeqVsParallelFanOut(b *testing.B) {
+	for _, parallel := range []bool{false, true} {
+		name := "sequential"
+		if parallel {
+			name = "parallel"
+		}
+		b.Run(name, func(b *testing.B) {
+			env := sim.NewEnv(4)
+			net, err := simnet.PaperTopology(env)
+			if err != nil {
+				b.Fatal(err)
+			}
+			db := sqldb.New()
+			if _, err := db.Exec(`CREATE TABLE kv (id INT PRIMARY KEY, v INT NOT NULL)`); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := db.Exec(`INSERT INTO kv VALUES (1, 0)`); err != nil {
+				b.Fatal(err)
+			}
+			rt := rmi.NewRuntime(net, rmi.DefaultOptions)
+			mk := func(nodeName string) *container.Server {
+				s, err := container.NewServer(container.Config{
+					Name: nodeName, DBNode: simnet.NodeDB, DB: db, Net: net, RMI: rt,
+					Web: web.DefaultOptions, Costs: container.DefaultCostModel,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				return s
+			}
+			main := mk(simnet.NodeMain)
+			var targets []container.SyncTarget
+			for _, edgeName := range []string{simnet.NodeEdge1, simnet.NodeEdge2} {
+				edge := mk(edgeName)
+				ro, err := container.DeployROEntity(edge, "KVRO", "KV", nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				uf, err := container.DeployUpdaterFacade(edge, "Updater")
+				if err != nil {
+					b.Fatal(err)
+				}
+				uf.Register("KV", ro)
+				targets = append(targets, container.SyncTarget{Server: edgeName, Facade: "Updater"})
+			}
+			rw, err := container.DeployRWEntity(main, "KV", "kv", "id")
+			if err != nil {
+				b.Fatal(err)
+			}
+			sp := container.NewSyncPropagator(main, targets, 512)
+			sp.Parallel = parallel
+			rw.AddPropagator(sp)
+			var mean time.Duration
+			env.Spawn("writer", func(p *sim.Proc) {
+				var total time.Duration
+				for i := 0; i < b.N; i++ {
+					start := p.Now()
+					if _, err := rw.UpdateFields(p, sqldb.Int(1), container.State{"v": sqldb.Int(int64(i))}); err != nil {
+						b.Fatal(err)
+					}
+					total += p.Now() - start
+				}
+				mean = total / time.Duration(b.N)
+			})
+			env.RunAll()
+			env.Close()
+			reportMs(b, "write-ms", mean)
+		})
+	}
+}

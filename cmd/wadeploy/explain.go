@@ -1,0 +1,100 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"wadeploy/internal/core"
+	"wadeploy/internal/experiment"
+	"wadeploy/internal/petstore"
+	"wadeploy/internal/rubis"
+	"wadeploy/internal/sim"
+	"wadeploy/internal/simnet"
+	"wadeploy/internal/workload"
+)
+
+// explain deploys the app under cfg and prints a per-layer trace of every
+// page in a representative remote-client session — where each page's
+// milliseconds go (TCP, RMI, SQL, rendering, pushes).
+func explain(appID experiment.AppID, cfg core.ConfigID, seed int64) error {
+	env := sim.NewEnv(seed)
+	var request workload.RequestFunc
+	var steps []workload.Step
+	switch appID {
+	case experiment.PetStore:
+		d, err := core.NewPaperDeployment(env, core.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		a, err := petstore.Deploy(d, cfg)
+		if err != nil {
+			return err
+		}
+		request = a.RequestFunc()
+		user := petstore.UserID(0)
+		steps = []workload.Step{
+			{Page: petstore.PageMain},
+			{Page: petstore.PageCategory, Params: map[string]string{"cat": petstore.CategoryID(1)}},
+			{Page: petstore.PageProduct, Params: map[string]string{"product": petstore.ProductID(1, 1)}},
+			{Page: petstore.PageItem, Params: map[string]string{"item": petstore.ItemID(1, 1, 1)}},
+			{Page: petstore.PageSearch, Params: map[string]string{"q": "P03"}},
+			{Page: petstore.PageSignin},
+			{Page: petstore.PageVerifySignin, Params: map[string]string{"user": user, "password": "pw-" + user}},
+			{Page: petstore.PageCart, Params: map[string]string{"item": petstore.ItemID(1, 1, 1)}},
+			{Page: petstore.PageCheckout},
+			{Page: petstore.PagePlaceOrder},
+			{Page: petstore.PageBilling},
+			{Page: petstore.PageCommit},
+			{Page: petstore.PageSignout},
+		}
+	case experiment.RUBiS:
+		d, err := core.NewPaperDeployment(env, rubis.DeployOptions())
+		if err != nil {
+			return err
+		}
+		a, err := rubis.Deploy(d, cfg)
+		if err != nil {
+			return err
+		}
+		request = a.RequestFunc()
+		nick, pass := rubis.Nickname(0), rubis.Password(0)
+		steps = []workload.Step{
+			{Page: rubis.PageMain},
+			{Page: rubis.PageCategory, Params: map[string]string{"cat": "3"}},
+			{Page: rubis.PageItem, Params: map[string]string{"item": "23"}},
+			{Page: rubis.PageBids, Params: map[string]string{"item": "23"}},
+			{Page: rubis.PagePutBidForm, Params: map[string]string{"nick": nick, "password": pass, "item": "23"}},
+			{Page: rubis.PageStoreBid, Params: map[string]string{"nick": nick, "password": pass, "item": "23", "bid": "999"}},
+		}
+	default:
+		return fmt.Errorf("unknown app %q", appID)
+	}
+
+	client := workload.Client{Node: simnet.NodeClientsEdge1, ID: "explain-client"}
+	fmt.Printf("Per-page layer traces: %s / %s (remote client %s; stub caches warm)\n\n",
+		appID, cfg.Title(), client.Node)
+	var failed error
+	env.Spawn("explain", func(p *sim.Proc) {
+		// First pass warms stub caches and session state silently.
+		for _, step := range steps {
+			if _, err := request(p, client, step); err != nil {
+				failed = fmt.Errorf("warm %s: %w", step.Page, err)
+				return
+			}
+		}
+		// Second pass traces every page.
+		for _, step := range steps {
+			tr := p.StartTrace()
+			rt, err := request(p, client, step)
+			p.StopTrace()
+			if err != nil {
+				failed = fmt.Errorf("%s: %w", step.Page, err)
+				return
+			}
+			fmt.Printf("%s — %v\n%s\n", step.Page, rt.Round(100*time.Microsecond), tr)
+		}
+	})
+	env.RunAll()
+	env.Close()
+	return failed
+}

@@ -1,0 +1,216 @@
+// Command wadeploy regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	wadeploy [flags] table6|table7|fig7|fig8|inventory|explain|sweep-latency|sweep-load|all
+//
+// table6/fig7 run Java Pet Store, table7/fig8 run RUBiS; each table run
+// executes all five configurations (centralized, remote façade, stateful
+// component caching, query caching, asynchronous updates) under the paper's
+// 30 req/s three-group workload and prints the per-page (table) or
+// per-session (figure) average response times.
+//
+// Flags: -quick (short run), -seed, -warmup, -duration, -diag (CPU/RMI/JMS
+// counters), -p95 (tail-latency tables), -ext (append the DB-replication
+// extension row), -csv FILE (long-format export), and -app/-config to select
+// the target of explain and the sweeps. explain prints per-page layer traces
+// (TCP/RMI/SQL/render/push) for a remote client; sweep-latency and
+// sweep-load are WAN-latency and offered-load sensitivity studies.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"wadeploy/internal/container"
+	"wadeploy/internal/core"
+	"wadeploy/internal/experiment"
+	"wadeploy/internal/petstore"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "wadeploy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("wadeploy", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "simulation seed (same seed => identical tables)")
+	warmup := fs.Duration("warmup", 5*time.Minute, "virtual warm-up discarded from statistics")
+	duration := fs.Duration("duration", time.Hour, "measured virtual duration per configuration")
+	quick := fs.Bool("quick", false, "short run (30s warm-up, 4min measurement)")
+	diag := fs.Bool("diag", false, "print per-run diagnostics (CPU, RMI, JMS counters)")
+	p95 := fs.Bool("p95", false, "also print 95th-percentile tables")
+	ext := fs.Bool("ext", false, "append extension configurations (DB replication) to table runs")
+	csvPath := fs.String("csv", "", "also write table results as CSV to this file")
+	appFlag := fs.String("app", "petstore", "application for sweeps: petstore|rubis")
+	cfgFlag := fs.String("config", "async-updates", "configuration for sweeps: centralized|remote-facade|stateful-caching|query-caching|async-updates")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := experiment.RunOptions{Seed: *seed, Warmup: *warmup, Duration: *duration}
+	if *quick {
+		opts = experiment.QuickRunOptions()
+		opts.Seed = *seed
+	}
+	cmds := fs.Args()
+	if len(cmds) == 0 {
+		cmds = []string{"all"}
+	}
+	for _, cmd := range cmds {
+		switch cmd {
+		case "table6":
+			if err := table(experiment.PetStore, opts, false, *diag, *p95, *ext, *csvPath); err != nil {
+				return err
+			}
+		case "table7":
+			if err := table(experiment.RUBiS, opts, false, *diag, *p95, *ext, *csvPath); err != nil {
+				return err
+			}
+		case "fig7":
+			if err := table(experiment.PetStore, opts, true, *diag, false, false, ""); err != nil {
+				return err
+			}
+		case "fig8":
+			if err := table(experiment.RUBiS, opts, true, *diag, false, false, ""); err != nil {
+				return err
+			}
+		case "inventory":
+			printInventory()
+		case "explain":
+			app, cfg, err := sweepTarget(*appFlag, *cfgFlag)
+			if err != nil {
+				return err
+			}
+			if err := explain(app, cfg, *seed); err != nil {
+				return err
+			}
+		case "sweep-latency":
+			app, cfg, err := sweepTarget(*appFlag, *cfgFlag)
+			if err != nil {
+				return err
+			}
+			lats := []time.Duration{
+				25 * time.Millisecond, 50 * time.Millisecond, 100 * time.Millisecond,
+				200 * time.Millisecond, 400 * time.Millisecond,
+			}
+			pts, err := experiment.LatencySweep(app, cfg, lats, opts)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("WAN-latency sweep: %s / %s\n", app, cfg.Title())
+			fmt.Print(experiment.FormatSweep("wan-one-way-ms", pts))
+		case "sweep-load":
+			app, cfg, err := sweepTarget(*appFlag, *cfgFlag)
+			if err != nil {
+				return err
+			}
+			pts, err := experiment.LoadSweep(app, cfg, []float64{0.5, 1, 2, 4, 8}, opts)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("Load sweep: %s / %s\n", app, cfg.Title())
+			fmt.Print(experiment.FormatSweep("offered-req-s", pts))
+		case "all":
+			for _, app := range []experiment.AppID{experiment.PetStore, experiment.RUBiS} {
+				var results []*experiment.Result
+				var err error
+				if *ext {
+					results, err = experiment.RunTableWithExtensions(app, opts)
+				} else {
+					results, err = experiment.RunTable(app, opts)
+				}
+				if err != nil {
+					return err
+				}
+				fmt.Print(experiment.FormatTable(results))
+				fmt.Println()
+				if *p95 {
+					fmt.Print(experiment.FormatTableP95(results))
+					fmt.Println()
+				}
+				fmt.Print(experiment.FormatFigure(results))
+				fmt.Println()
+				if *diag {
+					fmt.Print(experiment.FormatDiagnostics(results))
+					fmt.Println()
+				}
+			}
+		default:
+			return fmt.Errorf("unknown command %q (want table6|table7|fig7|fig8|inventory|explain|sweep-latency|sweep-load|all)", cmd)
+		}
+	}
+	return nil
+}
+
+// sweepTarget resolves the -app and -config flags.
+func sweepTarget(app, cfg string) (experiment.AppID, core.ConfigID, error) {
+	var a experiment.AppID
+	switch app {
+	case "petstore":
+		a = experiment.PetStore
+	case "rubis":
+		a = experiment.RUBiS
+	default:
+		return "", 0, fmt.Errorf("unknown app %q (want petstore|rubis)", app)
+	}
+	for _, c := range core.Configs {
+		if c.String() == cfg {
+			return a, c, nil
+		}
+	}
+	return "", 0, fmt.Errorf("unknown config %q", cfg)
+}
+
+func table(app experiment.AppID, opts experiment.RunOptions, figure, diag, p95, ext bool, csvPath string) error {
+	var results []*experiment.Result
+	var err error
+	if ext {
+		results, err = experiment.RunTableWithExtensions(app, opts)
+	} else {
+		results, err = experiment.RunTable(app, opts)
+	}
+	if err != nil {
+		return err
+	}
+	if figure {
+		fmt.Print(experiment.FormatFigure(results))
+	} else {
+		fmt.Print(experiment.FormatTable(results))
+	}
+	if p95 {
+		fmt.Println()
+		fmt.Print(experiment.FormatTableP95(results))
+	}
+	if diag {
+		fmt.Println()
+		fmt.Print(experiment.FormatDiagnostics(results))
+	}
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := experiment.WriteCSV(f, results); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func printInventory() {
+	fmt.Println("Table 1. EJBs in Java Pet Store.")
+	fmt.Printf("%-26s %-18s %s\n", "EJB Name", "Kind", "Description")
+	for _, e := range petstore.ComponentInventory() {
+		kind := e.Kind.String()
+		if e.Kind == container.Entity {
+			kind = "entity"
+		}
+		fmt.Printf("%-26s %-18s %s\n", e.Name, kind, e.Desc)
+	}
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"testing"
+)
+
+// tiny returns args for a very short run.
+func tiny(extra ...string) []string {
+	return append([]string{"-warmup", "5s", "-duration", "30s"}, extra...)
+}
+
+func TestRunInventory(t *testing.T) {
+	if err := run([]string{"inventory"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTable6Tiny(t *testing.T) {
+	if err := run(tiny("table6")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFig8Tiny(t *testing.T) {
+	if err := run(tiny("fig8")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTableWithExtAndP95(t *testing.T) {
+	if err := run(tiny("-ext", "-p95", "-diag", "table6")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSweeps(t *testing.T) {
+	if err := run(tiny("-app", "rubis", "-config", "centralized", "sweep-load")); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(tiny("-app", "petstore", "-config", "async-updates", "sweep-latency")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExplain(t *testing.T) {
+	if err := run([]string{"-app", "rubis", "-config", "query-caching", "explain"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"frobnicate"},
+		{"-app", "nope", "sweep-load"},
+		{"-config", "nope", "sweep-latency"},
+		{"-app", "nope", "explain"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

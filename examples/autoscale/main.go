@@ -1,0 +1,154 @@
+// Autoscale: the paper's long-term goal (Section 6) — dynamic demand-driven
+// deployment of components. The app starts with NO edge replicas (deferred
+// wiring); remote clients' reads cross the WAN to the main server. An
+// autoscaler watches the wide-area call rate and extends the replica bundle
+// to the edge servers at runtime; remote read latency collapses mid-run.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"wadeploy/internal/container"
+	"wadeploy/internal/core"
+	"wadeploy/internal/sim"
+	"wadeploy/internal/simnet"
+	"wadeploy/internal/sqldb"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "autoscale:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	env := sim.NewEnv(23)
+	d, err := core.NewPaperDeployment(env, core.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	if _, err := d.DB.Exec(`CREATE TABLE price (id INT PRIMARY KEY, cents INT NOT NULL)`); err != nil {
+		return err
+	}
+	for i := 1; i <= 50; i++ {
+		if _, err := d.DB.Exec(`INSERT INTO price VALUES (?, ?)`, sqldb.Int(int64(i)), sqldb.Int(int64(100*i))); err != nil {
+			return err
+		}
+	}
+	prices, err := container.DeployRWEntity(d.Main, "Price", "price", "id")
+	if err != nil {
+		return err
+	}
+	d.RegisterRW(prices)
+	if _, err := container.DeployStateless(d.Main, "PriceFacade", map[string]container.Method{
+		"get": func(p *sim.Proc, inv *container.Invocation) (any, error) {
+			pk, _ := inv.Arg(0).(sqldb.Value)
+			return prices.Load(p, pk)
+		},
+	}); err != nil {
+		return err
+	}
+
+	// Deferred wiring: descriptor declared, nothing deployed yet.
+	wiring, err := core.AutoWire(d, &container.ExtendedDescriptor{
+		Replicas: []container.ReplicaSpec{
+			{Bean: "Price", Update: container.SyncUpdate, Refresh: container.PushRefresh},
+		},
+	}, core.WireOptions{
+		Deferred:  true,
+		PushBytes: 256,
+		FetchFor: func(server *container.Server, rwBean string) container.FetchFunc {
+			return func(p *sim.Proc, pk sqldb.Value) (container.State, error) {
+				stub, err := server.StubFor(p, simnet.NodeMain, "PriceFacade")
+				if err != nil {
+					return nil, err
+				}
+				v, err := stub.Invoke(p, "get", pk)
+				if err != nil {
+					return nil, err
+				}
+				st, ok := v.(container.State)
+				if !ok {
+					return nil, fmt.Errorf("get returned %T", v)
+				}
+				return st, nil
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	scaler, err := core.StartAutoscaler(d, wiring, core.AutoscalerConfig{
+		Interval:  10 * time.Second,
+		Threshold: 2, // wide-area calls per second
+		Cooldown:  20 * time.Second,
+	})
+	if err != nil {
+		return err
+	}
+
+	// readPrice reads id 7 the best way currently available on the edge:
+	// a local replica if the autoscaler has deployed one, otherwise a
+	// wide-area façade call.
+	readPrice := func(p *sim.Proc, edge *container.Server) (time.Duration, error) {
+		start := p.Now()
+		if ro := wiring.Replica(edge.Name(), "Price"); ro != nil {
+			if _, err := ro.Get(p, sqldb.Int(7)); err != nil {
+				return 0, err
+			}
+			return p.Now() - start, nil
+		}
+		stub, err := edge.StubFor(p, simnet.NodeMain, "PriceFacade")
+		if err != nil {
+			return 0, err
+		}
+		if _, err := stub.Invoke(p, "get", sqldb.Int(7)); err != nil {
+			return 0, err
+		}
+		return p.Now() - start, nil
+	}
+
+	// Remote load on edge1: back-to-back reads with a 100 ms think time for
+	// two minutes, sampling observed latency every 20 seconds.
+	edge := d.Edges[0]
+	var failed error
+	env.Spawn("reader", func(p *sim.Proc) {
+		var window []time.Duration
+		nextReport := 20 * time.Second
+		for p.Now() < 2*time.Minute {
+			rt, err := readPrice(p, edge)
+			if err != nil {
+				failed = err
+				return
+			}
+			window = append(window, rt)
+			if p.Now() >= nextReport {
+				var sum time.Duration
+				for _, w := range window {
+					sum += w
+				}
+				fmt.Printf("t=%-6v mean read latency %8v  (replicas on edge: %v)\n",
+					p.Now().Round(time.Second), (sum / time.Duration(len(window))).Round(100*time.Microsecond),
+					wiring.DeployedOn(edge.Name()))
+				window = window[:0]
+				nextReport += 20 * time.Second
+			}
+			p.Sleep(100 * time.Millisecond)
+		}
+	})
+	env.Run(3 * time.Minute)
+	scaler.Stop()
+	env.Close()
+	if failed != nil {
+		return failed
+	}
+	for _, dec := range scaler.Decisions() {
+		fmt.Printf("autoscaler: extended replicas to %s at t=%v (%.1f wide-area calls/s)\n",
+			dec.Server, dec.At.Round(time.Second), dec.Rate)
+	}
+	return nil
+}

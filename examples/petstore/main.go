@@ -1,0 +1,38 @@
+// Pet Store sweep: run Java Pet Store through all five configurations of
+// the paper under the Section 3.3 workload and print Table 6 and Figure 7.
+// Pass -full for the paper-length run (1h virtual per configuration).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wadeploy/internal/experiment"
+)
+
+func main() {
+	full := flag.Bool("full", false, "paper-length run (1h virtual per configuration)")
+	flag.Parse()
+	if err := run(*full); err != nil {
+		fmt.Fprintln(os.Stderr, "petstore:", err)
+		os.Exit(1)
+	}
+}
+
+func run(full bool) error {
+	opts := experiment.QuickRunOptions()
+	if full {
+		opts = experiment.DefaultRunOptions()
+	}
+	results, err := experiment.RunTable(experiment.PetStore, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiment.FormatTable(results))
+	fmt.Println()
+	fmt.Print(experiment.FormatFigure(results))
+	fmt.Println()
+	fmt.Print(experiment.FormatDiagnostics(results))
+	return nil
+}

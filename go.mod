@@ -1,0 +1,3 @@
+module wadeploy
+
+go 1.22

@@ -1,0 +1,399 @@
+package container
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"wadeploy/internal/rmi"
+	"wadeploy/internal/sim"
+	"wadeploy/internal/simnet"
+	"wadeploy/internal/sqldb"
+	"wadeploy/internal/web"
+)
+
+func TestROEntityTTLInvalidation(t *testing.T) {
+	f := newFixture(t)
+	rw, err := DeployRWEntity(f.main, "InventoryRW", "inventory", "item_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fetches := 0
+	ro, err := DeployROEntity(f.edge, "InventoryRO", "InventoryRW", func(p *sim.Proc, pk sqldb.Value) (State, error) {
+		fetches++
+		return rw.Load(p, pk)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro.SetTTL(10 * time.Second)
+	if ro.TTL() != 10*time.Second {
+		t.Fatalf("ttl = %v", ro.TTL())
+	}
+	f.run(t, func(p *sim.Proc) {
+		if _, err := ro.Get(p, sqldb.Str("i1")); err != nil { // cold miss
+			t.Fatalf("get: %v", err)
+		}
+		p.Sleep(5 * time.Second)
+		if _, err := ro.Get(p, sqldb.Str("i1")); err != nil { // still fresh
+			t.Fatalf("get: %v", err)
+		}
+		if fetches != 1 {
+			t.Fatalf("fetches = %d before expiry, want 1", fetches)
+		}
+		p.Sleep(6 * time.Second) // now 11s since load
+		if _, err := ro.Get(p, sqldb.Str("i1")); err != nil {
+			t.Fatalf("get: %v", err)
+		}
+		if fetches != 2 {
+			t.Fatalf("fetches = %d after expiry, want 2", fetches)
+		}
+	})
+}
+
+func TestROEntityTTLResetByPush(t *testing.T) {
+	f := newFixture(t)
+	fetches := 0
+	ro, err := DeployROEntity(f.edge, "RO", "RW", func(p *sim.Proc, pk sqldb.Value) (State, error) {
+		fetches++
+		return State{"v": sqldb.Int(1)}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro.SetTTL(10 * time.Second)
+	f.run(t, func(p *sim.Proc) {
+		if _, err := ro.Get(p, sqldb.Str("a")); err != nil {
+			t.Fatalf("get: %v", err)
+		}
+		p.Sleep(8 * time.Second)
+		// A push renews the entry's clock.
+		ro.ApplyUpdate(Update{Bean: "RW", PK: sqldb.Str("a"), State: State{"v": sqldb.Int(2)}})
+		p.Sleep(8 * time.Second) // 16s since load, 8s since push
+		st, err := ro.Get(p, sqldb.Str("a"))
+		if err != nil {
+			t.Fatalf("get: %v", err)
+		}
+		if st["v"].AsInt() != 2 || fetches != 1 {
+			t.Fatalf("v=%v fetches=%d; push should have renewed TTL", st["v"], fetches)
+		}
+	})
+}
+
+func TestROEntityPropagationDelayMetrics(t *testing.T) {
+	f := newFixture(t)
+	rw, err := DeployRWEntity(f.main, "InventoryRW", "inventory", "item_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro, err := DeployROEntity(f.edge, "InventoryRO", "InventoryRW", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uf, err := DeployUpdaterFacade(f.edge, "Updater")
+	if err != nil {
+		t.Fatal(err)
+	}
+	uf.Register("InventoryRW", ro)
+	ap, err := NewAsyncPropagator(f.main, "updates", 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw.AddPropagator(ap)
+	if _, err := DeployUpdateSubscriber(f.edge, "Sub", "updates", uf); err != nil {
+		t.Fatal(err)
+	}
+	f.run(t, func(p *sim.Proc) {
+		if _, err := rw.UpdateFields(p, sqldb.Str("i1"), State{"qty": sqldb.Int(1)}); err != nil {
+			t.Fatalf("update: %v", err)
+		}
+	})
+	// Async delivery crosses the 100ms one-way WAN.
+	if d := ro.MaxPropagationDelay(); d < 100*time.Millisecond || d > time.Second {
+		t.Fatalf("max propagation delay = %v, want ~one-way WAN", d)
+	}
+	if ro.MeanPropagationDelay() == 0 {
+		t.Fatal("mean propagation delay not recorded")
+	}
+}
+
+func TestUpdateIfVersionOptimisticConcurrency(t *testing.T) {
+	f := newFixture(t)
+	if _, err := f.db.Exec(`CREATE TABLE doc (id INT PRIMARY KEY, body TEXT, version INT NOT NULL)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.db.Exec(`INSERT INTO doc VALUES (1, 'v1', 1)`); err != nil {
+		t.Fatal(err)
+	}
+	rw, err := DeployRWEntity(f.main, "Doc", "doc", "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.run(t, func(p *sim.Proc) {
+		// Writer A read version 1 and updates successfully.
+		st, err := rw.UpdateIfVersion(p, sqldb.Int(1), "version", 1, State{"body": sqldb.Str("from A")})
+		if err != nil {
+			t.Fatalf("A: %v", err)
+		}
+		if st["version"].AsInt() != 2 {
+			t.Fatalf("version after A = %v", st["version"])
+		}
+		// Writer B also read version 1 (stale): must be rejected.
+		_, err = rw.UpdateIfVersion(p, sqldb.Int(1), "version", 1, State{"body": sqldb.Str("from B")})
+		if !errors.Is(err, ErrStaleVersion) {
+			t.Fatalf("B: err = %v, want ErrStaleVersion", err)
+		}
+		cur, err := rw.Load(p, sqldb.Int(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur["body"].AsString() != "from A" || cur["version"].AsInt() != 2 {
+			t.Fatalf("state = %v, stale write leaked", cur)
+		}
+		// B retries with the fresh version.
+		if _, err := rw.UpdateIfVersion(p, sqldb.Int(1), "version", 2, State{"body": sqldb.Str("from B")}); err != nil {
+			t.Fatalf("B retry: %v", err)
+		}
+	})
+}
+
+func TestSyncPropagatorBestEffortSkipsPartitionedEdge(t *testing.T) {
+	f := newFixture(t)
+	rw, err := DeployRWEntity(f.main, "InventoryRW", "inventory", "item_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro, err := DeployROEntity(f.edge, "InventoryRO", "InventoryRW", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uf, err := DeployUpdaterFacade(f.edge, "Updater")
+	if err != nil {
+		t.Fatal(err)
+	}
+	uf.Register("InventoryRW", ro)
+	sp := NewSyncPropagator(f.main, []SyncTarget{{Server: "edge", Facade: "Updater"}}, 512)
+	sp.BestEffort = true
+	rw.AddPropagator(sp)
+	if err := f.net.SetLinkState("main", "edge", false); err != nil {
+		t.Fatal(err)
+	}
+	f.run(t, func(p *sim.Proc) {
+		// Best-effort: the write succeeds despite the partition.
+		if _, err := rw.UpdateFields(p, sqldb.Str("i1"), State{"qty": sqldb.Int(1)}); err != nil {
+			t.Fatalf("best-effort write failed: %v", err)
+		}
+	})
+	if sp.Skipped() != 1 {
+		t.Fatalf("skipped = %d, want 1", sp.Skipped())
+	}
+	if ro.Pushes() != 0 {
+		t.Fatalf("pushes = %d, want 0 (partitioned)", ro.Pushes())
+	}
+}
+
+func TestSyncPropagatorStrictFailsOnPartition(t *testing.T) {
+	f := newFixture(t)
+	rw, err := DeployRWEntity(f.main, "InventoryRW", "inventory", "item_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DeployUpdaterFacade(f.edge, "Updater"); err != nil {
+		t.Fatal(err)
+	}
+	rw.AddPropagator(NewSyncPropagator(f.main, []SyncTarget{{Server: "edge", Facade: "Updater"}}, 512))
+	if err := f.net.SetLinkState("main", "edge", false); err != nil {
+		t.Fatal(err)
+	}
+	f.run(t, func(p *sim.Proc) {
+		if _, err := rw.UpdateFields(p, sqldb.Str("i1"), State{"qty": sqldb.Int(1)}); err == nil {
+			t.Fatal("strict zero-staleness write succeeded across a partition")
+		}
+	})
+}
+
+func TestDeltaPushMergesChangedFieldsOnly(t *testing.T) {
+	f := newFixture(t)
+	rw, err := DeployRWEntity(f.main, "InventoryRW", "inventory", "item_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw.SetDeltaPush(true)
+	ro, err := DeployROEntity(f.edge, "InventoryRO", "InventoryRW", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uf, err := DeployUpdaterFacade(f.edge, "Updater")
+	if err != nil {
+		t.Fatal(err)
+	}
+	uf.Register("InventoryRW", ro)
+	rw.AddPropagator(NewSyncPropagator(f.main, []SyncTarget{{Server: "edge", Facade: "Updater"}}, 4096))
+	ro.Preload(sqldb.Str("i1"), State{"item_id": sqldb.Str("i1"), "qty": sqldb.Int(10)})
+	f.run(t, func(p *sim.Proc) {
+		if _, err := rw.UpdateFields(p, sqldb.Str("i1"), State{"qty": sqldb.Int(7)}); err != nil {
+			t.Fatalf("update: %v", err)
+		}
+		st, err := ro.Get(p, sqldb.Str("i1"))
+		if err != nil {
+			t.Fatalf("get: %v", err)
+		}
+		// Changed field merged; untouched fields survive.
+		if st["qty"].AsInt() != 7 || st["item_id"].AsString() != "i1" {
+			t.Fatalf("merged state = %v", st)
+		}
+	})
+}
+
+func TestDeltaPushWithoutLocalCopyIsIgnored(t *testing.T) {
+	f := newFixture(t)
+	fetches := 0
+	rw, err := DeployRWEntity(f.main, "InventoryRW", "inventory", "item_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw.SetDeltaPush(true)
+	ro, err := DeployROEntity(f.edge, "InventoryRO", "InventoryRW", func(p *sim.Proc, pk sqldb.Value) (State, error) {
+		fetches++
+		return rw.Load(p, pk)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uf, err := DeployUpdaterFacade(f.edge, "Updater")
+	if err != nil {
+		t.Fatal(err)
+	}
+	uf.Register("InventoryRW", ro)
+	rw.AddPropagator(NewSyncPropagator(f.main, []SyncTarget{{Server: "edge", Facade: "Updater"}}, 1024))
+	f.run(t, func(p *sim.Proc) {
+		// Delta arrives for an entity the replica never loaded: ignored.
+		if _, err := rw.UpdateFields(p, sqldb.Str("i2"), State{"qty": sqldb.Int(1)}); err != nil {
+			t.Fatalf("update: %v", err)
+		}
+		// The read fetches the full, correct state.
+		st, err := ro.Get(p, sqldb.Str("i2"))
+		if err != nil {
+			t.Fatalf("get: %v", err)
+		}
+		if st["qty"].AsInt() != 1 {
+			t.Fatalf("qty = %v", st["qty"])
+		}
+	})
+	if fetches != 1 {
+		t.Fatalf("fetches = %d", fetches)
+	}
+}
+
+func TestUpdateWireBytes(t *testing.T) {
+	full := Update{State: State{"a": sqldb.Int(1), "b": sqldb.Int(2)}}
+	delta := Update{State: State{"a": sqldb.Int(1)}, Delta: true}
+	del := Update{Deleted: true}
+	if full.WireBytes() != 1024 {
+		t.Fatalf("full = %d", full.WireBytes())
+	}
+	if delta.WireBytes() >= full.WireBytes() {
+		t.Fatalf("delta %d not smaller than full %d", delta.WireBytes(), full.WireBytes())
+	}
+	if del.WireBytes() <= 0 {
+		t.Fatalf("deleted = %d", del.WireBytes())
+	}
+}
+
+func TestDescriptorDeltaPushRequiresPushRefresh(t *testing.T) {
+	bad := &ExtendedDescriptor{
+		Replicas: []ReplicaSpec{{
+			Bean: "A", Update: SyncUpdate, Refresh: PullRefresh, DeltaPush: true,
+		}},
+	}
+	if err := bad.Validate(); !errors.Is(err, ErrBadDescriptor) {
+		t.Fatalf("err = %v", err)
+	}
+	good := &ExtendedDescriptor{
+		Replicas: []ReplicaSpec{{
+			Bean: "A", Update: SyncUpdate, Refresh: PushRefresh, DeltaPush: true,
+		}},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelSyncPushOverlapsFanOut(t *testing.T) {
+	// Two edges behind the same 100ms one-way WAN: sequential pushes cost
+	// two push latencies, parallel one.
+	build := func(parallel bool) time.Duration {
+		env := sim.NewEnv(3)
+		net := simnet.New(env)
+		for _, id := range []string{"main", "e1", "e2"} {
+			if _, err := net.AddNode(id, 2); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, id := range []string{"e1", "e2"} {
+			if _, err := net.AddLink("main", id, 100*time.Millisecond, 1e12); err != nil {
+				t.Fatal(err)
+			}
+		}
+		db := sqldb.New()
+		if _, err := db.Exec(`CREATE TABLE kv (id INT PRIMARY KEY, v INT NOT NULL)`); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.Exec(`INSERT INTO kv VALUES (1, 0)`); err != nil {
+			t.Fatal(err)
+		}
+		rt := rmi.NewRuntime(net, rmi.DefaultOptions)
+		mk := func(name string) *Server {
+			s, err := NewServer(Config{
+				Name: name, DBNode: "main", DB: db, Net: net, RMI: rt,
+				Web: web.DefaultOptions, Costs: DefaultCostModel,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}
+		main, e1, e2 := mk("main"), mk("e1"), mk("e2")
+		rw, err := DeployRWEntity(main, "KV", "kv", "id")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, edge := range []*Server{e1, e2} {
+			ro, err := DeployROEntity(edge, "KVRO", "KV", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			uf, err := DeployUpdaterFacade(edge, "Updater")
+			if err != nil {
+				t.Fatal(err)
+			}
+			uf.Register("KV", ro)
+		}
+		sp := NewSyncPropagator(main, []SyncTarget{
+			{Server: "e1", Facade: "Updater"},
+			{Server: "e2", Facade: "Updater"},
+		}, 512)
+		sp.Parallel = parallel
+		rw.AddPropagator(sp)
+		var cost time.Duration
+		env.Spawn("writer", func(p *sim.Proc) {
+			start := p.Now()
+			if _, err := rw.UpdateFields(p, sqldb.Int(1), State{"v": sqldb.Int(1)}); err != nil {
+				t.Errorf("update: %v", err)
+			}
+			cost = p.Now() - start
+		})
+		env.RunAll()
+		env.Close()
+		return cost
+	}
+	seq := build(false)
+	par := build(true)
+	if par >= seq-200*time.Millisecond {
+		t.Fatalf("parallel push %v vs sequential %v: no overlap", par, seq)
+	}
+	// Parallel still blocks for at least one full push.
+	if par < 250*time.Millisecond {
+		t.Fatalf("parallel push %v, want >= one push latency", par)
+	}
+}

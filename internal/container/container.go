@@ -1,0 +1,312 @@
+// Package container implements an EJB-style component container model on top
+// of the sim/simnet/rmi/jms/web/sqldb substrates: application servers,
+// deployment descriptors, stateless and stateful session beans, entity beans
+// (read-write and read-only replicas), message-driven update subscribers,
+// query-result caches, and the update-propagation machinery behind the
+// paper's read-mostly and asynchronous-update patterns.
+//
+// A Server corresponds to one JBoss/Jetty instance of the paper's testbed:
+// it owns a node's CPU, a servlet container, a JNDI registry view, a stub
+// cache (EJBHomeFactory) and the set of beans deployed on it. Beans are
+// invoked through RMI stubs, so a co-located call costs local dispatch while
+// a cross-server call pays the full wide-area RMI price.
+package container
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"wadeploy/internal/jms"
+	"wadeploy/internal/rmi"
+	"wadeploy/internal/sim"
+	"wadeploy/internal/simnet"
+	"wadeploy/internal/sqldb"
+	"wadeploy/internal/web"
+)
+
+// Errors shared by the container layer.
+var (
+	ErrNoSuchBean   = errors.New("container: no such bean")
+	ErrNoSuchMethod = errors.New("container: no such method")
+	ErrNotDeployed  = errors.New("container: bean not deployed on this server")
+)
+
+// BeanKind enumerates the J2EE component kinds used by the paper.
+type BeanKind int
+
+// Bean kinds.
+const (
+	StatelessSession BeanKind = iota + 1
+	StatefulSession
+	Entity
+	MessageDriven
+)
+
+func (k BeanKind) String() string {
+	switch k {
+	case StatelessSession:
+		return "stateless-session"
+	case StatefulSession:
+		return "stateful-session"
+	case Entity:
+		return "entity"
+	case MessageDriven:
+		return "message-driven"
+	default:
+		return fmt.Sprintf("BeanKind(%d)", int(k))
+	}
+}
+
+// Persistence selects entity-bean persistence management.
+type Persistence int
+
+// Persistence modes: bean-managed (hand-written SQL) or container-managed
+// (SQL rendered from the abstract schema).
+const (
+	BMP Persistence = iota + 1
+	CMP
+)
+
+// CostModel is the container-side CPU cost model.
+type CostModel struct {
+	// MethodCPU is charged per business-method invocation: transaction
+	// demarcation, security checks and interceptors.
+	MethodCPU time.Duration
+
+	// EntityLoadCPU / EntityStoreCPU cover ejbLoad/ejbStore field
+	// marshalling on top of the SQL cost.
+	EntityLoadCPU  time.Duration
+	EntityStoreCPU time.Duration
+
+	// CacheHitCPU is the cost of serving state from a read-only bean or
+	// query cache.
+	CacheHitCPU time.Duration
+
+	// JDBCRounds is the number of network round trips per SQL statement
+	// between an application server and the database node (connection
+	// management makes this exceed 1 for non-pooled access).
+	JDBCRounds float64
+}
+
+// DefaultCostModel approximates the paper's JBoss 2.4/3.0 era containers.
+var DefaultCostModel = CostModel{
+	MethodCPU:      400 * time.Microsecond,
+	EntityLoadCPU:  300 * time.Microsecond,
+	EntityStoreCPU: 300 * time.Microsecond,
+	CacheHitCPU:    150 * time.Microsecond,
+	JDBCRounds:     1,
+}
+
+// Server is one application server: a container environment on a node.
+type Server struct {
+	name  string
+	node  *simnet.Node
+	net   *simnet.Network
+	rt    *rmi.Runtime
+	web   *web.Container
+	db    *sqldb.DB
+	dbSrv *simnet.Node // node the database runs on
+	jms   *jms.Provider
+	costs CostModel
+	stubs *rmi.StubCache
+
+	beans map[string]*binding
+
+	// replicaDB, when set, is a local asynchronous replica of the
+	// deployment's database (dbrepl); SQLReplica reads execute against it
+	// at local cost.
+	replicaDB *sqldb.DB
+
+	sqlStatements int64
+}
+
+// binding records a bean deployed on this server.
+type binding struct {
+	name string
+	kind BeanKind
+}
+
+// Config configures a Server.
+type Config struct {
+	Name   string // node ID this server runs on
+	DBNode string // node ID the database runs on
+	DB     *sqldb.DB
+	Net    *simnet.Network
+	RMI    *rmi.Runtime
+	JMS    *jms.Provider // may be nil if the deployment does not use messaging
+	Web    web.Options
+	Costs  CostModel
+}
+
+// NewServer creates an application server on cfg.Name.
+func NewServer(cfg Config) (*Server, error) {
+	node := cfg.Net.Node(cfg.Name)
+	if node == nil {
+		return nil, fmt.Errorf("container: no such node %s", cfg.Name)
+	}
+	dbNode := cfg.Net.Node(cfg.DBNode)
+	if dbNode == nil {
+		return nil, fmt.Errorf("container: no such DB node %s", cfg.DBNode)
+	}
+	wc, err := web.NewContainer(cfg.Net, cfg.Name, cfg.Web)
+	if err != nil {
+		return nil, fmt.Errorf("container: web tier: %w", err)
+	}
+	return &Server{
+		name:  cfg.Name,
+		node:  node,
+		net:   cfg.Net,
+		rt:    cfg.RMI,
+		web:   wc,
+		db:    cfg.DB,
+		dbSrv: dbNode,
+		jms:   cfg.JMS,
+		costs: cfg.Costs,
+		stubs: rmi.NewStubCache(cfg.RMI, cfg.Name),
+		beans: make(map[string]*binding),
+	}, nil
+}
+
+// Name returns the server's node ID.
+func (s *Server) Name() string { return s.name }
+
+// Web returns the server's servlet container.
+func (s *Server) Web() *web.Container { return s.web }
+
+// RMI returns the shared RMI runtime.
+func (s *Server) RMI() *rmi.Runtime { return s.rt }
+
+// JMS returns the deployment's messaging provider (nil when unused).
+func (s *Server) JMS() *jms.Provider { return s.jms }
+
+// DB returns the shared database handle.
+func (s *Server) DB() *sqldb.DB { return s.db }
+
+// Costs returns the server's cost model.
+func (s *Server) Costs() CostModel { return s.costs }
+
+// Env returns the simulation environment.
+func (s *Server) Env() *sim.Env { return s.net.Env() }
+
+// Beans returns the number of beans deployed on this server.
+func (s *Server) Beans() int { return len(s.beans) }
+
+// HasBean reports whether a bean with the given name is deployed here.
+func (s *Server) HasBean(name string) bool {
+	_, ok := s.beans[name]
+	return ok
+}
+
+// SQLStatements returns how many SQL statements this server has issued.
+func (s *Server) SQLStatements() int64 { return s.sqlStatements }
+
+// Compute charges d of CPU time on this server, queueing when all slots are
+// busy.
+func (s *Server) Compute(p *sim.Proc, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	s.node.CPU.Use(p, d)
+}
+
+// bindName is the JNDI name a bean is bound under.
+func bindName(bean string) string { return "ejb/" + bean }
+
+// bind registers a bean's invocation handler in this server's JNDI registry.
+func (s *Server) bind(name string, kind BeanKind, h rmi.Handler) error {
+	if _, dup := s.beans[name]; dup {
+		return fmt.Errorf("container: bean %s already deployed on %s", name, s.name)
+	}
+	if _, err := s.rt.Bind(s.name, bindName(name), h); err != nil {
+		return fmt.Errorf("container: deploy %s on %s: %w", name, s.name, err)
+	}
+	s.beans[name] = &binding{name: name, kind: kind}
+	return nil
+}
+
+// StubFor returns a cached stub for a bean deployed on targetServer,
+// modeling the EJBHomeFactory pattern (one JNDI lookup ever, then cached).
+func (s *Server) StubFor(p *sim.Proc, targetServer, bean string) (*rmi.Stub, error) {
+	return s.stubs.Get(p, targetServer, bindName(bean))
+}
+
+// LookupUncached performs a full JNDI lookup (no stub caching) — the
+// anti-pattern the EJBHomeFactory removes, kept for the centralized
+// baseline and for tests that quantify the difference.
+func (s *Server) LookupUncached(p *sim.Proc, targetServer, bean string) (*rmi.Stub, error) {
+	return s.rt.Lookup(p, s.name, targetServer, bindName(bean))
+}
+
+// AttachReplicaDB gives this server a local database replica for
+// SQLReplica reads (the Section 6 database-replication extension).
+func (s *Server) AttachReplicaDB(db *sqldb.DB) { s.replicaDB = db }
+
+// HasReplicaDB reports whether a local database replica is attached.
+func (s *Server) HasReplicaDB() bool { return s.replicaDB != nil }
+
+// SQLReplica executes a read-only statement against this server's local
+// database replica: no JDBC round trips, cost charged to this node's CPU.
+func (s *Server) SQLReplica(p *sim.Proc, query string, args ...sqldb.Value) (*sqldb.Result, error) {
+	if s.replicaDB == nil {
+		return nil, fmt.Errorf("container: %s has no replica DB", s.name)
+	}
+	s.sqlStatements++
+	label := query
+	if len(label) > 48 {
+		label = label[:48] + "..."
+	}
+	defer p.Span("sql-replica", label)()
+	res, err := s.replicaDB.Exec(query, args...)
+	if err != nil {
+		return nil, err
+	}
+	s.node.CPU.Use(p, res.Cost)
+	return res, nil
+}
+
+// SQL executes one statement against the deployment's database on behalf of
+// this server: JDBC round trips to the DB node (when remote) plus the
+// statement's cost charged to the DB node's CPU.
+func (s *Server) SQL(p *sim.Proc, query string, args ...sqldb.Value) (*sqldb.Result, error) {
+	return s.sqlOn(p, nil, query, args...)
+}
+
+// SQLTx executes one statement within tx, with the same cost accounting.
+func (s *Server) SQLTx(p *sim.Proc, tx *sqldb.Tx, query string, args ...sqldb.Value) (*sqldb.Result, error) {
+	return s.sqlOn(p, tx, query, args...)
+}
+
+func (s *Server) sqlOn(p *sim.Proc, tx *sqldb.Tx, query string, args ...sqldb.Value) (*sqldb.Result, error) {
+	s.sqlStatements++
+	label := query
+	if len(label) > 48 {
+		label = label[:48] + "..."
+	}
+	defer p.Span("sql", label)()
+	remote := s.dbSrv.ID != s.name
+	if remote {
+		rounds := s.costs.JDBCRounds
+		if rounds < 1 {
+			rounds = 1
+		}
+		rtt, err := s.net.RTT(s.name, s.dbSrv.ID)
+		if err != nil {
+			return nil, fmt.Errorf("container: jdbc %s->%s: %w", s.name, s.dbSrv.ID, err)
+		}
+		p.Sleep(time.Duration(rounds * float64(rtt)))
+	}
+	var res *sqldb.Result
+	var err error
+	if tx != nil {
+		res, err = tx.Exec(query, args...)
+	} else {
+		res, err = s.db.Exec(query, args...)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Charge the statement's service time to the database node's CPU.
+	s.dbSrv.CPU.Use(p, res.Cost)
+	return res, nil
+}

@@ -1,0 +1,175 @@
+package container
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Descriptor is a (standard) deployment descriptor for one bean.
+type Descriptor struct {
+	Name string
+	Kind BeanKind
+
+	// Entity beans only.
+	Table       string
+	PKColumn    string
+	Persistence Persistence
+
+	// LocalOnly marks the bean as exposing only a local interface (EJB 2.0
+	// local interfaces). The paper's design-rule enforcement (Section 5)
+	// requires every non-façade component to be local-only so that remote
+	// clients can reach shared state exclusively through façades.
+	LocalOnly bool
+
+	// Facade marks the bean as a remotely invocable façade.
+	Facade bool
+}
+
+// UpdateMode selects how replica refresh traffic is delivered.
+type UpdateMode int
+
+// Update modes for read-only replicas and query caches.
+const (
+	// SyncUpdate blocks the writer until every replica applied the push
+	// (zero staleness).
+	SyncUpdate UpdateMode = iota + 1
+	// AsyncUpdate publishes to a JMS topic and returns immediately.
+	AsyncUpdate
+)
+
+func (m UpdateMode) String() string {
+	switch m {
+	case SyncUpdate:
+		return "sync"
+	case AsyncUpdate:
+		return "async"
+	default:
+		return fmt.Sprintf("UpdateMode(%d)", int(m))
+	}
+}
+
+// RefreshMode selects how replicas obtain fresh state after a change.
+type RefreshMode int
+
+// Refresh modes.
+const (
+	// PushRefresh carries the new state in the invalidation message, so
+	// replica reads are always local.
+	PushRefresh RefreshMode = iota + 1
+	// PullRefresh only invalidates; the replica re-fetches from the
+	// updater façade on the next read.
+	PullRefresh
+)
+
+func (m RefreshMode) String() string {
+	switch m {
+	case PushRefresh:
+		return "push"
+	case PullRefresh:
+		return "pull"
+	default:
+		return fmt.Sprintf("RefreshMode(%d)", int(m))
+	}
+}
+
+// ReplicaSpec is the extended-descriptor entry for a read-only replica of an
+// entity bean (Section 5: "the extended deployment descriptor should
+// identify the updater read-write bean and the method of update").
+type ReplicaSpec struct {
+	// Bean is the read-write entity bean to replicate.
+	Bean string
+	// Update selects blocking (sync) or JMS (async) propagation.
+	Update UpdateMode
+	// Refresh selects push or pull replica refresh.
+	Refresh RefreshMode
+	// MaxStaleness, when positive, bounds how stale a replica read may be:
+	// entries older than this refresh through the fetch path even if no
+	// invalidation arrived (the "application-specific relaxed consistency
+	// parameters" the paper's Section 5 points at, in the spirit of TACT).
+	// It is the safety net for lost asynchronous pushes.
+	MaxStaleness time.Duration
+	// BestEffort applies to sync updates only: unreachable replicas are
+	// skipped instead of failing the write (availability over
+	// consistency during partitions).
+	BestEffort bool
+	// DeltaPush propagates only changed fields (Section 4.3's "transfer
+	// only the changes" optimization). Requires PushRefresh.
+	DeltaPush bool
+}
+
+// CachedQuerySpec is the extended-descriptor entry for one cached query:
+// its name, and which entity beans' writes invalidate it.
+type CachedQuerySpec struct {
+	// Name is the query's cache-key prefix (keys are "<Name>:<param>").
+	Name string
+	// InvalidatedBy lists read-write beans whose updates affect the query.
+	InvalidatedBy []string
+}
+
+// ExtendedDescriptor is the paper's proposed deployment-descriptor
+// extension: it declaratively requests read-only replicas and query caches
+// so the container infrastructure can wire the update machinery itself
+// instead of the application programmer (pattern implementation
+// automation, Section 5). core.AutoWire consumes it.
+type ExtendedDescriptor struct {
+	// Replicas to materialize on each edge server.
+	Replicas []ReplicaSpec
+	// CachedQueries to materialize in edge query caches.
+	CachedQueries []CachedQuerySpec
+	// Topic names the JMS topic for async update propagation.
+	Topic string
+}
+
+// ErrBadDescriptor reports an invalid extended descriptor.
+var ErrBadDescriptor = errors.New("container: invalid extended descriptor")
+
+// Validate checks internal consistency of the extended descriptor.
+func (d *ExtendedDescriptor) Validate() error {
+	seen := make(map[string]bool, len(d.Replicas))
+	for _, r := range d.Replicas {
+		if r.Bean == "" {
+			return fmt.Errorf("%w: replica with empty bean", ErrBadDescriptor)
+		}
+		if seen[r.Bean] {
+			return fmt.Errorf("%w: duplicate replica for bean %s", ErrBadDescriptor, r.Bean)
+		}
+		seen[r.Bean] = true
+		switch r.Update {
+		case SyncUpdate, AsyncUpdate:
+		default:
+			return fmt.Errorf("%w: replica %s: unknown update mode", ErrBadDescriptor, r.Bean)
+		}
+		switch r.Refresh {
+		case PushRefresh, PullRefresh:
+		default:
+			return fmt.Errorf("%w: replica %s: unknown refresh mode", ErrBadDescriptor, r.Bean)
+		}
+		if r.Update == AsyncUpdate && d.Topic == "" {
+			return fmt.Errorf("%w: replica %s: async update requires a topic", ErrBadDescriptor, r.Bean)
+		}
+		if r.DeltaPush && r.Refresh != PushRefresh {
+			return fmt.Errorf("%w: replica %s: delta push requires push refresh", ErrBadDescriptor, r.Bean)
+		}
+	}
+	qseen := make(map[string]bool, len(d.CachedQueries))
+	for _, q := range d.CachedQueries {
+		if q.Name == "" {
+			return fmt.Errorf("%w: cached query with empty name", ErrBadDescriptor)
+		}
+		if qseen[q.Name] {
+			return fmt.Errorf("%w: duplicate cached query %s", ErrBadDescriptor, q.Name)
+		}
+		qseen[q.Name] = true
+		for _, b := range q.InvalidatedBy {
+			if !seen[b] {
+				// Queries may be invalidated by beans without replicas;
+				// only empty names are invalid.
+				if b == "" {
+					return fmt.Errorf("%w: cached query %s: empty invalidator", ErrBadDescriptor, q.Name)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,694 @@
+package container
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"wadeploy/internal/jms"
+	"wadeploy/internal/rmi"
+	"wadeploy/internal/sim"
+	"wadeploy/internal/sqldb"
+)
+
+// ErrNoSuchEntity is returned when an entity row does not exist.
+var ErrNoSuchEntity = errors.New("container: no such entity")
+
+// ErrStaleVersion is returned by optimistic (version-checked) updates when
+// the entity changed since the caller read it — the "version number" design
+// pattern the paper recommends for use cases spanning multiple transactions
+// over possibly-stale presentation data (Section 4.5).
+var ErrStaleVersion = errors.New("container: stale version")
+
+// State is an entity bean's field values keyed by column name.
+type State map[string]sqldb.Value
+
+// Clone returns a copy of the state.
+func (st State) Clone() State {
+	out := make(State, len(st))
+	for k, v := range st {
+		out[k] = v
+	}
+	return out
+}
+
+// Merge returns a copy of st with changes applied on top.
+func (st State) Merge(changes State) State {
+	out := st.Clone()
+	for k, v := range changes {
+		out[k] = v
+	}
+	return out
+}
+
+// StateFromRow builds a State from a result row.
+func StateFromRow(cols []string, row []sqldb.Value) State {
+	st := make(State, len(cols))
+	for i, c := range cols {
+		st[c] = row[i]
+	}
+	return st
+}
+
+// Update describes one committed write to a read-write entity, propagated to
+// read-only replicas and query caches.
+type Update struct {
+	Bean    string      // read-write bean name
+	PK      sqldb.Value // primary key of the affected entity
+	State   State       // full post-write state (changed fields only when Delta)
+	Deleted bool
+
+	// Delta marks State as containing only the fields the write changed
+	// (the paper's Section 4.3 optimization: "transferring only the
+	// changes instead of the entire bean's state"). Replicas merge deltas
+	// into their cached copy; a replica without a copy ignores the delta
+	// and lets its next read fetch the full state.
+	Delta bool
+
+	// CommittedAt is the virtual time the write committed at the
+	// read-write bean; replicas use it to measure propagation delay.
+	CommittedAt time.Duration
+}
+
+// WireBytes estimates the update's payload size on the wire: deltas cost a
+// small header plus a per-field charge, full-state pushes a fixed record.
+func (u Update) WireBytes() int {
+	if u.Deleted {
+		return 96
+	}
+	if u.Delta {
+		return 64 + 96*len(u.State)
+	}
+	return 1024
+}
+
+// Propagator delivers committed updates to replicas. Implementations decide
+// whether the writer blocks (SyncPropagator) or not (AsyncPropagator).
+type Propagator interface {
+	Propagate(p *sim.Proc, updates []Update) error
+}
+
+// RWEntity is a read-write entity bean co-located with the data source. Per
+// the paper's design rules it exposes only a local interface: it can be
+// reached remotely only through a façade on its own server.
+type RWEntity struct {
+	srv       *Server
+	name      string
+	table     string
+	pkCol     string
+	props     []Propagator
+	deltaPush bool
+
+	loads  int64
+	writes int64
+}
+
+// DeployRWEntity deploys a read-write entity bean backed by table with the
+// given primary-key column. It is not bound in JNDI (local interface only).
+func DeployRWEntity(srv *Server, name, table, pkCol string) (*RWEntity, error) {
+	if _, dup := srv.beans[name]; dup {
+		return nil, fmt.Errorf("container: bean %s already deployed on %s", name, srv.name)
+	}
+	b := &RWEntity{srv: srv, name: name, table: table, pkCol: pkCol}
+	srv.beans[name] = &binding{name: name, kind: Entity}
+	return b, nil
+}
+
+// Name returns the bean's deployment name.
+func (b *RWEntity) Name() string { return b.name }
+
+// Loads returns the number of ejbLoad operations performed.
+func (b *RWEntity) Loads() int64 { return b.loads }
+
+// Writes returns the number of committed write operations.
+func (b *RWEntity) Writes() int64 { return b.writes }
+
+// AddPropagator attaches an update propagator (read-mostly pattern wiring).
+func (b *RWEntity) AddPropagator(pr Propagator) { b.props = append(b.props, pr) }
+
+// SetDeltaPush makes UpdateFields propagate only the changed fields instead
+// of the full post-write state (Section 4.3's bandwidth optimization;
+// requires push-refresh replicas, which merge deltas into their copies).
+func (b *RWEntity) SetDeltaPush(on bool) { b.deltaPush = on }
+
+// Propagators returns the number of attached propagators.
+func (b *RWEntity) Propagators() int { return len(b.props) }
+
+// Load reads the entity's state by primary key (ejbFindByPrimaryKey +
+// ejbLoad; the paper's baseline removes the redundant extra database call,
+// so this is a single SELECT).
+func (b *RWEntity) Load(p *sim.Proc, pk sqldb.Value) (State, error) {
+	b.loads++
+	b.srv.Compute(p, b.srv.costs.EntityLoadCPU)
+	res, err := b.srv.SQL(p, "SELECT * FROM "+b.table+" WHERE "+b.pkCol+" = ?", pk)
+	if err != nil {
+		return nil, fmt.Errorf("entity %s load: %w", b.name, err)
+	}
+	if res.Len() == 0 {
+		return nil, fmt.Errorf("entity %s pk %v: %w", b.name, pk, ErrNoSuchEntity)
+	}
+	return StateFromRow(res.Cols, res.Rows[0]), nil
+}
+
+// FindWhere runs a finder query (SELECT * FROM table WHERE <cond>) and
+// returns the matching entities' states.
+func (b *RWEntity) FindWhere(p *sim.Proc, cond string, args ...sqldb.Value) ([]State, error) {
+	b.srv.Compute(p, b.srv.costs.EntityLoadCPU)
+	q := "SELECT * FROM " + b.table
+	if strings.TrimSpace(cond) != "" {
+		q += " WHERE " + cond
+	}
+	res, err := b.srv.SQL(p, q, args...)
+	if err != nil {
+		return nil, fmt.Errorf("entity %s find: %w", b.name, err)
+	}
+	out := make([]State, 0, res.Len())
+	for _, row := range res.Rows {
+		out = append(out, StateFromRow(res.Cols, row))
+	}
+	return out, nil
+}
+
+// Insert creates a new entity (ejbCreate) and propagates it.
+func (b *RWEntity) Insert(p *sim.Proc, st State) error {
+	b.srv.Compute(p, b.srv.costs.EntityStoreCPU)
+	cols := make([]string, 0, len(st))
+	args := make([]sqldb.Value, 0, len(st))
+	for c := range st {
+		cols = append(cols, c)
+	}
+	// Deterministic column order.
+	sortStrings(cols)
+	marks := make([]string, len(cols))
+	for i, c := range cols {
+		args = append(args, st[c])
+		marks[i] = "?"
+	}
+	q := "INSERT INTO " + b.table + " (" + strings.Join(cols, ", ") + ") VALUES (" + strings.Join(marks, ", ") + ")"
+	if _, err := b.srv.SQL(p, q, args...); err != nil {
+		return fmt.Errorf("entity %s insert: %w", b.name, err)
+	}
+	b.writes++
+	return b.propagate(p, Update{Bean: b.name, PK: st[b.pkCol], State: st.Clone()})
+}
+
+// UpdateFields applies changes to the entity (ejbStore at commit) and
+// propagates the merged post-write state.
+func (b *RWEntity) UpdateFields(p *sim.Proc, pk sqldb.Value, changes State) (State, error) {
+	cur, err := b.Load(p, pk)
+	if err != nil {
+		return nil, err
+	}
+	b.srv.Compute(p, b.srv.costs.EntityStoreCPU)
+	cols := make([]string, 0, len(changes))
+	for c := range changes {
+		cols = append(cols, c)
+	}
+	sortStrings(cols)
+	sets := make([]string, len(cols))
+	args := make([]sqldb.Value, 0, len(cols)+1)
+	for i, c := range cols {
+		sets[i] = c + " = ?"
+		args = append(args, changes[c])
+	}
+	args = append(args, pk)
+	q := "UPDATE " + b.table + " SET " + strings.Join(sets, ", ") + " WHERE " + b.pkCol + " = ?"
+	if _, err := b.srv.SQL(p, q, args...); err != nil {
+		return nil, fmt.Errorf("entity %s update: %w", b.name, err)
+	}
+	b.writes++
+	merged := cur.Merge(changes)
+	u := Update{Bean: b.name, PK: pk, State: merged}
+	if b.deltaPush {
+		u = Update{Bean: b.name, PK: pk, State: changes.Clone(), Delta: true}
+	}
+	if err := b.propagate(p, u); err != nil {
+		return nil, err
+	}
+	return merged, nil
+}
+
+// Delete removes the entity (ejbRemove) and propagates the deletion.
+func (b *RWEntity) Delete(p *sim.Proc, pk sqldb.Value) error {
+	b.srv.Compute(p, b.srv.costs.EntityStoreCPU)
+	res, err := b.srv.SQL(p, "DELETE FROM "+b.table+" WHERE "+b.pkCol+" = ?", pk)
+	if err != nil {
+		return fmt.Errorf("entity %s delete: %w", b.name, err)
+	}
+	if res.Affected == 0 {
+		return fmt.Errorf("entity %s pk %v: %w", b.name, pk, ErrNoSuchEntity)
+	}
+	b.writes++
+	return b.propagate(p, Update{Bean: b.name, PK: pk, Deleted: true})
+}
+
+// UpdateIfVersion is the optimistic variant of UpdateFields: it applies
+// changes only if the entity's versionCol still equals expected, bumping the
+// version by one. A mismatch returns ErrStaleVersion and leaves the entity
+// untouched. This protects use cases that read (possibly stale) replica data
+// in one transaction and write in a later one.
+func (b *RWEntity) UpdateIfVersion(p *sim.Proc, pk sqldb.Value, versionCol string, expected int64, changes State) (State, error) {
+	cur, err := b.Load(p, pk)
+	if err != nil {
+		return nil, err
+	}
+	if got := cur[versionCol].AsInt(); got != expected {
+		return nil, fmt.Errorf("entity %s pk %v: have version %d, caller expected %d: %w",
+			b.name, pk, got, expected, ErrStaleVersion)
+	}
+	bumped := changes.Clone()
+	bumped[versionCol] = sqldb.Int(expected + 1)
+	return b.UpdateFields(p, pk, bumped)
+}
+
+func (b *RWEntity) propagate(p *sim.Proc, u Update) error {
+	u.CommittedAt = p.Now()
+	for _, pr := range b.props {
+		if err := pr.Propagate(p, []Update{u}); err != nil {
+			return fmt.Errorf("entity %s propagate: %w", b.name, err)
+		}
+	}
+	return nil
+}
+
+// sortStrings is a tiny insertion sort to avoid importing sort for hot maps.
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// FetchFunc retrieves an entity's fresh state for a read-only replica on a
+// cold miss or pull refresh — typically one RMI call to a façade co-located
+// with the read-write bean.
+type FetchFunc func(p *sim.Proc, pk sqldb.Value) (State, error)
+
+// ROEntity is a read-only replica of an entity bean deployed on an edge
+// server (the read-mostly pattern, Section 4.3). Reads are served from local
+// memory; freshness is maintained by push updates or pull refresh after
+// invalidation.
+type ROEntity struct {
+	srv   *Server
+	name  string
+	rw    string // name of the backing read-write bean
+	fetch FetchFunc
+	ttl   time.Duration // 0 = no timeout invalidation
+
+	entries map[string]roEntry
+
+	hits, misses, staleRefreshes, pushes int64
+
+	// Propagation-delay accounting (commit at the read-write bean to
+	// application at this replica) for consistency reporting.
+	delaySamples int64
+	delaySum     time.Duration
+	delayMax     time.Duration
+}
+
+type roEntry struct {
+	state    State
+	stale    bool
+	loadedAt time.Duration
+}
+
+// DeployROEntity deploys a read-only replica of rwBean. fetch is used on
+// cold misses and pull refreshes; it may be nil for strictly push-fed
+// replicas that tolerate ErrNoSuchEntity on cold reads.
+func DeployROEntity(srv *Server, name, rwBean string, fetch FetchFunc) (*ROEntity, error) {
+	if _, dup := srv.beans[name]; dup {
+		return nil, fmt.Errorf("container: bean %s already deployed on %s", name, srv.name)
+	}
+	b := &ROEntity{
+		srv:     srv,
+		name:    name,
+		rw:      rwBean,
+		fetch:   fetch,
+		entries: make(map[string]roEntry),
+	}
+	srv.beans[name] = &binding{name: name, kind: Entity}
+	return b, nil
+}
+
+// Name returns the bean's deployment name.
+func (b *ROEntity) Name() string { return b.name }
+
+// Backing returns the read-write bean this replica mirrors.
+func (b *ROEntity) Backing() string { return b.rw }
+
+// Hits, Misses, Pushes report cache behavior for tests and reports.
+func (b *ROEntity) Hits() int64   { return b.hits }
+func (b *ROEntity) Misses() int64 { return b.misses }
+func (b *ROEntity) Pushes() int64 { return b.pushes }
+
+// SetTTL enables timeout invalidation: entries older than ttl refresh via
+// the fetch path on their next read (the vendor-standard read-only bean
+// mode the paper describes, and the fallback that bounds staleness when an
+// asynchronous push is lost). ttl <= 0 disables the timeout.
+func (b *ROEntity) SetTTL(ttl time.Duration) { b.ttl = ttl }
+
+// TTL returns the timeout-invalidation interval (0 when disabled).
+func (b *ROEntity) TTL() time.Duration { return b.ttl }
+
+// MaxPropagationDelay returns the largest observed commit-to-apply delay.
+func (b *ROEntity) MaxPropagationDelay() time.Duration { return b.delayMax }
+
+// MeanPropagationDelay returns the mean commit-to-apply delay.
+func (b *ROEntity) MeanPropagationDelay() time.Duration {
+	if b.delaySamples == 0 {
+		return 0
+	}
+	return b.delaySum / time.Duration(b.delaySamples)
+}
+
+// Cached returns the number of locally cached entities.
+func (b *ROEntity) Cached() int { return len(b.entries) }
+
+func pkKey(pk sqldb.Value) string { return pk.String() }
+
+// expired reports whether an entry has outlived the timeout invalidation.
+func (b *ROEntity) expired(e roEntry) bool {
+	return b.ttl > 0 && b.srv.Env().Now()-e.loadedAt > b.ttl
+}
+
+// Get serves the entity's state: locally when fresh, via fetch on a miss,
+// after a pull invalidation, or after timeout expiry.
+func (b *ROEntity) Get(p *sim.Proc, pk sqldb.Value) (State, error) {
+	k := pkKey(pk)
+	e, ok := b.entries[k]
+	if ok && !e.stale && !b.expired(e) {
+		b.hits++
+		b.srv.Compute(p, b.srv.costs.CacheHitCPU)
+		return e.state.Clone(), nil
+	}
+	if b.fetch == nil {
+		return nil, fmt.Errorf("read-only %s pk %v (no fetch path): %w", b.name, pk, ErrNoSuchEntity)
+	}
+	if ok {
+		b.staleRefreshes++
+	} else {
+		b.misses++
+	}
+	st, err := b.fetch(p, pk)
+	if err != nil {
+		return nil, fmt.Errorf("read-only %s refresh: %w", b.name, err)
+	}
+	b.entries[k] = roEntry{state: st.Clone(), loadedAt: p.Now()}
+	return st, nil
+}
+
+// Preload installs state without cost accounting (warm-up/seeding).
+func (b *ROEntity) Preload(pk sqldb.Value, st State) {
+	b.entries[pkKey(pk)] = roEntry{state: st.Clone(), loadedAt: b.srv.Env().Now()}
+}
+
+// ApplyUpdate applies a pushed update (push-based refresh: replicas always
+// serve local reads).
+func (b *ROEntity) ApplyUpdate(u Update) {
+	b.pushes++
+	now := b.srv.Env().Now()
+	if u.CommittedAt > 0 {
+		delay := now - u.CommittedAt
+		b.delaySamples++
+		b.delaySum += delay
+		if delay > b.delayMax {
+			b.delayMax = delay
+		}
+	}
+	k := pkKey(u.PK)
+	if u.Deleted {
+		delete(b.entries, k)
+		return
+	}
+	if u.Delta {
+		e, ok := b.entries[k]
+		if !ok {
+			// No local copy to patch: leave it to the next read's fetch.
+			return
+		}
+		b.entries[k] = roEntry{state: e.state.Merge(u.State), loadedAt: now}
+		return
+	}
+	b.entries[k] = roEntry{state: u.State.Clone(), loadedAt: now}
+}
+
+// Invalidate marks one entity stale (pull-based refresh).
+func (b *ROEntity) Invalidate(pk sqldb.Value) {
+	k := pkKey(pk)
+	if e, ok := b.entries[k]; ok {
+		e.stale = true
+		b.entries[k] = e
+	}
+}
+
+// InvalidateAll marks the whole replica stale (timeout-style invalidation).
+func (b *ROEntity) InvalidateAll() {
+	for k, e := range b.entries {
+		e.stale = true
+		b.entries[k] = e
+	}
+}
+
+// Applier consumes pushed updates; both ROEntity and query-cache adapters
+// implement it, letting one updater façade feed all edge caches.
+type Applier interface {
+	ApplyUpdate(u Update)
+}
+
+// UpdaterFacade is the edge-side façade that receives pushed updates in one
+// bulk RMI call (or from an MDB) and applies them to the registered
+// read-only beans and query caches.
+type UpdaterFacade struct {
+	srv      *Server
+	name     string
+	appliers map[string][]Applier
+	applied  int64
+}
+
+// MethodApply is the RMI method name for pushing updates to an
+// UpdaterFacade; the argument is a []Update batch.
+const MethodApply = "apply"
+
+// DeployUpdaterFacade deploys and JNDI-binds an updater façade.
+func DeployUpdaterFacade(srv *Server, name string) (*UpdaterFacade, error) {
+	u := &UpdaterFacade{srv: srv, name: name, appliers: make(map[string][]Applier)}
+	if err := srv.bind(name, StatelessSession, u.handle); err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+// Register routes updates for rwBean to a.
+func (u *UpdaterFacade) Register(rwBean string, a Applier) {
+	u.appliers[rwBean] = append(u.appliers[rwBean], a)
+}
+
+// Applied returns the number of updates applied.
+func (u *UpdaterFacade) Applied() int64 { return u.applied }
+
+// Apply applies a batch locally (used by MDB delivery on the same server).
+func (u *UpdaterFacade) Apply(p *sim.Proc, updates []Update) {
+	u.srv.Compute(p, u.srv.costs.CacheHitCPU)
+	for _, up := range updates {
+		u.applied++
+		for _, a := range u.appliers[up.Bean] {
+			a.ApplyUpdate(up)
+		}
+	}
+}
+
+func (u *UpdaterFacade) handle(p *sim.Proc, call *rmi.Call) (any, error) {
+	if call.Method != MethodApply {
+		return nil, fmt.Errorf("container: %s.%s: %w", u.name, call.Method, ErrNoSuchMethod)
+	}
+	updates, ok := call.Arg(0).([]Update)
+	if !ok {
+		return nil, fmt.Errorf("container: %s.apply: argument must be []Update", u.name)
+	}
+	u.srv.Compute(p, u.srv.costs.MethodCPU)
+	u.Apply(p, updates)
+	return len(updates), nil
+}
+
+// SyncPropagator pushes updates synchronously over RMI to updater façades on
+// other servers: the writer blocks until every replica has applied the
+// update (zero staleness, Section 4.3). Pushes happen sequentially, which is
+// why write response time grows with the number of replicas.
+type SyncPropagator struct {
+	srv     *Server
+	targets []SyncTarget
+	bytes   int
+
+	// BestEffort makes unreachable replicas non-fatal: the push is skipped
+	// (and counted) instead of failing the writer's transaction. The
+	// default is strict, preserving the paper's zero-staleness guarantee;
+	// best-effort trades consistency for write availability during WAN
+	// partitions.
+	BestEffort bool
+
+	// Parallel fans the blocking pushes out concurrently instead of
+	// sequentially: the writer still blocks for zero staleness, but for
+	// roughly one push latency instead of the sum. The paper's measured
+	// commit times sit between the two extremes (suggesting partial
+	// overlap in JBoss); this knob lets the ablation quantify both ends.
+	Parallel bool
+
+	skipped int64
+}
+
+// SyncTarget names an updater façade deployment.
+type SyncTarget struct {
+	Server string // node ID
+	Facade string // updater façade bean name
+}
+
+// NewSyncPropagator creates a blocking push propagator from srv to targets.
+func NewSyncPropagator(srv *Server, targets []SyncTarget, msgBytes int) *SyncPropagator {
+	if msgBytes <= 0 {
+		msgBytes = 1024
+	}
+	return &SyncPropagator{srv: srv, targets: targets, bytes: msgBytes}
+}
+
+// Skipped returns the number of pushes dropped in best-effort mode.
+func (sp *SyncPropagator) Skipped() int64 { return sp.skipped }
+
+// AddTarget attaches another replica destination at runtime (dynamic
+// demand-driven redeployment). Adding an existing target is a no-op.
+func (sp *SyncPropagator) AddTarget(t SyncTarget) {
+	for _, cur := range sp.targets {
+		if cur == t {
+			return
+		}
+	}
+	sp.targets = append(sp.targets, t)
+}
+
+// Targets returns the number of replica destinations.
+func (sp *SyncPropagator) Targets() int { return len(sp.targets) }
+
+// batchBytes sizes a push: delta updates ride their WireBytes estimate,
+// full-state batches the configured record size.
+func (sp *SyncPropagator) batchBytes(updates []Update) int {
+	total := 0
+	for _, u := range updates {
+		if u.Delta || u.Deleted {
+			total += u.WireBytes()
+		} else {
+			total += sp.bytes
+		}
+	}
+	if total <= 0 {
+		total = sp.bytes
+	}
+	return total
+}
+
+// Propagate blocks while each target applies the batch.
+func (sp *SyncPropagator) Propagate(p *sim.Proc, updates []Update) error {
+	defer p.Span("push", "sync fan-out")()
+	payload := sp.batchBytes(updates)
+	if sp.Parallel && len(sp.targets) > 1 {
+		return sp.propagateParallel(p, payload, updates)
+	}
+	for _, t := range sp.targets {
+		if err := sp.pushOne(p, t, payload, updates); err != nil {
+			if sp.BestEffort {
+				sp.skipped++
+				continue
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// pushOne performs the blocking push to a single target.
+func (sp *SyncPropagator) pushOne(p *sim.Proc, t SyncTarget, payload int, updates []Update) error {
+	stub, err := sp.srv.StubFor(p, t.Server, t.Facade)
+	if err == nil {
+		_, err = stub.InvokeSized(p, MethodApply, payload, 64, updates)
+	}
+	if err != nil {
+		return fmt.Errorf("sync push to %s/%s: %w", t.Server, t.Facade, err)
+	}
+	return nil
+}
+
+// propagateParallel fans pushes out concurrently and blocks for all of them.
+func (sp *SyncPropagator) propagateParallel(p *sim.Proc, payload int, updates []Update) error {
+	env := sp.srv.Env()
+	promises := make([]*sim.Promise[struct{}], len(sp.targets))
+	for i, t := range sp.targets {
+		t := t
+		pr := sim.NewPromise[struct{}](env)
+		promises[i] = pr
+		env.Spawn("sync-push:"+t.Server, func(pp *sim.Proc) {
+			if err := sp.pushOne(pp, t, payload, updates); err != nil {
+				pr.Fail(err)
+				return
+			}
+			pr.Resolve(struct{}{})
+		})
+	}
+	var firstErr error
+	for _, pr := range promises {
+		if _, err := sim.Await(p, pr); err != nil {
+			if sp.BestEffort {
+				sp.skipped++
+				continue
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// AsyncPropagator publishes updates to a JMS topic; MDB subscribers on the
+// edge servers apply them (Section 4.5). The writer pays only the local
+// publish cost.
+type AsyncPropagator struct {
+	srv   *Server
+	topic string
+	bytes int
+}
+
+// NewAsyncPropagator creates a non-blocking propagator publishing on topic.
+func NewAsyncPropagator(srv *Server, topic string, msgBytes int) (*AsyncPropagator, error) {
+	if srv.jms == nil {
+		return nil, fmt.Errorf("container: async propagator on %s: no JMS provider", srv.name)
+	}
+	if msgBytes <= 0 {
+		msgBytes = 1024
+	}
+	srv.jms.CreateTopic(topic)
+	return &AsyncPropagator{srv: srv, topic: topic, bytes: msgBytes}, nil
+}
+
+// Topic returns the JMS topic name.
+func (ap *AsyncPropagator) Topic() string { return ap.topic }
+
+// Propagate publishes the batch and returns without waiting for delivery.
+func (ap *AsyncPropagator) Propagate(p *sim.Proc, updates []Update) error {
+	defer p.Span("jms", "publish "+ap.topic)()
+	if err := ap.srv.jms.Publish(p, ap.srv.name, ap.topic, updates, ap.bytes); err != nil {
+		return fmt.Errorf("async push: %w", err)
+	}
+	return nil
+}
+
+// DeployUpdateSubscriber deploys an MDB on srv that feeds a local updater
+// façade from the topic (the UpdateSubscriber MDB of Fig. 6).
+func DeployUpdateSubscriber(srv *Server, name, topic string, facade *UpdaterFacade) (*MDBean, error) {
+	return DeployMDB(srv, name, topic, func(p *sim.Proc, s *Server, msg *jms.Message) {
+		updates, ok := msg.Body.([]Update)
+		if !ok {
+			return
+		}
+		facade.Apply(p, updates)
+	})
+}

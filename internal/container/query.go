@@ -1,0 +1,136 @@
+package container
+
+import (
+	"fmt"
+	"strings"
+
+	"wadeploy/internal/sim"
+)
+
+// QueryFetch re-executes a cached query on a miss or pull refresh. On an
+// edge server this is typically one RMI call to a façade co-located with
+// the database; on the main server it is a local database query.
+type QueryFetch func(p *sim.Proc, queryKey string) (any, error)
+
+// QueryCache caches aggregate-query results at a server (Section 4.4). The
+// EJB specification allows this soft state to live inside stateless session
+// beans, which is where the applications incorporate it. Keys follow the
+// convention "<queryName>:<param>", so invalidation by query name uses the
+// "<queryName>:" prefix.
+type QueryCache struct {
+	srv   *Server
+	name  string
+	fetch QueryFetch
+
+	entries map[string]queryEntry
+	hits    int64
+	misses  int64
+	refresh int64
+	pushed  int64
+}
+
+type queryEntry struct {
+	result any
+	stale  bool
+}
+
+// NewQueryCache creates a query cache owned by srv. fetch may be nil for
+// strictly push-fed caches.
+func NewQueryCache(srv *Server, name string, fetch QueryFetch) *QueryCache {
+	return &QueryCache{
+		srv:     srv,
+		name:    name,
+		fetch:   fetch,
+		entries: make(map[string]queryEntry),
+	}
+}
+
+// Name returns the cache's name.
+func (qc *QueryCache) Name() string { return qc.name }
+
+// Hits, Misses, Pushed report cache behavior.
+func (qc *QueryCache) Hits() int64   { return qc.hits }
+func (qc *QueryCache) Misses() int64 { return qc.misses }
+func (qc *QueryCache) Pushed() int64 { return qc.pushed }
+
+// Size returns the number of cached query results.
+func (qc *QueryCache) Size() int { return len(qc.entries) }
+
+// Get returns the cached result for key, fetching on a miss or after a pull
+// invalidation.
+func (qc *QueryCache) Get(p *sim.Proc, key string) (any, error) {
+	e, ok := qc.entries[key]
+	if ok && !e.stale {
+		qc.hits++
+		qc.srv.Compute(p, qc.srv.costs.CacheHitCPU)
+		return e.result, nil
+	}
+	if qc.fetch == nil {
+		return nil, fmt.Errorf("query cache %s: no entry for %q and no fetch path", qc.name, key)
+	}
+	if ok {
+		qc.refresh++
+	} else {
+		qc.misses++
+	}
+	v, err := qc.fetch(p, key)
+	if err != nil {
+		return nil, fmt.Errorf("query cache %s fetch %q: %w", qc.name, key, err)
+	}
+	qc.entries[key] = queryEntry{result: v}
+	return v, nil
+}
+
+// Put stores a result directly (warm-up, or computing on the fly).
+func (qc *QueryCache) Put(key string, v any) {
+	qc.entries[key] = queryEntry{result: v}
+}
+
+// InvalidatePrefix marks every entry whose key starts with prefix stale
+// (pull mode). Use "<queryName>:" to drop one query's results, or "" to
+// drop everything.
+func (qc *QueryCache) InvalidatePrefix(prefix string) int {
+	n := 0
+	for k, e := range qc.entries {
+		if strings.HasPrefix(k, prefix) && !e.stale {
+			e.stale = true
+			qc.entries[k] = e
+			n++
+		}
+	}
+	return n
+}
+
+// ApplyPush installs a fresh result pushed from the main server (push mode:
+// readers are never penalized).
+func (qc *QueryCache) ApplyPush(key string, v any) {
+	qc.pushed++
+	qc.entries[key] = queryEntry{result: v}
+}
+
+// QueryInvalidation adapts a QueryCache to the Applier interface so an
+// UpdaterFacade can invalidate (or recompute) affected queries when an
+// entity update arrives. Affected maps an update to the cache-key prefixes
+// it invalidates; Recompute, when non-nil, turns the update into fresh
+// (key, result) pairs to push instead of invalidating.
+type QueryInvalidation struct {
+	Cache     *QueryCache
+	Affected  func(u Update) []string
+	Recompute func(u Update) map[string]any
+}
+
+// ApplyUpdate implements Applier.
+func (qi *QueryInvalidation) ApplyUpdate(u Update) {
+	if qi.Recompute != nil {
+		for k, v := range qi.Recompute(u) {
+			qi.Cache.ApplyPush(k, v)
+		}
+		return
+	}
+	if qi.Affected == nil {
+		return
+	}
+	for _, prefix := range qi.Affected(u) {
+		qi.Cache.InvalidatePrefix(prefix)
+	}
+}

@@ -1,0 +1,193 @@
+package container
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"wadeploy/internal/jms"
+	"wadeploy/internal/rmi"
+	"wadeploy/internal/sim"
+	"wadeploy/internal/simnet"
+	"wadeploy/internal/sqldb"
+	"wadeploy/internal/web"
+)
+
+// Property: under synchronous push propagation, every read from a replica
+// that happens after a write returns (at least) that write's value — zero
+// staleness, for any interleaving of writes and reads.
+func TestPropertySyncPushZeroStaleness(t *testing.T) {
+	f := func(seed int64, opsRaw uint8) bool {
+		f := newPropFixture(seed)
+		rw, ro := f.wireSync()
+		ok := true
+		f.env.Spawn("driver", func(p *sim.Proc) {
+			expected := int64(10) // seeded qty for i1
+			ops := int(opsRaw%20) + 2
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < ops; i++ {
+				if rng.Intn(2) == 0 {
+					expected++
+					if _, err := rw.UpdateFields(p, sqldb.Str("i1"), State{"qty": sqldb.Int(expected)}); err != nil {
+						ok = false
+						return
+					}
+				} else {
+					st, err := ro.Get(p, sqldb.Str("i1"))
+					if err != nil {
+						ok = false
+						return
+					}
+					if st["qty"].AsInt() != expected {
+						ok = false
+						return
+					}
+				}
+				p.Sleep(time.Duration(rng.Intn(50)) * time.Millisecond)
+			}
+		})
+		f.env.RunAll()
+		f.env.Close()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: under asynchronous propagation, replicas converge to the final
+// written value once the simulation drains, for any write sequence.
+func TestPropertyAsyncEventualConvergence(t *testing.T) {
+	f := func(seed int64, opsRaw uint8) bool {
+		fx := newPropFixture(seed)
+		rw, ro := fx.wireAsync()
+		final := int64(10)
+		ok := true
+		fx.env.Spawn("writer", func(p *sim.Proc) {
+			rng := rand.New(rand.NewSource(seed))
+			ops := int(opsRaw%15) + 1
+			for i := 0; i < ops; i++ {
+				final = int64(100 + i)
+				if _, err := rw.UpdateFields(p, sqldb.Str("i1"), State{"qty": sqldb.Int(final)}); err != nil {
+					ok = false
+					return
+				}
+				p.Sleep(time.Duration(rng.Intn(30)) * time.Millisecond)
+			}
+		})
+		fx.env.RunAll() // drains all async deliveries
+		if !ok {
+			return false
+		}
+		converged := true
+		fx.env.Spawn("reader", func(p *sim.Proc) {
+			st, err := ro.Get(p, sqldb.Str("i1"))
+			if err != nil || st["qty"].AsInt() != final {
+				converged = false
+			}
+		})
+		fx.env.RunAll()
+		fx.env.Close()
+		return converged
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fixtureP mirrors the test fixture but without *testing.T plumbing so it
+// can run inside testing/quick property functions.
+type fixtureP struct {
+	env  *sim.Env
+	main *Server
+	edge *Server
+}
+
+func newPropFixture(seed int64) *fixtureP {
+	env := sim.NewEnv(seed)
+	net := simnet.New(env)
+	for _, id := range []string{"main", "edge"} {
+		if _, err := net.AddNode(id, 2); err != nil {
+			panic(err)
+		}
+	}
+	if _, err := net.AddLink("main", "edge", 100*time.Millisecond, 1e12); err != nil {
+		panic(err)
+	}
+	db := sqldb.New()
+	mustExecP(db, `CREATE TABLE inventory (item_id TEXT PRIMARY KEY, qty INT NOT NULL)`)
+	mustExecP(db, `INSERT INTO inventory VALUES ('i1', 10)`)
+	rt := rmi.NewRuntime(net, rmi.DefaultOptions)
+	provider, err := jms.NewProvider(net, "main", jms.DefaultOptions)
+	if err != nil {
+		panic(err)
+	}
+	mk := func(name string) *Server {
+		s, err := NewServer(Config{
+			Name: name, DBNode: "main", DB: db, Net: net, RMI: rt, JMS: provider,
+			Web: web.DefaultOptions, Costs: DefaultCostModel,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return s
+	}
+	return &fixtureP{env: env, main: mk("main"), edge: mk("edge")}
+}
+
+func (f *fixtureP) wireSync() (*RWEntity, *ROEntity) {
+	rw, err := DeployRWEntity(f.main, "InvRW", "inventory", "item_id")
+	if err != nil {
+		panic(err)
+	}
+	ro, err := DeployROEntity(f.edge, "InvRO", "InvRW", nil)
+	if err != nil {
+		panic(err)
+	}
+	uf, err := DeployUpdaterFacade(f.edge, "Updater")
+	if err != nil {
+		panic(err)
+	}
+	uf.Register("InvRW", ro)
+	rw.AddPropagator(NewSyncPropagator(f.main, []SyncTarget{{Server: "edge", Facade: "Updater"}}, 256))
+	f.preload(ro)
+	return rw, ro
+}
+
+func (f *fixtureP) wireAsync() (*RWEntity, *ROEntity) {
+	rw, err := DeployRWEntity(f.main, "InvRW", "inventory", "item_id")
+	if err != nil {
+		panic(err)
+	}
+	ro, err := DeployROEntity(f.edge, "InvRO", "InvRW", nil)
+	if err != nil {
+		panic(err)
+	}
+	uf, err := DeployUpdaterFacade(f.edge, "Updater")
+	if err != nil {
+		panic(err)
+	}
+	uf.Register("InvRW", ro)
+	ap, err := NewAsyncPropagator(f.main, "updates", 256)
+	if err != nil {
+		panic(err)
+	}
+	rw.AddPropagator(ap)
+	if _, err := DeployUpdateSubscriber(f.edge, "Sub", "updates", uf); err != nil {
+		panic(err)
+	}
+	f.preload(ro)
+	return rw, ro
+}
+
+func (f *fixtureP) preload(ro *ROEntity) {
+	ro.Preload(sqldb.Str("i1"), State{"item_id": sqldb.Str("i1"), "qty": sqldb.Int(10)})
+}
+
+func mustExecP(db *sqldb.DB, sql string) {
+	if _, err := db.Exec(sql); err != nil {
+		panic(fmt.Sprintf("%s: %v", sql, err))
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"wadeploy/internal/container"
+	"wadeploy/internal/sim"
+)
+
+// AutoscalerConfig tunes demand-driven replica deployment.
+type AutoscalerConfig struct {
+	// Interval between load samples.
+	Interval time.Duration
+
+	// Threshold is the wide-area RMI call rate (calls per second against
+	// the deployment's RMI runtime) above which the autoscaler extends the
+	// replica bundle to another edge server.
+	Threshold float64
+
+	// Cooldown suppresses further extensions for this long after one
+	// fires, letting the effect of the new replicas show up in the signal.
+	Cooldown time.Duration
+}
+
+// DefaultAutoscalerConfig reacts within a few sampling intervals at the
+// paper's load levels.
+func DefaultAutoscalerConfig() AutoscalerConfig {
+	return AutoscalerConfig{
+		Interval:  10 * time.Second,
+		Threshold: 5,
+		Cooldown:  30 * time.Second,
+	}
+}
+
+// Decision records one autoscaler action, for reports and tests.
+type Decision struct {
+	At     time.Duration
+	Server string
+	Rate   float64 // observed remote-call rate that triggered the action
+}
+
+// Autoscaler watches the deployment's wide-area call rate and extends the
+// wiring to additional edge servers when remote traffic is high — the
+// paper's "specific 'hot' components can be replicated and/or redeployed
+// on-demand in new physical nodes in response to higher client loads"
+// (Section 1), realized on top of Wiring.ExtendTo.
+type Autoscaler struct {
+	d   *Deployment
+	w   *Wiring
+	cfg AutoscalerConfig
+
+	decisions []Decision
+	stopped   bool
+}
+
+// StartAutoscaler spawns the monitoring process on the deployment's
+// environment. It stops when Stop is called or the environment closes.
+func StartAutoscaler(d *Deployment, w *Wiring, cfg AutoscalerConfig) (*Autoscaler, error) {
+	if cfg.Interval <= 0 {
+		return nil, fmt.Errorf("core: autoscaler interval must be positive")
+	}
+	if cfg.Threshold <= 0 {
+		return nil, fmt.Errorf("core: autoscaler threshold must be positive")
+	}
+	a := &Autoscaler{d: d, w: w, cfg: cfg}
+	d.Env.Spawn("autoscaler", a.loop)
+	return a, nil
+}
+
+// Decisions returns the extension decisions taken so far.
+func (a *Autoscaler) Decisions() []Decision {
+	return append([]Decision(nil), a.decisions...)
+}
+
+// Stop halts the monitoring loop at its next sample.
+func (a *Autoscaler) Stop() { a.stopped = true }
+
+func (a *Autoscaler) loop(p *sim.Proc) {
+	last := a.d.RMI.Stats().RemoteCalls
+	var coolUntil time.Duration
+	for !a.stopped {
+		p.Sleep(a.cfg.Interval)
+		cur := a.d.RMI.Stats().RemoteCalls
+		rate := float64(cur-last) / a.cfg.Interval.Seconds()
+		last = cur
+		if p.Now() < coolUntil || rate <= a.cfg.Threshold {
+			continue
+		}
+		next := a.nextServer()
+		if next == nil {
+			return // fully extended; nothing left to do
+		}
+		if err := a.w.ExtendTo(next); err != nil {
+			// Extension can fail transiently (e.g. partition); retry on
+			// the next sample.
+			continue
+		}
+		a.decisions = append(a.decisions, Decision{At: p.Now(), Server: next.Name(), Rate: rate})
+		coolUntil = p.Now() + a.cfg.Cooldown
+	}
+}
+
+// nextServer picks the first edge without the replica bundle.
+func (a *Autoscaler) nextServer() *container.Server {
+	for _, e := range a.d.Edges {
+		if !a.w.DeployedOn(e.Name()) {
+			return e
+		}
+	}
+	return nil
+}

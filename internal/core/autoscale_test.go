@@ -1,0 +1,201 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"wadeploy/internal/container"
+	"wadeploy/internal/sim"
+	"wadeploy/internal/simnet"
+	"wadeploy/internal/sqldb"
+)
+
+// deferredFixture builds a deployment with one RW entity, a fetch façade,
+// and deferred wiring (no replicas yet).
+func deferredFixture(t *testing.T) (*Deployment, *container.RWEntity, *Wiring) {
+	t.Helper()
+	d, rw := wireFixture(t)
+	if _, err := container.DeployStateless(d.Main, "Fetch", map[string]container.Method{
+		"fetch": func(p *sim.Proc, inv *container.Invocation) (any, error) {
+			pk, _ := inv.Arg(0).(sqldb.Value)
+			return rw.Load(p, pk)
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	w, err := AutoWire(d, &container.ExtendedDescriptor{
+		Replicas: []container.ReplicaSpec{
+			{Bean: "ItemRW", Update: container.SyncUpdate, Refresh: container.PushRefresh},
+		},
+	}, WireOptions{
+		Deferred: true,
+		FetchFor: func(server *container.Server, rwBean string) container.FetchFunc {
+			return func(p *sim.Proc, pk sqldb.Value) (container.State, error) {
+				stub, err := server.StubFor(p, simnet.NodeMain, "Fetch")
+				if err != nil {
+					return nil, err
+				}
+				v, err := stub.Invoke(p, "fetch", pk)
+				if err != nil {
+					return nil, err
+				}
+				return v.(container.State), nil
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, rw, w
+}
+
+func TestDeferredWiringStartsEmpty(t *testing.T) {
+	d, rw, w := deferredFixture(t)
+	if w.DeployedOn(d.Edges[0].Name()) || w.DeployedOn(d.Edges[1].Name()) {
+		t.Fatal("deferred wiring deployed replicas eagerly")
+	}
+	if rw.Propagators() != 1 {
+		t.Fatalf("propagators = %d", rw.Propagators())
+	}
+	// Writes succeed with zero push fan-out.
+	var writeCost time.Duration
+	RunWarm(d.Env, "writer", func(p *sim.Proc) {
+		start := p.Now()
+		if _, err := rw.UpdateFields(p, sqldb.Str("i1"), container.State{"qty": sqldb.Int(1)}); err != nil {
+			t.Errorf("update: %v", err)
+		}
+		writeCost = p.Now() - start
+	})
+	if writeCost >= 100*time.Millisecond {
+		t.Fatalf("write with no replicas cost %v, want local", writeCost)
+	}
+}
+
+func TestExtendToAtRuntime(t *testing.T) {
+	d, rw, w := deferredFixture(t)
+	edge := d.Edges[0]
+	RunWarm(d.Env, "runtime", func(p *sim.Proc) {
+		if err := w.ExtendTo(edge); err != nil {
+			t.Fatalf("extend: %v", err)
+		}
+		// Idempotent.
+		if err := w.ExtendTo(edge); err != nil {
+			t.Fatalf("re-extend: %v", err)
+		}
+		ro := w.Replica(edge.Name(), "ItemRW")
+		if ro == nil {
+			t.Fatal("no replica after extension")
+		}
+		// Cold read fetches, then writes keep it fresh (sync push now has
+		// one target).
+		if _, err := ro.Get(p, sqldb.Str("i1")); err != nil {
+			t.Fatalf("get: %v", err)
+		}
+		if _, err := rw.UpdateFields(p, sqldb.Str("i1"), container.State{"qty": sqldb.Int(5)}); err != nil {
+			t.Fatalf("update: %v", err)
+		}
+		st, err := ro.Get(p, sqldb.Str("i1"))
+		if err != nil {
+			t.Fatalf("get: %v", err)
+		}
+		if st["qty"].AsInt() != 5 {
+			t.Fatalf("replica qty = %v after extension, want pushed 5", st["qty"])
+		}
+	})
+	// The other edge remains unwired: pushes target only edge1.
+	if w.DeployedOn(d.Edges[1].Name()) {
+		t.Fatal("unrequested edge got wired")
+	}
+}
+
+func TestAutoscalerExtendsUnderLoad(t *testing.T) {
+	d, rw, w := deferredFixture(t)
+	_ = rw
+	as, err := StartAutoscaler(d, w, AutoscalerConfig{
+		Interval:  5 * time.Second,
+		Threshold: 2,
+		Cooldown:  10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A remote client hammers the main server across the WAN.
+	edge := d.Edges[0]
+	d.Env.Spawn("load", func(p *sim.Proc) {
+		for i := 0; i < 300; i++ {
+			stub, err := edge.StubFor(p, simnet.NodeMain, "Fetch")
+			if err != nil {
+				t.Errorf("stub: %v", err)
+				return
+			}
+			if _, err := stub.Invoke(p, "fetch", sqldb.Str("i1")); err != nil {
+				return // partitions not expected here
+			}
+			p.Sleep(100 * time.Millisecond)
+		}
+	})
+	d.Env.Run(2 * time.Minute)
+	as.Stop()
+	d.Env.Close()
+	decisions := as.Decisions()
+	if len(decisions) == 0 {
+		t.Fatal("autoscaler never extended under load")
+	}
+	if !w.DeployedOn(decisions[0].Server) {
+		t.Fatalf("decision recorded but %s not wired", decisions[0].Server)
+	}
+	if decisions[0].Rate <= 2 {
+		t.Fatalf("decision rate = %v, want above threshold", decisions[0].Rate)
+	}
+	// Cooldown must space out decisions.
+	for i := 1; i < len(decisions); i++ {
+		if decisions[i].At-decisions[i-1].At < 10*time.Second {
+			t.Fatalf("decisions %v and %v violate cooldown", decisions[i-1].At, decisions[i].At)
+		}
+	}
+}
+
+func TestAutoscalerIdleDoesNothing(t *testing.T) {
+	d, _, w := deferredFixture(t)
+	as, err := StartAutoscaler(d, w, DefaultAutoscalerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Env.Run(5 * time.Minute)
+	as.Stop()
+	d.Env.Close()
+	if len(as.Decisions()) != 0 {
+		t.Fatalf("idle autoscaler extended: %v", as.Decisions())
+	}
+}
+
+func TestAutoscalerValidation(t *testing.T) {
+	d, _, w := deferredFixture(t)
+	if _, err := StartAutoscaler(d, w, AutoscalerConfig{Interval: 0, Threshold: 1}); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+	if _, err := StartAutoscaler(d, w, AutoscalerConfig{Interval: time.Second, Threshold: 0}); err == nil {
+		t.Fatal("zero threshold accepted")
+	}
+	d.Env.Close()
+}
+
+func TestAutoWireWithMaxStalenessSetsTTL(t *testing.T) {
+	d, rw := wireFixture(t)
+	_ = rw
+	w, err := AutoWire(d, &container.ExtendedDescriptor{
+		Topic: "t",
+		Replicas: []container.ReplicaSpec{
+			{Bean: "ItemRW", Update: container.AsyncUpdate, Refresh: container.PushRefresh, MaxStaleness: 30 * time.Second},
+		},
+	}, WireOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range d.Edges {
+		if ttl := w.Replica(e.Name(), "ItemRW").TTL(); ttl != 30*time.Second {
+			t.Fatalf("%s TTL = %v", e.Name(), ttl)
+		}
+	}
+	d.Env.Close()
+}

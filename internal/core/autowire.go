@@ -1,0 +1,263 @@
+package core
+
+import (
+	"fmt"
+
+	"wadeploy/internal/container"
+	"wadeploy/internal/sim"
+)
+
+// WireOptions parameterizes AutoWire.
+type WireOptions struct {
+	// PushBytes is the payload size for update propagation.
+	PushBytes int
+
+	// FetchFor builds the cold-miss/pull-refresh fetch path for a replica
+	// of rwBean deployed on server. Nil (or a nil return) yields push-only
+	// replicas. Typically this wraps one RMI call to a façade co-located
+	// with the read-write bean.
+	FetchFor func(server *container.Server, rwBean string) container.FetchFunc
+
+	// QueryFetchFor builds the pull re-execution path for the edge query
+	// caches; nil yields push-only caches.
+	QueryFetchFor func(server *container.Server) container.QueryFetch
+
+	// QueryRecompute, when non-nil, turns an entity update into fresh
+	// (cache key, result) pairs pushed into the edge query caches instead
+	// of invalidating them.
+	QueryRecompute func(u container.Update) map[string]any
+
+	// UpdaterName and SubscriberName override the generated bean names.
+	UpdaterName    string
+	SubscriberName string
+
+	// Deferred skips the initial per-edge deployment: propagators are
+	// created (with no targets) and attached to the read-write beans, but
+	// no replicas, caches or subscribers are materialized until
+	// Wiring.ExtendTo is called — the paper's demand-driven deployment
+	// mode ("stateful component instantiation and (re)deployment can be
+	// done on-demand at run-time", Section 6).
+	Deferred bool
+}
+
+// Wiring is what AutoWire materialized, keyed by edge-server name. It also
+// retains enough context to extend the deployment to more servers at
+// runtime.
+type Wiring struct {
+	Replicas    map[string]map[string]*container.ROEntity // server -> rw bean -> replica
+	Updaters    map[string]*container.UpdaterFacade
+	Caches      map[string]*container.QueryCache
+	Subscribers map[string]*container.MDBean
+
+	d         *Deployment
+	ext       *container.ExtendedDescriptor
+	opts      WireOptions
+	syncProps map[string]*container.SyncPropagator // rw bean -> propagator
+	asyncProp *container.AsyncPropagator
+	anyAsync  bool
+}
+
+// Replica returns the read-only replica of rwBean on server, or nil.
+func (w *Wiring) Replica(server, rwBean string) *container.ROEntity {
+	if m, ok := w.Replicas[server]; ok {
+		return m[rwBean]
+	}
+	return nil
+}
+
+// Cache returns the query cache on server, or nil.
+func (w *Wiring) Cache(server string) *container.QueryCache { return w.Caches[server] }
+
+// DeployedOn reports whether the replica bundle is live on server.
+func (w *Wiring) DeployedOn(server string) bool {
+	_, ok := w.Updaters[server]
+	return ok
+}
+
+func (w *Wiring) updaterName() string {
+	if w.opts.UpdaterName != "" {
+		return w.opts.UpdaterName
+	}
+	return "AutoUpdater"
+}
+
+func (w *Wiring) subscriberName() string {
+	if w.opts.SubscriberName != "" {
+		return w.opts.SubscriberName
+	}
+	return "AutoUpdateSubscriber"
+}
+
+// AutoWire implements the paper's pattern-implementation automation
+// (Section 5): given an extended deployment descriptor it deploys, on every
+// edge server, the read-only replicas and query caches the descriptor
+// declares, an updater façade that applies pushed updates in one bulk call,
+// and — for async replicas — the JMS topic and message-driven subscriber;
+// it then attaches the matching propagators to the registered read-write
+// beans. Application deployers only write the descriptor.
+func AutoWire(d *Deployment, ext *container.ExtendedDescriptor, opts WireOptions) (*Wiring, error) {
+	if err := ext.Validate(); err != nil {
+		return nil, fmt.Errorf("core: autowire: %w", err)
+	}
+	for _, spec := range ext.Replicas {
+		if d.RW(spec.Bean) == nil {
+			return nil, fmt.Errorf("core: autowire: read-write bean %s is not registered", spec.Bean)
+		}
+	}
+
+	w := &Wiring{
+		Replicas:    make(map[string]map[string]*container.ROEntity),
+		Updaters:    make(map[string]*container.UpdaterFacade),
+		Caches:      make(map[string]*container.QueryCache),
+		Subscribers: make(map[string]*container.MDBean),
+		d:           d,
+		ext:         ext,
+		opts:        opts,
+		syncProps:   make(map[string]*container.SyncPropagator),
+	}
+	for _, spec := range ext.Replicas {
+		if spec.Update == container.AsyncUpdate {
+			w.anyAsync = true
+		}
+	}
+	if w.anyAsync {
+		// Declare the topic before edge subscribers attach to it.
+		d.JMS.CreateTopic(ext.Topic)
+		ap, err := container.NewAsyncPropagator(d.Main, ext.Topic, opts.PushBytes)
+		if err != nil {
+			return nil, fmt.Errorf("core: autowire: %w", err)
+		}
+		w.asyncProp = ap
+	}
+
+	// Attach propagators to the read-write beans (targets accrue as
+	// servers are wired, so deferred wiring starts with empty fan-out).
+	for _, spec := range ext.Replicas {
+		rw := d.RW(spec.Bean)
+		if spec.DeltaPush {
+			rw.SetDeltaPush(true)
+		}
+		switch spec.Update {
+		case container.SyncUpdate:
+			sp := container.NewSyncPropagator(d.Main, nil, opts.PushBytes)
+			sp.BestEffort = spec.BestEffort
+			w.syncProps[spec.Bean] = sp
+			rw.AddPropagator(sp)
+		case container.AsyncUpdate:
+			rw.AddPropagator(w.asyncProp)
+		}
+	}
+
+	if !opts.Deferred {
+		for _, edge := range d.Edges {
+			if err := w.ExtendTo(edge); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return w, nil
+}
+
+// ExtendTo materializes the descriptor's replica bundle on one more server:
+// updater façade, read-only replicas (with TTL staleness bounds), query
+// caches, async subscribers, and sync-propagation targets. It is safe to
+// call at runtime while traffic flows — the demand-driven redeployment path.
+// Extending a server that is already wired is a no-op.
+func (w *Wiring) ExtendTo(server *container.Server) error {
+	if w.DeployedOn(server.Name()) {
+		return nil
+	}
+	uf, err := container.DeployUpdaterFacade(server, w.updaterName())
+	if err != nil {
+		return fmt.Errorf("core: autowire updater on %s: %w", server.Name(), err)
+	}
+	w.Updaters[server.Name()] = uf
+	w.Replicas[server.Name()] = make(map[string]*container.ROEntity)
+
+	for _, spec := range w.ext.Replicas {
+		var fetch container.FetchFunc
+		if w.opts.FetchFor != nil {
+			fetch = w.opts.FetchFor(server, spec.Bean)
+		}
+		ro, err := container.DeployROEntity(server, spec.Bean+"RO", spec.Bean, fetch)
+		if err != nil {
+			return fmt.Errorf("core: autowire replica %s on %s: %w", spec.Bean, server.Name(), err)
+		}
+		if spec.MaxStaleness > 0 {
+			// Relaxed-consistency bound: timeout invalidation caps how
+			// stale a read can be even if pushes are lost.
+			ro.SetTTL(spec.MaxStaleness)
+		}
+		if spec.Refresh == container.PushRefresh {
+			uf.Register(spec.Bean, ro)
+		} else {
+			uf.Register(spec.Bean, pullInvalidator{ro})
+		}
+		w.Replicas[server.Name()][spec.Bean] = ro
+	}
+
+	if len(w.ext.CachedQueries) > 0 {
+		var qfetch container.QueryFetch
+		if w.opts.QueryFetchFor != nil {
+			qfetch = w.opts.QueryFetchFor(server)
+		}
+		qc := container.NewQueryCache(server, w.updaterName()+"Queries", qfetch)
+		w.Caches[server.Name()] = qc
+		inval := &container.QueryInvalidation{
+			Cache:     qc,
+			Affected:  affectedFunc(w.ext),
+			Recompute: w.opts.QueryRecompute,
+		}
+		for _, q := range w.ext.CachedQueries {
+			for _, beanName := range q.InvalidatedBy {
+				uf.Register(beanName, inval)
+			}
+		}
+	}
+
+	if w.anyAsync {
+		sub, err := container.DeployUpdateSubscriber(server, w.subscriberName(), w.ext.Topic, uf)
+		if err != nil {
+			return fmt.Errorf("core: autowire subscriber on %s: %w", server.Name(), err)
+		}
+		w.Subscribers[server.Name()] = sub
+	}
+
+	for _, spec := range w.ext.Replicas {
+		if sp, ok := w.syncProps[spec.Bean]; ok {
+			sp.AddTarget(container.SyncTarget{Server: server.Name(), Facade: w.updaterName()})
+		}
+	}
+	return nil
+}
+
+// affectedFunc builds the update→invalidated-prefixes mapping declared in
+// the descriptor: an update to bean B invalidates every cached query that
+// lists B among its invalidating operations.
+func affectedFunc(ext *container.ExtendedDescriptor) func(u container.Update) []string {
+	byBean := make(map[string][]string)
+	for _, q := range ext.CachedQueries {
+		for _, b := range q.InvalidatedBy {
+			byBean[b] = append(byBean[b], q.Name+":")
+		}
+	}
+	return func(u container.Update) []string { return byBean[u.Bean] }
+}
+
+// pullInvalidator adapts a replica to pull-mode refresh: pushed updates only
+// mark the entity stale instead of installing the new state.
+type pullInvalidator struct {
+	ro *container.ROEntity
+}
+
+// ApplyUpdate implements container.Applier.
+func (pi pullInvalidator) ApplyUpdate(u container.Update) {
+	pi.ro.Invalidate(u.PK)
+}
+
+// RunWarm runs fn as a simulation process and drives the environment until
+// all scheduled work completes. It is a convenience for examples and tests.
+func RunWarm(env *sim.Env, name string, fn func(p *sim.Proc)) {
+	env.Spawn(name, fn)
+	env.RunAll()
+}

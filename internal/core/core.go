@@ -1,0 +1,302 @@
+// Package core implements the paper's primary contribution: the machinery
+// for distributing a component-based application across a wide-area
+// deployment according to a small set of design rules, applied as five
+// incremental configurations (Section 4):
+//
+//  1. Centralized — everything on the main server.
+//  2. RemoteFacade — web components and stateful session beans replicated to
+//     edge servers; shared state reached through façades in one RMI call,
+//     with EJBHomeFactory stub caching.
+//  3. StatefulCaching — read-only entity-bean replicas on the edges with a
+//     blocking push from the read-write beans (read-mostly pattern, zero
+//     staleness).
+//  4. QueryCaching — aggregate-query result caches on the edges.
+//  5. AsyncUpdates — blocking pushes replaced by a JMS topic and
+//     message-driven update subscribers.
+//
+// The package also provides the Section 5 pieces: design-rule validation
+// (only façades may be invoked remotely; everything else is local-only) and
+// AutoWire, which materializes replicas, updater façades, topics and MDB
+// subscribers from an extended deployment descriptor so applications do not
+// hand-implement the update machinery.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"wadeploy/internal/container"
+	"wadeploy/internal/jms"
+	"wadeploy/internal/rmi"
+	"wadeploy/internal/sim"
+	"wadeploy/internal/simnet"
+	"wadeploy/internal/sqldb"
+	"wadeploy/internal/web"
+)
+
+// ConfigID selects one of the paper's five incremental configurations.
+type ConfigID int
+
+// The five configurations of Section 4, in order of application, plus the
+// DBReplication extension (the "orthogonal technique" of Section 6: edge
+// database replicas absorb the reads that application partitioning leaves
+// behind, such as the Pet Store keyword Search).
+const (
+	Centralized ConfigID = iota + 1
+	RemoteFacade
+	StatefulCaching
+	QueryCaching
+	AsyncUpdates
+	DBReplication
+)
+
+// Configs lists the paper's configurations in order (the DBReplication
+// extension is excluded so Tables 6-7 keep the paper's five rows; see
+// ExtensionConfigs).
+var Configs = []ConfigID{Centralized, RemoteFacade, StatefulCaching, QueryCaching, AsyncUpdates}
+
+// ExtensionConfigs lists configurations beyond the paper's evaluation.
+var ExtensionConfigs = []ConfigID{DBReplication}
+
+func (c ConfigID) String() string {
+	switch c {
+	case Centralized:
+		return "centralized"
+	case RemoteFacade:
+		return "remote-facade"
+	case StatefulCaching:
+		return "stateful-caching"
+	case QueryCaching:
+		return "query-caching"
+	case AsyncUpdates:
+		return "async-updates"
+	case DBReplication:
+		return "db-replication"
+	default:
+		return fmt.Sprintf("ConfigID(%d)", int(c))
+	}
+}
+
+// Title returns the paper's section heading for the configuration.
+func (c ConfigID) Title() string {
+	switch c {
+	case Centralized:
+		return "Centralized application"
+	case RemoteFacade:
+		return "Remote façade"
+	case StatefulCaching:
+		return "Stateful component caching"
+	case QueryCaching:
+		return "Query caching"
+	case AsyncUpdates:
+		return "Asynchronous updates"
+	case DBReplication:
+		return "DB replication (ext)"
+	default:
+		return c.String()
+	}
+}
+
+// AtLeast reports whether c includes the optimizations of threshold (the
+// configurations are cumulative).
+func (c ConfigID) AtLeast(threshold ConfigID) bool { return c >= threshold }
+
+// Deployment is a wide-area deployment: the paper's topology with one main
+// application server (co-located with the database) and edge application
+// servers, sharing an RMI runtime and optionally a JMS provider.
+type Deployment struct {
+	Env   *sim.Env
+	Net   *simnet.Network
+	DB    *sqldb.DB
+	RMI   *rmi.Runtime
+	JMS   *jms.Provider
+	Main  *container.Server
+	Edges []*container.Server
+
+	rw map[string]*container.RWEntity
+}
+
+// Options configures a paper-topology deployment.
+type Options struct {
+	Seed     int64
+	RMI      rmi.Options
+	JMS      jms.Options
+	Web      web.Options
+	Costs    container.CostModel
+	DBCost   sqldb.CostModel
+	Topology simnet.TopologyParams // zero WANOneWay selects the paper values
+}
+
+// DefaultOptions returns the substrate defaults.
+func DefaultOptions() Options {
+	return Options{
+		Seed:     1,
+		RMI:      rmi.DefaultOptions,
+		JMS:      jms.DefaultOptions,
+		Web:      web.DefaultOptions,
+		Costs:    container.DefaultCostModel,
+		DBCost:   sqldb.DefaultCostModel,
+		Topology: simnet.DefaultTopologyParams(),
+	}
+}
+
+// NewPaperDeployment builds the Fig. 2 testbed: three application servers in
+// a star around a router (100 ms each-way WAN), the database on the main
+// server's LAN, a JMS provider on the main server, and client-group nodes.
+func NewPaperDeployment(env *sim.Env, opts Options) (*Deployment, error) {
+	params := opts.Topology
+	if params.WANOneWay == 0 {
+		params = simnet.DefaultTopologyParams()
+	}
+	if params.LANOneWay == 0 {
+		params.LANOneWay = simnet.LANOneWay
+	}
+	net, err := simnet.BuildTopology(env, params)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	db := sqldb.New()
+	db.SetCostModel(opts.DBCost)
+	rt := rmi.NewRuntime(net, opts.RMI)
+	provider, err := jms.NewProvider(net, simnet.NodeMain, opts.JMS)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	d := &Deployment{
+		Env: env,
+		Net: net,
+		DB:  db,
+		RMI: rt,
+		JMS: provider,
+		rw:  make(map[string]*container.RWEntity),
+	}
+	for _, name := range simnet.ServerNodes {
+		srv, err := container.NewServer(container.Config{
+			Name:   name,
+			DBNode: simnet.NodeDB,
+			DB:     db,
+			Net:    net,
+			RMI:    rt,
+			JMS:    provider,
+			Web:    opts.Web,
+			Costs:  opts.Costs,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: server %s: %w", name, err)
+		}
+		if name == simnet.NodeMain {
+			d.Main = srv
+		} else {
+			d.Edges = append(d.Edges, srv)
+		}
+	}
+	return d, nil
+}
+
+// Servers returns main followed by the edge servers.
+func (d *Deployment) Servers() []*container.Server {
+	out := make([]*container.Server, 0, 1+len(d.Edges))
+	out = append(out, d.Main)
+	return append(out, d.Edges...)
+}
+
+// ServerFor returns the application server a client group should talk to in
+// the given configuration: its collocated server when edges are active,
+// otherwise the main server.
+func (d *Deployment) ServerFor(clientNode string, cfg ConfigID) *container.Server {
+	if !cfg.AtLeast(RemoteFacade) {
+		return d.Main
+	}
+	for _, s := range d.Servers() {
+		if simnet.ClientNodeFor[s.Name()] == clientNode {
+			return s
+		}
+	}
+	return d.Main
+}
+
+// RegisterRW records a deployed read-write entity bean so AutoWire can
+// attach propagation to it.
+func (d *Deployment) RegisterRW(b *container.RWEntity) {
+	d.rw[b.Name()] = b
+}
+
+// RW returns a registered read-write entity bean, or nil.
+func (d *Deployment) RW(name string) *container.RWEntity { return d.rw[name] }
+
+// ErrDesignRule reports a violation of the paper's design rules.
+var ErrDesignRule = errors.New("core: design rule violation")
+
+// Placement assigns one bean descriptor to the servers it is deployed on.
+type Placement struct {
+	Desc    container.Descriptor
+	Servers []string
+}
+
+// Plan is a whole application's placement map, validated against the
+// paper's design rules before deployment.
+type Plan struct {
+	App        string
+	Placements []Placement
+}
+
+// Validate enforces the Section 5 design rules:
+//
+//   - entity beans expose only local interfaces (never remotely invocable);
+//   - every remotely invocable bean is a façade (session or message-driven);
+//   - every bean is either a façade or local-only — there is no third kind,
+//     which is what prevents edge components from reaching core shared
+//     state directly;
+//   - façades that front shared state must be deployed on the server that
+//     holds that state (captured here as: façades must be placed somewhere).
+func (pl *Plan) Validate() error {
+	if len(pl.Placements) == 0 {
+		return fmt.Errorf("%w: plan %s has no placements", ErrDesignRule, pl.App)
+	}
+	seen := make(map[string]bool, len(pl.Placements))
+	for _, p := range pl.Placements {
+		d := p.Desc
+		if d.Name == "" {
+			return fmt.Errorf("%w: unnamed bean in plan %s", ErrDesignRule, pl.App)
+		}
+		if seen[d.Name] {
+			return fmt.Errorf("%w: duplicate placement for %s", ErrDesignRule, d.Name)
+		}
+		seen[d.Name] = true
+		if len(p.Servers) == 0 {
+			return fmt.Errorf("%w: bean %s placed on no server", ErrDesignRule, d.Name)
+		}
+		if d.Kind == container.Entity {
+			if !d.LocalOnly {
+				return fmt.Errorf("%w: entity bean %s must be local-only", ErrDesignRule, d.Name)
+			}
+			if d.Facade {
+				return fmt.Errorf("%w: entity bean %s cannot be a façade", ErrDesignRule, d.Name)
+			}
+		}
+		if d.Facade && d.LocalOnly {
+			return fmt.Errorf("%w: bean %s cannot be both façade and local-only", ErrDesignRule, d.Name)
+		}
+		if !d.Facade && !d.LocalOnly {
+			return fmt.Errorf("%w: bean %s must be a façade or local-only", ErrDesignRule, d.Name)
+		}
+	}
+	return nil
+}
+
+// FacadesOn returns the façade bean names placed on server.
+func (pl *Plan) FacadesOn(server string) []string {
+	var out []string
+	for _, p := range pl.Placements {
+		if !p.Desc.Facade {
+			continue
+		}
+		for _, s := range p.Servers {
+			if s == server {
+				out = append(out, p.Desc.Name)
+				break
+			}
+		}
+	}
+	return out
+}

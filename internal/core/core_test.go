@@ -1,0 +1,343 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"wadeploy/internal/container"
+	"wadeploy/internal/sim"
+	"wadeploy/internal/simnet"
+	"wadeploy/internal/sqldb"
+)
+
+func newDeployment(t *testing.T) *Deployment {
+	t.Helper()
+	env := sim.NewEnv(11)
+	d, err := NewPaperDeployment(env, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestPaperDeploymentShape(t *testing.T) {
+	d := newDeployment(t)
+	if d.Main == nil || d.Main.Name() != simnet.NodeMain {
+		t.Fatalf("main = %v", d.Main)
+	}
+	if len(d.Edges) != 2 {
+		t.Fatalf("edges = %d", len(d.Edges))
+	}
+	if len(d.Servers()) != 3 {
+		t.Fatalf("servers = %d", len(d.Servers()))
+	}
+	if d.JMS.Node() != simnet.NodeMain {
+		t.Fatalf("jms node = %s", d.JMS.Node())
+	}
+}
+
+func TestServerForRouting(t *testing.T) {
+	d := newDeployment(t)
+	// Centralized: everyone talks to main.
+	for _, cn := range []string{simnet.NodeClientsMain, simnet.NodeClientsEdge1, simnet.NodeClientsEdge2} {
+		if s := d.ServerFor(cn, Centralized); s != d.Main {
+			t.Errorf("centralized %s -> %s, want main", cn, s.Name())
+		}
+	}
+	// Distributed: clients use their collocated server.
+	if s := d.ServerFor(simnet.NodeClientsEdge1, RemoteFacade); s.Name() != simnet.NodeEdge1 {
+		t.Errorf("edge1 clients -> %s", s.Name())
+	}
+	if s := d.ServerFor(simnet.NodeClientsMain, QueryCaching); s != d.Main {
+		t.Errorf("main clients -> %s", s.Name())
+	}
+	// Unknown client nodes fall back to main.
+	if s := d.ServerFor("stranger", AsyncUpdates); s != d.Main {
+		t.Errorf("stranger -> %s", s.Name())
+	}
+}
+
+func TestConfigOrderingAndNames(t *testing.T) {
+	if len(Configs) != 5 {
+		t.Fatalf("configs = %d", len(Configs))
+	}
+	for i := 1; i < len(Configs); i++ {
+		if Configs[i] <= Configs[i-1] {
+			t.Fatal("configs out of order")
+		}
+	}
+	if !AsyncUpdates.AtLeast(QueryCaching) || Centralized.AtLeast(RemoteFacade) {
+		t.Fatal("AtLeast broken")
+	}
+	names := map[ConfigID]string{
+		Centralized:     "centralized",
+		RemoteFacade:    "remote-facade",
+		StatefulCaching: "stateful-caching",
+		QueryCaching:    "query-caching",
+		AsyncUpdates:    "async-updates",
+	}
+	for id, want := range names {
+		if id.String() != want {
+			t.Errorf("%d.String() = %s, want %s", id, id.String(), want)
+		}
+		if id.Title() == "" {
+			t.Errorf("%v has no title", id)
+		}
+	}
+}
+
+func TestPlanValidateAcceptsFacadeRules(t *testing.T) {
+	plan := &Plan{
+		App: "petstore",
+		Placements: []Placement{
+			{Desc: container.Descriptor{Name: "Catalog", Kind: container.StatelessSession, Facade: true}, Servers: []string{"main", "edge1", "edge2"}},
+			{Desc: container.Descriptor{Name: "ItemRW", Kind: container.Entity, Table: "item", PKColumn: "id", LocalOnly: true}, Servers: []string{"main"}},
+			{Desc: container.Descriptor{Name: "ShoppingCart", Kind: container.StatefulSession, LocalOnly: true}, Servers: []string{"main", "edge1", "edge2"}},
+		},
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	got := plan.FacadesOn("edge1")
+	if len(got) != 1 || got[0] != "Catalog" {
+		t.Fatalf("FacadesOn = %v", got)
+	}
+}
+
+func TestPlanValidateRejectsViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+	}{
+		{"empty plan", Plan{App: "x"}},
+		{"unnamed bean", Plan{App: "x", Placements: []Placement{
+			{Desc: container.Descriptor{Kind: container.Entity, LocalOnly: true}, Servers: []string{"main"}},
+		}}},
+		{"remote entity", Plan{App: "x", Placements: []Placement{
+			{Desc: container.Descriptor{Name: "E", Kind: container.Entity}, Servers: []string{"main"}},
+		}}},
+		{"entity facade", Plan{App: "x", Placements: []Placement{
+			{Desc: container.Descriptor{Name: "E", Kind: container.Entity, Facade: true, LocalOnly: true}, Servers: []string{"main"}},
+		}}},
+		{"neither facade nor local", Plan{App: "x", Placements: []Placement{
+			{Desc: container.Descriptor{Name: "S", Kind: container.StatelessSession}, Servers: []string{"main"}},
+		}}},
+		{"both facade and local", Plan{App: "x", Placements: []Placement{
+			{Desc: container.Descriptor{Name: "S", Kind: container.StatelessSession, Facade: true, LocalOnly: true}, Servers: []string{"main"}},
+		}}},
+		{"no servers", Plan{App: "x", Placements: []Placement{
+			{Desc: container.Descriptor{Name: "S", Kind: container.StatelessSession, Facade: true}},
+		}}},
+		{"duplicate", Plan{App: "x", Placements: []Placement{
+			{Desc: container.Descriptor{Name: "S", Kind: container.StatelessSession, Facade: true}, Servers: []string{"main"}},
+			{Desc: container.Descriptor{Name: "S", Kind: container.StatelessSession, Facade: true}, Servers: []string{"edge1"}},
+		}}},
+	}
+	for _, c := range cases {
+		if err := c.plan.Validate(); !errors.Is(err, ErrDesignRule) {
+			t.Errorf("%s: err = %v, want ErrDesignRule", c.name, err)
+		}
+	}
+}
+
+// wireFixture sets up a deployment with one RW entity over a seeded table.
+func wireFixture(t *testing.T) (*Deployment, *container.RWEntity) {
+	t.Helper()
+	d := newDeployment(t)
+	if _, err := d.DB.Exec(`CREATE TABLE item (id TEXT PRIMARY KEY, qty INT NOT NULL)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.DB.Exec(`INSERT INTO item VALUES ('i1', 10), ('i2', 20)`); err != nil {
+		t.Fatal(err)
+	}
+	rw, err := container.DeployRWEntity(d.Main, "ItemRW", "item", "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.RegisterRW(rw)
+	return d, rw
+}
+
+func TestAutoWireSyncPush(t *testing.T) {
+	d, rw := wireFixture(t)
+	ext := &container.ExtendedDescriptor{
+		Replicas: []container.ReplicaSpec{
+			{Bean: "ItemRW", Update: container.SyncUpdate, Refresh: container.PushRefresh},
+		},
+	}
+	w, err := AutoWire(d, ext, WireOptions{PushBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Updaters) != 2 || len(w.Replicas) != 2 {
+		t.Fatalf("wiring = %+v", w)
+	}
+	if rw.Propagators() != 1 {
+		t.Fatalf("propagators = %d", rw.Propagators())
+	}
+	var writeCost time.Duration
+	RunWarm(d.Env, "writer", func(p *sim.Proc) {
+		start := p.Now()
+		if _, err := rw.UpdateFields(p, sqldb.Str("i1"), container.State{"qty": sqldb.Int(9)}); err != nil {
+			t.Errorf("update: %v", err)
+		}
+		writeCost = p.Now() - start
+	})
+	// Sequential blocking pushes to two edges: at least 2 WAN RTTs.
+	if writeCost < 400*time.Millisecond {
+		t.Fatalf("sync write cost %v, want >= 2 RTT (two sequential edge pushes)", writeCost)
+	}
+	for _, edge := range d.Edges {
+		ro := w.Replica(edge.Name(), "ItemRW")
+		if ro == nil {
+			t.Fatalf("no replica on %s", edge.Name())
+		}
+		if ro.Pushes() != 1 {
+			t.Fatalf("%s pushes = %d", edge.Name(), ro.Pushes())
+		}
+	}
+}
+
+func TestAutoWireAsyncDoesNotBlock(t *testing.T) {
+	d, rw := wireFixture(t)
+	ext := &container.ExtendedDescriptor{
+		Topic: "item-updates",
+		Replicas: []container.ReplicaSpec{
+			{Bean: "ItemRW", Update: container.AsyncUpdate, Refresh: container.PushRefresh},
+		},
+	}
+	w, err := AutoWire(d, ext, WireOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Subscribers) != 2 {
+		t.Fatalf("subscribers = %d", len(w.Subscribers))
+	}
+	var writeCost time.Duration
+	RunWarm(d.Env, "writer", func(p *sim.Proc) {
+		start := p.Now()
+		if _, err := rw.UpdateFields(p, sqldb.Str("i1"), container.State{"qty": sqldb.Int(9)}); err != nil {
+			t.Errorf("update: %v", err)
+		}
+		writeCost = p.Now() - start
+	})
+	if writeCost >= 100*time.Millisecond {
+		t.Fatalf("async write cost %v, want < WAN one-way", writeCost)
+	}
+	// After the env drains, both edge replicas must have the update.
+	for _, edge := range d.Edges {
+		ro := w.Replica(edge.Name(), "ItemRW")
+		if ro.Pushes() != 1 {
+			t.Fatalf("%s pushes = %d", edge.Name(), ro.Pushes())
+		}
+	}
+}
+
+func TestAutoWirePullRefreshInvalidates(t *testing.T) {
+	d, rw := wireFixture(t)
+	fetches := 0
+	ext := &container.ExtendedDescriptor{
+		Replicas: []container.ReplicaSpec{
+			{Bean: "ItemRW", Update: container.SyncUpdate, Refresh: container.PullRefresh},
+		},
+	}
+	w, err := AutoWire(d, ext, WireOptions{
+		FetchFor: func(server *container.Server, rwBean string) container.FetchFunc {
+			return func(p *sim.Proc, pk sqldb.Value) (container.State, error) {
+				fetches++
+				return rw.Load(p, pk)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge := d.Edges[0].Name()
+	RunWarm(d.Env, "reader", func(p *sim.Proc) {
+		ro := w.Replica(edge, "ItemRW")
+		// Cold miss.
+		if _, err := ro.Get(p, sqldb.Str("i1")); err != nil {
+			t.Errorf("get: %v", err)
+		}
+		// Write invalidates (pull mode: no state installed).
+		if _, err := rw.UpdateFields(p, sqldb.Str("i1"), container.State{"qty": sqldb.Int(1)}); err != nil {
+			t.Errorf("update: %v", err)
+		}
+		st, err := ro.Get(p, sqldb.Str("i1"))
+		if err != nil {
+			t.Errorf("get: %v", err)
+			return
+		}
+		if st["qty"].AsInt() != 1 {
+			t.Errorf("stale read after pull invalidation: %v", st["qty"])
+		}
+	})
+	if fetches != 2 {
+		t.Fatalf("fetches = %d, want 2 (cold + refresh)", fetches)
+	}
+}
+
+func TestAutoWireQueryCaches(t *testing.T) {
+	d, rw := wireFixture(t)
+	ext := &container.ExtendedDescriptor{
+		Replicas: []container.ReplicaSpec{
+			{Bean: "ItemRW", Update: container.SyncUpdate, Refresh: container.PushRefresh},
+		},
+		CachedQueries: []container.CachedQuerySpec{
+			{Name: "itemsByQty", InvalidatedBy: []string{"ItemRW"}},
+		},
+	}
+	w, err := AutoWire(d, ext, WireOptions{
+		QueryFetchFor: func(server *container.Server) container.QueryFetch {
+			return func(p *sim.Proc, key string) (any, error) { return "fresh:" + key, nil }
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge := d.Edges[0].Name()
+	qc := w.Cache(edge)
+	if qc == nil {
+		t.Fatal("no query cache wired")
+	}
+	RunWarm(d.Env, "reader", func(p *sim.Proc) {
+		if _, err := qc.Get(p, "itemsByQty:10"); err != nil {
+			t.Errorf("get: %v", err)
+		}
+		// An ItemRW write must invalidate the cached query.
+		if _, err := rw.UpdateFields(p, sqldb.Str("i1"), container.State{"qty": sqldb.Int(5)}); err != nil {
+			t.Errorf("update: %v", err)
+		}
+	})
+	if qc.Misses() != 1 {
+		t.Fatalf("misses = %d", qc.Misses())
+	}
+	// The entry must be stale now: another Get refetches.
+	RunWarm(d.Env, "reader2", func(p *sim.Proc) {
+		if _, err := qc.Get(p, "itemsByQty:10"); err != nil {
+			t.Errorf("get: %v", err)
+		}
+	})
+	if qc.Hits() != 0 {
+		t.Fatalf("hits = %d, want 0 (entry invalidated)", qc.Hits())
+	}
+}
+
+func TestAutoWireErrors(t *testing.T) {
+	d, _ := wireFixture(t)
+	// Unregistered RW bean.
+	_, err := AutoWire(d, &container.ExtendedDescriptor{
+		Replicas: []container.ReplicaSpec{{Bean: "Ghost", Update: container.SyncUpdate, Refresh: container.PushRefresh}},
+	}, WireOptions{})
+	if err == nil {
+		t.Fatal("unregistered bean accepted")
+	}
+	// Invalid descriptor.
+	_, err = AutoWire(d, &container.ExtendedDescriptor{
+		Replicas: []container.ReplicaSpec{{Bean: "ItemRW"}},
+	}, WireOptions{})
+	if !errors.Is(err, container.ErrBadDescriptor) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,172 @@
+// Package dbrepl implements asynchronous statement-based database
+// replication from a primary database to per-edge replicas — the orthogonal
+// technique the paper's Section 6 points at for the costs that application
+// partitioning cannot remove ("highly customized aggregate queries, such as
+// keyword searches ... can be alleviated by ... database partitioning and
+// replication").
+//
+// The primary observes every committed write statement through the sqldb
+// write hook and ships it across the network to each replica, which applies
+// statements in order on its own node (charging the replica node's CPU).
+// Replication is asynchronous: writers never wait for replicas, and replica
+// reads may trail the primary by roughly the one-way network latency.
+package dbrepl
+
+import (
+	"fmt"
+	"time"
+
+	"wadeploy/internal/sim"
+	"wadeploy/internal/simnet"
+	"wadeploy/internal/sqldb"
+)
+
+// Replica is one edge copy of the database.
+type Replica struct {
+	DB   *sqldb.DB
+	node *simnet.Node
+
+	applied int64
+	failed  int64
+	dropped int64
+	// lastArrival enforces in-order application.
+	lastArrival time.Duration
+	// lag accounting: ship-to-apply delay.
+	lagMax time.Duration
+	lagSum time.Duration
+}
+
+// Applied returns the number of statements applied.
+func (r *Replica) Applied() int64 { return r.applied }
+
+// Failed returns the number of statements that errored on apply (divergence).
+func (r *Replica) Failed() int64 { return r.failed }
+
+// Dropped returns the number of statements lost to partitions.
+func (r *Replica) Dropped() int64 { return r.dropped }
+
+// MaxLag returns the largest observed ship-to-apply delay.
+func (r *Replica) MaxLag() time.Duration { return r.lagMax }
+
+// MeanLag returns the mean ship-to-apply delay.
+func (r *Replica) MeanLag() time.Duration {
+	if r.applied == 0 {
+		return 0
+	}
+	return r.lagSum / time.Duration(r.applied)
+}
+
+// Primary ships the primary database's write log to replicas.
+type Primary struct {
+	env     *sim.Env
+	net     *simnet.Network
+	node    string
+	db      *sqldb.DB
+	bytes   int
+	applyMS time.Duration
+
+	replicas []*Replica
+	shipped  int64
+}
+
+// Options tunes the replication stream.
+type Options struct {
+	// StatementBytes is the wire size of one log record.
+	StatementBytes int
+	// ApplyCPU is the replica-side cost of applying one statement (on top
+	// of the statement's own database cost).
+	ApplyCPU time.Duration
+}
+
+// DefaultOptions models row-based log shipping of small OLTP statements.
+var DefaultOptions = Options{
+	StatementBytes: 512,
+	ApplyCPU:       100 * time.Microsecond,
+}
+
+// NewPrimary hooks primary replication onto db, which must live on node.
+// Further writes to db are streamed to attached replicas.
+func NewPrimary(net *simnet.Network, node string, db *sqldb.DB, opts Options) (*Primary, error) {
+	if net.Node(node) == nil {
+		return nil, fmt.Errorf("dbrepl: no such node %s", node)
+	}
+	if opts.StatementBytes <= 0 {
+		opts.StatementBytes = DefaultOptions.StatementBytes
+	}
+	p := &Primary{
+		env:     net.Env(),
+		net:     net,
+		node:    node,
+		db:      db,
+		bytes:   opts.StatementBytes,
+		applyMS: opts.ApplyCPU,
+	}
+	db.SetWriteHook(p.ship)
+	return p, nil
+}
+
+// Shipped returns the number of statements shipped (per replica fan-out not
+// included: one write shipped to three replicas counts once).
+func (p *Primary) Shipped() int64 { return p.shipped }
+
+// Replicas returns the number of attached replicas.
+func (p *Primary) Replicas() int { return len(p.replicas) }
+
+// Attach creates a replica on node whose contents are initialized by init
+// (typically the same schema+seed routine used for the primary, which
+// yields an identical snapshot). Writes after attachment stream to it.
+func (p *Primary) Attach(node string, init func(db *sqldb.DB) error) (*Replica, error) {
+	n := p.net.Node(node)
+	if n == nil {
+		return nil, fmt.Errorf("dbrepl: no such node %s", node)
+	}
+	db := sqldb.New()
+	if init != nil {
+		if err := init(db); err != nil {
+			return nil, fmt.Errorf("dbrepl: init replica on %s: %w", node, err)
+		}
+	}
+	r := &Replica{DB: db, node: n}
+	p.replicas = append(p.replicas, r)
+	return r, nil
+}
+
+// ship streams one committed write statement to every replica,
+// asynchronously and in order per replica.
+func (p *Primary) ship(sql string, args []sqldb.Value) {
+	p.shipped++
+	argsCopy := append([]sqldb.Value(nil), args...)
+	for _, r := range p.replicas {
+		r := r
+		delay, err := p.net.Delay(p.node, r.node.ID, p.bytes)
+		if err != nil {
+			r.dropped++
+			continue
+		}
+		shippedAt := p.env.Now()
+		arrival := shippedAt + delay
+		if arrival < r.lastArrival {
+			arrival = r.lastArrival
+		}
+		r.lastArrival = arrival
+		p.env.At(arrival, func() {
+			p.env.Spawn("dbrepl-apply", func(proc *sim.Proc) {
+				if p.applyMS > 0 {
+					r.node.CPU.Use(proc, p.applyMS)
+				}
+				res, err := r.DB.Exec(sql, argsCopy...)
+				if err != nil {
+					r.failed++
+					return
+				}
+				r.node.CPU.Use(proc, res.Cost)
+				r.applied++
+				lag := proc.Now() - shippedAt
+				r.lagSum += lag
+				if lag > r.lagMax {
+					r.lagMax = lag
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,206 @@
+package dbrepl
+
+import (
+	"testing"
+	"time"
+
+	"wadeploy/internal/sim"
+	"wadeploy/internal/simnet"
+	"wadeploy/internal/sqldb"
+)
+
+func initKV(db *sqldb.DB) error {
+	if _, err := db.Exec(`CREATE TABLE kv (id INT PRIMARY KEY, v INT NOT NULL)`); err != nil {
+		return err
+	}
+	_, err := db.Exec(`INSERT INTO kv VALUES (1, 0), (2, 0)`)
+	return err
+}
+
+type fixture struct {
+	env     *sim.Env
+	net     *simnet.Network
+	primary *Primary
+	main    *sqldb.DB
+	replica *Replica
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	env := sim.NewEnv(3)
+	net := simnet.New(env)
+	for _, id := range []string{"main", "edge"} {
+		if _, err := net.AddNode(id, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := net.AddLink("main", "edge", 100*time.Millisecond, 1e12); err != nil {
+		t.Fatal(err)
+	}
+	main := sqldb.New()
+	if err := initKV(main); err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPrimary(net, "main", main, DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := p.Attach("edge", initKV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{env: env, net: net, primary: p, main: main, replica: r}
+}
+
+func TestWritesStreamToReplica(t *testing.T) {
+	f := newFixture(t)
+	f.env.Spawn("writer", func(p *sim.Proc) {
+		for i := 1; i <= 5; i++ {
+			if _, err := f.main.Exec(`UPDATE kv SET v = ? WHERE id = 1`, sqldb.Int(int64(i))); err != nil {
+				t.Errorf("update: %v", err)
+			}
+			p.Sleep(10 * time.Millisecond)
+		}
+	})
+	f.env.RunAll()
+	f.env.Close()
+	if f.primary.Shipped() != 5 || f.replica.Applied() != 5 || f.replica.Failed() != 0 {
+		t.Fatalf("shipped=%d applied=%d failed=%d", f.primary.Shipped(), f.replica.Applied(), f.replica.Failed())
+	}
+	r, err := f.replica.DB.Query(`SELECT v FROM kv WHERE id = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][0].AsInt() != 5 {
+		t.Fatalf("replica v = %v, want 5 (converged)", r.Rows[0][0])
+	}
+	// Async shipping: lag is about one WAN one-way.
+	if lag := f.replica.MeanLag(); lag < 100*time.Millisecond || lag > 300*time.Millisecond {
+		t.Fatalf("mean lag = %v", lag)
+	}
+	if f.replica.MaxLag() < f.replica.MeanLag() {
+		t.Fatal("max lag below mean")
+	}
+}
+
+func TestWriterNeverBlocksOnReplication(t *testing.T) {
+	f := newFixture(t)
+	var writeCost time.Duration
+	f.env.Spawn("writer", func(p *sim.Proc) {
+		start := p.Now()
+		if _, err := f.main.Exec(`UPDATE kv SET v = 9 WHERE id = 1`); err != nil {
+			t.Errorf("update: %v", err)
+		}
+		writeCost = p.Now() - start
+	})
+	f.env.RunAll()
+	f.env.Close()
+	if writeCost != 0 {
+		t.Fatalf("write blocked %v on replication", writeCost)
+	}
+}
+
+func TestTransactionalWritesShipOnCommitOnly(t *testing.T) {
+	f := newFixture(t)
+	// A rolled-back transaction ships nothing.
+	tx := f.main.Begin()
+	if _, err := tx.Exec(`UPDATE kv SET v = 99 WHERE id = 2`); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	f.env.RunAll()
+	if f.primary.Shipped() != 0 {
+		t.Fatalf("rolled-back tx shipped %d statements", f.primary.Shipped())
+	}
+	// A committed one ships in order.
+	tx = f.main.Begin()
+	if _, err := tx.Exec(`UPDATE kv SET v = 1 WHERE id = 2`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(`UPDATE kv SET v = v + 1 WHERE id = 2`); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	f.env.RunAll()
+	f.env.Close()
+	if f.primary.Shipped() != 2 || f.replica.Applied() != 2 {
+		t.Fatalf("shipped=%d applied=%d", f.primary.Shipped(), f.replica.Applied())
+	}
+	r, _ := f.replica.DB.Query(`SELECT v FROM kv WHERE id = 2`)
+	if r.Rows[0][0].AsInt() != 2 {
+		t.Fatalf("replica v = %v, want 2 (ordered apply)", r.Rows[0][0])
+	}
+}
+
+func TestPartitionDropsStatements(t *testing.T) {
+	f := newFixture(t)
+	if err := f.net.SetLinkState("main", "edge", false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.main.Exec(`UPDATE kv SET v = 7 WHERE id = 1`); err != nil {
+		t.Fatal(err)
+	}
+	f.env.RunAll()
+	f.env.Close()
+	if f.replica.Dropped() != 1 || f.replica.Applied() != 0 {
+		t.Fatalf("dropped=%d applied=%d", f.replica.Dropped(), f.replica.Applied())
+	}
+}
+
+func TestSelectsAreNotReplicated(t *testing.T) {
+	f := newFixture(t)
+	if _, err := f.main.Query(`SELECT * FROM kv`); err != nil {
+		t.Fatal(err)
+	}
+	// Zero-row writes are not shipped either.
+	if _, err := f.main.Exec(`UPDATE kv SET v = 1 WHERE id = 999`); err != nil {
+		t.Fatal(err)
+	}
+	f.env.RunAll()
+	f.env.Close()
+	if f.primary.Shipped() != 0 {
+		t.Fatalf("shipped = %d, want 0", f.primary.Shipped())
+	}
+}
+
+func TestValidation(t *testing.T) {
+	env := sim.NewEnv(1)
+	net := simnet.New(env)
+	if _, err := net.AddNode("main", 1); err != nil {
+		t.Fatal(err)
+	}
+	db := sqldb.New()
+	if _, err := NewPrimary(net, "ghost", db, DefaultOptions); err == nil {
+		t.Fatal("primary on missing node accepted")
+	}
+	p, err := NewPrimary(net, "main", db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Attach("ghost", nil); err == nil {
+		t.Fatal("replica on missing node accepted")
+	}
+	bad := func(d *sqldb.DB) error { return errInit }
+	if _, err := net.AddNode("edge", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.AddLink("main", "edge", time.Millisecond, 1e9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Attach("edge", bad); err == nil {
+		t.Fatal("failing init accepted")
+	}
+	if p.Replicas() != 0 {
+		t.Fatalf("replicas = %d", p.Replicas())
+	}
+}
+
+var errInit = errString("init failed")
+
+type errString string
+
+func (e errString) Error() string { return string(e) }

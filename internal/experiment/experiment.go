@@ -1,0 +1,324 @@
+// Package experiment regenerates the paper's evaluation: Tables 6 and 7
+// (per-page average response times for five configurations of Java Pet Store
+// and RUBiS, split by client locality) and Figures 7 and 8 (per-session
+// average response times). Runs are deterministic given a seed: the same
+// seed produces byte-identical tables.
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"wadeploy/internal/core"
+	"wadeploy/internal/petstore"
+	"wadeploy/internal/rubis"
+	"wadeploy/internal/sim"
+	"wadeploy/internal/workload"
+)
+
+// AppID selects the application under test.
+type AppID string
+
+// The two applications of the study.
+const (
+	PetStore AppID = "petstore"
+	RUBiS    AppID = "rubis"
+)
+
+// Fault injects a WAN link failure window into a run.
+type Fault struct {
+	LinkA, LinkB string        // link endpoints (e.g. simnet.NodeEdge1, simnet.NodeRouter)
+	At           time.Duration // virtual time the link goes down
+	Duration     time.Duration // outage length
+}
+
+// RunOptions controls one experiment run.
+type RunOptions struct {
+	Seed     int64
+	Warmup   time.Duration
+	Duration time.Duration
+
+	// Faults are link outages injected during the run (failure testing).
+	Faults []Fault
+}
+
+// DefaultRunOptions mirrors the paper's methodology (each test ran for about
+// an hour preceded by several minutes of warm-up); the discrete-event
+// engine makes the full hour cheap.
+func DefaultRunOptions() RunOptions {
+	return RunOptions{Seed: 1, Warmup: 5 * time.Minute, Duration: time.Hour}
+}
+
+// QuickRunOptions is a shortened run for tests and smoke checks.
+func QuickRunOptions() RunOptions {
+	return RunOptions{Seed: 1, Warmup: 30 * time.Second, Duration: 4 * time.Minute}
+}
+
+// PageCell is one table cell pair: local and remote mean response times for
+// a page under a usage pattern.
+type PageCell struct {
+	Pattern string
+	Page    string
+	Local   time.Duration
+	Remote  time.Duration
+
+	// 95th-percentile response times, for tail-latency reporting.
+	LocalP95  time.Duration
+	RemoteP95 time.Duration
+}
+
+// Result is one configuration's measured row of Table 6/7 plus diagnostics.
+type Result struct {
+	App    AppID
+	Config core.ConfigID
+	Cells  []PageCell
+
+	// Session means by (pattern, locality): the Figure 7/8 bars.
+	SessionMeans map[string]map[bool]time.Duration
+
+	Samples int
+	Errors  int
+
+	// Diagnostics.
+	RemoteCalls  int64 // wide-area + local RMI invocations classified remote
+	MainCPUUtil  float64
+	EdgeCPUUtil  float64
+	JMSPublished int64
+	JMSDelivered int64
+}
+
+// Cell returns the cell for (pattern, page), or nil.
+func (r *Result) Cell(pattern, page string) *PageCell {
+	for i := range r.Cells {
+		if r.Cells[i].Pattern == pattern && r.Cells[i].Page == page {
+			return &r.Cells[i]
+		}
+	}
+	return nil
+}
+
+// Mean returns the (local or remote) mean for (pattern, page); 0 if absent.
+func (r *Result) Mean(pattern, page string, local bool) time.Duration {
+	c := r.Cell(pattern, page)
+	if c == nil {
+		return 0
+	}
+	if local {
+		return c.Local
+	}
+	return c.Remote
+}
+
+// PetStoreColumns is the paper's Table 6 column order.
+var PetStoreColumns = []struct {
+	Pattern string
+	Page    string
+}{
+	{petstore.PatternBrowser, petstore.PageMain},
+	{petstore.PatternBrowser, petstore.PageCategory},
+	{petstore.PatternBrowser, petstore.PageProduct},
+	{petstore.PatternBrowser, petstore.PageItem},
+	{petstore.PatternBrowser, petstore.PageSearch},
+	{petstore.PatternBuyer, petstore.PageMain},
+	{petstore.PatternBuyer, petstore.PageSignin},
+	{petstore.PatternBuyer, petstore.PageVerifySignin},
+	{petstore.PatternBuyer, petstore.PageCart},
+	{petstore.PatternBuyer, petstore.PageCheckout},
+	{petstore.PatternBuyer, petstore.PagePlaceOrder},
+	{petstore.PatternBuyer, petstore.PageBilling},
+	{petstore.PatternBuyer, petstore.PageCommit},
+	{petstore.PatternBuyer, petstore.PageSignout},
+}
+
+// RUBiSColumns is the paper's Table 7 column order.
+var RUBiSColumns = []struct {
+	Pattern string
+	Page    string
+}{
+	{rubis.PatternBrowser, rubis.PageMain},
+	{rubis.PatternBrowser, rubis.PageBrowse},
+	{rubis.PatternBrowser, rubis.PageAllCategories},
+	{rubis.PatternBrowser, rubis.PageAllRegions},
+	{rubis.PatternBrowser, rubis.PageRegion},
+	{rubis.PatternBrowser, rubis.PageCategory},
+	{rubis.PatternBrowser, rubis.PageCatRegion},
+	{rubis.PatternBrowser, rubis.PageItem},
+	{rubis.PatternBrowser, rubis.PageBids},
+	{rubis.PatternBrowser, rubis.PageUserInfo},
+	{rubis.PatternBidder, rubis.PageMain},
+	{rubis.PatternBidder, rubis.PagePutBidAuth},
+	{rubis.PatternBidder, rubis.PagePutBidForm},
+	{rubis.PatternBidder, rubis.PageStoreBid},
+	{rubis.PatternBidder, rubis.PagePutCommentAuth},
+	{rubis.PatternBidder, rubis.PagePutCommentForm},
+	{rubis.PatternBidder, rubis.PageStoreComment},
+}
+
+// Run executes one (application, configuration) experiment.
+func Run(app AppID, cfg core.ConfigID, opts RunOptions) (*Result, error) {
+	env := sim.NewEnv(opts.Seed)
+	switch app {
+	case PetStore:
+		d, err := core.NewPaperDeployment(env, core.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		a, err := petstore.Deploy(d, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return collect(app, cfg, d, opts, petstore.PaperWorkload(a), petStorePatterns, columnsFor(app))
+	case RUBiS:
+		d, err := core.NewPaperDeployment(env, rubis.DeployOptions())
+		if err != nil {
+			return nil, err
+		}
+		a, err := rubis.Deploy(d, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return collect(app, cfg, d, opts, rubis.PaperWorkload(a), rubisPatterns, columnsFor(app))
+	default:
+		return nil, fmt.Errorf("experiment: unknown app %q", app)
+	}
+}
+
+var (
+	petStorePatterns = []string{petstore.PatternBrowser, petstore.PatternBuyer}
+	rubisPatterns    = []string{rubis.PatternBrowser, rubis.PatternBidder}
+)
+
+func columnsFor(app AppID) []struct{ Pattern, Page string } {
+	var cols []struct{ Pattern, Page string }
+	if app == PetStore {
+		for _, c := range PetStoreColumns {
+			cols = append(cols, struct{ Pattern, Page string }{c.Pattern, c.Page})
+		}
+		return cols
+	}
+	for _, c := range RUBiSColumns {
+		cols = append(cols, struct{ Pattern, Page string }{c.Pattern, c.Page})
+	}
+	return cols
+}
+
+func collect(app AppID, cfg core.ConfigID, d *core.Deployment, opts RunOptions,
+	groups []workload.Group, patterns []string, columns []struct{ Pattern, Page string }) (*Result, error) {
+	for _, f := range opts.Faults {
+		f := f
+		// Validate the link exists before arming the outage.
+		if err := d.Net.SetLinkState(f.LinkA, f.LinkB, true); err != nil {
+			return nil, fmt.Errorf("experiment: fault: %w", err)
+		}
+		d.Env.At(f.At, func() { _ = d.Net.SetLinkState(f.LinkA, f.LinkB, false) })
+		d.Env.At(f.At+f.Duration, func() { _ = d.Net.SetLinkState(f.LinkA, f.LinkB, true) })
+	}
+	stats, err := workload.Run(workload.Config{
+		Env:      d.Env,
+		Groups:   groups,
+		Warmup:   opts.Warmup,
+		Duration: opts.Duration,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %s/%s: %w", app, cfg, err)
+	}
+	res := &Result{
+		App:          app,
+		Config:       cfg,
+		SessionMeans: make(map[string]map[bool]time.Duration, len(patterns)),
+		Samples:      stats.TotalSamples(),
+		Errors:       stats.Errors(),
+		RemoteCalls:  d.RMI.Stats().RemoteCalls,
+		JMSPublished: d.JMS.Published(),
+		JMSDelivered: d.JMS.Delivered(),
+	}
+	for _, c := range columns {
+		cell := PageCell{
+			Pattern: c.Pattern,
+			Page:    c.Page,
+			Local:   stats.Mean(workload.SeriesKey{Pattern: c.Pattern, Page: c.Page, Local: true}),
+			Remote:  stats.Mean(workload.SeriesKey{Pattern: c.Pattern, Page: c.Page, Local: false}),
+		}
+		if s := stats.Series(workload.SeriesKey{Pattern: c.Pattern, Page: c.Page, Local: true}); s != nil {
+			cell.LocalP95 = s.Percentile(95)
+		}
+		if s := stats.Series(workload.SeriesKey{Pattern: c.Pattern, Page: c.Page, Local: false}); s != nil {
+			cell.RemoteP95 = s.Percentile(95)
+		}
+		res.Cells = append(res.Cells, cell)
+	}
+	for _, pat := range patterns {
+		res.SessionMeans[pat] = map[bool]time.Duration{
+			true:  stats.SessionMean(pat, true),
+			false: stats.SessionMean(pat, false),
+		}
+	}
+	mainNode := d.Net.Node(d.Main.Name())
+	res.MainCPUUtil = mainNode.CPU.Utilization()
+	if len(d.Edges) > 0 {
+		edgeNode := d.Net.Node(d.Edges[0].Name())
+		res.EdgeCPUUtil = edgeNode.CPU.Utilization()
+	}
+	return res, nil
+}
+
+// RunTable runs all five configurations for an application: the full
+// Table 6 (PetStore) or Table 7 (RUBiS).
+func RunTable(app AppID, opts RunOptions) ([]*Result, error) {
+	return runConfigs(app, opts, core.Configs)
+}
+
+// RunTableWithExtensions appends the extension configurations (currently
+// DB replication, Pet Store only) to the paper's five rows.
+func RunTableWithExtensions(app AppID, opts RunOptions) ([]*Result, error) {
+	configs := append([]core.ConfigID(nil), core.Configs...)
+	if app == PetStore {
+		configs = append(configs, core.ExtensionConfigs...)
+	}
+	return runConfigs(app, opts, configs)
+}
+
+func runConfigs(app AppID, opts RunOptions, configs []core.ConfigID) ([]*Result, error) {
+	out := make([]*Result, 0, len(configs))
+	for _, cfg := range configs {
+		r, err := Run(app, cfg, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// FigureBar is one bar of Figure 7/8.
+type FigureBar struct {
+	Config  core.ConfigID
+	Pattern string
+	Local   bool
+	Mean    time.Duration
+}
+
+// Figure derives the Figure 7/8 bars from a table run.
+func Figure(results []*Result) []FigureBar {
+	var bars []FigureBar
+	if len(results) == 0 {
+		return bars
+	}
+	patterns := petStorePatterns
+	if results[0].App == RUBiS {
+		patterns = rubisPatterns
+	}
+	for _, local := range []bool{true, false} {
+		for _, pat := range patterns {
+			for _, r := range results {
+				bars = append(bars, FigureBar{
+					Config:  r.Config,
+					Pattern: pat,
+					Local:   local,
+					Mean:    r.SessionMeans[pat][local],
+				})
+			}
+		}
+	}
+	return bars
+}

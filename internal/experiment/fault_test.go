@@ -1,0 +1,88 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"wadeploy/internal/core"
+	"wadeploy/internal/simnet"
+)
+
+// faultOpts injects a one-minute WAN outage on edge1 mid-measurement.
+func faultOpts() RunOptions {
+	return RunOptions{
+		Seed:     1,
+		Warmup:   20 * time.Second,
+		Duration: 3 * time.Minute,
+		Faults: []Fault{{
+			LinkA:    simnet.NodeEdge1,
+			LinkB:    simnet.NodeRouter,
+			At:       80 * time.Second,
+			Duration: time.Minute,
+		}},
+	}
+}
+
+// In the centralized configuration a WAN outage makes edge1's clients lose
+// everything: they cannot even reach the service.
+func TestFaultCentralizedLosesRemoteClients(t *testing.T) {
+	r, err := Run(RUBiS, core.Centralized, faultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Errors == 0 {
+		t.Fatal("no request errors despite a 1-minute WAN outage")
+	}
+	// Roughly one group's full minute of traffic fails (~10 req/s).
+	if r.Errors < 300 {
+		t.Fatalf("errors = %d, want most of the outage window's requests", r.Errors)
+	}
+}
+
+// In the query-caching configuration the same outage only hurts writes: the
+// availability benefit of edge deployment from the paper's introduction.
+func TestFaultQueryCachingKeepsBrowsersServed(t *testing.T) {
+	centralized, err := Run(RUBiS, core.Centralized, faultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := Run(RUBiS, core.QueryCaching, faultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.Errors == 0 {
+		t.Fatal("writes should fail during the outage")
+	}
+	// Browsers (80% of traffic) keep being served from edge caches, so the
+	// cached configuration loses far fewer requests.
+	if float64(cached.Errors) > 0.4*float64(centralized.Errors) {
+		t.Fatalf("cached errors = %d vs centralized %d; edge caches should absorb most of the outage",
+			cached.Errors, centralized.Errors)
+	}
+	// The measurement still produced full tables.
+	if cached.Samples < 1000 {
+		t.Fatalf("samples = %d", cached.Samples)
+	}
+}
+
+func TestFaultUnknownLinkRejected(t *testing.T) {
+	opts := QuickRunOptions()
+	opts.Faults = []Fault{{LinkA: "nowhere", LinkB: "else", At: time.Second, Duration: time.Second}}
+	if _, err := Run(PetStore, core.Centralized, opts); err == nil {
+		t.Fatal("fault on unknown link accepted")
+	}
+}
+
+func TestResultsIncludeTailLatencies(t *testing.T) {
+	ps, _ := tables(t)
+	r := ps[0] // centralized
+	for _, c := range r.Cells {
+		if c.LocalP95 < c.Local/2 || c.RemoteP95 < c.Remote/2 {
+			t.Fatalf("%s/%s: p95 (%v/%v) inconsistent with means (%v/%v)",
+				c.Pattern, c.Page, c.LocalP95, c.RemoteP95, c.Local, c.Remote)
+		}
+		if c.LocalP95 == 0 || c.RemoteP95 == 0 {
+			t.Fatalf("%s/%s: missing p95", c.Pattern, c.Page)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// ms renders a duration as integer milliseconds, like the paper's tables.
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%d", d.Round(time.Millisecond)/time.Millisecond)
+}
+
+// shortPage abbreviates page names roughly like the paper's column headers.
+var shortPage = map[string]string{
+	"Main": "Main", "Category": "Categ", "Product": "Prod", "Item": "Item",
+	"Search": "Search", "Signin": "S/in", "VerifySignin": "Verif",
+	"Cart": "Cart", "Checkout": "Ch/out", "PlaceOrder": "Pl.Or.",
+	"Billing": "Bill", "Commit": "Commit", "Signout": "S/out",
+	"Browse": "Browse", "AllCategories": "AllCat", "AllRegions": "AllReg",
+	"Region": "Region", "CategoryRegion": "Ct&Rg", "Bids": "Bids",
+	"UserInfo": "UsrInf", "PutBidAuth": "PBAuth", "PutBidForm": "PBForm",
+	"StoreBid": "StBid", "PutCommentAuth": "PCAuth", "PutCommentForm": "PCForm",
+	"StoreComment": "StComm",
+}
+
+func short(page string) string {
+	if s, ok := shortPage[page]; ok {
+		return s
+	}
+	return page
+}
+
+// FormatTable renders a full table run (Table 6 or Table 7): one
+// Local/Remote row pair per configuration, one column per page.
+func FormatTable(results []*Result) string {
+	if len(results) == 0 {
+		return "(no results)\n"
+	}
+	var b strings.Builder
+	app := results[0].App
+	title := "Table 6. Average response times (ms) for five Pet Store configurations."
+	if app == RUBiS {
+		title = "Table 7. Average response times (ms) for five RUBiS configurations."
+	}
+	fmt.Fprintln(&b, title)
+
+	cols := results[0].Cells
+	// Header rows: pattern spans and page abbreviations.
+	fmt.Fprintf(&b, "%-22s %-6s", "Configuration", "Client")
+	prevPattern := ""
+	for _, c := range cols {
+		label := short(c.Page)
+		if c.Pattern != prevPattern {
+			label = short(c.Page)
+			prevPattern = c.Pattern
+		}
+		fmt.Fprintf(&b, " %6s", label)
+	}
+	fmt.Fprintln(&b)
+	fmt.Fprintf(&b, "%-22s %-6s", "", "")
+	prevPattern = ""
+	for _, c := range cols {
+		label := ""
+		if c.Pattern != prevPattern {
+			label = c.Pattern
+			prevPattern = c.Pattern
+		}
+		fmt.Fprintf(&b, " %6s", label)
+	}
+	fmt.Fprintln(&b)
+	fmt.Fprintln(&b, strings.Repeat("-", 30+7*len(cols)))
+
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-22s %-6s", r.Config.Title(), "Local")
+		for _, c := range r.Cells {
+			fmt.Fprintf(&b, " %6s", ms(c.Local))
+		}
+		fmt.Fprintln(&b)
+		fmt.Fprintf(&b, "%-22s %-6s", "", "Remote")
+		for _, c := range r.Cells {
+			fmt.Fprintf(&b, " %6s", ms(c.Remote))
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// FormatTableP95 renders the same table layout with 95th-percentile values
+// instead of means: the tail-latency view the paper does not print but a
+// deployer would want.
+func FormatTableP95(results []*Result) string {
+	if len(results) == 0 {
+		return "(no results)\n"
+	}
+	var b strings.Builder
+	app := results[0].App
+	title := "Pet Store 95th-percentile response times (ms), five configurations."
+	if app == RUBiS {
+		title = "RUBiS 95th-percentile response times (ms), five configurations."
+	}
+	fmt.Fprintln(&b, title)
+	cols := results[0].Cells
+	fmt.Fprintf(&b, "%-22s %-6s", "Configuration", "Client")
+	for _, c := range cols {
+		fmt.Fprintf(&b, " %6s", short(c.Page))
+	}
+	fmt.Fprintln(&b)
+	fmt.Fprintln(&b, strings.Repeat("-", 30+7*len(cols)))
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-22s %-6s", r.Config.Title(), "Local")
+		for _, c := range r.Cells {
+			fmt.Fprintf(&b, " %6s", ms(c.LocalP95))
+		}
+		fmt.Fprintln(&b)
+		fmt.Fprintf(&b, "%-22s %-6s", "", "Remote")
+		for _, c := range r.Cells {
+			fmt.Fprintf(&b, " %6s", ms(c.RemoteP95))
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// FormatFigure renders Figure 7/8 as an ASCII bar chart: session average
+// response times per configuration, grouped by (locality, pattern).
+func FormatFigure(results []*Result) string {
+	if len(results) == 0 {
+		return "(no results)\n"
+	}
+	var b strings.Builder
+	app := results[0].App
+	title := "Figure 7. Java Pet Store session average response times."
+	if app == RUBiS {
+		title = "Figure 8. RUBiS session average response times."
+	}
+	fmt.Fprintln(&b, title)
+
+	bars := Figure(results)
+	var maxMean time.Duration
+	for _, bar := range bars {
+		if bar.Mean > maxMean {
+			maxMean = bar.Mean
+		}
+	}
+	if maxMean == 0 {
+		maxMean = time.Millisecond
+	}
+	const width = 48
+	group := ""
+	for _, bar := range bars {
+		loc := "Remote"
+		if bar.Local {
+			loc = "Local"
+		}
+		g := fmt.Sprintf("%s %s", loc, bar.Pattern)
+		if g != group {
+			group = g
+			fmt.Fprintf(&b, "\n%s\n", g)
+		}
+		n := int(int64(width) * int64(bar.Mean) / int64(maxMean))
+		fmt.Fprintf(&b, "  %-22s %6s ms |%s\n", bar.Config.Title(), ms(bar.Mean), strings.Repeat("#", n))
+	}
+	return b.String()
+}
+
+// FormatDiagnostics renders per-run counters useful when validating a run.
+func FormatDiagnostics(results []*Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %9s %7s %9s %8s %8s %8s %8s\n",
+		"Configuration", "samples", "errors", "rmiCalls", "mainCPU", "edgeCPU", "jmsPub", "jmsDel")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-22s %9d %7d %9d %7.1f%% %7.1f%% %8d %8d\n",
+			r.Config.Title(), r.Samples, r.Errors, r.RemoteCalls,
+			100*r.MainCPUUtil, 100*r.EdgeCPUUtil, r.JMSPublished, r.JMSDelivered)
+	}
+	return b.String()
+}

@@ -1,0 +1,122 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"wadeploy/internal/core"
+	"wadeploy/internal/petstore"
+	"wadeploy/internal/rubis"
+	"wadeploy/internal/sim"
+	"wadeploy/internal/simnet"
+)
+
+// SweepPoint is one measurement of a sensitivity sweep.
+type SweepPoint struct {
+	X             float64 // the swept parameter (WAN one-way ms, or offered load req/s)
+	LocalBrowser  time.Duration
+	RemoteBrowser time.Duration
+	LocalWriter   time.Duration
+	RemoteWriter  time.Duration
+}
+
+// runWith executes one experiment with custom topology and workload scale.
+func runWith(app AppID, cfg core.ConfigID, opts RunOptions, topo simnet.TopologyParams, scale float64) (*Result, error) {
+	env := sim.NewEnv(opts.Seed)
+	var depOpts core.Options
+	switch app {
+	case PetStore:
+		depOpts = core.DefaultOptions()
+	case RUBiS:
+		depOpts = rubis.DeployOptions()
+	default:
+		return nil, fmt.Errorf("experiment: unknown app %q", app)
+	}
+	if topo.WANOneWay > 0 {
+		depOpts.Topology = topo
+	}
+	d, err := core.NewPaperDeployment(env, depOpts)
+	if err != nil {
+		return nil, err
+	}
+	switch app {
+	case PetStore:
+		a, err := petstore.Deploy(d, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return collect(app, cfg, d, opts, petstore.PaperWorkloadScaled(a, scale), petStorePatterns, columnsFor(app))
+	default:
+		a, err := rubis.Deploy(d, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return collect(app, cfg, d, opts, rubis.PaperWorkloadScaled(a, scale), rubisPatterns, columnsFor(app))
+	}
+}
+
+// point converts a run's session means into a sweep point.
+func point(app AppID, r *Result, x float64) SweepPoint {
+	browser, writer := petstore.PatternBrowser, petstore.PatternBuyer
+	if app == RUBiS {
+		browser, writer = rubis.PatternBrowser, rubis.PatternBidder
+	}
+	return SweepPoint{
+		X:             x,
+		LocalBrowser:  r.SessionMeans[browser][true],
+		RemoteBrowser: r.SessionMeans[browser][false],
+		LocalWriter:   r.SessionMeans[writer][true],
+		RemoteWriter:  r.SessionMeans[writer][false],
+	}
+}
+
+// LatencySweep measures session response times as the WAN one-way latency
+// varies — how each configuration's benefit scales with network distance
+// (not a paper experiment; a sensitivity study over its fixed 100 ms point).
+func LatencySweep(app AppID, cfg core.ConfigID, oneWays []time.Duration, opts RunOptions) ([]SweepPoint, error) {
+	out := make([]SweepPoint, 0, len(oneWays))
+	for _, wan := range oneWays {
+		if wan <= 0 {
+			return nil, fmt.Errorf("experiment: non-positive WAN latency %v", wan)
+		}
+		topo := simnet.DefaultTopologyParams()
+		topo.WANOneWay = wan
+		r, err := runWith(app, cfg, opts, topo, 1)
+		if err != nil {
+			return nil, fmt.Errorf("latency sweep %v: %w", wan, err)
+		}
+		out = append(out, point(app, r, float64(wan)/float64(time.Millisecond)))
+	}
+	return out, nil
+}
+
+// LoadSweep measures session response times as the offered load scales
+// around the paper's 30 req/s operating point, exposing where CPU queueing
+// begins to dominate.
+func LoadSweep(app AppID, cfg core.ConfigID, scales []float64, opts RunOptions) ([]SweepPoint, error) {
+	out := make([]SweepPoint, 0, len(scales))
+	for _, s := range scales {
+		if s <= 0 {
+			return nil, fmt.Errorf("experiment: non-positive load scale %v", s)
+		}
+		r, err := runWith(app, cfg, opts, simnet.TopologyParams{}, s)
+		if err != nil {
+			return nil, fmt.Errorf("load sweep %v: %w", s, err)
+		}
+		out = append(out, point(app, r, 30*s))
+	}
+	return out, nil
+}
+
+// FormatSweep renders sweep points as an aligned table.
+func FormatSweep(xLabel string, points []SweepPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %12s %12s %12s %12s\n",
+		xLabel, "loc-browse", "rem-browse", "loc-write", "rem-write")
+	for _, pt := range points {
+		fmt.Fprintf(&b, "%-14.1f %12s %12s %12s %12s\n", pt.X,
+			ms(pt.LocalBrowser), ms(pt.RemoteBrowser), ms(pt.LocalWriter), ms(pt.RemoteWriter))
+	}
+	return b.String()
+}

@@ -1,0 +1,180 @@
+// Package jms models a publish/subscribe messaging provider (JMS topics plus
+// message-driven-bean delivery) over the simulated network.
+//
+// In the paper's final configuration (Section 4.5), read-write entity beans
+// publish updates to a local topic; message-driven-bean façades on the edge
+// servers subscribe and apply the updates to read-only beans and query
+// caches. The writer never blocks on WAN delivery — Publish charges only the
+// local publish cost and returns, while deliveries run asynchronously with
+// per-subscription FIFO ordering.
+package jms
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"wadeploy/internal/sim"
+	"wadeploy/internal/simnet"
+)
+
+// ErrNoSuchTopic is returned when publishing to an undeclared topic.
+var ErrNoSuchTopic = errors.New("jms: no such topic")
+
+// Message is one published message.
+type Message struct {
+	Topic       string
+	Body        any
+	Bytes       int
+	PublishedAt time.Duration // virtual publish time
+}
+
+// Subscriber handles one delivered message on the subscriber's node. It runs
+// in its own process (the MDB's onMessage) and should charge its own CPU.
+type Subscriber func(p *sim.Proc, msg *Message)
+
+// Options is the messaging cost model.
+type Options struct {
+	// PublishCPU is the publisher-side cost of a publish call: message
+	// marshalling plus the (transactional) handoff to the broker.
+	PublishCPU time.Duration
+
+	// DeliverCPU is charged on the subscriber node when a message is
+	// dispatched into an MDB, before the subscriber function runs.
+	DeliverCPU time.Duration
+
+	// MessageBytes is the default payload size.
+	MessageBytes int
+}
+
+// DefaultOptions models a persistent JMS provider of the paper's era: a
+// publish is a local transactional enqueue (milliseconds), delivery dispatch
+// is cheap.
+var DefaultOptions = Options{
+	PublishCPU:   2 * time.Millisecond,
+	DeliverCPU:   200 * time.Microsecond,
+	MessageBytes: 1024,
+}
+
+type subscription struct {
+	node string
+	name string
+	fn   Subscriber
+	// lastArrival enforces per-subscription FIFO delivery.
+	lastArrival time.Duration
+}
+
+// Topic is a named pub/sub channel.
+type Topic struct {
+	name string
+	subs []*subscription
+}
+
+// Provider is a JMS broker bound to a node of the network.
+type Provider struct {
+	env    *sim.Env
+	net    *simnet.Network
+	node   string
+	opts   Options
+	topics map[string]*Topic
+
+	published int64
+	delivered int64
+}
+
+// NewProvider creates a broker on node.
+func NewProvider(net *simnet.Network, node string, opts Options) (*Provider, error) {
+	if net.Node(node) == nil {
+		return nil, fmt.Errorf("jms: no such node %s", node)
+	}
+	return &Provider{
+		env:    net.Env(),
+		net:    net,
+		node:   node,
+		opts:   opts,
+		topics: make(map[string]*Topic),
+	}, nil
+}
+
+// Node returns the broker's node.
+func (pr *Provider) Node() string { return pr.node }
+
+// Published returns the number of messages published so far.
+func (pr *Provider) Published() int64 { return pr.published }
+
+// Delivered returns the number of messages delivered to subscribers so far.
+func (pr *Provider) Delivered() int64 { return pr.delivered }
+
+// CreateTopic declares a topic; declaring an existing topic is a no-op.
+func (pr *Provider) CreateTopic(name string) *Topic {
+	if t, ok := pr.topics[name]; ok {
+		return t
+	}
+	t := &Topic{name: name}
+	pr.topics[name] = t
+	return t
+}
+
+// Subscribe registers fn (named, for diagnostics) on node for the topic.
+func (pr *Provider) Subscribe(topic, node, name string, fn Subscriber) error {
+	t, ok := pr.topics[topic]
+	if !ok {
+		return fmt.Errorf("jms: subscribe %s: %w", topic, ErrNoSuchTopic)
+	}
+	if pr.net.Node(node) == nil {
+		return fmt.Errorf("jms: subscribe %s: no such node %s", topic, node)
+	}
+	t.subs = append(t.subs, &subscription{node: node, name: name, fn: fn})
+	return nil
+}
+
+// Subscribers returns the number of subscriptions on the topic.
+func (pr *Provider) Subscribers(topic string) int {
+	if t, ok := pr.topics[topic]; ok {
+		return len(t.subs)
+	}
+	return 0
+}
+
+// Publish sends body from a publisher running on fromNode to all subscribers
+// of topic. The caller blocks only for the local publish cost (and the hop
+// to the broker if the broker is remote — in the paper's deployment the
+// topic is local to the writers); deliveries are scheduled asynchronously.
+// Unreachable subscribers are skipped: messages to them are dropped,
+// mirroring a WAN partition.
+func (pr *Provider) Publish(p *sim.Proc, fromNode, topic string, body any, bytes int) error {
+	t, ok := pr.topics[topic]
+	if !ok {
+		return fmt.Errorf("jms: publish %s: %w", topic, ErrNoSuchTopic)
+	}
+	if bytes <= 0 {
+		bytes = pr.opts.MessageBytes
+	}
+	p.Sleep(pr.opts.PublishCPU)
+	if err := pr.net.Transfer(p, fromNode, pr.node, bytes); err != nil {
+		return fmt.Errorf("jms: publish %s: %w", topic, err)
+	}
+	msg := &Message{Topic: topic, Body: body, Bytes: bytes, PublishedAt: pr.env.Now()}
+	pr.published++
+	for _, sub := range t.subs {
+		sub := sub
+		delay, err := pr.net.Delay(pr.node, sub.node, bytes)
+		if err != nil {
+			// Partitioned subscriber: drop (at-most-once across failures).
+			continue
+		}
+		arrival := pr.env.Now() + delay
+		if arrival < sub.lastArrival {
+			arrival = sub.lastArrival // FIFO per subscription
+		}
+		sub.lastArrival = arrival
+		pr.env.At(arrival, func() {
+			pr.env.Spawn("jms:"+sub.name, func(dp *sim.Proc) {
+				dp.Sleep(pr.opts.DeliverCPU)
+				pr.delivered++
+				sub.fn(dp, msg)
+			})
+		})
+	}
+	return nil
+}

@@ -1,0 +1,719 @@
+package petstore
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"wadeploy/internal/container"
+	"wadeploy/internal/core"
+	"wadeploy/internal/dbrepl"
+	"wadeploy/internal/rmi"
+	"wadeploy/internal/sim"
+	"wadeploy/internal/simnet"
+	"wadeploy/internal/sqldb"
+	"wadeploy/internal/web"
+	"wadeploy/internal/workload"
+)
+
+// Bean names (Table 1 plus the read-mostly additions of Section 4.3).
+const (
+	BeanCatalog    = "Catalog"
+	BeanCustomer   = "Customer"
+	BeanCart       = "ShoppingCart"
+	BeanController = "ShoppingClientController"
+
+	BeanCategory    = "Category"
+	BeanProduct     = "Product"
+	BeanItem        = "Item"
+	BeanInventory   = "Inventory"
+	BeanSignOn      = "SignOn"
+	BeanAccount     = "Account"
+	BeanOrder       = "Order"
+	BeanOrderStatus = "OrderStatus"
+	BeanLineItem    = "LineItem"
+)
+
+// Query-cache key prefixes (Section 4.4: the two cached Pet Store queries).
+const (
+	QueryProductsByCategory = "productsByCategory"
+	QueryItemsByProduct     = "itemsByProduct"
+)
+
+// UpdateTopic is the JMS topic used in the asynchronous-updates
+// configuration (Fig. 6).
+const UpdateTopic = "petstore-updates"
+
+// App is one deployed Pet Store instance under a specific configuration.
+type App struct {
+	d   *core.Deployment
+	cfg core.ConfigID
+
+	categoryRW  *container.RWEntity
+	productRW   *container.RWEntity
+	itemRW      *container.RWEntity
+	inventoryRW *container.RWEntity
+	signonRW    *container.RWEntity
+	accountRW   *container.RWEntity
+	orderRW     *container.RWEntity
+	statusRW    *container.RWEntity
+	lineItemRW  *container.RWEntity
+
+	wiring *core.Wiring
+
+	carts       map[string]*container.StatefulBean
+	controllers map[string]*container.StatefulBean
+
+	sessions map[string]*web.Session
+	orderSeq int64
+	lineSeq  int64
+
+	dbPrimary *dbrepl.Primary
+
+	costs PageCosts
+}
+
+// PageCost is the application-side cost of rendering one page, split into
+// CPU (charged to the server, creating contention) and latency (JSP
+// pipeline, logging, connection handling — time that does not occupy a CPU
+// slot).
+type PageCost struct {
+	CPU time.Duration
+	Lat time.Duration
+}
+
+// PageCosts maps page name to its render cost.
+type PageCosts map[string]PageCost
+
+// DefaultPageCosts is calibrated so the centralized configuration's local
+// response times land near Table 6's first row. Pet Store is deliberately a
+// heavyweight application (design-pattern showcase, not a benchmark).
+func DefaultPageCosts() PageCosts {
+	return PageCosts{
+		PageMain:     {CPU: 12 * time.Millisecond, Lat: 64 * time.Millisecond},
+		PageCategory: {CPU: 14 * time.Millisecond, Lat: 66 * time.Millisecond},
+		PageProduct:  {CPU: 14 * time.Millisecond, Lat: 65 * time.Millisecond},
+		PageItem:     {CPU: 13 * time.Millisecond, Lat: 61 * time.Millisecond},
+		PageSearch:   {CPU: 16 * time.Millisecond, Lat: 72 * time.Millisecond},
+
+		PageSignin:       {CPU: 10 * time.Millisecond, Lat: 60 * time.Millisecond},
+		PageVerifySignin: {CPU: 12 * time.Millisecond, Lat: 58 * time.Millisecond},
+		PageCart:         {CPU: 14 * time.Millisecond, Lat: 88 * time.Millisecond},
+		PageCheckout:     {CPU: 12 * time.Millisecond, Lat: 56 * time.Millisecond},
+		PagePlaceOrder:   {CPU: 10 * time.Millisecond, Lat: 52 * time.Millisecond},
+		PageBilling:      {CPU: 10 * time.Millisecond, Lat: 52 * time.Millisecond},
+		PageCommit:       {CPU: 20 * time.Millisecond, Lat: 106 * time.Millisecond},
+		PageSignout:      {CPU: 12 * time.Millisecond, Lat: 66 * time.Millisecond},
+	}
+}
+
+// Deploy installs Pet Store into d under configuration cfg: the schema and
+// data, the entity beans and façades on the main server, web components and
+// stateful session beans on every active server, and — depending on cfg —
+// the read-only replicas, query caches and update propagation (via the
+// extended-descriptor AutoWire machinery).
+func Deploy(d *core.Deployment, cfg core.ConfigID) (*App, error) {
+	if err := InitSchema(d.DB); err != nil {
+		return nil, err
+	}
+	a := &App{
+		d:           d,
+		cfg:         cfg,
+		carts:       make(map[string]*container.StatefulBean),
+		controllers: make(map[string]*container.StatefulBean),
+		sessions:    make(map[string]*web.Session),
+		costs:       DefaultPageCosts(),
+	}
+	if err := a.deployEntities(); err != nil {
+		return nil, err
+	}
+	if err := a.deployMainFacades(); err != nil {
+		return nil, err
+	}
+	if err := a.deployWebTier(); err != nil {
+		return nil, err
+	}
+	if cfg.AtLeast(core.StatefulCaching) {
+		if err := a.wireReplicas(); err != nil {
+			return nil, err
+		}
+		if err := a.deployEdgeCatalogs(); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.AtLeast(core.DBReplication) {
+		if err := a.wireDBReplicas(); err != nil {
+			return nil, err
+		}
+	}
+	if err := a.Plan().Validate(); err != nil {
+		return nil, fmt.Errorf("petstore: %w", err)
+	}
+	return a, nil
+}
+
+// wireDBReplicas sets up the Section 6 extension: asynchronous
+// statement-based database replication to every edge server, so highly
+// customized aggregate queries (the keyword Search) execute locally at the
+// edges instead of crossing the WAN. Each replica starts from an identical
+// schema+seed snapshot; committed writes stream to it in order.
+func (a *App) wireDBReplicas() error {
+	primary, err := dbrepl.NewPrimary(a.d.Net, simnet.NodeDB, a.d.DB, dbrepl.DefaultOptions)
+	if err != nil {
+		return fmt.Errorf("petstore: %w", err)
+	}
+	a.dbPrimary = primary
+	for _, edge := range a.d.Edges {
+		replica, err := primary.Attach(edge.Name(), InitSchema)
+		if err != nil {
+			return fmt.Errorf("petstore: %w", err)
+		}
+		edge.AttachReplicaDB(replica.DB)
+	}
+	return nil
+}
+
+// DBPrimary exposes the replication primary (nil below DBReplication).
+func (a *App) DBPrimary() *dbrepl.Primary { return a.dbPrimary }
+
+// Config returns the configuration the app was deployed under.
+func (a *App) Config() core.ConfigID { return a.cfg }
+
+// Deployment returns the underlying deployment.
+func (a *App) Deployment() *core.Deployment { return a.d }
+
+// Wiring exposes the auto-wired replicas and caches (nil below
+// StatefulCaching).
+func (a *App) Wiring() *core.Wiring { return a.wiring }
+
+// Orders returns the number of committed orders.
+func (a *App) Orders() int64 { return a.orderSeq }
+
+func (a *App) deployEntities() error {
+	type spec struct {
+		name, table, pk string
+		out             **container.RWEntity
+	}
+	specs := []spec{
+		{BeanCategory, "category", "catid", &a.categoryRW},
+		{BeanProduct, "product", "productid", &a.productRW},
+		{BeanItem, "item", "itemid", &a.itemRW},
+		{BeanInventory, "inventory", "itemid", &a.inventoryRW},
+		{BeanSignOn, "signon", "username", &a.signonRW},
+		{BeanAccount, "account", "userid", &a.accountRW},
+		{BeanOrder, "orders", "orderid", &a.orderRW},
+		{BeanOrderStatus, "orderstatus", "orderid", &a.statusRW},
+		{BeanLineItem, "lineitem", "lineid", &a.lineItemRW},
+	}
+	for _, s := range specs {
+		b, err := container.DeployRWEntity(a.d.Main, s.name, s.table, s.pk)
+		if err != nil {
+			return fmt.Errorf("petstore: %w", err)
+		}
+		*s.out = b
+		a.d.RegisterRW(b)
+	}
+	return nil
+}
+
+// activeServers returns the servers that host web components and session
+// beans under the current configuration.
+func (a *App) activeServers() []*container.Server {
+	if a.cfg.AtLeast(core.RemoteFacade) {
+		return a.d.Servers()
+	}
+	return []*container.Server{a.d.Main}
+}
+
+// catalogStub resolves the Catalog façade a server should talk to: its own
+// when one is deployed locally, otherwise the central one (EJBHomeFactory
+// caching applies either way).
+func (a *App) catalogStub(p *sim.Proc, srv *container.Server) (*rmi.Stub, error) {
+	target := simnet.NodeMain
+	if srv.HasBean(BeanCatalog) {
+		target = srv.Name()
+	}
+	return srv.StubFor(p, target, BeanCatalog)
+}
+
+// centralCatalogStub always targets the main server's Catalog.
+func (a *App) centralCatalogStub(p *sim.Proc, srv *container.Server) (*rmi.Stub, error) {
+	return srv.StubFor(p, simnet.NodeMain, BeanCatalog)
+}
+
+// deployMainFacades deploys the Catalog and Customer session façades on the
+// main server.
+func (a *App) deployMainFacades() error {
+	if _, err := container.DeployStateless(a.d.Main, BeanCatalog, a.mainCatalogMethods()); err != nil {
+		return fmt.Errorf("petstore: %w", err)
+	}
+	if _, err := container.DeployStateless(a.d.Main, BeanCustomer, a.customerMethods()); err != nil {
+		return fmt.Errorf("petstore: %w", err)
+	}
+	return nil
+}
+
+// mainCatalogMethods implements the central Catalog façade: every method
+// runs co-located with the database.
+func (a *App) mainCatalogMethods() map[string]container.Method {
+	srv := a.d.Main
+	return map[string]container.Method{
+		// getProductsOf returns the category row and its product rows.
+		"getProductsOf": func(p *sim.Proc, inv *container.Invocation) (any, error) {
+			cat := inv.StringArg(0)
+			catRes, err := srv.SQL(p, `SELECT * FROM category WHERE catid = ?`, sqldb.Str(cat))
+			if err != nil {
+				return nil, err
+			}
+			prodRes, err := srv.SQL(p, `SELECT * FROM product WHERE catid = ? ORDER BY productid`, sqldb.Str(cat))
+			if err != nil {
+				return nil, err
+			}
+			return &CategoryPage{Category: firstState(catRes), Products: allStates(prodRes)}, nil
+		},
+		// getItemsOf returns the product row and its item rows.
+		"getItemsOf": func(p *sim.Proc, inv *container.Invocation) (any, error) {
+			pid := inv.StringArg(0)
+			prodRes, err := srv.SQL(p, `SELECT * FROM product WHERE productid = ?`, sqldb.Str(pid))
+			if err != nil {
+				return nil, err
+			}
+			itemRes, err := srv.SQL(p, `SELECT * FROM item WHERE productid = ? ORDER BY itemid`, sqldb.Str(pid))
+			if err != nil {
+				return nil, err
+			}
+			return &ProductPage{Product: firstState(prodRes), Items: allStates(itemRes)}, nil
+		},
+		// getItem returns one item plus its inventory quantity.
+		"getItem": func(p *sim.Proc, inv *container.Invocation) (any, error) {
+			return a.loadItemDetails(p, inv.StringArg(0))
+		},
+		// search runs the keyword query (never cached, Section 4.4).
+		"search": func(p *sim.Proc, inv *container.Invocation) (any, error) {
+			kw := inv.StringArg(0)
+			res, err := srv.SQL(p, `SELECT * FROM product WHERE name LIKE ? OR descn LIKE ? ORDER BY productid LIMIT 25`,
+				sqldb.Str("%"+kw+"%"), sqldb.Str("%"+kw+"%"))
+			if err != nil {
+				return nil, err
+			}
+			return allStates(res), nil
+		},
+		// fetchState serves read-only replica refreshes (the remote façade
+		// the read-mostly pattern queries on pull/miss).
+		"fetchState": func(p *sim.Proc, inv *container.Invocation) (any, error) {
+			bean := inv.StringArg(0)
+			pk, _ := inv.Arg(1).(sqldb.Value)
+			rw := a.d.RW(bean)
+			if rw == nil {
+				return nil, fmt.Errorf("petstore: fetchState: %w: %s", container.ErrNoSuchBean, bean)
+			}
+			return rw.Load(p, pk)
+		},
+	}
+}
+
+// loadItemDetails loads an item row plus inventory on the main server.
+func (a *App) loadItemDetails(p *sim.Proc, itemID string) (*ItemPage, error) {
+	item, err := a.itemRW.Load(p, sqldb.Str(itemID))
+	if err != nil {
+		return nil, err
+	}
+	invSt, err := a.inventoryRW.Load(p, sqldb.Str(itemID))
+	if err != nil {
+		return nil, err
+	}
+	return &ItemPage{Item: item, Qty: invSt["qty"].AsInt()}, nil
+}
+
+// customerMethods implements the Customer façade ("serves as a façade to
+// Order and Account", Table 1).
+func (a *App) customerMethods() map[string]container.Method {
+	return map[string]container.Method{
+		// createCustomer authenticates against the SignOn entity.
+		"createCustomer": func(p *sim.Proc, inv *container.Invocation) (any, error) {
+			user, pass := inv.StringArg(0), inv.StringArg(1)
+			st, err := a.signonRW.Load(p, sqldb.Str(user))
+			if err != nil {
+				return nil, fmt.Errorf("petstore signon: %w", err)
+			}
+			if st["password"].AsString() != pass {
+				return false, nil
+			}
+			return true, nil
+		},
+		// getProfile loads the Account entity.
+		"getProfile": func(p *sim.Proc, inv *container.Invocation) (any, error) {
+			return a.accountRW.Load(p, sqldb.Str(inv.StringArg(0)))
+		},
+		// placeOrder commits the order: Order, OrderStatus and LineItem
+		// creation plus the Inventory write whose propagation cost is the
+		// crux of Sections 4.3–4.5.
+		"placeOrder": func(p *sim.Proc, inv *container.Invocation) (any, error) {
+			user := inv.StringArg(0)
+			itemID := inv.StringArg(1)
+			qty, _ := inv.Arg(2).(int)
+			if qty <= 0 {
+				qty = 1
+			}
+			item, err := a.itemRW.Load(p, sqldb.Str(itemID))
+			if err != nil {
+				return nil, err
+			}
+			if _, err := a.accountRW.Load(p, sqldb.Str(user)); err != nil {
+				return nil, err
+			}
+			a.orderSeq++
+			orderID := a.orderSeq
+			total := item["listprice"].AsFloat() * float64(qty)
+			if err := a.orderRW.Insert(p, container.State{
+				"orderid":    sqldb.Int(orderID),
+				"userid":     sqldb.Str(user),
+				"orderdate":  sqldb.Int(int64(p.Now() / time.Millisecond)),
+				"totalprice": sqldb.Float(total),
+			}); err != nil {
+				return nil, err
+			}
+			if err := a.statusRW.Insert(p, container.State{
+				"orderid": sqldb.Int(orderID),
+				"status":  sqldb.Str("PENDING"),
+			}); err != nil {
+				return nil, err
+			}
+			a.lineSeq++
+			if err := a.lineItemRW.Insert(p, container.State{
+				"lineid":    sqldb.Int(a.lineSeq),
+				"orderid":   sqldb.Int(orderID),
+				"itemid":    sqldb.Str(itemID),
+				"quantity":  sqldb.Int(int64(qty)),
+				"unitprice": item["listprice"],
+			}); err != nil {
+				return nil, err
+			}
+			// The Inventory write triggers replica propagation: blocking
+			// in the sync configurations, fire-and-forget in async.
+			invSt, err := a.inventoryRW.Load(p, sqldb.Str(itemID))
+			if err != nil {
+				return nil, err
+			}
+			if _, err := a.inventoryRW.UpdateFields(p, sqldb.Str(itemID), container.State{
+				"qty": sqldb.Int(invSt["qty"].AsInt() - int64(qty)),
+			}); err != nil {
+				return nil, err
+			}
+			return orderID, nil
+		},
+	}
+}
+
+// deployWebTier installs the stateful session beans and servlets on every
+// active server.
+func (a *App) deployWebTier() error {
+	for _, srv := range a.activeServers() {
+		cart, err := container.DeployStateful(srv, BeanCart, a.cartMethods(srv))
+		if err != nil {
+			return fmt.Errorf("petstore: %w", err)
+		}
+		a.carts[srv.Name()] = cart
+		ctrl, err := container.DeployStateful(srv, BeanController, map[string]container.Method{
+			// handleEvent models the EJB-tier half of the MVC controller.
+			"handleEvent": func(p *sim.Proc, inv *container.Invocation) (any, error) {
+				inv.State["events"] = sqldb.Int(inv.State["events"].AsInt() + 1)
+				return nil, nil
+			},
+		})
+		if err != nil {
+			return fmt.Errorf("petstore: %w", err)
+		}
+		a.controllers[srv.Name()] = ctrl
+		a.registerPages(srv)
+	}
+	return nil
+}
+
+// cartMethods implements the ShoppingCart stateful session bean. The cart
+// stores its lines in conversational state; addItem resolves item details
+// through the server's Catalog path (which is where the configuration
+// changes bite: RMI below StatefulCaching, local read-only beans above).
+func (a *App) cartMethods(srv *container.Server) map[string]container.Method {
+	return map[string]container.Method{
+		"addItem": func(p *sim.Proc, inv *container.Invocation) (any, error) {
+			itemID := inv.StringArg(0)
+			details, err := a.getItemVia(p, srv, itemID)
+			if err != nil {
+				return nil, err
+			}
+			n := inv.State["count"].AsInt()
+			inv.State[fmt.Sprintf("item%d", n)] = sqldb.Str(itemID)
+			inv.State[fmt.Sprintf("price%d", n)] = details.Item["listprice"]
+			inv.State["count"] = sqldb.Int(n + 1)
+			total := inv.State["total"].AsFloat() + details.Item["listprice"].AsFloat()
+			inv.State["total"] = sqldb.Float(total)
+			return n + 1, nil
+		},
+		"summary": func(p *sim.Proc, inv *container.Invocation) (any, error) {
+			return CartSummary{
+				Count: inv.State["count"].AsInt(),
+				Total: inv.State["total"].AsFloat(),
+			}, nil
+		},
+		"firstItem": func(p *sim.Proc, inv *container.Invocation) (any, error) {
+			return inv.State["item0"].AsString(), nil
+		},
+		"clear": func(p *sim.Proc, inv *container.Invocation) (any, error) {
+			for k := range inv.State {
+				delete(inv.State, k)
+			}
+			return nil, nil
+		},
+	}
+}
+
+// getItemVia fetches item details the way the current configuration
+// dictates: local read-only beans when the server has them, otherwise via
+// the Catalog façade (one RMI call from an edge).
+func (a *App) getItemVia(p *sim.Proc, srv *container.Server, itemID string) (*ItemPage, error) {
+	if a.cfg.AtLeast(core.StatefulCaching) && srv.Name() != simnet.NodeMain {
+		itemRO := a.wiring.Replica(srv.Name(), BeanItem)
+		invRO := a.wiring.Replica(srv.Name(), BeanInventory)
+		item, err := itemRO.Get(p, sqldb.Str(itemID))
+		if err != nil {
+			return nil, err
+		}
+		qtySt, err := invRO.Get(p, sqldb.Str(itemID))
+		if err != nil {
+			return nil, err
+		}
+		return &ItemPage{Item: item, Qty: qtySt["qty"].AsInt()}, nil
+	}
+	stub, err := a.catalogStub(p, srv)
+	if err != nil {
+		return nil, err
+	}
+	v, err := stub.Invoke(p, "getItem", itemID)
+	if err != nil {
+		return nil, err
+	}
+	page, ok := v.(*ItemPage)
+	if !ok {
+		return nil, fmt.Errorf("petstore: getItem returned %T", v)
+	}
+	return page, nil
+}
+
+// wireReplicas applies the extended deployment descriptor for the
+// configuration: read-only Category/Product/Item/Inventory beans with push
+// refresh, query caches from QueryCaching on, and sync vs async propagation.
+func (a *App) wireReplicas() error {
+	update := container.SyncUpdate
+	if a.cfg.AtLeast(core.AsyncUpdates) {
+		update = container.AsyncUpdate
+	}
+	ext := &container.ExtendedDescriptor{
+		Topic: UpdateTopic,
+		Replicas: []container.ReplicaSpec{
+			{Bean: BeanCategory, Update: update, Refresh: container.PushRefresh},
+			{Bean: BeanProduct, Update: update, Refresh: container.PushRefresh},
+			{Bean: BeanItem, Update: update, Refresh: container.PushRefresh},
+			{Bean: BeanInventory, Update: update, Refresh: container.PushRefresh},
+		},
+	}
+	if a.cfg.AtLeast(core.QueryCaching) {
+		ext.CachedQueries = []container.CachedQuerySpec{
+			{Name: QueryProductsByCategory, InvalidatedBy: []string{BeanProduct, BeanCategory}},
+			{Name: QueryItemsByProduct, InvalidatedBy: []string{BeanItem, BeanProduct}},
+		}
+	}
+	w, err := core.AutoWire(a.d, ext, core.WireOptions{
+		PushBytes:   1024,
+		UpdaterName: "Updater",
+		FetchFor: func(server *container.Server, rwBean string) container.FetchFunc {
+			return func(p *sim.Proc, pk sqldb.Value) (container.State, error) {
+				stub, err := a.centralCatalogStub(p, server)
+				if err != nil {
+					return nil, err
+				}
+				v, err := stub.Invoke(p, "fetchState", rwBean, pk)
+				if err != nil {
+					return nil, err
+				}
+				st, ok := v.(container.State)
+				if !ok {
+					return nil, fmt.Errorf("petstore: fetchState returned %T", v)
+				}
+				return st, nil
+			}
+		},
+		// Pet Store uses the pull-based query-cache update mechanism
+		// ("For simplicity", Section 4.4): misses re-execute against the
+		// central Catalog in one RMI call.
+		QueryFetchFor: func(server *container.Server) container.QueryFetch {
+			return func(p *sim.Proc, key string) (any, error) {
+				stub, err := a.centralCatalogStub(p, server)
+				if err != nil {
+					return nil, err
+				}
+				name, param, ok := strings.Cut(key, ":")
+				if !ok {
+					return nil, fmt.Errorf("petstore: malformed query key %q", key)
+				}
+				switch name {
+				case QueryProductsByCategory:
+					return stub.Invoke(p, "getProductsOf", param)
+				case QueryItemsByProduct:
+					return stub.Invoke(p, "getItemsOf", param)
+				default:
+					return nil, fmt.Errorf("petstore: unknown cached query %q", name)
+				}
+			}
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("petstore: %w", err)
+	}
+	a.wiring = w
+	return a.preloadReplicas()
+}
+
+// preloadReplicas warm-deploys the read-only beans with the current catalog
+// contents, modeling replicas shipped with a data snapshot (measurement runs
+// start after warm-up either way).
+func (a *App) preloadReplicas() error {
+	type src struct {
+		bean  string
+		table string
+		pk    string
+	}
+	for _, s := range []src{
+		{BeanCategory, "category", "catid"},
+		{BeanProduct, "product", "productid"},
+		{BeanItem, "item", "itemid"},
+		{BeanInventory, "inventory", "itemid"},
+	} {
+		res, err := a.d.DB.Exec("SELECT * FROM " + s.table)
+		if err != nil {
+			return fmt.Errorf("petstore preload: %w", err)
+		}
+		for _, edge := range a.d.Edges {
+			ro := a.wiring.Replica(edge.Name(), s.bean)
+			for _, row := range res.Rows {
+				st := container.StateFromRow(res.Cols, row)
+				ro.Preload(st[s.pk], st)
+			}
+		}
+	}
+	return nil
+}
+
+// deployEdgeCatalogs installs the edge Catalog façades that delegate to
+// read-only beans, query caches, or the central Catalog (Fig. 4/5 wiring).
+func (a *App) deployEdgeCatalogs() error {
+	for _, edge := range a.d.Edges {
+		edge := edge
+		delegate := func(p *sim.Proc, method, param string) (any, error) {
+			stub, err := a.centralCatalogStub(p, edge)
+			if err != nil {
+				return nil, err
+			}
+			return stub.Invoke(p, method, param)
+		}
+		cached := func(p *sim.Proc, queryName, method, param string) (any, error) {
+			if a.cfg.AtLeast(core.QueryCaching) {
+				return a.wiring.Cache(edge.Name()).Get(p, queryName+":"+param)
+			}
+			return delegate(p, method, param)
+		}
+		methods := map[string]container.Method{
+			"getProductsOf": func(p *sim.Proc, inv *container.Invocation) (any, error) {
+				return cached(p, QueryProductsByCategory, "getProductsOf", inv.StringArg(0))
+			},
+			"getItemsOf": func(p *sim.Proc, inv *container.Invocation) (any, error) {
+				return cached(p, QueryItemsByProduct, "getItemsOf", inv.StringArg(0))
+			},
+			"getItem": func(p *sim.Proc, inv *container.Invocation) (any, error) {
+				page, err := a.getItemVia(p, edge, inv.StringArg(0))
+				if err != nil {
+					return nil, err
+				}
+				return page, nil
+			},
+			// Aggregate keyword queries execute centrally — unless the
+			// DB-replication extension gives this edge a local replica.
+			"search": func(p *sim.Proc, inv *container.Invocation) (any, error) {
+				if edge.HasReplicaDB() {
+					kw := inv.StringArg(0)
+					res, err := edge.SQLReplica(p,
+						`SELECT * FROM product WHERE name LIKE ? OR descn LIKE ? ORDER BY productid LIMIT 25`,
+						sqldb.Str("%"+kw+"%"), sqldb.Str("%"+kw+"%"))
+					if err != nil {
+						return nil, err
+					}
+					return allStates(res), nil
+				}
+				return delegate(p, "search", inv.StringArg(0))
+			},
+		}
+		if _, err := container.DeployStateless(edge, BeanCatalog, methods); err != nil {
+			return fmt.Errorf("petstore: %w", err)
+		}
+	}
+	return nil
+}
+
+// CategoryPage, ProductPage, ItemPage and CartSummary are the façade return
+// values the web tier renders.
+type CategoryPage struct {
+	Category container.State
+	Products []container.State
+}
+
+type ProductPage struct {
+	Product container.State
+	Items   []container.State
+}
+
+type ItemPage struct {
+	Item container.State
+	Qty  int64
+}
+
+type CartSummary struct {
+	Count int64
+	Total float64
+}
+
+func firstState(res *sqldb.Result) container.State {
+	if res.Len() == 0 {
+		return nil
+	}
+	return container.StateFromRow(res.Cols, res.Rows[0])
+}
+
+func allStates(res *sqldb.Result) []container.State {
+	out := make([]container.State, 0, res.Len())
+	for _, row := range res.Rows {
+		out = append(out, container.StateFromRow(res.Cols, row))
+	}
+	return out
+}
+
+// sessionFor returns (creating on demand) the client's web session on srv.
+func (a *App) sessionFor(clientID string, srv *container.Server) *web.Session {
+	k := clientID + "|" + srv.Name()
+	s, ok := a.sessions[k]
+	if !ok {
+		s = web.NewSession(k, srv.Name())
+		a.sessions[k] = s
+	}
+	return s
+}
+
+// RequestFunc adapts the deployed app to the workload driver: each request
+// is routed to the client group's server for the active configuration.
+func (a *App) RequestFunc() workload.RequestFunc {
+	return func(p *sim.Proc, client workload.Client, step workload.Step) (time.Duration, error) {
+		srv := a.d.ServerFor(client.Node, a.cfg)
+		sess := a.sessionFor(client.ID, srv)
+		_, rt, err := srv.Web().Get(p, client.Node, step.Page, step.Params, sess)
+		return rt, err
+	}
+}

@@ -1,0 +1,118 @@
+// Package petstore reimplements Sun's Java Pet Store 1.1.2 sample
+// application (as modified by the paper's Section 3.4) on the container
+// substrate: the component architecture of Table 1 / Fig. 1, the browser and
+// buyer pages of Tables 2–3, and an enlarged product database so concurrent
+// sessions do not contend for data.
+package petstore
+
+import (
+	"fmt"
+
+	"wadeploy/internal/sqldb"
+)
+
+// Dataset sizing, following the paper's enlarged database (five artificial
+// categories, 50 products and 300 items were added to the stock catalog; we
+// generate the combined result directly) plus accounts for buyer sessions.
+const (
+	NumCategories       = 10
+	ProductsPerCategory = 10
+	ItemsPerProduct     = 5
+	NumAccounts         = 200
+	InitialInventoryQty = 10000
+	NumProducts         = NumCategories * ProductsPerCategory
+	NumItems            = NumProducts * ItemsPerProduct
+)
+
+// ID helpers: categories are "C01".."C10", products "C01-P01" and so on,
+// items append "-I1".."-I5".
+func CategoryID(i int) string { return fmt.Sprintf("C%02d", i+1) }
+
+// ProductID returns the id of product p within category c (zero-based).
+func ProductID(c, p int) string {
+	return fmt.Sprintf("%s-P%02d", CategoryID(c), p+1)
+}
+
+// ItemID returns the id of item n of product p in category c (zero-based).
+func ItemID(c, p, n int) string {
+	return fmt.Sprintf("%s-I%d", ProductID(c, p), n+1)
+}
+
+// UserID returns the id of account u (zero-based).
+func UserID(u int) string { return fmt.Sprintf("user%03d", u+1) }
+
+// InitSchema creates the Pet Store tables (the data tier of Fig. 1) and
+// seeds them. It is idempotent per fresh database only.
+func InitSchema(db *sqldb.DB) error {
+	stmts := []string{
+		`CREATE TABLE category (catid TEXT PRIMARY KEY, name TEXT NOT NULL, descn TEXT)`,
+		`CREATE TABLE product (productid TEXT PRIMARY KEY, catid TEXT NOT NULL, name TEXT NOT NULL, descn TEXT)`,
+		`CREATE TABLE item (itemid TEXT PRIMARY KEY, productid TEXT NOT NULL, listprice FLOAT NOT NULL, unitcost FLOAT NOT NULL, attr TEXT)`,
+		`CREATE TABLE inventory (itemid TEXT PRIMARY KEY, qty INT NOT NULL)`,
+		`CREATE TABLE signon (username TEXT PRIMARY KEY, password TEXT NOT NULL)`,
+		`CREATE TABLE account (userid TEXT PRIMARY KEY, email TEXT, firstname TEXT, lastname TEXT, addr1 TEXT, city TEXT, zip TEXT, country TEXT)`,
+		`CREATE TABLE orders (orderid INT PRIMARY KEY, userid TEXT NOT NULL, orderdate INT NOT NULL, totalprice FLOAT NOT NULL)`,
+		`CREATE TABLE orderstatus (orderid INT PRIMARY KEY, status TEXT NOT NULL)`,
+		`CREATE TABLE lineitem (lineid INT PRIMARY KEY, orderid INT NOT NULL, itemid TEXT NOT NULL, quantity INT NOT NULL, unitprice FLOAT NOT NULL)`,
+		`CREATE INDEX idx_product_cat ON product (catid)`,
+		`CREATE INDEX idx_item_product ON item (productid)`,
+		`CREATE INDEX idx_lineitem_order ON lineitem (orderid)`,
+		`CREATE INDEX idx_orders_user ON orders (userid)`,
+	}
+	for _, s := range stmts {
+		if _, err := db.Exec(s); err != nil {
+			return fmt.Errorf("petstore schema: %w", err)
+		}
+	}
+	return seed(db)
+}
+
+func seed(db *sqldb.DB) error {
+	for c := 0; c < NumCategories; c++ {
+		catID := CategoryID(c)
+		if _, err := db.Exec(`INSERT INTO category VALUES (?, ?, ?)`,
+			sqldb.Str(catID),
+			sqldb.Str(fmt.Sprintf("Category %d", c+1)),
+			sqldb.Str(fmt.Sprintf("All pets of kind %d", c+1))); err != nil {
+			return fmt.Errorf("petstore seed category: %w", err)
+		}
+		for p := 0; p < ProductsPerCategory; p++ {
+			prodID := ProductID(c, p)
+			if _, err := db.Exec(`INSERT INTO product VALUES (?, ?, ?, ?)`,
+				sqldb.Str(prodID), sqldb.Str(catID),
+				sqldb.Str(fmt.Sprintf("Product %s", prodID)),
+				sqldb.Str(fmt.Sprintf("A fine specimen of product line %d in category %d", p+1, c+1))); err != nil {
+				return fmt.Errorf("petstore seed product: %w", err)
+			}
+			for n := 0; n < ItemsPerProduct; n++ {
+				itemID := ItemID(c, p, n)
+				price := 10.0 + float64((c*37+p*11+n*3)%90)
+				if _, err := db.Exec(`INSERT INTO item VALUES (?, ?, ?, ?, ?)`,
+					sqldb.Str(itemID), sqldb.Str(prodID),
+					sqldb.Float(price), sqldb.Float(price*0.6),
+					sqldb.Str(fmt.Sprintf("variant %d", n+1))); err != nil {
+					return fmt.Errorf("petstore seed item: %w", err)
+				}
+				if _, err := db.Exec(`INSERT INTO inventory VALUES (?, ?)`,
+					sqldb.Str(itemID), sqldb.Int(InitialInventoryQty)); err != nil {
+					return fmt.Errorf("petstore seed inventory: %w", err)
+				}
+			}
+		}
+	}
+	for u := 0; u < NumAccounts; u++ {
+		uid := UserID(u)
+		if _, err := db.Exec(`INSERT INTO signon VALUES (?, ?)`,
+			sqldb.Str(uid), sqldb.Str("pw-"+uid)); err != nil {
+			return fmt.Errorf("petstore seed signon: %w", err)
+		}
+		if _, err := db.Exec(`INSERT INTO account VALUES (?, ?, ?, ?, ?, ?, ?, ?)`,
+			sqldb.Str(uid), sqldb.Str(uid+"@example.com"),
+			sqldb.Str("First"+uid), sqldb.Str("Last"+uid),
+			sqldb.Str(fmt.Sprintf("%d Main St", u+1)), sqldb.Str("Springfield"),
+			sqldb.Str(fmt.Sprintf("%05d", 10000+u)), sqldb.Str("USA")); err != nil {
+			return fmt.Errorf("petstore seed account: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,281 @@
+// Package rmi models a Java-RMI-style remote invocation layer over the
+// simulated network: per-node naming registries (JNDI), home/remote stubs,
+// stub caches (the EJBHomeFactory pattern), and a calibrated cost model for
+// remote calls.
+//
+// The paper observes that an RMI invocation can cost more than one network
+// round trip (ping packets and distributed garbage collection, [5] in the
+// paper); Options.Rounds captures that as a multiplier on the round-trip
+// time. JNDI lookups against a remote registry cost a full remote call,
+// which is exactly the overhead the EJBHomeFactory stub-caching pattern
+// removes.
+package rmi
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"wadeploy/internal/sim"
+	"wadeploy/internal/simnet"
+)
+
+// ErrNotBound is returned when a name is not present in a registry.
+var ErrNotBound = errors.New("rmi: name not bound")
+
+// Call carries one invocation's method name, arguments and caller node.
+type Call struct {
+	Method string
+	Args   []any
+	Caller string // node ID of the caller
+}
+
+// Arg returns argument i, or nil.
+func (c *Call) Arg(i int) any {
+	if i < 0 || i >= len(c.Args) {
+		return nil
+	}
+	return c.Args[i]
+}
+
+// Handler executes an invocation on the object's node. Handlers run on the
+// calling process and are responsible for charging their own CPU time.
+type Handler func(p *sim.Proc, call *Call) (any, error)
+
+// Object is a remotely invocable server-side object bound to a node.
+type Object struct {
+	Name string
+	Node string
+	h    Handler
+}
+
+// Options is the invocation cost model.
+type Options struct {
+	// Rounds is the number of network round trips per remote invocation.
+	// Plain request/response is 1.0; values above 1 model RMI's ping and
+	// distributed-GC traffic.
+	Rounds float64
+
+	// RequestBytes and ReplyBytes are default payload sizes.
+	RequestBytes int
+	ReplyBytes   int
+
+	// LocalDispatch is the CPU cost of an in-VM (co-located) call.
+	LocalDispatch time.Duration
+
+	// MarshalCPU is the caller/callee CPU cost of serializing a remote
+	// call's request plus reply.
+	MarshalCPU time.Duration
+}
+
+// DefaultOptions is a reasonable year-2002 JVM RMI cost model.
+var DefaultOptions = Options{
+	Rounds:        1.5,
+	RequestBytes:  512,
+	ReplyBytes:    2048,
+	LocalDispatch: 50 * time.Microsecond,
+	MarshalCPU:    500 * time.Microsecond,
+}
+
+// Stats counts invocation traffic, used by tests to verify design rules
+// such as "at most one wide-area RMI call per page".
+type Stats struct {
+	LocalCalls  int64
+	RemoteCalls int64
+	WideAreaRTT time.Duration // cumulative network time spent in remote calls
+	Lookups     int64
+	RemoteLkups int64
+}
+
+// Runtime owns the registries of every node and performs invocations.
+type Runtime struct {
+	net   *simnet.Network
+	opts  Options
+	reg   map[string]map[string]*Object // node -> name -> object
+	stats Stats
+}
+
+// NewRuntime creates an RMI runtime over net with the given cost options.
+func NewRuntime(net *simnet.Network, opts Options) *Runtime {
+	if opts.Rounds < 1 {
+		opts.Rounds = 1
+	}
+	return &Runtime{
+		net:  net,
+		opts: opts,
+		reg:  make(map[string]map[string]*Object),
+	}
+}
+
+// Net returns the underlying network.
+func (rt *Runtime) Net() *simnet.Network { return rt.net }
+
+// Options returns the active cost model.
+func (rt *Runtime) Options() Options { return rt.opts }
+
+// Stats returns a snapshot of invocation counters.
+func (rt *Runtime) Stats() Stats { return rt.stats }
+
+// ResetStats zeroes the counters (used between warm-up and measurement).
+func (rt *Runtime) ResetStats() { rt.stats = Stats{} }
+
+// Bind registers handler h under name in node's registry.
+func (rt *Runtime) Bind(node, name string, h Handler) (*Object, error) {
+	if rt.net.Node(node) == nil {
+		return nil, fmt.Errorf("rmi: bind %s: no such node %s", name, node)
+	}
+	m := rt.reg[node]
+	if m == nil {
+		m = make(map[string]*Object)
+		rt.reg[node] = m
+	}
+	if _, dup := m[name]; dup {
+		return nil, fmt.Errorf("rmi: name %s already bound on %s", name, node)
+	}
+	obj := &Object{Name: name, Node: node, h: h}
+	m[name] = obj
+	return obj, nil
+}
+
+// Unbind removes a binding.
+func (rt *Runtime) Unbind(node, name string) {
+	if m := rt.reg[node]; m != nil {
+		delete(m, name)
+	}
+}
+
+// Stub is a client-side reference to a remote object, held by a specific
+// caller node.
+type Stub struct {
+	rt     *Runtime
+	obj    *Object
+	caller string
+}
+
+// Target returns the node the stub points at.
+func (s *Stub) Target() string { return s.obj.Node }
+
+// Name returns the bound name of the object.
+func (s *Stub) Name() string { return s.obj.Name }
+
+// Remote reports whether invoking this stub crosses the network.
+func (s *Stub) Remote() bool { return s.obj.Node != s.caller }
+
+// Lookup resolves name in registryNode's JNDI tree on behalf of callerNode.
+// A lookup against a remote registry costs one remote call; a local lookup
+// costs only local dispatch CPU. The returned stub is owned by callerNode.
+func (rt *Runtime) Lookup(p *sim.Proc, callerNode, registryNode, name string) (*Stub, error) {
+	rt.stats.Lookups++
+	defer p.Span("jndi", name+" @ "+registryNode)()
+	if callerNode != registryNode {
+		rt.stats.RemoteLkups++
+		if err := rt.networkRoundTrip(p, callerNode, registryNode, 128, 256); err != nil {
+			return nil, fmt.Errorf("rmi: lookup %s on %s: %w", name, registryNode, err)
+		}
+	} else {
+		p.Sleep(rt.opts.LocalDispatch)
+	}
+	obj := rt.resolve(registryNode, name)
+	if obj == nil {
+		return nil, fmt.Errorf("rmi: lookup %s on %s: %w", name, registryNode, ErrNotBound)
+	}
+	return &Stub{rt: rt, obj: obj, caller: callerNode}, nil
+}
+
+// resolve returns the object bound under name on node, or nil.
+func (rt *Runtime) resolve(node, name string) *Object {
+	if m := rt.reg[node]; m != nil {
+		return m[name]
+	}
+	return nil
+}
+
+// LocalStub returns a zero-cost stub for an object already known to be
+// bound on registryNode; it models a cached home/remote stub (the
+// EJBHomeFactory pattern) where no JNDI traffic occurs.
+func (rt *Runtime) LocalStub(callerNode, registryNode, name string) (*Stub, error) {
+	obj := rt.resolve(registryNode, name)
+	if obj == nil {
+		return nil, fmt.Errorf("rmi: stub %s on %s: %w", name, registryNode, ErrNotBound)
+	}
+	return &Stub{rt: rt, obj: obj, caller: callerNode}, nil
+}
+
+// Invoke calls method with args using the default payload sizes.
+func (s *Stub) Invoke(p *sim.Proc, method string, args ...any) (any, error) {
+	return s.InvokeSized(p, method, s.rt.opts.RequestBytes, s.rt.opts.ReplyBytes, args...)
+}
+
+// InvokeSized calls method with explicit request/reply payload sizes.
+// For a co-located object this is a local dispatch; for a remote object it
+// costs marshalling CPU plus Rounds round trips of network time.
+func (s *Stub) InvokeSized(p *sim.Proc, method string, reqBytes, replyBytes int, args ...any) (any, error) {
+	rt := s.rt
+	call := &Call{Method: method, Args: args, Caller: s.caller}
+	if !s.Remote() {
+		rt.stats.LocalCalls++
+		defer p.Span("call", s.obj.Name+"."+method)()
+		p.Sleep(rt.opts.LocalDispatch)
+		return s.obj.h(p, call)
+	}
+	rt.stats.RemoteCalls++
+	defer p.Span("rmi", s.obj.Name+"."+method+" -> "+s.obj.Node)()
+	start := p.Now()
+	p.Sleep(rt.opts.MarshalCPU)
+	if err := rt.net.Transfer(p, s.caller, s.obj.Node, reqBytes); err != nil {
+		return nil, fmt.Errorf("rmi: invoke %s.%s: %w", s.obj.Name, method, err)
+	}
+	result, err := s.obj.h(p, call)
+	if terr := rt.net.Transfer(p, s.obj.Node, s.caller, replyBytes); terr != nil {
+		return nil, fmt.Errorf("rmi: invoke %s.%s (reply): %w", s.obj.Name, method, terr)
+	}
+	// Extra round trips for RMI ping/DGC traffic.
+	if extra := rt.opts.Rounds - 1; extra > 0 {
+		rtt, rttErr := rt.net.RTT(s.caller, s.obj.Node)
+		if rttErr == nil {
+			p.Sleep(time.Duration(extra * float64(rtt)))
+		}
+	}
+	rt.stats.WideAreaRTT += p.Now() - start
+	return result, err
+}
+
+// networkRoundTrip models one request/response exchange without dispatch.
+func (rt *Runtime) networkRoundTrip(p *sim.Proc, from, to string, reqBytes, replyBytes int) error {
+	if err := rt.net.Transfer(p, from, to, reqBytes); err != nil {
+		return err
+	}
+	return rt.net.Transfer(p, to, from, replyBytes)
+}
+
+// StubCache is a per-node cache of stubs keyed by (registry node, name): the
+// EJBHomeFactory design pattern. With the cache warm, neither JNDI lookups
+// nor stub-creation round trips occur.
+type StubCache struct {
+	rt     *Runtime
+	caller string
+	stubs  map[string]*Stub
+}
+
+// NewStubCache creates an empty stub cache for callerNode.
+func NewStubCache(rt *Runtime, callerNode string) *StubCache {
+	return &StubCache{rt: rt, caller: callerNode, stubs: make(map[string]*Stub)}
+}
+
+// Get returns a cached stub, performing (and paying for) a JNDI lookup only
+// on first use.
+func (c *StubCache) Get(p *sim.Proc, registryNode, name string) (*Stub, error) {
+	k := registryNode + "/" + name
+	if s, ok := c.stubs[k]; ok {
+		return s, nil
+	}
+	s, err := c.rt.Lookup(p, c.caller, registryNode, name)
+	if err != nil {
+		return nil, err
+	}
+	c.stubs[k] = s
+	return s, nil
+}
+
+// Size returns the number of cached stubs.
+func (c *StubCache) Size() int { return len(c.stubs) }

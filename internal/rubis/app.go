@@ -1,0 +1,429 @@
+package rubis
+
+import (
+	"fmt"
+	"time"
+
+	"wadeploy/internal/container"
+	"wadeploy/internal/core"
+	"wadeploy/internal/rmi"
+	"wadeploy/internal/sim"
+	"wadeploy/internal/simnet"
+	"wadeploy/internal/sqldb"
+)
+
+// Stateless session façade names (the Session Façade configuration of the
+// original RUBiS study, which the paper takes as its baseline).
+const (
+	SBBrowseCategories = "SB_BrowseCategories"
+	SBBrowseRegions    = "SB_BrowseRegions"
+	SBSearchByCategory = "SB_SearchItemsByCategory"
+	SBSearchByRegion   = "SB_SearchItemsByRegion"
+	SBViewItem         = "SB_ViewItem"
+	SBViewBidHistory   = "SB_ViewBidHistory"
+	SBViewUserInfo     = "SB_ViewUserInfo"
+	SBPutBid           = "SB_PutBid"
+	SBStoreBid         = "SB_StoreBid"
+	SBPutComment       = "SB_PutComment"
+	SBStoreComment     = "SB_StoreComment"
+)
+
+// Entity bean names.
+const (
+	BeanItem     = "Item"
+	BeanUser     = "User"
+	BeanBid      = "Bid"
+	BeanComment  = "Comment"
+	BeanCategory = "CategoryEntity"
+	BeanRegion   = "RegionEntity"
+)
+
+// UpdateTopic is the JMS topic for the asynchronous-updates configuration.
+const UpdateTopic = "rubis-updates"
+
+// App is one deployed RUBiS instance under a specific configuration.
+type App struct {
+	d   *core.Deployment
+	cfg core.ConfigID
+
+	itemRW     *container.RWEntity
+	userRW     *container.RWEntity
+	bidRW      *container.RWEntity
+	commentRW  *container.RWEntity
+	categoryRW *container.RWEntity
+	regionRW   *container.RWEntity
+
+	wiring *core.Wiring
+
+	bidSeq     int64
+	commentSeq int64
+
+	costs PageCosts
+}
+
+// PageCost splits a page's render cost into CPU and non-CPU latency.
+type PageCost struct {
+	CPU time.Duration
+	Lat time.Duration
+}
+
+// PageCosts maps page name to render cost.
+type PageCosts map[string]PageCost
+
+// DefaultPageCosts is calibrated against Table 7's centralized row: RUBiS is
+// a deliberately lightweight, benchmark-grade application.
+func DefaultPageCosts() PageCosts {
+	return PageCosts{
+		PageMain:           {CPU: 2 * time.Millisecond, Lat: 9 * time.Millisecond},
+		PageBrowse:         {CPU: 2 * time.Millisecond, Lat: 8 * time.Millisecond},
+		PageAllCategories:  {CPU: 4 * time.Millisecond, Lat: 24 * time.Millisecond},
+		PageAllRegions:     {CPU: 4 * time.Millisecond, Lat: 17 * time.Millisecond},
+		PageRegion:         {CPU: 5 * time.Millisecond, Lat: 24 * time.Millisecond},
+		PageCategory:       {CPU: 6 * time.Millisecond, Lat: 31 * time.Millisecond},
+		PageCatRegion:      {CPU: 4 * time.Millisecond, Lat: 12 * time.Millisecond},
+		PageItem:           {CPU: 4 * time.Millisecond, Lat: 16 * time.Millisecond},
+		PageBids:           {CPU: 6 * time.Millisecond, Lat: 28 * time.Millisecond},
+		PageUserInfo:       {CPU: 6 * time.Millisecond, Lat: 31 * time.Millisecond},
+		PagePutBidAuth:     {CPU: 2 * time.Millisecond, Lat: 8 * time.Millisecond},
+		PagePutBidForm:     {CPU: 5 * time.Millisecond, Lat: 20 * time.Millisecond},
+		PageStoreBid:       {CPU: 6 * time.Millisecond, Lat: 22 * time.Millisecond},
+		PagePutCommentAuth: {CPU: 2 * time.Millisecond, Lat: 8 * time.Millisecond},
+		PagePutCommentForm: {CPU: 5 * time.Millisecond, Lat: 15 * time.Millisecond},
+		PageStoreComment:   {CPU: 6 * time.Millisecond, Lat: 22 * time.Millisecond},
+	}
+}
+
+// DeployOptions returns deployment options calibrated for the RUBiS tests
+// (JBoss 3.0.3 / Jetty 4.1.0): leaner RMI than the Pet Store era stack.
+func DeployOptions() core.Options {
+	o := core.DefaultOptions()
+	o.RMI.Rounds = 1.25
+	o.Web.DispatchCPU = time.Millisecond
+	return o
+}
+
+// Deploy installs RUBiS into d under configuration cfg.
+func Deploy(d *core.Deployment, cfg core.ConfigID) (*App, error) {
+	if err := InitSchema(d.DB); err != nil {
+		return nil, err
+	}
+	a := &App{
+		d:          d,
+		cfg:        cfg,
+		bidSeq:     int64(NumItems * SeedBidsPerItem),
+		commentSeq: int64(SeedComments),
+		costs:      DefaultPageCosts(),
+	}
+	if err := a.deployEntities(); err != nil {
+		return nil, err
+	}
+	if err := a.deployMainFacades(); err != nil {
+		return nil, err
+	}
+	for _, srv := range a.activeServers() {
+		a.registerPages(srv)
+	}
+	if cfg.AtLeast(core.StatefulCaching) {
+		if err := a.wireReplicas(); err != nil {
+			return nil, err
+		}
+		if err := a.deployEdgeFacades(); err != nil {
+			return nil, err
+		}
+	}
+	if err := a.Plan().Validate(); err != nil {
+		return nil, fmt.Errorf("rubis: %w", err)
+	}
+	return a, nil
+}
+
+// Config returns the active configuration.
+func (a *App) Config() core.ConfigID { return a.cfg }
+
+// Deployment returns the underlying deployment.
+func (a *App) Deployment() *core.Deployment { return a.d }
+
+// Wiring exposes the auto-wired replicas and caches.
+func (a *App) Wiring() *core.Wiring { return a.wiring }
+
+// Bids and Comments report committed write counts.
+func (a *App) Bids() int64     { return a.bidSeq - int64(NumItems*SeedBidsPerItem) }
+func (a *App) Comments() int64 { return a.commentSeq - int64(SeedComments) }
+
+func (a *App) activeServers() []*container.Server {
+	if a.cfg.AtLeast(core.RemoteFacade) {
+		return a.d.Servers()
+	}
+	return []*container.Server{a.d.Main}
+}
+
+func (a *App) deployEntities() error {
+	type spec struct {
+		name, table, pk string
+		out             **container.RWEntity
+	}
+	for _, s := range []spec{
+		{BeanItem, "items", "id", &a.itemRW},
+		{BeanUser, "users", "id", &a.userRW},
+		{BeanBid, "bids", "id", &a.bidRW},
+		{BeanComment, "comments", "id", &a.commentRW},
+		{BeanCategory, "categories", "id", &a.categoryRW},
+		{BeanRegion, "regions", "id", &a.regionRW},
+	} {
+		b, err := container.DeployRWEntity(a.d.Main, s.name, s.table, s.pk)
+		if err != nil {
+			return fmt.Errorf("rubis: %w", err)
+		}
+		*s.out = b
+		a.d.RegisterRW(b)
+	}
+	return nil
+}
+
+// sbStub resolves a session-façade stub: the local deployment when the
+// server has one, otherwise the central façade on main.
+func (a *App) sbStub(p *sim.Proc, srv *container.Server, bean string) (*rmi.Stub, error) {
+	target := simnet.NodeMain
+	if srv.HasBean(bean) {
+		target = srv.Name()
+	}
+	return srv.StubFor(p, target, bean)
+}
+
+// runQuery executes q with full cost accounting on srv.
+func runQuery(p *sim.Proc, srv *container.Server, q query) ([]container.State, error) {
+	res, err := srv.SQL(p, q.sql, q.args...)
+	if err != nil {
+		return nil, err
+	}
+	return statesOf(res), nil
+}
+
+// runDirect executes q against the database with no simulated cost: used at
+// deploy time (preloading) and inside push recomputation, where the real
+// system computes results on the main server and ships them in the bulk
+// push message.
+func runDirect(db *sqldb.DB, q query) ([]container.State, error) {
+	res, err := db.Exec(q.sql, q.args...)
+	if err != nil {
+		return nil, err
+	}
+	return statesOf(res), nil
+}
+
+func statesOf(res *sqldb.Result) []container.State {
+	out := make([]container.State, 0, res.Len())
+	for _, row := range res.Rows {
+		out = append(out, container.StateFromRow(res.Cols, row))
+	}
+	return out
+}
+
+// authenticate verifies credentials on the main server (the SignOn step that
+// precedes every RUBiS write activity).
+func (a *App) authenticate(p *sim.Proc, nick, pass string) (container.State, error) {
+	rows, err := runQuery(p, a.d.Main, qUserByNick(nick))
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 || rows[0]["password"].AsString() != pass {
+		return nil, fmt.Errorf("rubis: bad credentials for %s", nick)
+	}
+	return rows[0], nil
+}
+
+// deployMainFacades installs the central session façades.
+func (a *App) deployMainFacades() error {
+	main := a.d.Main
+	deploy := func(name string, methods map[string]container.Method) error {
+		if _, err := container.DeployStateless(main, name, methods); err != nil {
+			return fmt.Errorf("rubis: %w", err)
+		}
+		return nil
+	}
+	m := func(fn func(p *sim.Proc, inv *container.Invocation) (any, error)) map[string]container.Method {
+		return map[string]container.Method{"get": fn}
+	}
+	if err := deploy(SBBrowseCategories, map[string]container.Method{
+		"getAll": func(p *sim.Proc, inv *container.Invocation) (any, error) {
+			return runQuery(p, main, qAllCategories())
+		},
+		"forRegion": func(p *sim.Proc, inv *container.Invocation) (any, error) {
+			return runQuery(p, main, qRegionCategories(asInt64(inv.Arg(0))))
+		},
+	}); err != nil {
+		return err
+	}
+	if err := deploy(SBBrowseRegions, map[string]container.Method{
+		"getAll": func(p *sim.Proc, inv *container.Invocation) (any, error) {
+			return runQuery(p, main, qAllRegions())
+		},
+	}); err != nil {
+		return err
+	}
+	if err := deploy(SBSearchByCategory, m(func(p *sim.Proc, inv *container.Invocation) (any, error) {
+		return runQuery(p, main, qItemsByCategory(asInt64(inv.Arg(0))))
+	})); err != nil {
+		return err
+	}
+	if err := deploy(SBSearchByRegion, m(func(p *sim.Proc, inv *container.Invocation) (any, error) {
+		return runQuery(p, main, qItemsByCatRegion(asInt64(inv.Arg(0)), asInt64(inv.Arg(1))))
+	})); err != nil {
+		return err
+	}
+	if err := deploy(SBViewItem, map[string]container.Method{
+		"get": func(p *sim.Proc, inv *container.Invocation) (any, error) {
+			return a.itemRW.Load(p, sqldb.Int(asInt64(inv.Arg(0))))
+		},
+		// fetchState feeds read-only replica refreshes.
+		"fetchState": func(p *sim.Proc, inv *container.Invocation) (any, error) {
+			bean := inv.StringArg(0)
+			pk, _ := inv.Arg(1).(sqldb.Value)
+			rw := a.d.RW(bean)
+			if rw == nil {
+				return nil, fmt.Errorf("rubis: fetchState: %w: %s", container.ErrNoSuchBean, bean)
+			}
+			return rw.Load(p, pk)
+		},
+	}); err != nil {
+		return err
+	}
+	if err := deploy(SBViewBidHistory, m(func(p *sim.Proc, inv *container.Invocation) (any, error) {
+		return runQuery(p, main, qBidHistory(asInt64(inv.Arg(0))))
+	})); err != nil {
+		return err
+	}
+	if err := deploy(SBViewUserInfo, m(func(p *sim.Proc, inv *container.Invocation) (any, error) {
+		uid := asInt64(inv.Arg(0))
+		user, err := a.userRW.Load(p, sqldb.Int(uid))
+		if err != nil {
+			return nil, err
+		}
+		comments, err := runQuery(p, main, qUserComments(uid))
+		if err != nil {
+			return nil, err
+		}
+		return &UserInfoPage{User: user, Comments: comments}, nil
+	})); err != nil {
+		return err
+	}
+	if err := deploy(SBPutBid, map[string]container.Method{
+		// form authenticates and returns the item in one bulk call.
+		"form": func(p *sim.Proc, inv *container.Invocation) (any, error) {
+			if _, err := a.authenticate(p, inv.StringArg(0), inv.StringArg(1)); err != nil {
+				return nil, err
+			}
+			return a.itemRW.Load(p, sqldb.Int(asInt64(inv.Arg(2))))
+		},
+	}); err != nil {
+		return err
+	}
+	if err := deploy(SBStoreBid, map[string]container.Method{
+		"store": func(p *sim.Proc, inv *container.Invocation) (any, error) {
+			return a.storeBid(p, inv.StringArg(0), inv.StringArg(1), asInt64(inv.Arg(2)), inv.Arg(3).(float64))
+		},
+	}); err != nil {
+		return err
+	}
+	if err := deploy(SBPutComment, map[string]container.Method{
+		"form": func(p *sim.Proc, inv *container.Invocation) (any, error) {
+			if _, err := a.authenticate(p, inv.StringArg(0), inv.StringArg(1)); err != nil {
+				return nil, err
+			}
+			return a.userRW.Load(p, sqldb.Int(asInt64(inv.Arg(2))))
+		},
+	}); err != nil {
+		return err
+	}
+	return deploy(SBStoreComment, map[string]container.Method{
+		"store": func(p *sim.Proc, inv *container.Invocation) (any, error) {
+			return a.storeComment(p, inv.StringArg(0), inv.StringArg(1),
+				asInt64(inv.Arg(2)), asInt64(inv.Arg(3)), asInt64(inv.Arg(4)))
+		},
+	})
+}
+
+// storeBid authenticates, records the bid, and updates the item's bid
+// summary — the write whose propagation the read-mostly pattern pays for.
+func (a *App) storeBid(p *sim.Proc, nick, pass string, itemID int64, amount float64) (any, error) {
+	user, err := a.authenticate(p, nick, pass)
+	if err != nil {
+		return nil, err
+	}
+	item, err := a.itemRW.Load(p, sqldb.Int(itemID))
+	if err != nil {
+		return nil, err
+	}
+	a.bidSeq++
+	if err := a.bidRW.Insert(p, container.State{
+		"id":       sqldb.Int(a.bidSeq),
+		"user_id":  user["id"],
+		"item_id":  sqldb.Int(itemID),
+		"qty":      sqldb.Int(1),
+		"bid":      sqldb.Float(amount),
+		"bid_date": sqldb.Int(int64(p.Now() / time.Millisecond)),
+	}); err != nil {
+		return nil, err
+	}
+	maxBid := item["max_bid"].AsFloat()
+	if amount > maxBid {
+		maxBid = amount
+	}
+	if _, err := a.itemRW.UpdateFields(p, sqldb.Int(itemID), container.State{
+		"nb_of_bids": sqldb.Int(item["nb_of_bids"].AsInt() + 1),
+		"max_bid":    sqldb.Float(maxBid),
+	}); err != nil {
+		return nil, err
+	}
+	return a.bidSeq, nil
+}
+
+// storeComment authenticates, records the comment, and updates the target
+// user's rating.
+func (a *App) storeComment(p *sim.Proc, nick, pass string, toUser, itemID, rating int64) (any, error) {
+	from, err := a.authenticate(p, nick, pass)
+	if err != nil {
+		return nil, err
+	}
+	target, err := a.userRW.Load(p, sqldb.Int(toUser))
+	if err != nil {
+		return nil, err
+	}
+	a.commentSeq++
+	if err := a.commentRW.Insert(p, container.State{
+		"id":           sqldb.Int(a.commentSeq),
+		"from_user":    from["id"],
+		"to_user":      sqldb.Int(toUser),
+		"item_id":      sqldb.Int(itemID),
+		"rating":       sqldb.Int(rating),
+		"comment_date": sqldb.Int(int64(p.Now() / time.Millisecond)),
+		"comment":      sqldb.Str("posted comment"),
+	}); err != nil {
+		return nil, err
+	}
+	if _, err := a.userRW.UpdateFields(p, sqldb.Int(toUser), container.State{
+		"rating": sqldb.Int(target["rating"].AsInt() + rating),
+	}); err != nil {
+		return nil, err
+	}
+	return a.commentSeq, nil
+}
+
+// UserInfoPage is the User Info façade result.
+type UserInfoPage struct {
+	User     container.State
+	Comments []container.State
+}
+
+func asInt64(v any) int64 {
+	switch x := v.(type) {
+	case int64:
+		return x
+	case int:
+		return int64(x)
+	case sqldb.Value:
+		return x.AsInt()
+	default:
+		return 0
+	}
+}

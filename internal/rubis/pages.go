@@ -1,0 +1,152 @@
+package rubis
+
+import (
+	"strconv"
+
+	"wadeploy/internal/container"
+	"wadeploy/internal/sim"
+	"wadeploy/internal/web"
+)
+
+// Page names (Tables 4 and 5).
+const (
+	PageMain          = "Main"
+	PageBrowse        = "Browse"
+	PageAllCategories = "AllCategories"
+	PageAllRegions    = "AllRegions"
+	PageRegion        = "Region"
+	PageCategory      = "Category"
+	PageCatRegion     = "CategoryRegion"
+	PageItem          = "Item"
+	PageBids          = "Bids"
+	PageUserInfo      = "UserInfo"
+
+	PagePutBidAuth     = "PutBidAuth"
+	PagePutBidForm     = "PutBidForm"
+	PageStoreBid       = "StoreBid"
+	PagePutCommentAuth = "PutCommentAuth"
+	PagePutCommentForm = "PutCommentForm"
+	PageStoreComment   = "StoreComment"
+)
+
+// BrowserPages lists the browser-session pages with Table 4 weights (in
+// fortieths, i.e. requests per 40-page session).
+var BrowserPages = []struct {
+	Page   string
+	Weight int
+}{
+	{PageMain, 1},
+	{PageBrowse, 1},
+	{PageAllCategories, 1},
+	{PageAllRegions, 1},
+	{PageRegion, 1},
+	{PageCategory, 3},
+	{PageCatRegion, 3},
+	{PageItem, 17},
+	{PageBids, 6},
+	{PageUserInfo, 6},
+}
+
+// BidderPages is the fixed bidder-session sequence (Table 5).
+var BidderPages = []string{
+	PageMain, PagePutBidAuth, PagePutBidForm, PageStoreBid,
+	PagePutCommentAuth, PagePutCommentForm, PageStoreComment,
+}
+
+func (a *App) render(p *sim.Proc, srv *container.Server, page string) {
+	defer p.Span("render", page)()
+	c := a.costs[page]
+	srv.Compute(p, c.CPU)
+	p.Sleep(c.Lat)
+}
+
+func intParam(r *web.Request, key string) int64 {
+	n, _ := strconv.ParseInt(r.Param(key), 10, 64)
+	return n
+}
+
+// registerPages installs one servlet per page on srv (the "linear" RUBiS
+// architecture: servlet -> dedicated session façade -> entity beans).
+func (a *App) registerPages(srv *container.Server) {
+	w := srv.Web()
+
+	static := func(page string, bytes int) {
+		w.Handle(page, func(p *sim.Proc, r *web.Request) (*web.Response, error) {
+			a.render(p, srv, page)
+			return &web.Response{Bytes: bytes}, nil
+		})
+	}
+	static(PageMain, 2*1024)
+	static(PageBrowse, 2*1024)
+	static(PagePutBidAuth, 2*1024)
+	static(PagePutCommentAuth, 2*1024)
+
+	// one wires a page to a single façade call — the design rule the
+	// paper enforces ("only one RMI call from the web layer to the EJB
+	// layer in every servlet web page generation method").
+	one := func(page, bean, method string, bytes int, argsOf func(r *web.Request) []any) {
+		w.Handle(page, func(p *sim.Proc, r *web.Request) (*web.Response, error) {
+			stub, err := a.sbStub(p, srv, bean)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := stub.Invoke(p, method, argsOf(r)...); err != nil {
+				return nil, err
+			}
+			a.render(p, srv, page)
+			return &web.Response{Bytes: bytes}, nil
+		})
+	}
+
+	one(PageAllCategories, SBBrowseCategories, "getAll", 4*1024,
+		func(r *web.Request) []any { return nil })
+	one(PageAllRegions, SBBrowseRegions, "getAll", 4*1024,
+		func(r *web.Request) []any { return nil })
+	one(PageRegion, SBBrowseCategories, "forRegion", 4*1024,
+		func(r *web.Request) []any { return []any{intParam(r, "region")} })
+	one(PageCategory, SBSearchByCategory, "get", 8*1024,
+		func(r *web.Request) []any { return []any{intParam(r, "cat")} })
+	one(PageCatRegion, SBSearchByRegion, "get", 6*1024,
+		func(r *web.Request) []any { return []any{intParam(r, "cat"), intParam(r, "region")} })
+	one(PageItem, SBViewItem, "get", 4*1024,
+		func(r *web.Request) []any { return []any{intParam(r, "item")} })
+	one(PageBids, SBViewBidHistory, "get", 6*1024,
+		func(r *web.Request) []any { return []any{intParam(r, "item")} })
+	one(PageUserInfo, SBViewUserInfo, "get", 6*1024,
+		func(r *web.Request) []any { return []any{intParam(r, "user")} })
+	one(PagePutBidForm, SBPutBid, "form", 4*1024,
+		func(r *web.Request) []any {
+			return []any{r.Param("nick"), r.Param("password"), intParam(r, "item")}
+		})
+	one(PagePutCommentForm, SBPutComment, "form", 4*1024,
+		func(r *web.Request) []any {
+			return []any{r.Param("nick"), r.Param("password"), intParam(r, "to")}
+		})
+
+	// Write pages always reach the central store façades (read-write
+	// access to shared components lives on the main server).
+	w.Handle(PageStoreBid, func(p *sim.Proc, r *web.Request) (*web.Response, error) {
+		stub, err := srv.StubFor(p, a.d.Main.Name(), SBStoreBid)
+		if err != nil {
+			return nil, err
+		}
+		amount, _ := strconv.ParseFloat(r.Param("bid"), 64)
+		if _, err := stub.Invoke(p, "store", r.Param("nick"), r.Param("password"), intParam(r, "item"), amount); err != nil {
+			return nil, err
+		}
+		a.render(p, srv, PageStoreBid)
+		return &web.Response{Bytes: 3 * 1024}, nil
+	})
+	w.Handle(PageStoreComment, func(p *sim.Proc, r *web.Request) (*web.Response, error) {
+		stub, err := srv.StubFor(p, a.d.Main.Name(), SBStoreComment)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := stub.Invoke(p, "store", r.Param("nick"), r.Param("password"),
+			intParam(r, "to"), intParam(r, "item"), intParam(r, "rating")); err != nil {
+			return nil, err
+		}
+		a.render(p, srv, PageStoreComment)
+		return &web.Response{Bytes: 3 * 1024}, nil
+	})
+}

@@ -1,0 +1,116 @@
+// Package rubis reimplements the RUBiS auction-site benchmark (Rice
+// University Bidding System, in its Session Façade configuration as modified
+// by the paper's Section 3.4) on the container substrate: a servlet per page
+// delegating to stateless session façades that access entity beans, with no
+// per-client session state (authentication accompanies every write).
+package rubis
+
+import (
+	"fmt"
+
+	"wadeploy/internal/sqldb"
+)
+
+// Dataset sizing per the paper: 400 users from 20 regions selling 400 items
+// in 20 categories, plus seeded bids and comments so history pages have data.
+const (
+	NumRegions      = 20
+	NumCategories   = 20
+	NumUsers        = 400
+	NumItems        = 400
+	SeedBidsPerItem = 3
+	SeedComments    = 400
+)
+
+// Nickname returns user u's nickname (zero-based).
+func Nickname(u int) string { return fmt.Sprintf("bidder%03d", u+1) }
+
+// Password returns user u's password.
+func Password(u int) string { return "pw-" + Nickname(u) }
+
+// InitSchema creates and seeds the RUBiS tables.
+func InitSchema(db *sqldb.DB) error {
+	stmts := []string{
+		`CREATE TABLE regions (id INT PRIMARY KEY, name TEXT NOT NULL)`,
+		`CREATE TABLE categories (id INT PRIMARY KEY, name TEXT NOT NULL)`,
+		`CREATE TABLE users (id INT PRIMARY KEY, nickname TEXT NOT NULL, password TEXT NOT NULL,
+			email TEXT, rating INT NOT NULL, balance FLOAT, region INT NOT NULL)`,
+		`CREATE TABLE items (id INT PRIMARY KEY, name TEXT NOT NULL, description TEXT,
+			quantity INT NOT NULL, initial_price FLOAT NOT NULL, reserve_price FLOAT,
+			buy_now FLOAT, nb_of_bids INT NOT NULL, max_bid FLOAT NOT NULL,
+			start_date INT NOT NULL, end_date INT NOT NULL, seller INT NOT NULL,
+			category INT NOT NULL, region INT NOT NULL)`,
+		`CREATE TABLE bids (id INT PRIMARY KEY, user_id INT NOT NULL, item_id INT NOT NULL,
+			qty INT NOT NULL, bid FLOAT NOT NULL, bid_date INT NOT NULL)`,
+		`CREATE TABLE comments (id INT PRIMARY KEY, from_user INT NOT NULL, to_user INT NOT NULL,
+			item_id INT NOT NULL, rating INT NOT NULL, comment_date INT NOT NULL, comment TEXT)`,
+		`CREATE UNIQUE INDEX idx_users_nick ON users (nickname)`,
+		`CREATE INDEX idx_items_category ON items (category)`,
+		`CREATE INDEX idx_items_region ON items (region)`,
+		`CREATE INDEX idx_items_seller ON items (seller)`,
+		`CREATE INDEX idx_bids_item ON bids (item_id)`,
+		`CREATE INDEX idx_comments_touser ON comments (to_user)`,
+	}
+	for _, s := range stmts {
+		if _, err := db.Exec(s); err != nil {
+			return fmt.Errorf("rubis schema: %w", err)
+		}
+	}
+	return seed(db)
+}
+
+func seed(db *sqldb.DB) error {
+	for r := 0; r < NumRegions; r++ {
+		if _, err := db.Exec(`INSERT INTO regions VALUES (?, ?)`,
+			sqldb.Int(int64(r+1)), sqldb.Str(fmt.Sprintf("Region-%02d", r+1))); err != nil {
+			return fmt.Errorf("rubis seed regions: %w", err)
+		}
+	}
+	for c := 0; c < NumCategories; c++ {
+		if _, err := db.Exec(`INSERT INTO categories VALUES (?, ?)`,
+			sqldb.Int(int64(c+1)), sqldb.Str(fmt.Sprintf("Category-%02d", c+1))); err != nil {
+			return fmt.Errorf("rubis seed categories: %w", err)
+		}
+	}
+	for u := 0; u < NumUsers; u++ {
+		if _, err := db.Exec(`INSERT INTO users VALUES (?, ?, ?, ?, ?, ?, ?)`,
+			sqldb.Int(int64(u+1)), sqldb.Str(Nickname(u)), sqldb.Str(Password(u)),
+			sqldb.Str(Nickname(u)+"@rubis.example"), sqldb.Int(int64(u%10)),
+			sqldb.Float(1000), sqldb.Int(int64(u%NumRegions+1))); err != nil {
+			return fmt.Errorf("rubis seed users: %w", err)
+		}
+	}
+	bidID := int64(0)
+	for i := 0; i < NumItems; i++ {
+		price := 5.0 + float64(i%200)
+		nbBids := int64(SeedBidsPerItem)
+		maxBid := price + float64(SeedBidsPerItem)
+		if _, err := db.Exec(`INSERT INTO items VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)`,
+			sqldb.Int(int64(i+1)), sqldb.Str(fmt.Sprintf("Item-%03d", i+1)),
+			sqldb.Str(fmt.Sprintf("A lot of kind %d in lovely condition", i%7)),
+			sqldb.Int(int64(i%5+1)), sqldb.Float(price), sqldb.Float(price*1.2),
+			sqldb.Float(price*2), sqldb.Int(nbBids), sqldb.Float(maxBid),
+			sqldb.Int(0), sqldb.Int(7*24*3600*1000), sqldb.Int(int64(i%NumUsers+1)),
+			sqldb.Int(int64(i%NumCategories+1)), sqldb.Int(int64(i%NumRegions+1))); err != nil {
+			return fmt.Errorf("rubis seed items: %w", err)
+		}
+		for b := 0; b < SeedBidsPerItem; b++ {
+			bidID++
+			if _, err := db.Exec(`INSERT INTO bids VALUES (?, ?, ?, ?, ?, ?)`,
+				sqldb.Int(bidID), sqldb.Int(int64((i+b)%NumUsers+1)), sqldb.Int(int64(i+1)),
+				sqldb.Int(1), sqldb.Float(price+float64(b+1)), sqldb.Int(int64(b))); err != nil {
+				return fmt.Errorf("rubis seed bids: %w", err)
+			}
+		}
+	}
+	for c := 0; c < SeedComments; c++ {
+		if _, err := db.Exec(`INSERT INTO comments VALUES (?, ?, ?, ?, ?, ?, ?)`,
+			sqldb.Int(int64(c+1)), sqldb.Int(int64(c%NumUsers+1)),
+			sqldb.Int(int64((c+7)%NumUsers+1)), sqldb.Int(int64(c%NumItems+1)),
+			sqldb.Int(int64(c%6)), sqldb.Int(int64(c)),
+			sqldb.Str("great seller, would bid again")); err != nil {
+			return fmt.Errorf("rubis seed comments: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,224 @@
+package rubis
+
+import (
+	"math/rand"
+	"strconv"
+	"time"
+
+	"wadeploy/internal/container"
+	"wadeploy/internal/core"
+	"wadeploy/internal/sim"
+	"wadeploy/internal/simnet"
+	"wadeploy/internal/workload"
+)
+
+// Usage pattern labels.
+const (
+	PatternBrowser = "Browser"
+	PatternBidder  = "Bidder"
+)
+
+// BrowserSessionLength is the paper's RUBiS browser session length.
+const BrowserSessionLength = 40
+
+// itemInCategory returns a random item id belonging to category c (items
+// are seeded round-robin across categories).
+func itemInCategory(rng *rand.Rand, c int64) int64 {
+	k := rng.Intn(NumItems / NumCategories)
+	return c + int64(k*NumCategories)
+}
+
+// BrowserSession generates one 40-request browser session with the Table 4
+// page weights, starting at Main; Bids requests target the previously
+// viewed item, and Item requests follow the last listing's category.
+func BrowserSession(rng *rand.Rand) []workload.Step {
+	steps := make([]workload.Step, 0, BrowserSessionLength)
+	steps = append(steps, workload.Step{Page: PageMain})
+	total := 0
+	for _, bp := range BrowserPages {
+		total += bp.Weight
+	}
+	cat := int64(rng.Intn(NumCategories) + 1)
+	region := int64(rng.Intn(NumRegions) + 1)
+	lastItem := itemInCategory(rng, cat)
+	for len(steps) < BrowserSessionLength {
+		r := rng.Intn(total)
+		page := PageMain
+		for _, bp := range BrowserPages {
+			if r < bp.Weight {
+				page = bp.Page
+				break
+			}
+			r -= bp.Weight
+		}
+		step := workload.Step{Page: page}
+		switch page {
+		case PageRegion:
+			region = int64(rng.Intn(NumRegions) + 1)
+			step.Params = map[string]string{"region": strconv.FormatInt(region, 10)}
+		case PageCategory:
+			cat = int64(rng.Intn(NumCategories) + 1)
+			step.Params = map[string]string{"cat": strconv.FormatInt(cat, 10)}
+		case PageCatRegion:
+			cat = int64(rng.Intn(NumCategories) + 1)
+			step.Params = map[string]string{
+				"cat":    strconv.FormatInt(cat, 10),
+				"region": strconv.FormatInt(region, 10),
+			}
+		case PageItem:
+			lastItem = itemInCategory(rng, cat)
+			step.Params = map[string]string{"item": strconv.FormatInt(lastItem, 10)}
+		case PageBids:
+			step.Params = map[string]string{"item": strconv.FormatInt(lastItem, 10)}
+		case PageUserInfo:
+			step.Params = map[string]string{"user": strconv.Itoa(rng.Intn(NumUsers) + 1)}
+		}
+		steps = append(steps, step)
+	}
+	return steps
+}
+
+// BidderSession generates one bidder session (Table 5): the bidder bids on
+// an item and leaves a comment for its seller, authenticating before each
+// write activity (RUBiS keeps no login session).
+func BidderSession(rng *rand.Rand) []workload.Step {
+	u := rng.Intn(NumUsers)
+	nick, pass := Nickname(u), Password(u)
+	item := int64(rng.Intn(NumItems) + 1)
+	seller := (item-1)%NumUsers + 1
+	bid := 5.0 + float64(rng.Intn(500))
+	withItem := func(extra map[string]string) map[string]string {
+		m := map[string]string{"nick": nick, "password": pass, "item": strconv.FormatInt(item, 10)}
+		for k, v := range extra {
+			m[k] = v
+		}
+		return m
+	}
+	return []workload.Step{
+		{Page: PageMain},
+		{Page: PagePutBidAuth},
+		{Page: PagePutBidForm, Params: withItem(nil)},
+		{Page: PageStoreBid, Params: withItem(map[string]string{"bid": strconv.FormatFloat(bid, 'f', 2, 64)})},
+		{Page: PagePutCommentAuth},
+		{Page: PagePutCommentForm, Params: map[string]string{
+			"nick": nick, "password": pass, "to": strconv.FormatInt(seller, 10),
+		}},
+		{Page: PageStoreComment, Params: map[string]string{
+			"nick": nick, "password": pass, "to": strconv.FormatInt(seller, 10),
+			"item": strconv.FormatInt(item, 10), "rating": strconv.Itoa(rng.Intn(5) + 1),
+		}},
+	}
+}
+
+// RequestFunc adapts the app to the workload driver.
+func (a *App) RequestFunc() workload.RequestFunc {
+	return func(p *sim.Proc, client workload.Client, step workload.Step) (time.Duration, error) {
+		srv := a.d.ServerFor(client.Node, a.cfg)
+		_, rt, err := srv.Web().Get(p, client.Node, step.Page, step.Params, nil)
+		return rt, err
+	}
+}
+
+// PaperWorkload returns the Section 3.3 client groups: 30 req/s combined,
+// 80% browsers / 20% bidders, one local and two remote groups.
+func PaperWorkload(a *App) []workload.Group { return PaperWorkloadScaled(a, 1) }
+
+// PaperWorkloadScaled scales the client population by scale, preserving the
+// mix and group split (load-sensitivity sweeps).
+func PaperWorkloadScaled(a *App, scale float64) []workload.Group {
+	browsers := int(64*scale + 0.5)
+	writers := int(16*scale + 0.5)
+	if browsers < 1 {
+		browsers = 1
+	}
+	if writers < 1 {
+		writers = 1
+	}
+	type gdef struct {
+		name  string
+		node  string
+		local bool
+	}
+	groups := make([]workload.Group, 0, 3)
+	for _, g := range []gdef{
+		{"local", simnet.NodeClientsMain, true},
+		{"remote-1", simnet.NodeClientsEdge1, false},
+		{"remote-2", simnet.NodeClientsEdge2, false},
+	} {
+		groups = append(groups, workload.Group{
+			Name:           g.name,
+			ClientNode:     g.node,
+			Local:          g.local,
+			Browsers:       browsers,
+			Writers:        writers,
+			Delay:          8 * time.Second,
+			BrowserPattern: PatternBrowser,
+			WriterPattern:  PatternBidder,
+			BrowserGen:     BrowserSession,
+			WriterGen:      BidderSession,
+			Request:        a.RequestFunc(),
+		})
+	}
+	return groups
+}
+
+// Plan returns the validated placement plan for the active configuration.
+func (a *App) Plan() *core.Plan {
+	main := []string{simnet.NodeMain}
+	active := make([]string, 0, 3)
+	for _, s := range a.activeServers() {
+		active = append(active, s.Name())
+	}
+	edges := make([]string, 0, len(a.d.Edges))
+	for _, e := range a.d.Edges {
+		edges = append(edges, e.Name())
+	}
+	pl := &core.Plan{App: "rubis"}
+	add := func(d container.Descriptor, servers []string) {
+		pl.Placements = append(pl.Placements, core.Placement{Desc: d, Servers: servers})
+	}
+	facade := func(name string, servers []string) {
+		add(container.Descriptor{Name: name, Kind: container.StatelessSession, Facade: true}, servers)
+	}
+	viewServers := main
+	if a.cfg.AtLeast(core.StatefulCaching) {
+		viewServers = active
+	}
+	cachedServers := main
+	if a.cfg.AtLeast(core.QueryCaching) {
+		cachedServers = active
+	}
+	facade(SBBrowseCategories, cachedServers)
+	facade(SBBrowseRegions, cachedServers)
+	facade(SBSearchByCategory, cachedServers)
+	facade(SBSearchByRegion, cachedServers)
+	facade(SBViewItem, viewServers)
+	facade(SBViewBidHistory, viewServers)
+	facade(SBViewUserInfo, viewServers)
+	facade(SBPutBid, cachedServers)
+	facade(SBPutComment, cachedServers)
+	facade(SBStoreBid, main)
+	facade(SBStoreComment, main)
+	entity := func(name, table string) {
+		add(container.Descriptor{
+			Name: name, Kind: container.Entity, Table: table, PKColumn: "id",
+			Persistence: container.CMP, LocalOnly: true,
+		}, main)
+	}
+	entity(BeanItem, "items")
+	entity(BeanUser, "users")
+	entity(BeanBid, "bids")
+	entity(BeanComment, "comments")
+	entity(BeanCategory, "categories")
+	entity(BeanRegion, "regions")
+	if a.cfg.AtLeast(core.StatefulCaching) {
+		for _, ro := range []string{BeanItem, BeanUser} {
+			add(container.Descriptor{Name: ro + "RO", Kind: container.Entity, LocalOnly: true}, edges)
+		}
+		facade("Updater", edges)
+		if a.cfg.AtLeast(core.AsyncUpdates) {
+			add(container.Descriptor{Name: "UpdateSubscriber", Kind: container.MessageDriven, Facade: true}, edges)
+		}
+	}
+	return pl
+}

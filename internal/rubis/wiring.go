@@ -1,0 +1,310 @@
+package rubis
+
+import (
+	"fmt"
+
+	"wadeploy/internal/container"
+	"wadeploy/internal/core"
+	"wadeploy/internal/sim"
+	"wadeploy/internal/simnet"
+	"wadeploy/internal/sqldb"
+)
+
+// wireReplicas applies the extended deployment descriptor: read-only BMP
+// versions of the Item and User beans with push refresh (Section 4.3), all
+// session queries cached with push-based recomputation from QueryCaching on
+// (Section 4.4), and sync vs async propagation depending on configuration.
+func (a *App) wireReplicas() error {
+	update := container.SyncUpdate
+	if a.cfg.AtLeast(core.AsyncUpdates) {
+		update = container.AsyncUpdate
+	}
+	ext := &container.ExtendedDescriptor{
+		Topic: UpdateTopic,
+		Replicas: []container.ReplicaSpec{
+			{Bean: BeanItem, Update: update, Refresh: container.PushRefresh},
+			{Bean: BeanUser, Update: update, Refresh: container.PushRefresh},
+		},
+	}
+	opts := core.WireOptions{
+		PushBytes:   1024,
+		UpdaterName: "Updater",
+		FetchFor: func(server *container.Server, rwBean string) container.FetchFunc {
+			return func(p *sim.Proc, pk sqldb.Value) (container.State, error) {
+				stub, err := server.StubFor(p, simnet.NodeMain, SBViewItem)
+				if err != nil {
+					return nil, err
+				}
+				v, err := stub.Invoke(p, "fetchState", rwBean, pk)
+				if err != nil {
+					return nil, err
+				}
+				st, ok := v.(container.State)
+				if !ok {
+					return nil, fmt.Errorf("rubis: fetchState returned %T", v)
+				}
+				return st, nil
+			}
+		},
+	}
+	if a.cfg.AtLeast(core.QueryCaching) {
+		ext.CachedQueries = []container.CachedQuerySpec{
+			{Name: QueryAllCategories},
+			{Name: QueryAllRegions},
+			{Name: QueryRegionCategories, InvalidatedBy: []string{BeanItem}},
+			{Name: QueryItemsByCategory, InvalidatedBy: []string{BeanItem}},
+			{Name: QueryItemsByCatRegion, InvalidatedBy: []string{BeanItem}},
+			{Name: QueryBidHistory, InvalidatedBy: []string{BeanItem}},
+			{Name: QueryUserInfo, InvalidatedBy: []string{BeanUser}},
+			{Name: QueryUserByNick, InvalidatedBy: []string{BeanUser}},
+		}
+		// RUBiS uses the push-based query update mechanism: the bulk push
+		// carries recomputed results, so edge readers are never penalized.
+		opts.QueryRecompute = a.recomputeQueries
+	}
+	w, err := core.AutoWire(a.d, ext, opts)
+	if err != nil {
+		return fmt.Errorf("rubis: %w", err)
+	}
+	a.wiring = w
+	return a.preload()
+}
+
+// recomputeQueries maps one entity update to the fresh query results that
+// ride the push message. In the real system these are computed on the main
+// server (co-located with the database) while assembling the bulk RMI/JMS
+// push; edge application costs are therefore not charged here.
+func (a *App) recomputeQueries(u container.Update) map[string]any {
+	out := make(map[string]any)
+	db := a.d.DB
+	switch u.Bean {
+	case BeanItem:
+		id := u.PK.AsInt()
+		if rows, err := runDirect(db, qBidHistory(id)); err == nil {
+			out[keyBidHistory(id)] = rows
+		}
+		if u.State != nil {
+			cat := u.State["category"].AsInt()
+			region := u.State["region"].AsInt()
+			if rows, err := runDirect(db, qItemsByCategory(cat)); err == nil {
+				out[keyItemsByCategory(cat)] = rows
+			}
+			if rows, err := runDirect(db, qItemsByCatRegion(cat, region)); err == nil {
+				out[keyItemsByCatRegion(cat, region)] = rows
+			}
+		}
+	case BeanUser:
+		id := u.PK.AsInt()
+		if rows, err := runDirect(db, qUserComments(id)); err == nil {
+			if u.State != nil {
+				out[keyUserInfo(id)] = &UserInfoPage{User: u.State, Comments: rows}
+			}
+		}
+		if u.State != nil {
+			nick := u.State["nickname"].AsString()
+			out[keyUserByNick(nick)] = []container.State{u.State}
+		}
+	}
+	return out
+}
+
+// preload warm-deploys the read-only beans (and, from QueryCaching on, the
+// edge query caches) with current database contents.
+func (a *App) preload() error {
+	for _, src := range []struct {
+		bean, table string
+	}{
+		{BeanItem, "items"},
+		{BeanUser, "users"},
+	} {
+		res, err := a.d.DB.Exec("SELECT * FROM " + src.table)
+		if err != nil {
+			return fmt.Errorf("rubis preload: %w", err)
+		}
+		for _, edge := range a.d.Edges {
+			ro := a.wiring.Replica(edge.Name(), src.bean)
+			for _, row := range res.Rows {
+				st := container.StateFromRow(res.Cols, row)
+				ro.Preload(st["id"], st)
+			}
+		}
+	}
+	if !a.cfg.AtLeast(core.QueryCaching) {
+		return nil
+	}
+	type entry struct {
+		key string
+		q   query
+	}
+	entries := []entry{
+		{keyAllCategories(), qAllCategories()},
+		{keyAllRegions(), qAllRegions()},
+	}
+	for r := int64(1); r <= NumRegions; r++ {
+		entries = append(entries, entry{keyRegionCategories(r), qRegionCategories(r)})
+	}
+	for c := int64(1); c <= NumCategories; c++ {
+		entries = append(entries, entry{keyItemsByCategory(c), qItemsByCategory(c)})
+		for r := int64(1); r <= NumRegions; r++ {
+			entries = append(entries, entry{keyItemsByCatRegion(c, r), qItemsByCatRegion(c, r)})
+		}
+	}
+	for i := int64(1); i <= NumItems; i++ {
+		entries = append(entries, entry{keyBidHistory(i), qBidHistory(i)})
+	}
+	userRows, err := runDirect(a.d.DB, query{sql: `SELECT * FROM users`})
+	if err != nil {
+		return fmt.Errorf("rubis preload users: %w", err)
+	}
+	caches := make([]*container.QueryCache, 0, len(a.d.Edges))
+	for _, edge := range a.d.Edges {
+		caches = append(caches, a.wiring.Cache(edge.Name()))
+	}
+	for _, e := range entries {
+		rows, err := runDirect(a.d.DB, e.q)
+		if err != nil {
+			return fmt.Errorf("rubis preload %s: %w", e.key, err)
+		}
+		for _, qc := range caches {
+			qc.Put(e.key, rows)
+		}
+	}
+	for _, u := range userRows {
+		id := u["id"].AsInt()
+		comments, err := runDirect(a.d.DB, qUserComments(id))
+		if err != nil {
+			return fmt.Errorf("rubis preload user info: %w", err)
+		}
+		info := &UserInfoPage{User: u, Comments: comments}
+		for _, qc := range caches {
+			qc.Put(keyUserInfo(id), info)
+			qc.Put(keyUserByNick(u["nickname"].AsString()), []container.State{u})
+		}
+	}
+	return nil
+}
+
+// deployEdgeFacades installs the edge session façades: SB_ViewItem backed by
+// the read-only beans from StatefulCaching on, plus cache-backed browse,
+// search, history and form façades from QueryCaching on.
+func (a *App) deployEdgeFacades() error {
+	for _, edge := range a.d.Edges {
+		edge := edge
+		itemRO := a.wiring.Replica(edge.Name(), BeanItem)
+		userRO := a.wiring.Replica(edge.Name(), BeanUser)
+		delegate := func(p *sim.Proc, bean, method string, args ...any) (any, error) {
+			stub, err := edge.StubFor(p, simnet.NodeMain, bean)
+			if err != nil {
+				return nil, err
+			}
+			return stub.Invoke(p, method, args...)
+		}
+		cache := func() *container.QueryCache { return a.wiring.Cache(edge.Name()) }
+		cachedOrDelegate := func(p *sim.Proc, key, bean, method string, args ...any) (any, error) {
+			if a.cfg.AtLeast(core.QueryCaching) {
+				return cache().Get(p, key)
+			}
+			return delegate(p, bean, method, args...)
+		}
+		deploy := func(name string, methods map[string]container.Method) error {
+			if _, err := container.DeployStateless(edge, name, methods); err != nil {
+				return fmt.Errorf("rubis: %w", err)
+			}
+			return nil
+		}
+
+		// SB_ViewItem: read-only Item bean, always local here.
+		if err := deploy(SBViewItem, map[string]container.Method{
+			"get": func(p *sim.Proc, inv *container.Invocation) (any, error) {
+				return itemRO.Get(p, sqldb.Int(asInt64(inv.Arg(0))))
+			},
+		}); err != nil {
+			return err
+		}
+		// SB_ViewBidHistory / SB_ViewUserInfo: aggregate queries — remote
+		// until the query cache covers them.
+		if err := deploy(SBViewBidHistory, map[string]container.Method{
+			"get": func(p *sim.Proc, inv *container.Invocation) (any, error) {
+				id := asInt64(inv.Arg(0))
+				return cachedOrDelegate(p, keyBidHistory(id), SBViewBidHistory, "get", id)
+			},
+		}); err != nil {
+			return err
+		}
+		if err := deploy(SBViewUserInfo, map[string]container.Method{
+			"get": func(p *sim.Proc, inv *container.Invocation) (any, error) {
+				id := asInt64(inv.Arg(0))
+				return cachedOrDelegate(p, keyUserInfo(id), SBViewUserInfo, "get", id)
+			},
+		}); err != nil {
+			return err
+		}
+		if !a.cfg.AtLeast(core.QueryCaching) {
+			continue
+		}
+		// From QueryCaching on, every read-only façade runs at the edge.
+		edgeAuth := func(p *sim.Proc, nick, pass string) (container.State, error) {
+			v, err := cache().Get(p, keyUserByNick(nick))
+			if err != nil {
+				return nil, err
+			}
+			rows, _ := v.([]container.State)
+			if len(rows) == 0 || rows[0]["password"].AsString() != pass {
+				return nil, fmt.Errorf("rubis: bad credentials for %s", nick)
+			}
+			return rows[0], nil
+		}
+		if err := deploy(SBBrowseCategories, map[string]container.Method{
+			"getAll": func(p *sim.Proc, inv *container.Invocation) (any, error) {
+				return cache().Get(p, keyAllCategories())
+			},
+			"forRegion": func(p *sim.Proc, inv *container.Invocation) (any, error) {
+				return cache().Get(p, keyRegionCategories(asInt64(inv.Arg(0))))
+			},
+		}); err != nil {
+			return err
+		}
+		if err := deploy(SBBrowseRegions, map[string]container.Method{
+			"getAll": func(p *sim.Proc, inv *container.Invocation) (any, error) {
+				return cache().Get(p, keyAllRegions())
+			},
+		}); err != nil {
+			return err
+		}
+		if err := deploy(SBSearchByCategory, map[string]container.Method{
+			"get": func(p *sim.Proc, inv *container.Invocation) (any, error) {
+				return cache().Get(p, keyItemsByCategory(asInt64(inv.Arg(0))))
+			},
+		}); err != nil {
+			return err
+		}
+		if err := deploy(SBSearchByRegion, map[string]container.Method{
+			"get": func(p *sim.Proc, inv *container.Invocation) (any, error) {
+				return cache().Get(p, keyItemsByCatRegion(asInt64(inv.Arg(0)), asInt64(inv.Arg(1))))
+			},
+		}); err != nil {
+			return err
+		}
+		if err := deploy(SBPutBid, map[string]container.Method{
+			"form": func(p *sim.Proc, inv *container.Invocation) (any, error) {
+				if _, err := edgeAuth(p, inv.StringArg(0), inv.StringArg(1)); err != nil {
+					return nil, err
+				}
+				return itemRO.Get(p, sqldb.Int(asInt64(inv.Arg(2))))
+			},
+		}); err != nil {
+			return err
+		}
+		if err := deploy(SBPutComment, map[string]container.Method{
+			"form": func(p *sim.Proc, inv *container.Invocation) (any, error) {
+				if _, err := edgeAuth(p, inv.StringArg(0), inv.StringArg(1)); err != nil {
+					return nil, err
+				}
+				return userRO.Get(p, sqldb.Int(asInt64(inv.Arg(2))))
+			},
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

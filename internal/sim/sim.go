@@ -1,0 +1,444 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// The engine provides a virtual clock, coroutine-style processes, promises
+// for request/response rendezvous, and capacity-limited resources for
+// modeling queued servers. Application code written against sim looks
+// synchronous (a process sends a request and blocks for the reply) while the
+// engine advances a virtual clock between events, so an hour of simulated
+// wall-clock time executes in milliseconds and every run with the same seed
+// is byte-for-byte reproducible.
+//
+// Exactly one process goroutine runs at a time: the scheduler and the running
+// process hand control back and forth over unbuffered channels, so process
+// code needs no locking. Blocking operations (Proc.Sleep, Await,
+// Resource.Acquire) may only be called from process goroutines, never from
+// raw event callbacks scheduled with Env.At.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// errKilled is panicked inside a blocked process when the environment is
+// closed, unwinding the process goroutine. It is recovered by the process
+// wrapper and never escapes to user code.
+var errKilled = errors.New("sim: process killed by Env.Close")
+
+// ErrClosed is returned by operations on an environment that has been closed.
+var ErrClosed = errors.New("sim: environment closed")
+
+// event is a scheduled callback. seq breaks ties so that events scheduled
+// earlier at the same instant run first, keeping runs deterministic.
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+// eventHeap is a min-heap of events ordered by (at, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	h.up(len(*h) - 1)
+}
+
+func (h *eventHeap) pop() event {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = event{}
+	*h = old[:n]
+	if n > 0 {
+		h.down(0)
+	}
+	return top
+}
+
+func (h eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.Less(i, parent) {
+			return
+		}
+		h.Swap(i, parent)
+		i = parent
+	}
+}
+
+func (h eventHeap) down(i int) {
+	n := len(h)
+	for {
+		left, right := 2*i+1, 2*i+2
+		least := i
+		if left < n && h.Less(left, least) {
+			least = left
+		}
+		if right < n && h.Less(right, least) {
+			least = right
+		}
+		if least == i {
+			return
+		}
+		h.Swap(i, least)
+		i = least
+	}
+}
+
+// Env is a simulation environment: a virtual clock plus an event queue.
+// Create one with NewEnv; it is not safe for concurrent use from multiple
+// OS-level goroutines other than through the engine's own handoff protocol.
+type Env struct {
+	now    time.Duration
+	seq    uint64
+	events eventHeap
+	rng    *rand.Rand
+
+	yield  chan struct{}  // a running process signals the scheduler here
+	live   map[*Proc]bool // processes that have started and not finished
+	closed bool
+	inRun  bool
+	curr   *Proc // process currently holding control, if any
+	fatal  any   // panic value captured from a process, re-raised by the scheduler
+}
+
+// NewEnv returns a fresh environment whose random source is seeded with seed.
+func NewEnv(seed int64) *Env {
+	return &Env{
+		rng:   rand.New(rand.NewSource(seed)),
+		yield: make(chan struct{}),
+		live:  make(map[*Proc]bool),
+	}
+}
+
+// Now returns the current virtual time, measured from the start of the run.
+func (e *Env) Now() time.Duration { return e.now }
+
+// Rand returns the environment's deterministic random source.
+func (e *Env) Rand() *rand.Rand { return e.rng }
+
+// Pending reports the number of scheduled events not yet executed.
+func (e *Env) Pending() int { return len(e.events) }
+
+// Live reports the number of processes that have been spawned and have
+// neither finished nor been killed.
+func (e *Env) Live() int { return len(e.live) }
+
+// At schedules fn to run at virtual time at (clamped to now if in the past).
+// fn runs on the scheduler and must not call blocking process operations.
+func (e *Env) At(at time.Duration, fn func()) {
+	if e.closed {
+		return
+	}
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	e.events.push(event{at: at, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d from now.
+func (e *Env) After(d time.Duration, fn func()) { e.At(e.now+d, fn) }
+
+// Proc is a simulation process: a goroutine whose execution is interleaved
+// deterministically with all other processes by the environment.
+type Proc struct {
+	env    *Env
+	name   string
+	resume chan struct{}
+	kill   bool
+	trace  *Trace
+}
+
+// Env returns the environment the process belongs to.
+func (p *Proc) Env() *Env { return p.env }
+
+// Name returns the name given at Spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Now is shorthand for p.Env().Now().
+func (p *Proc) Now() time.Duration { return p.env.now }
+
+// Rand is shorthand for p.Env().Rand().
+func (p *Proc) Rand() *rand.Rand { return p.env.rng }
+
+// Spawn starts a new process running fn at the current virtual time. The
+// process begins execution when the scheduler reaches its start event during
+// Run or RunAll.
+func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
+	return e.SpawnAt(e.now, name, fn)
+}
+
+// SpawnAt starts a new process running fn at virtual time at.
+func (e *Env) SpawnAt(at time.Duration, name string, fn func(p *Proc)) *Proc {
+	p := &Proc{env: e, name: name, resume: make(chan struct{})}
+	if e.closed {
+		return p
+	}
+	e.live[p] = true
+	go func() {
+		<-p.resume
+		if p.kill {
+			// Killed before first resume: unwind without running fn.
+			delete(e.live, p)
+			e.yield <- struct{}{}
+			return
+		}
+		defer func() {
+			delete(e.live, p)
+			if r := recover(); r != nil && r != any(errKilled) {
+				// Capture application panics; the scheduler re-raises them
+				// on its own goroutine so tests can observe them.
+				e.fatal = fmt.Sprintf("sim: process %q panicked: %v", p.name, r)
+			}
+			e.curr = nil
+			e.yield <- struct{}{}
+		}()
+		fn(p)
+	}()
+	e.At(at, func() { e.step(p) })
+	return p
+}
+
+// step transfers control to p and waits until p yields back. If the process
+// panicked, the panic is re-raised here on the scheduler goroutine.
+func (e *Env) step(p *Proc) {
+	e.curr = p
+	p.resume <- struct{}{}
+	<-e.yield
+	if e.fatal != nil {
+		f := e.fatal
+		e.fatal = nil
+		panic(f)
+	}
+}
+
+// pause yields control from the running process back to the scheduler and
+// blocks until the process is resumed. It panics with errKilled if the
+// environment was closed while the process was blocked.
+func (p *Proc) pause() {
+	p.env.curr = nil
+	p.env.yield <- struct{}{}
+	<-p.resume
+	if p.kill {
+		panic(errKilled)
+	}
+	p.env.curr = p
+}
+
+// Sleep suspends the process for d of virtual time. Negative durations are
+// treated as zero.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	e := p.env
+	e.At(e.now+d, func() { e.step(p) })
+	p.pause()
+}
+
+// Run executes events in timestamp order until the virtual clock would pass
+// until, until no events remain, or until Close has been called. The clock is
+// left at the time of the last executed event (or at until, whichever is
+// smaller, if events beyond until remain).
+func (e *Env) Run(until time.Duration) {
+	e.inRun = true
+	defer func() { e.inRun = false }()
+	for !e.closed && len(e.events) > 0 {
+		if e.events[0].at > until {
+			e.now = until
+			return
+		}
+		ev := e.events.pop()
+		e.now = ev.at
+		ev.fn()
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// RunAll executes events until none remain or Close is called.
+func (e *Env) RunAll() {
+	e.inRun = true
+	defer func() { e.inRun = false }()
+	for !e.closed && len(e.events) > 0 {
+		ev := e.events.pop()
+		e.now = ev.at
+		ev.fn()
+	}
+}
+
+// Close terminates the simulation: every live process is unwound (its
+// deferred functions run) and no further events execute. Close must not be
+// called from inside a process; call it after Run/RunAll returns. It is
+// idempotent.
+func (e *Env) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	for p := range e.live {
+		p.kill = true
+		e.step(p)
+	}
+	e.events = nil
+}
+
+// Promise is a write-once container used for request/response rendezvous
+// between processes. The zero value is not usable; create promises with
+// NewPromise.
+type Promise[T any] struct {
+	env      *Env
+	resolved bool
+	value    T
+	err      error
+	waiters  []*Proc
+}
+
+// NewPromise returns an unresolved promise bound to e.
+func NewPromise[T any](e *Env) *Promise[T] {
+	return &Promise[T]{env: e}
+}
+
+// Resolved reports whether the promise has been resolved.
+func (pr *Promise[T]) Resolved() bool { return pr.resolved }
+
+// Resolve fulfills the promise with v and wakes all waiters at the current
+// virtual time. Resolving an already-resolved promise is a no-op.
+func (pr *Promise[T]) Resolve(v T) { pr.complete(v, nil) }
+
+// Fail completes the promise with an error and wakes all waiters.
+func (pr *Promise[T]) Fail(err error) {
+	var zero T
+	pr.complete(zero, err)
+}
+
+func (pr *Promise[T]) complete(v T, err error) {
+	if pr.resolved {
+		return
+	}
+	pr.resolved = true
+	pr.value = v
+	pr.err = err
+	e := pr.env
+	for _, w := range pr.waiters {
+		w := w
+		e.At(e.now, func() { e.step(w) })
+	}
+	pr.waiters = nil
+}
+
+// Await blocks the process until the promise resolves, returning its value
+// and error. If the promise is already resolved it returns immediately
+// without yielding.
+func Await[T any](p *Proc, pr *Promise[T]) (T, error) {
+	if !pr.resolved {
+		pr.waiters = append(pr.waiters, p)
+		p.pause()
+	}
+	return pr.value, pr.err
+}
+
+// MustAwait is Await for promises that cannot fail; it panics on error.
+func MustAwait[T any](p *Proc, pr *Promise[T]) T {
+	v, err := Await(p, pr)
+	if err != nil {
+		panic(fmt.Sprintf("sim: MustAwait: %v", err))
+	}
+	return v
+}
+
+// Resource models a server with cap identical slots. Processes acquire a
+// slot, hold it for their service time, and release it; excess arrivals wait
+// in FIFO order. It is the building block for modeling CPU contention.
+type Resource struct {
+	env   *Env
+	cap   int
+	inUse int
+	queue []*Proc
+
+	// Accounting for utilization reporting.
+	busy       time.Duration
+	lastChange time.Duration
+}
+
+// NewResource returns a resource with cap slots (cap must be >= 1).
+func NewResource(e *Env, cap int) *Resource {
+	if cap < 1 {
+		cap = 1
+	}
+	return &Resource{env: e, cap: cap}
+}
+
+// Cap returns the slot count.
+func (r *Resource) Cap() int { return r.cap }
+
+// InUse returns the number of currently held slots.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of processes waiting for a slot.
+func (r *Resource) QueueLen() int { return len(r.queue) }
+
+func (r *Resource) account() {
+	now := r.env.now
+	r.busy += time.Duration(r.inUse) * (now - r.lastChange)
+	r.lastChange = now
+}
+
+// Utilization returns the mean fraction of slots held since the start of the
+// run, in [0, 1].
+func (r *Resource) Utilization() float64 {
+	if r.env.now == 0 {
+		return 0
+	}
+	busy := r.busy + time.Duration(r.inUse)*(r.env.now-r.lastChange)
+	return float64(busy) / float64(time.Duration(r.cap)*r.env.now)
+}
+
+// Acquire blocks until a slot is available and takes it.
+func (r *Resource) Acquire(p *Proc) {
+	if r.inUse < r.cap {
+		r.account()
+		r.inUse++
+		return
+	}
+	r.queue = append(r.queue, p)
+	p.pause()
+	// Slot was transferred to us by Release; accounting already done there.
+}
+
+// Release frees a slot, handing it to the longest-waiting process if any.
+func (r *Resource) Release() {
+	if len(r.queue) > 0 {
+		next := r.queue[0]
+		r.queue = r.queue[1:]
+		// The slot transfers directly: inUse stays constant.
+		e := r.env
+		e.At(e.now, func() { e.step(next) })
+		return
+	}
+	r.account()
+	r.inUse--
+}
+
+// Use acquires a slot, holds it for service, and releases it. It models one
+// unit of work on a queued server.
+func (r *Resource) Use(p *Proc, service time.Duration) {
+	r.Acquire(p)
+	p.Sleep(service)
+	r.Release()
+}

@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Span is one traced operation: a network exchange, an invocation, a SQL
+// statement, or a CPU burst, with virtual start/end times and its nesting
+// depth within the request.
+type Span struct {
+	Layer string // e.g. "page", "tcp", "rmi", "sql", "cpu", "jms"
+	Label string
+	Start time.Duration
+	End   time.Duration
+	Depth int
+}
+
+// Dur returns the span's duration.
+func (s Span) Dur() time.Duration { return s.End - s.Start }
+
+// Trace collects the spans of one request for breakdown reporting. Traces
+// are attached to a process with Proc.StartTrace and are inert (zero
+// overhead beyond a nil check) when absent.
+type Trace struct {
+	env   *Env
+	spans []Span
+	open  []int // indices of currently open spans (nesting stack)
+}
+
+// Spans returns the recorded spans in start order.
+func (t *Trace) Spans() []Span { return append([]Span(nil), t.spans...) }
+
+// Total returns the duration from the first span's start to the latest end.
+func (t *Trace) Total() time.Duration {
+	if len(t.spans) == 0 {
+		return 0
+	}
+	start := t.spans[0].Start
+	var end time.Duration
+	for _, s := range t.spans {
+		if s.End > end {
+			end = s.End
+		}
+	}
+	return end - start
+}
+
+// ByLayer aggregates span durations per layer. Nested spans double-count by
+// design: the breakdown answers "how long was a SQL statement outstanding"
+// independently of what wrapped it.
+func (t *Trace) ByLayer() map[string]time.Duration {
+	out := make(map[string]time.Duration)
+	for _, s := range t.spans {
+		out[s.Layer] += s.Dur()
+	}
+	return out
+}
+
+// String renders the trace as an indented tree with durations.
+func (t *Trace) String() string {
+	var b strings.Builder
+	for _, s := range t.spans {
+		fmt.Fprintf(&b, "%8s  %s%s %s\n",
+			s.Dur().Round(100*time.Microsecond),
+			strings.Repeat("  ", s.Depth), s.Layer, s.Label)
+	}
+	return b.String()
+}
+
+// StartTrace attaches a fresh trace to the process and returns it.
+func (p *Proc) StartTrace() *Trace {
+	t := &Trace{env: p.env}
+	p.trace = t
+	return t
+}
+
+// StopTrace detaches and returns the process's trace (nil if none).
+func (p *Proc) StopTrace() *Trace {
+	t := p.trace
+	p.trace = nil
+	return t
+}
+
+// Span opens a span on the process's trace and returns the closer. With no
+// active trace it returns a no-op, so instrumented code needs no branches:
+//
+//	defer p.Span("sql", query)()
+func (p *Proc) Span(layer, label string) func() {
+	t := p.trace
+	if t == nil {
+		return func() {}
+	}
+	idx := len(t.spans)
+	t.spans = append(t.spans, Span{
+		Layer: layer,
+		Label: label,
+		Start: p.env.now,
+		Depth: len(t.open),
+	})
+	t.open = append(t.open, idx)
+	return func() {
+		t.spans[idx].End = p.env.now
+		// Pop the stack down to (and including) this span; closers may
+		// run out of order if a caller leaks one, so be defensive.
+		for n := len(t.open) - 1; n >= 0; n-- {
+			if t.open[n] == idx {
+				t.open = t.open[:n]
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceRecordsNestedSpans(t *testing.T) {
+	e := NewEnv(1)
+	var tr *Trace
+	e.Spawn("p", func(p *Proc) {
+		tr = p.StartTrace()
+		endOuter := p.Span("page", "Main")
+		p.Sleep(10 * time.Millisecond)
+		endInner := p.Span("sql", "SELECT 1")
+		p.Sleep(5 * time.Millisecond)
+		endInner()
+		p.Sleep(5 * time.Millisecond)
+		endOuter()
+		p.StopTrace()
+	})
+	e.RunAll()
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d", len(spans))
+	}
+	outer, inner := spans[0], spans[1]
+	if outer.Layer != "page" || outer.Depth != 0 || outer.Dur() != 20*time.Millisecond {
+		t.Fatalf("outer = %+v", outer)
+	}
+	if inner.Layer != "sql" || inner.Depth != 1 || inner.Dur() != 5*time.Millisecond {
+		t.Fatalf("inner = %+v", inner)
+	}
+	if tr.Total() != 20*time.Millisecond {
+		t.Fatalf("total = %v", tr.Total())
+	}
+	byLayer := tr.ByLayer()
+	if byLayer["page"] != 20*time.Millisecond || byLayer["sql"] != 5*time.Millisecond {
+		t.Fatalf("byLayer = %v", byLayer)
+	}
+	out := tr.String()
+	if !strings.Contains(out, "page Main") || !strings.Contains(out, "  sql SELECT 1") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestSpanWithoutTraceIsNoop(t *testing.T) {
+	e := NewEnv(1)
+	e.Spawn("p", func(p *Proc) {
+		end := p.Span("x", "y")
+		p.Sleep(time.Millisecond)
+		end() // must not panic or record anywhere
+		if p.StopTrace() != nil {
+			t.Error("StopTrace returned a trace that was never started")
+		}
+	})
+	e.RunAll()
+}
+
+func TestTraceStopDetaches(t *testing.T) {
+	e := NewEnv(1)
+	e.Spawn("p", func(p *Proc) {
+		tr := p.StartTrace()
+		p.Span("a", "1")()
+		got := p.StopTrace()
+		if got != tr {
+			t.Error("StopTrace returned a different trace")
+		}
+		p.Span("b", "2")() // after stop: not recorded
+		if len(tr.Spans()) != 1 {
+			t.Errorf("spans after stop = %d", len(tr.Spans()))
+		}
+	})
+	e.RunAll()
+}
+
+func TestEmptyTraceTotals(t *testing.T) {
+	tr := &Trace{}
+	if tr.Total() != 0 || len(tr.ByLayer()) != 0 || tr.String() != "" {
+		t.Fatal("empty trace should be inert")
+	}
+}
+
+func TestTraceOutOfOrderCloseIsDefensive(t *testing.T) {
+	e := NewEnv(1)
+	e.Spawn("p", func(p *Proc) {
+		tr := p.StartTrace()
+		endA := p.Span("a", "")
+		endB := p.Span("b", "")
+		endA() // leaked/misordered close
+		endB()
+		if len(tr.Spans()) != 2 {
+			t.Errorf("spans = %d", len(tr.Spans()))
+		}
+	})
+	e.RunAll()
+}

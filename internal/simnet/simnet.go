@@ -1,0 +1,281 @@
+// Package simnet models a wide-area network topology on top of the sim
+// engine: nodes with CPU resources, links with one-way propagation latency,
+// bandwidth and per-direction serialization, and shortest-path routing.
+//
+// It substitutes for the paper's physical testbed, in which three application
+// servers, a database server and nine client machines were connected through
+// a Click software router whose traffic-shaping elements imposed 100 ms
+// each-way latency on WAN links with 100 Mbit/s combined bandwidth (Fig. 2).
+// The quantities the paper's experiments depend on — round-trip times between
+// client groups and servers, and transfer delays for request/response
+// payloads — are reproduced by Delay/Transfer/Send below.
+package simnet
+
+import (
+	"fmt"
+	"time"
+
+	"wadeploy/internal/sim"
+)
+
+// ErrUnreachable is wrapped by errors returned when no live path exists
+// between two nodes (for example after a link failure).
+type UnreachableError struct {
+	From, To string
+}
+
+func (e *UnreachableError) Error() string {
+	return fmt.Sprintf("simnet: no route from %s to %s", e.From, e.To)
+}
+
+// Node is a machine in the topology with a limited-slot CPU.
+type Node struct {
+	ID  string
+	CPU *sim.Resource
+}
+
+// Link is a bidirectional connection between two nodes.
+type Link struct {
+	A, B    string
+	Latency time.Duration // one-way propagation delay
+	Bps     float64       // bandwidth in bytes per second
+
+	down bool
+	// busyUntil tracks per-direction transmitter occupancy: [0] is A->B,
+	// [1] is B->A. A transfer must wait for the transmitter to drain
+	// before its serialization delay starts.
+	busyUntil [2]time.Duration
+}
+
+// Network is a set of nodes and links with latency-shortest-path routing.
+type Network struct {
+	env   *sim.Env
+	nodes map[string]*Node
+	links []*Link
+	adj   map[string][]*Link
+
+	// routes caches computed paths; invalidated when topology or link
+	// state changes.
+	routes map[[2]string][]*Link
+}
+
+// New returns an empty network bound to env.
+func New(env *sim.Env) *Network {
+	return &Network{
+		env:    env,
+		nodes:  make(map[string]*Node),
+		adj:    make(map[string][]*Link),
+		routes: make(map[[2]string][]*Link),
+	}
+}
+
+// Env returns the simulation environment the network runs in.
+func (n *Network) Env() *sim.Env { return n.env }
+
+// AddNode creates a node with the given CPU slot count and returns it.
+// Adding a node with a duplicate ID returns an error.
+func (n *Network) AddNode(id string, cpuSlots int) (*Node, error) {
+	if _, ok := n.nodes[id]; ok {
+		return nil, fmt.Errorf("simnet: duplicate node %q", id)
+	}
+	node := &Node{ID: id, CPU: sim.NewResource(n.env, cpuSlots)}
+	n.nodes[id] = node
+	return node, nil
+}
+
+// Node returns the node with the given ID, or nil.
+func (n *Network) Node(id string) *Node { return n.nodes[id] }
+
+// Nodes returns the number of nodes.
+func (n *Network) Nodes() int { return len(n.nodes) }
+
+// AddLink connects a and b with the given one-way latency and bandwidth
+// (bytes per second). Both endpoints must exist.
+func (n *Network) AddLink(a, b string, latency time.Duration, bps float64) (*Link, error) {
+	if _, ok := n.nodes[a]; !ok {
+		return nil, fmt.Errorf("simnet: link endpoint %q does not exist", a)
+	}
+	if _, ok := n.nodes[b]; !ok {
+		return nil, fmt.Errorf("simnet: link endpoint %q does not exist", b)
+	}
+	if bps <= 0 {
+		return nil, fmt.Errorf("simnet: link %s-%s bandwidth must be positive", a, b)
+	}
+	l := &Link{A: a, B: b, Latency: latency, Bps: bps}
+	n.links = append(n.links, l)
+	n.adj[a] = append(n.adj[a], l)
+	n.adj[b] = append(n.adj[b], l)
+	n.routes = make(map[[2]string][]*Link)
+	return l, nil
+}
+
+// SetLinkState marks the a-b link up or down. Transfers across a down link
+// fail with an UnreachableError (unless another path exists).
+func (n *Network) SetLinkState(a, b string, up bool) error {
+	for _, l := range n.links {
+		if (l.A == a && l.B == b) || (l.A == b && l.B == a) {
+			l.down = !up
+			n.routes = make(map[[2]string][]*Link)
+			return nil
+		}
+	}
+	return fmt.Errorf("simnet: no link %s-%s", a, b)
+}
+
+// path returns the latency-shortest live path from a to b using Dijkstra.
+func (n *Network) path(a, b string) ([]*Link, error) {
+	if a == b {
+		return nil, nil
+	}
+	key := [2]string{a, b}
+	if p, ok := n.routes[key]; ok {
+		if p == nil {
+			return nil, &UnreachableError{From: a, To: b}
+		}
+		return p, nil
+	}
+	type entry struct {
+		dist time.Duration
+		via  *Link
+		prev string
+	}
+	dist := map[string]entry{a: {}}
+	visited := map[string]bool{}
+	for {
+		// Select the unvisited node with the smallest distance
+		// (deterministic tie-break by node ID).
+		cur, best := "", time.Duration(-1)
+		for id, e := range dist {
+			if visited[id] {
+				continue
+			}
+			if best < 0 || e.dist < best || (e.dist == best && id < cur) {
+				cur, best = id, e.dist
+			}
+		}
+		if cur == "" {
+			n.routes[key] = nil
+			return nil, &UnreachableError{From: a, To: b}
+		}
+		if cur == b {
+			break
+		}
+		visited[cur] = true
+		for _, l := range n.adj[cur] {
+			if l.down {
+				continue
+			}
+			next := l.B
+			if next == cur {
+				next = l.A
+			}
+			nd := dist[cur].dist + l.Latency
+			if e, ok := dist[next]; !ok || nd < e.dist {
+				dist[next] = entry{dist: nd, via: l, prev: cur}
+			}
+		}
+	}
+	// Walk back from b to a collecting links.
+	var rev []*Link
+	for at := b; at != a; {
+		e := dist[at]
+		rev = append(rev, e.via)
+		at = e.prev
+	}
+	p := make([]*Link, len(rev))
+	for i := range rev {
+		p[i] = rev[len(rev)-1-i]
+	}
+	n.routes[key] = p
+	return p, nil
+}
+
+// Latency returns the one-way propagation delay from a to b along the
+// current shortest live path.
+func (n *Network) Latency(a, b string) (time.Duration, error) {
+	p, err := n.path(a, b)
+	if err != nil {
+		return 0, err
+	}
+	var total time.Duration
+	for _, l := range p {
+		total += l.Latency
+	}
+	return total, nil
+}
+
+// RTT returns the round-trip time between a and b.
+func (n *Network) RTT(a, b string) (time.Duration, error) {
+	lat, err := n.Latency(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return 2 * lat, nil
+}
+
+// Reachable reports whether a live path from a to b exists.
+func (n *Network) Reachable(a, b string) bool {
+	_, err := n.path(a, b)
+	return err == nil
+}
+
+// Delay computes the delivery delay for a message of the given size sent now
+// from a to b, reserving transmitter time on every link along the path
+// (cut-through model: propagation delays add, serialization occupies each
+// link's transmitter in turn).
+func (n *Network) Delay(from, to string, bytes int) (time.Duration, error) {
+	if bytes < 0 {
+		bytes = 0
+	}
+	p, err := n.path(from, to)
+	if err != nil {
+		return 0, err
+	}
+	now := n.env.Now()
+	depart := now // when the head of the message enters the next link
+	arrive := now
+	at := from
+	for _, l := range p {
+		dir := 0
+		if l.A != at {
+			dir = 1
+		}
+		ser := time.Duration(float64(bytes) / l.Bps * float64(time.Second))
+		start := depart
+		if l.busyUntil[dir] > start {
+			start = l.busyUntil[dir]
+		}
+		l.busyUntil[dir] = start + ser
+		depart = start + l.Latency
+		arrive = start + ser + l.Latency
+		if l.A == at {
+			at = l.B
+		} else {
+			at = l.A
+		}
+	}
+	return arrive - now, nil
+}
+
+// Transfer blocks the process for the delivery delay of a message from
+// from to to. It models one one-way network hop of an RPC or HTTP exchange.
+func (n *Network) Transfer(p *sim.Proc, from, to string, bytes int) error {
+	d, err := n.Delay(from, to, bytes)
+	if err != nil {
+		return err
+	}
+	p.Sleep(d)
+	return nil
+}
+
+// Send delivers a message asynchronously: fn runs on the scheduler at the
+// delivery time. It returns the delivery delay. Use it for one-way messages
+// such as JMS publications.
+func (n *Network) Send(from, to string, bytes int, fn func()) (time.Duration, error) {
+	d, err := n.Delay(from, to, bytes)
+	if err != nil {
+		return 0, err
+	}
+	n.env.After(d, fn)
+	return d, nil
+}

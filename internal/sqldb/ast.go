@@ -1,0 +1,219 @@
+package sqldb
+
+// Stmt is any parsed SQL statement.
+type Stmt interface{ stmt() }
+
+// ColumnDef defines one column in CREATE TABLE.
+type ColumnDef struct {
+	Name       string
+	Kind       Kind
+	NotNull    bool
+	PrimaryKey bool
+}
+
+// CreateTableStmt is CREATE TABLE name (col type [constraints], ...).
+type CreateTableStmt struct {
+	Name string
+	Cols []ColumnDef
+}
+
+// CreateIndexStmt is CREATE [UNIQUE] INDEX name ON table (col).
+type CreateIndexStmt struct {
+	Name   string
+	Table  string
+	Col    string
+	Unique bool
+}
+
+// DropTableStmt is DROP TABLE name.
+type DropTableStmt struct {
+	Name string
+}
+
+// InsertStmt is INSERT INTO table [(cols)] VALUES (...), (...).
+type InsertStmt struct {
+	Table string
+	Cols  []string
+	Rows  [][]Expr
+}
+
+// Assign is one SET col = expr clause.
+type Assign struct {
+	Col  string
+	Expr Expr
+}
+
+// UpdateStmt is UPDATE table SET ... [WHERE ...].
+type UpdateStmt struct {
+	Table string
+	Sets  []Assign
+	Where Expr
+}
+
+// DeleteStmt is DELETE FROM table [WHERE ...].
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+// TableRef names a table with an optional alias in a FROM clause.
+type TableRef struct {
+	Table string
+	Alias string
+}
+
+// Name returns the alias if present, else the table name.
+func (t TableRef) Name() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Table
+}
+
+// SelectItem is one output column: an expression with an optional alias, or
+// a bare star.
+type SelectItem struct {
+	Star  bool
+	Expr  Expr
+	Alias string
+}
+
+// OrderKey is one ORDER BY term.
+type OrderKey struct {
+	Expr Expr
+	Desc bool
+}
+
+// SelectStmt is a SELECT query over zero or more joined tables.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef
+	// JoinOn holds the ON condition for each table after the first
+	// (explicit JOIN syntax); nil entries mean comma-join (filtered by
+	// WHERE).
+	JoinOn  []Expr
+	Where   Expr
+	GroupBy []Expr
+	Having  Expr
+	OrderBy []OrderKey
+	Limit   int // -1 when absent
+	Offset  int
+}
+
+func (*CreateTableStmt) stmt() {}
+func (*CreateIndexStmt) stmt() {}
+func (*DropTableStmt) stmt()   {}
+func (*InsertStmt) stmt()      {}
+func (*UpdateStmt) stmt()      {}
+func (*DeleteStmt) stmt()      {}
+func (*SelectStmt) stmt()      {}
+
+// Expr is any SQL expression.
+type Expr interface{ expr() }
+
+// Literal is a constant value.
+type Literal struct {
+	Val Value
+}
+
+// Placeholder is a ? parameter, numbered left to right from 0.
+type Placeholder struct {
+	Idx int
+}
+
+// ColumnRef names a column, optionally qualified by table alias.
+type ColumnRef struct {
+	Table string
+	Name  string
+}
+
+// BinaryExpr applies an operator to two operands. Op is one of:
+// = <> < <= > >= AND OR + - * / LIKE.
+type BinaryExpr struct {
+	Op          string
+	Left, Right Expr
+}
+
+// UnaryExpr applies NOT or unary minus.
+type UnaryExpr struct {
+	Op string // "NOT" or "-"
+	X  Expr
+}
+
+// IsNullExpr is expr IS [NOT] NULL.
+type IsNullExpr struct {
+	X      Expr
+	Negate bool
+}
+
+// InExpr is expr IN (v1, v2, ...).
+type InExpr struct {
+	X      Expr
+	List   []Expr
+	Negate bool
+}
+
+// BetweenExpr is expr BETWEEN lo AND hi.
+type BetweenExpr struct {
+	X, Lo, Hi Expr
+	Negate    bool
+}
+
+// FuncCall is an aggregate or scalar function call. Star marks COUNT(*).
+type FuncCall struct {
+	Name string // upper-cased
+	Args []Expr
+	Star bool
+}
+
+func (*Literal) expr()     {}
+func (*Placeholder) expr() {}
+func (*ColumnRef) expr()   {}
+func (*BinaryExpr) expr()  {}
+func (*UnaryExpr) expr()   {}
+func (*IsNullExpr) expr()  {}
+func (*InExpr) expr()      {}
+func (*BetweenExpr) expr() {}
+func (*FuncCall) expr()    {}
+
+// aggregateFuncs are the supported aggregate functions.
+var aggregateFuncs = map[string]bool{
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+}
+
+// hasAggregate reports whether the expression tree contains an aggregate
+// function call.
+func hasAggregate(e Expr) bool {
+	switch x := e.(type) {
+	case nil:
+		return false
+	case *FuncCall:
+		if aggregateFuncs[x.Name] {
+			return true
+		}
+		for _, a := range x.Args {
+			if hasAggregate(a) {
+				return true
+			}
+		}
+	case *BinaryExpr:
+		return hasAggregate(x.Left) || hasAggregate(x.Right)
+	case *UnaryExpr:
+		return hasAggregate(x.X)
+	case *IsNullExpr:
+		return hasAggregate(x.X)
+	case *InExpr:
+		if hasAggregate(x.X) {
+			return true
+		}
+		for _, v := range x.List {
+			if hasAggregate(v) {
+				return true
+			}
+		}
+	case *BetweenExpr:
+		return hasAggregate(x.X) || hasAggregate(x.Lo) || hasAggregate(x.Hi)
+	}
+	return false
+}

@@ -1,0 +1,743 @@
+package sqldb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Common executor errors.
+var (
+	ErrNoSuchTable  = errors.New("sqldb: no such table")
+	ErrNoSuchColumn = errors.New("sqldb: no such column")
+	ErrDuplicateKey = errors.New("sqldb: duplicate key")
+	ErrNotNull      = errors.New("sqldb: NOT NULL constraint violated")
+	ErrTxDone       = errors.New("sqldb: transaction already finished")
+)
+
+// CostModel converts executor work counters into a virtual service time so
+// the simulation can charge database CPU. All costs are per statement.
+type CostModel struct {
+	PerStatement   time.Duration // fixed parse/plan/dispatch overhead
+	PerRowScanned  time.Duration // per row examined
+	PerRowWritten  time.Duration // per row inserted/updated/deleted
+	PerRowReturned time.Duration // per row in the result set
+}
+
+// DefaultCostModel approximates a well-indexed year-2002 database server:
+// sub-millisecond point queries, milliseconds for scans of hundreds of rows.
+var DefaultCostModel = CostModel{
+	PerStatement:   300 * time.Microsecond,
+	PerRowScanned:  4 * time.Microsecond,
+	PerRowWritten:  40 * time.Microsecond,
+	PerRowReturned: 2 * time.Microsecond,
+}
+
+func (c CostModel) cost(scanned, written, returned int) time.Duration {
+	return c.PerStatement +
+		time.Duration(scanned)*c.PerRowScanned +
+		time.Duration(written)*c.PerRowWritten +
+		time.Duration(returned)*c.PerRowReturned
+}
+
+// Result is the outcome of one statement.
+type Result struct {
+	Cols     []string  // result column names (SELECT only)
+	Rows     [][]Value // result rows (SELECT only)
+	Affected int       // rows inserted/updated/deleted
+	Scanned  int       // rows examined while executing
+	Cost     time.Duration
+}
+
+// Len returns the number of result rows.
+func (r *Result) Len() int { return len(r.Rows) }
+
+// Col returns the index of the named result column, or -1.
+func (r *Result) Col(name string) int {
+	for i, c := range r.Cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Value returns the value at (row, named column); NULL if absent.
+func (r *Result) Value(row int, col string) Value {
+	i := r.Col(col)
+	if i < 0 || row < 0 || row >= len(r.Rows) {
+		return Null()
+	}
+	return r.Rows[row][i]
+}
+
+// row is one stored tuple; dead rows are tombstones left by DELETE.
+type row struct {
+	vals []Value
+	dead bool
+}
+
+// index is a hash index over a single column.
+type index struct {
+	name   string
+	col    int
+	unique bool
+	m      map[key][]int // value -> live row positions
+}
+
+func (ix *index) add(k key, pos int) {
+	ix.m[k] = append(ix.m[k], pos)
+}
+
+func (ix *index) remove(k key, pos int) {
+	s := ix.m[k]
+	for i, p := range s {
+		if p == pos {
+			s[i] = s[len(s)-1]
+			ix.m[k] = s[:len(s)-1]
+			return
+		}
+	}
+}
+
+// table is the physical storage for one table.
+type table struct {
+	name    string
+	cols    []ColumnDef
+	colIdx  map[string]int
+	pk      int // primary key column index, or -1
+	rows    []*row
+	live    int
+	indexes []*index
+}
+
+func (t *table) col(name string) (int, error) {
+	i, ok := t.colIdx[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s.%s", ErrNoSuchColumn, t.name, name)
+	}
+	return i, nil
+}
+
+// indexOn returns an index covering column c, or nil.
+func (t *table) indexOn(c int) *index {
+	for _, ix := range t.indexes {
+		if ix.col == c {
+			return ix
+		}
+	}
+	return nil
+}
+
+// DB is an embedded relational database. Individual statements are atomic
+// and safe for concurrent use; multi-statement transactions provide
+// atomicity (rollback) via undo logging but rely on the caller for
+// cross-transaction isolation — in the simulation the container layer
+// serializes conflicting transactions, mirroring the paper's setup in which
+// the database is never the bottleneck.
+type DB struct {
+	mu       sync.Mutex
+	tables   map[string]*table
+	prepared map[string]Stmt
+	cost     CostModel
+
+	// statements counts executed statements, for instrumentation.
+	statements int64
+
+	// onWrite, when set, observes every successful mutating statement
+	// (INSERT/UPDATE/DELETE with at least one affected row) with its SQL
+	// text and bound arguments — the hook statement-based replication
+	// (dbrepl) ships its log from.
+	onWrite func(sql string, args []Value)
+}
+
+// New returns an empty database with the default cost model.
+func New() *DB {
+	return &DB{
+		tables:   make(map[string]*table),
+		prepared: make(map[string]Stmt),
+		cost:     DefaultCostModel,
+	}
+}
+
+// SetCostModel replaces the cost model (use before serving traffic).
+func (db *DB) SetCostModel(c CostModel) { db.cost = c }
+
+// Statements returns the number of statements executed so far.
+func (db *DB) Statements() int64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.statements
+}
+
+// Tables returns the names of all tables.
+func (db *DB) Tables() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	return names
+}
+
+// RowCount returns the number of live rows in the named table.
+func (db *DB) RowCount(tableName string) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoSuchTable, tableName)
+	}
+	return t.live, nil
+}
+
+// Prepare parses sql once; later Exec calls with the same text reuse the
+// parse. It is an error-checking convenience: Exec caches parses anyway.
+func (db *DB) Prepare(sql string) (Stmt, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.prepareLocked(sql)
+}
+
+func (db *DB) prepareLocked(sql string) (Stmt, error) {
+	if st, ok := db.prepared[sql]; ok {
+		return st, nil
+	}
+	st, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	db.prepared[sql] = st
+	return st, nil
+}
+
+// SetWriteHook registers fn to observe every successful mutating statement
+// (statement-based replication log). Pass nil to disable. The hook runs
+// synchronously with the statement, after it commits, outside db locks'
+// caller view — it must not call back into the same DB.
+func (db *DB) SetWriteHook(fn func(sql string, args []Value)) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.onWrite = fn
+}
+
+// Exec parses (with caching) and executes one statement with ? parameters
+// bound to args.
+func (db *DB) Exec(sql string, args ...Value) (*Result, error) {
+	db.mu.Lock()
+	st, err := db.prepareLocked(sql)
+	if err != nil {
+		db.mu.Unlock()
+		return nil, err
+	}
+	res, err := db.execLocked(st, args, nil)
+	hook := db.onWrite
+	db.mu.Unlock()
+	if err == nil && hook != nil && isWrite(st) && res.Affected > 0 {
+		hook(sql, args)
+	}
+	return res, err
+}
+
+// isWrite reports whether st mutates table contents.
+func isWrite(st Stmt) bool {
+	switch st.(type) {
+	case *InsertStmt, *UpdateStmt, *DeleteStmt:
+		return true
+	default:
+		return false
+	}
+}
+
+// Query is Exec; provided for call-site readability.
+func (db *DB) Query(sql string, args ...Value) (*Result, error) {
+	return db.Exec(sql, args...)
+}
+
+// Tx is a multi-statement transaction providing rollback via undo logging.
+type Tx struct {
+	db     *DB
+	undo   []func()
+	writes []txWrite
+	done   bool
+}
+
+// txWrite is a committed write statement recorded for the replication hook.
+type txWrite struct {
+	sql  string
+	args []Value
+}
+
+// Begin starts a transaction.
+func (db *DB) Begin() *Tx { return &Tx{db: db} }
+
+// Exec executes one statement inside the transaction. Write-hook
+// notifications for transactional statements are deferred to Commit so that
+// rolled-back statements are never replicated.
+func (tx *Tx) Exec(sql string, args ...Value) (*Result, error) {
+	if tx.done {
+		return nil, ErrTxDone
+	}
+	tx.db.mu.Lock()
+	defer tx.db.mu.Unlock()
+	st, err := tx.db.prepareLocked(sql)
+	if err != nil {
+		return nil, err
+	}
+	res, err := tx.db.execLocked(st, args, tx)
+	if err == nil && isWrite(st) && res.Affected > 0 {
+		tx.writes = append(tx.writes, txWrite{sql: sql, args: append([]Value(nil), args...)})
+	}
+	return res, err
+}
+
+// Commit finishes the transaction, keeping its effects and notifying the
+// write hook of every recorded statement in order.
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	tx.done = true
+	tx.undo = nil
+	tx.db.mu.Lock()
+	hook := tx.db.onWrite
+	tx.db.mu.Unlock()
+	if hook != nil {
+		for _, w := range tx.writes {
+			hook(w.sql, w.args)
+		}
+	}
+	tx.writes = nil
+	return nil
+}
+
+// Rollback undoes every statement executed in the transaction.
+func (tx *Tx) Rollback() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	tx.done = true
+	tx.writes = nil
+	tx.db.mu.Lock()
+	defer tx.db.mu.Unlock()
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		tx.undo[i]()
+	}
+	tx.undo = nil
+	return nil
+}
+
+// execLocked dispatches a parsed statement. db.mu must be held.
+func (db *DB) execLocked(st Stmt, args []Value, tx *Tx) (*Result, error) {
+	db.statements++
+	switch s := st.(type) {
+	case *CreateTableStmt:
+		return db.execCreateTable(s)
+	case *CreateIndexStmt:
+		return db.execCreateIndex(s)
+	case *DropTableStmt:
+		return db.execDropTable(s)
+	case *InsertStmt:
+		return db.execInsert(s, args, tx)
+	case *UpdateStmt:
+		return db.execUpdate(s, args, tx)
+	case *DeleteStmt:
+		return db.execDelete(s, args, tx)
+	case *SelectStmt:
+		return db.execSelect(s, args)
+	default:
+		return nil, fmt.Errorf("sqldb: unsupported statement %T", st)
+	}
+}
+
+func (db *DB) execCreateTable(s *CreateTableStmt) (*Result, error) {
+	if _, ok := db.tables[s.Name]; ok {
+		return nil, fmt.Errorf("sqldb: table %s already exists", s.Name)
+	}
+	t := &table{
+		name:   s.Name,
+		cols:   append([]ColumnDef(nil), s.Cols...),
+		colIdx: make(map[string]int, len(s.Cols)),
+		pk:     -1,
+	}
+	for i, c := range s.Cols {
+		if _, dup := t.colIdx[c.Name]; dup {
+			return nil, fmt.Errorf("sqldb: duplicate column %s.%s", s.Name, c.Name)
+		}
+		t.colIdx[c.Name] = i
+		if c.PrimaryKey {
+			if t.pk >= 0 {
+				return nil, fmt.Errorf("sqldb: table %s has multiple primary keys", s.Name)
+			}
+			t.pk = i
+		}
+	}
+	if t.pk >= 0 {
+		t.indexes = append(t.indexes, &index{
+			name:   s.Name + "_pk",
+			col:    t.pk,
+			unique: true,
+			m:      make(map[key][]int),
+		})
+	}
+	db.tables[s.Name] = t
+	return &Result{Cost: db.cost.cost(0, 0, 0)}, nil
+}
+
+func (db *DB) execCreateIndex(s *CreateIndexStmt) (*Result, error) {
+	t, ok := db.tables[s.Table]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, s.Table)
+	}
+	c, err := t.col(s.Col)
+	if err != nil {
+		return nil, err
+	}
+	for _, ix := range t.indexes {
+		if ix.name == s.Name {
+			return nil, fmt.Errorf("sqldb: index %s already exists", s.Name)
+		}
+	}
+	ix := &index{name: s.Name, col: c, unique: s.Unique, m: make(map[key][]int)}
+	for pos, r := range t.rows {
+		if r.dead {
+			continue
+		}
+		k := r.vals[c].mapKey()
+		if s.Unique && len(ix.m[k]) > 0 && !r.vals[c].IsNull() {
+			return nil, fmt.Errorf("%w: building unique index %s", ErrDuplicateKey, s.Name)
+		}
+		ix.add(k, pos)
+	}
+	t.indexes = append(t.indexes, ix)
+	return &Result{Cost: db.cost.cost(t.live, 0, 0)}, nil
+}
+
+func (db *DB) execDropTable(s *DropTableStmt) (*Result, error) {
+	if _, ok := db.tables[s.Name]; !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, s.Name)
+	}
+	delete(db.tables, s.Name)
+	return &Result{Cost: db.cost.cost(0, 0, 0)}, nil
+}
+
+func (db *DB) execInsert(s *InsertStmt, args []Value, tx *Tx) (*Result, error) {
+	t, ok := db.tables[s.Table]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, s.Table)
+	}
+	cols := s.Cols
+	if len(cols) == 0 {
+		cols = make([]string, len(t.cols))
+		for i, c := range t.cols {
+			cols[i] = c.Name
+		}
+	}
+	colPos := make([]int, len(cols))
+	for i, name := range cols {
+		c, err := t.col(name)
+		if err != nil {
+			return nil, err
+		}
+		colPos[i] = c
+	}
+	written := 0
+	ctx := &evalCtx{params: args}
+	// Track applied rows so a failure part-way through a multi-row insert
+	// rolls the statement back (statements are atomic even in autocommit).
+	applied := make([]int, 0, len(s.Rows))
+	for _, exprRow := range s.Rows {
+		if len(exprRow) != len(cols) {
+			db.undoInserts(t, applied)
+			return nil, fmt.Errorf("sqldb: insert into %s: %d values for %d columns", s.Table, len(exprRow), len(cols))
+		}
+		vals := make([]Value, len(t.cols))
+		for i, e := range exprRow {
+			v, err := ctx.eval(e)
+			if err != nil {
+				db.undoInserts(t, applied)
+				return nil, err
+			}
+			cv, err := coerce(v, t.cols[colPos[i]].Kind)
+			if err != nil {
+				db.undoInserts(t, applied)
+				return nil, fmt.Errorf("insert %s.%s: %w", s.Table, cols[i], err)
+			}
+			vals[colPos[i]] = cv
+		}
+		if err := db.insertRow(t, vals, tx); err != nil {
+			db.undoInserts(t, applied)
+			return nil, err
+		}
+		applied = append(applied, len(t.rows)-1)
+		written++
+	}
+	return &Result{Affected: written, Cost: db.cost.cost(0, written, 0)}, nil
+}
+
+// undoInserts tombstones rows applied by a failing multi-row insert. The
+// rows also sit in the enclosing transaction's undo log (as kills), which is
+// harmless: killing a dead row is a no-op.
+func (db *DB) undoInserts(t *table, positions []int) {
+	for i := len(positions) - 1; i >= 0; i-- {
+		db.killRow(t, positions[i])
+	}
+}
+
+// insertRow validates constraints and stores vals in t, logging undo in tx.
+func (db *DB) insertRow(t *table, vals []Value, tx *Tx) error {
+	for i, c := range t.cols {
+		if c.NotNull && vals[i].IsNull() {
+			return fmt.Errorf("%w: %s.%s", ErrNotNull, t.name, c.Name)
+		}
+	}
+	for _, ix := range t.indexes {
+		if ix.unique && !vals[ix.col].IsNull() && len(ix.m[vals[ix.col].mapKey()]) > 0 {
+			return fmt.Errorf("%w: %s.%s = %v", ErrDuplicateKey, t.name, t.cols[ix.col].Name, vals[ix.col])
+		}
+	}
+	pos := len(t.rows)
+	t.rows = append(t.rows, &row{vals: vals})
+	t.live++
+	for _, ix := range t.indexes {
+		ix.add(vals[ix.col].mapKey(), pos)
+	}
+	if tx != nil {
+		tx.undo = append(tx.undo, func() { db.killRow(t, pos) })
+	}
+	return nil
+}
+
+// killRow tombstones the row at pos and removes it from all indexes.
+func (db *DB) killRow(t *table, pos int) {
+	r := t.rows[pos]
+	if r.dead {
+		return
+	}
+	r.dead = true
+	t.live--
+	for _, ix := range t.indexes {
+		ix.remove(r.vals[ix.col].mapKey(), pos)
+	}
+}
+
+// reviveRow resurrects a tombstoned row with the given values.
+func (db *DB) reviveRow(t *table, pos int, vals []Value) {
+	r := t.rows[pos]
+	if !r.dead {
+		return
+	}
+	r.dead = false
+	r.vals = vals
+	t.live++
+	for _, ix := range t.indexes {
+		ix.add(vals[ix.col].mapKey(), pos)
+	}
+}
+
+func (db *DB) execUpdate(s *UpdateStmt, args []Value, tx *Tx) (*Result, error) {
+	t, ok := db.tables[s.Table]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, s.Table)
+	}
+	setPos := make([]int, len(s.Sets))
+	for i, a := range s.Sets {
+		c, err := t.col(a.Col)
+		if err != nil {
+			return nil, err
+		}
+		setPos[i] = c
+	}
+	positions, scanned, err := db.matchRows(t, s.Where, args)
+	if err != nil {
+		return nil, err
+	}
+	// Phase 1: evaluate and validate every row's new values so a failure
+	// leaves the table untouched (statement atomicity).
+	planned := make([][]Value, len(positions))
+	for i, pos := range positions {
+		r := t.rows[pos]
+		ctx := &evalCtx{params: args, tables: []boundTable{{name: s.Table, t: t, vals: r.vals}}}
+		newVals := append([]Value(nil), r.vals...)
+		for j, a := range s.Sets {
+			v, err := ctx.eval(a.Expr)
+			if err != nil {
+				return nil, err
+			}
+			cv, err := coerce(v, t.cols[setPos[j]].Kind)
+			if err != nil {
+				return nil, fmt.Errorf("update %s.%s: %w", s.Table, a.Col, err)
+			}
+			if t.cols[setPos[j]].NotNull && cv.IsNull() {
+				return nil, fmt.Errorf("%w: %s.%s", ErrNotNull, t.name, a.Col)
+			}
+			newVals[setPos[j]] = cv
+		}
+		planned[i] = newVals
+	}
+	// Phase 2: apply with undo-on-conflict so intra-statement unique
+	// violations roll the whole statement back.
+	applyRow := func(pos int, newVals []Value) {
+		r := t.rows[pos]
+		for _, ix := range t.indexes {
+			oldK, newK := r.vals[ix.col].mapKey(), newVals[ix.col].mapKey()
+			if oldK != newK {
+				ix.remove(oldK, pos)
+				ix.add(newK, pos)
+			}
+		}
+		r.vals = newVals
+	}
+	type change struct {
+		pos     int
+		oldVals []Value
+	}
+	var applied []change
+	rollback := func() {
+		for i := len(applied) - 1; i >= 0; i-- {
+			applyRow(applied[i].pos, applied[i].oldVals)
+		}
+	}
+	for i, pos := range positions {
+		r := t.rows[pos]
+		newVals := planned[i]
+		for _, ix := range t.indexes {
+			if !ix.unique {
+				continue
+			}
+			oldK, newK := r.vals[ix.col].mapKey(), newVals[ix.col].mapKey()
+			if oldK != newK && !newVals[ix.col].IsNull() && len(ix.m[newK]) > 0 {
+				rollback()
+				return nil, fmt.Errorf("%w: %s.%s = %v", ErrDuplicateKey, t.name, t.cols[ix.col].Name, newVals[ix.col])
+			}
+		}
+		oldVals := r.vals
+		applyRow(pos, newVals)
+		applied = append(applied, change{pos: pos, oldVals: oldVals})
+		if tx != nil {
+			pos, oldVals := pos, oldVals
+			tx.undo = append(tx.undo, func() { applyRow(pos, oldVals) })
+		}
+	}
+	return &Result{Affected: len(applied), Scanned: scanned, Cost: db.cost.cost(scanned, len(applied), 0)}, nil
+}
+
+func (db *DB) execDelete(s *DeleteStmt, args []Value, tx *Tx) (*Result, error) {
+	t, ok := db.tables[s.Table]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, s.Table)
+	}
+	positions, scanned, err := db.matchRows(t, s.Where, args)
+	if err != nil {
+		return nil, err
+	}
+	for _, pos := range positions {
+		oldVals := t.rows[pos].vals
+		db.killRow(t, pos)
+		if tx != nil {
+			pos, oldVals := pos, oldVals
+			tx.undo = append(tx.undo, func() { db.reviveRow(t, pos, oldVals) })
+		}
+	}
+	return &Result{Affected: len(positions), Scanned: scanned, Cost: db.cost.cost(scanned, len(positions), 0)}, nil
+}
+
+// matchRows returns live row positions matching where (all live rows when
+// where is nil), using a hash index for top-level equality conjuncts when
+// one applies. It also reports how many rows were scanned.
+func (db *DB) matchRows(t *table, where Expr, args []Value) ([]int, int, error) {
+	candidates, usedIndex, err := db.candidates(t, where, args)
+	if err != nil {
+		return nil, 0, err
+	}
+	var out []int
+	scanned := 0
+	for _, pos := range candidates {
+		r := t.rows[pos]
+		if r.dead {
+			continue
+		}
+		scanned++
+		if where == nil {
+			out = append(out, pos)
+			continue
+		}
+		ctx := &evalCtx{params: args, tables: []boundTable{{name: t.name, t: t, vals: r.vals}}}
+		v, err := ctx.eval(where)
+		if err != nil {
+			return nil, 0, err
+		}
+		if v.AsBool() {
+			out = append(out, pos)
+		}
+	}
+	if usedIndex {
+		// Index probes do not scan the whole table; charge only matches.
+		return out, scanned, nil
+	}
+	return out, scanned, nil
+}
+
+// candidates returns candidate row positions for a single-table predicate,
+// probing a hash index when the predicate contains a top-level `col = const`
+// conjunct on an indexed column.
+func (db *DB) candidates(t *table, where Expr, args []Value) ([]int, bool, error) {
+	if col, val, ok := indexableEq(t, where, args); ok {
+		if ix := t.indexOn(col); ix != nil {
+			return append([]int(nil), ix.m[val.mapKey()]...), true, nil
+		}
+	}
+	all := make([]int, 0, t.live)
+	for pos, r := range t.rows {
+		if !r.dead {
+			all = append(all, pos)
+		}
+	}
+	return all, false, nil
+}
+
+// indexableEq finds a top-level equality conjunct `col = literal/param`
+// in where and returns the column position and bound value.
+func indexableEq(t *table, where Expr, args []Value) (int, Value, bool) {
+	switch e := where.(type) {
+	case *BinaryExpr:
+		switch e.Op {
+		case "AND":
+			if c, v, ok := indexableEq(t, e.Left, args); ok {
+				return c, v, true
+			}
+			return indexableEq(t, e.Right, args)
+		case "=":
+			if c, v, ok := eqSides(t, e.Left, e.Right, args); ok {
+				return c, v, true
+			}
+			return eqSides(t, e.Right, e.Left, args)
+		}
+	}
+	return 0, Value{}, false
+}
+
+func eqSides(t *table, l, r Expr, args []Value) (int, Value, bool) {
+	ref, ok := l.(*ColumnRef)
+	if !ok {
+		return 0, Value{}, false
+	}
+	if ref.Table != "" && ref.Table != t.name {
+		return 0, Value{}, false
+	}
+	c, ok := t.colIdx[ref.Name]
+	if !ok {
+		return 0, Value{}, false
+	}
+	switch v := r.(type) {
+	case *Literal:
+		return c, v.Val, true
+	case *Placeholder:
+		if v.Idx < len(args) {
+			return c, args[v.Idx], true
+		}
+	}
+	return 0, Value{}, false
+}

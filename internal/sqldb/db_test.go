@@ -1,0 +1,481 @@
+package sqldb
+
+import (
+	"errors"
+	"testing"
+)
+
+// newTestDB builds a small bidding-style schema used across executor tests.
+func newTestDB(t *testing.T) *DB {
+	t.Helper()
+	db := New()
+	stmts := []string{
+		`CREATE TABLE users (id INT PRIMARY KEY, nick TEXT NOT NULL, region TEXT, rating INT)`,
+		`CREATE TABLE items (id INT PRIMARY KEY, name TEXT NOT NULL, seller INT, category TEXT, price FLOAT, qty INT)`,
+		`CREATE TABLE bids (id INT PRIMARY KEY, item_id INT, user_id INT, amount FLOAT)`,
+		`CREATE INDEX idx_items_cat ON items (category)`,
+		`CREATE INDEX idx_bids_item ON bids (item_id)`,
+	}
+	for _, s := range stmts {
+		if _, err := db.Exec(s); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+	}
+	seed := []string{
+		`INSERT INTO users VALUES (1, 'ann', 'east', 10), (2, 'bob', 'west', 4), (3, 'cal', 'east', 7)`,
+		`INSERT INTO items VALUES
+			(1, 'red bike', 1, 'sports', 50.0, 3),
+			(2, 'blue bike', 2, 'sports', 75.5, 1),
+			(3, 'lamp', 2, 'home', 10.0, 9),
+			(4, 'couch', 3, 'home', 200.0, 1)`,
+		`INSERT INTO bids VALUES
+			(1, 1, 2, 55.0), (2, 1, 3, 60.0), (3, 2, 1, 80.0), (4, 3, 1, 12.5)`,
+	}
+	for _, s := range seed {
+		if _, err := db.Exec(s); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+	}
+	return db
+}
+
+func TestSelectAll(t *testing.T) {
+	db := newTestDB(t)
+	r, err := db.Query(`SELECT * FROM users`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 3 || len(r.Cols) != 4 {
+		t.Fatalf("rows=%d cols=%v", r.Len(), r.Cols)
+	}
+}
+
+func TestSelectWhereEqUsesIndex(t *testing.T) {
+	db := newTestDB(t)
+	r, err := db.Query(`SELECT name FROM items WHERE category = ?`, Str("sports"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("rows = %d, want 2", r.Len())
+	}
+	// Index probe should scan only matching rows, not the whole table.
+	if r.Scanned != 2 {
+		t.Fatalf("scanned = %d, want 2 (index probe)", r.Scanned)
+	}
+}
+
+func TestSelectFullScanCountsAllRows(t *testing.T) {
+	db := newTestDB(t)
+	r, err := db.Query(`SELECT name FROM items WHERE price > 40`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Scanned != 4 {
+		t.Fatalf("scanned = %d, want 4 (full scan)", r.Scanned)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("rows = %d, want 3", r.Len())
+	}
+}
+
+func TestSelectPrimaryKeyLookup(t *testing.T) {
+	db := newTestDB(t)
+	r, err := db.Query(`SELECT nick FROM users WHERE id = ?`, Int(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 || r.Rows[0][0].S != "bob" {
+		t.Fatalf("%v", r.Rows)
+	}
+	if r.Scanned != 1 {
+		t.Fatalf("scanned = %d, want 1 (pk index)", r.Scanned)
+	}
+}
+
+func TestSelectOrderByLimitOffset(t *testing.T) {
+	db := newTestDB(t)
+	r, err := db.Query(`SELECT name, price FROM items ORDER BY price DESC LIMIT 2 OFFSET 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("rows = %d", r.Len())
+	}
+	if r.Rows[0][0].S != "blue bike" || r.Rows[1][0].S != "red bike" {
+		t.Fatalf("%v", r.Rows)
+	}
+}
+
+func TestSelectJoinWithIndexProbe(t *testing.T) {
+	db := newTestDB(t)
+	r, err := db.Query(`SELECT u.nick, b.amount FROM bids b JOIN users u ON u.id = b.user_id
+		WHERE b.item_id = ? ORDER BY b.amount DESC`, Int(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("rows = %d", r.Len())
+	}
+	if r.Rows[0][0].S != "cal" || r.Rows[0][1].F != 60.0 {
+		t.Fatalf("%v", r.Rows)
+	}
+}
+
+func TestSelectCommaJoin(t *testing.T) {
+	db := newTestDB(t)
+	r, err := db.Query(`SELECT i.name FROM items i, users u WHERE i.seller = u.id AND u.nick = 'bob'
+		ORDER BY i.name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 || r.Rows[0][0].S != "blue bike" || r.Rows[1][0].S != "lamp" {
+		t.Fatalf("%v", r.Rows)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	db := newTestDB(t)
+	r, err := db.Query(`SELECT COUNT(*), SUM(amount), AVG(amount), MIN(amount), MAX(amount) FROM bids`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := r.Rows[0]
+	if row[0].AsInt() != 4 {
+		t.Fatalf("count = %v", row[0])
+	}
+	if row[1].AsFloat() != 207.5 {
+		t.Fatalf("sum = %v", row[1])
+	}
+	if row[2].AsFloat() != 207.5/4 {
+		t.Fatalf("avg = %v", row[2])
+	}
+	if row[3].AsFloat() != 12.5 || row[4].AsFloat() != 80.0 {
+		t.Fatalf("min/max = %v %v", row[3], row[4])
+	}
+}
+
+func TestGroupByHaving_Ordering(t *testing.T) {
+	db := newTestDB(t)
+	r, err := db.Query(`SELECT category, COUNT(*) AS n, MAX(price) AS top
+		FROM items GROUP BY category ORDER BY n DESC, top ASC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("groups = %d", r.Len())
+	}
+	// Both groups have n=2; home has top 200, sports 75.5 -> sports first.
+	if r.Rows[0][0].S != "sports" || r.Rows[1][0].S != "home" {
+		t.Fatalf("%v", r.Rows)
+	}
+}
+
+func TestCountOnEmptyTableIsZero(t *testing.T) {
+	db := New()
+	if _, err := db.Exec(`CREATE TABLE empty (a INT)`); err != nil {
+		t.Fatal(err)
+	}
+	r, err := db.Query(`SELECT COUNT(*) FROM empty`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 || r.Rows[0][0].AsInt() != 0 {
+		t.Fatalf("%v", r.Rows)
+	}
+}
+
+func TestUpdateWithExpression(t *testing.T) {
+	db := newTestDB(t)
+	r, err := db.Exec(`UPDATE items SET qty = qty - 1 WHERE id = ?`, Int(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Affected != 1 {
+		t.Fatalf("affected = %d", r.Affected)
+	}
+	got, _ := db.Query(`SELECT qty FROM items WHERE id = 1`)
+	if got.Rows[0][0].AsInt() != 2 {
+		t.Fatalf("qty = %v", got.Rows[0][0])
+	}
+}
+
+func TestUpdateIndexedColumnMaintainsIndex(t *testing.T) {
+	db := newTestDB(t)
+	if _, err := db.Exec(`UPDATE items SET category = 'garden' WHERE id = 3`); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := db.Query(`SELECT name FROM items WHERE category = 'garden'`)
+	if r.Len() != 1 || r.Rows[0][0].S != "lamp" {
+		t.Fatalf("%v", r.Rows)
+	}
+	r, _ = db.Query(`SELECT name FROM items WHERE category = 'home'`)
+	if r.Len() != 1 {
+		t.Fatalf("old index entry not removed: %v", r.Rows)
+	}
+}
+
+func TestDeleteAndTombstones(t *testing.T) {
+	db := newTestDB(t)
+	r, err := db.Exec(`DELETE FROM bids WHERE item_id = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Affected != 2 {
+		t.Fatalf("affected = %d", r.Affected)
+	}
+	left, _ := db.Query(`SELECT COUNT(*) FROM bids`)
+	if left.Rows[0][0].AsInt() != 2 {
+		t.Fatalf("count = %v", left.Rows[0][0])
+	}
+	n, err := db.RowCount("bids")
+	if err != nil || n != 2 {
+		t.Fatalf("RowCount = %d, %v", n, err)
+	}
+}
+
+func TestInsertDuplicatePK(t *testing.T) {
+	db := newTestDB(t)
+	_, err := db.Exec(`INSERT INTO users VALUES (1, 'dup', 'east', 0)`)
+	if !errors.Is(err, ErrDuplicateKey) {
+		t.Fatalf("err = %v, want ErrDuplicateKey", err)
+	}
+}
+
+func TestInsertNotNullViolation(t *testing.T) {
+	db := newTestDB(t)
+	_, err := db.Exec(`INSERT INTO users (id, region) VALUES (9, 'east')`)
+	if !errors.Is(err, ErrNotNull) {
+		t.Fatalf("err = %v, want ErrNotNull", err)
+	}
+}
+
+func TestInsertColumnSubset(t *testing.T) {
+	db := newTestDB(t)
+	if _, err := db.Exec(`INSERT INTO users (id, nick) VALUES (9, 'zed')`); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := db.Query(`SELECT region FROM users WHERE id = 9`)
+	if !r.Rows[0][0].IsNull() {
+		t.Fatalf("region = %v, want NULL", r.Rows[0][0])
+	}
+}
+
+func TestCoercionIntToFloatColumn(t *testing.T) {
+	db := newTestDB(t)
+	if _, err := db.Exec(`INSERT INTO items VALUES (9, 'rug', 1, 'home', 20, 1)`); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := db.Query(`SELECT price FROM items WHERE id = 9`)
+	if r.Rows[0][0].K != KindFloat || r.Rows[0][0].F != 20 {
+		t.Fatalf("price = %#v", r.Rows[0][0])
+	}
+}
+
+func TestLikeSearch(t *testing.T) {
+	db := newTestDB(t)
+	r, err := db.Query(`SELECT name FROM items WHERE name LIKE ?`, Str("%bike%"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("rows = %d", r.Len())
+	}
+	// Case-insensitive.
+	r, _ = db.Query(`SELECT name FROM items WHERE name LIKE 'RED%'`)
+	if r.Len() != 1 {
+		t.Fatalf("case-insensitive LIKE failed: %d", r.Len())
+	}
+}
+
+func TestInAndBetween(t *testing.T) {
+	db := newTestDB(t)
+	r, err := db.Query(`SELECT nick FROM users WHERE id IN (1, 3) ORDER BY nick`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 || r.Rows[0][0].S != "ann" {
+		t.Fatalf("%v", r.Rows)
+	}
+	r, _ = db.Query(`SELECT name FROM items WHERE price BETWEEN 40 AND 100 ORDER BY price`)
+	if r.Len() != 2 || r.Rows[0][0].S != "red bike" {
+		t.Fatalf("%v", r.Rows)
+	}
+}
+
+func TestIsNull(t *testing.T) {
+	db := newTestDB(t)
+	if _, err := db.Exec(`INSERT INTO users (id, nick) VALUES (9, 'zed')`); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := db.Query(`SELECT nick FROM users WHERE region IS NULL`)
+	if r.Len() != 1 || r.Rows[0][0].S != "zed" {
+		t.Fatalf("%v", r.Rows)
+	}
+	r, _ = db.Query(`SELECT COUNT(*) FROM users WHERE region IS NOT NULL`)
+	if r.Rows[0][0].AsInt() != 3 {
+		t.Fatalf("%v", r.Rows)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	db := newTestDB(t)
+	r, err := db.Query(`SELECT DISTINCT category FROM items ORDER BY category`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 || r.Rows[0][0].S != "home" || r.Rows[1][0].S != "sports" {
+		t.Fatalf("%v", r.Rows)
+	}
+}
+
+func TestNullComparisonsNeverMatch(t *testing.T) {
+	db := newTestDB(t)
+	if _, err := db.Exec(`INSERT INTO users (id, nick) VALUES (9, 'zed')`); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := db.Query(`SELECT nick FROM users WHERE region = region AND id = 9`)
+	if r.Len() != 0 {
+		t.Fatalf("NULL = NULL matched: %v", r.Rows)
+	}
+}
+
+func TestScalarFunctions(t *testing.T) {
+	db := newTestDB(t)
+	r, err := db.Query(`SELECT UPPER(nick), LENGTH(nick) FROM users WHERE id = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][0].S != "ANN" || r.Rows[0][1].AsInt() != 3 {
+		t.Fatalf("%v", r.Rows)
+	}
+}
+
+func TestStringConcat(t *testing.T) {
+	db := newTestDB(t)
+	r, err := db.Query(`SELECT nick + '@' + region FROM users WHERE id = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][0].S != "ann@east" {
+		t.Fatalf("%v", r.Rows[0][0])
+	}
+}
+
+func TestDivisionByZeroYieldsNull(t *testing.T) {
+	db := newTestDB(t)
+	r, err := db.Query(`SELECT rating / 0 FROM users WHERE id = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Rows[0][0].IsNull() {
+		t.Fatalf("x/0 = %v, want NULL", r.Rows[0][0])
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	db := newTestDB(t)
+	r, _ := db.Query(`SELECT nick, rating FROM users WHERE id = 1`)
+	if r.Col("rating") != 1 || r.Col("missing") != -1 {
+		t.Fatalf("Col lookup broken: %v", r.Cols)
+	}
+	if r.Value(0, "nick").S != "ann" {
+		t.Fatalf("Value = %v", r.Value(0, "nick"))
+	}
+	if !r.Value(5, "nick").IsNull() {
+		t.Fatal("out-of-range Value should be NULL")
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	db := newTestDB(t)
+	if _, err := db.Exec(`DROP TABLE bids`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query(`SELECT * FROM bids`); !errors.Is(err, ErrNoSuchTable) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUniqueSecondaryIndex(t *testing.T) {
+	db := newTestDB(t)
+	if _, err := db.Exec(`CREATE UNIQUE INDEX idx_nick ON users (nick)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO users VALUES (10, 'ann', 'west', 1)`); !errors.Is(err, ErrDuplicateKey) {
+		t.Fatalf("err = %v, want ErrDuplicateKey", err)
+	}
+}
+
+func TestUniqueIndexBuildFailsOnDuplicates(t *testing.T) {
+	db := newTestDB(t)
+	if _, err := db.Exec(`CREATE UNIQUE INDEX idx_cat ON items (category)`); !errors.Is(err, ErrDuplicateKey) {
+		t.Fatalf("err = %v, want ErrDuplicateKey", err)
+	}
+}
+
+func TestErrorNoSuchTableAndColumn(t *testing.T) {
+	db := newTestDB(t)
+	if _, err := db.Query(`SELECT a FROM missing`); !errors.Is(err, ErrNoSuchTable) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := db.Query(`SELECT missing FROM users`); !errors.Is(err, ErrNoSuchColumn) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAmbiguousColumnRejected(t *testing.T) {
+	db := newTestDB(t)
+	_, err := db.Query(`SELECT id FROM users u, items i WHERE u.id = i.seller`)
+	if err == nil {
+		t.Fatal("ambiguous column accepted")
+	}
+}
+
+func TestMissingParameter(t *testing.T) {
+	db := newTestDB(t)
+	if _, err := db.Query(`SELECT * FROM users WHERE id = ?`); err == nil {
+		t.Fatal("missing parameter accepted")
+	}
+}
+
+func TestCostIncreasesWithScans(t *testing.T) {
+	db := newTestDB(t)
+	point, err := db.Query(`SELECT nick FROM users WHERE id = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan, err := db.Query(`SELECT nick FROM users WHERE rating > 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if point.Cost >= scan.Cost {
+		t.Fatalf("point cost %v >= scan cost %v", point.Cost, scan.Cost)
+	}
+}
+
+func TestStatementsCounter(t *testing.T) {
+	db := newTestDB(t)
+	before := db.Statements()
+	if _, err := db.Query(`SELECT * FROM users`); err != nil {
+		t.Fatal(err)
+	}
+	if db.Statements() != before+1 {
+		t.Fatalf("statements %d -> %d", before, db.Statements())
+	}
+}
+
+func TestPrepareCachesParse(t *testing.T) {
+	db := newTestDB(t)
+	st1, err := db.Prepare(`SELECT * FROM users WHERE id = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := db.Prepare(`SELECT * FROM users WHERE id = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1 != st2 {
+		t.Fatal("prepare did not cache")
+	}
+}

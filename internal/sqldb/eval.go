@@ -1,0 +1,336 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// boundTable is one table's current row inside an evaluation context.
+type boundTable struct {
+	name string // alias or table name as referenced in the query
+	t    *table
+	vals []Value
+}
+
+// evalCtx evaluates expressions against zero or more bound rows plus
+// statement parameters.
+type evalCtx struct {
+	tables []boundTable
+	params []Value
+}
+
+func (c *evalCtx) resolve(ref *ColumnRef) (Value, error) {
+	if ref.Table != "" {
+		for _, bt := range c.tables {
+			if bt.name == ref.Table {
+				i, ok := bt.t.colIdx[ref.Name]
+				if !ok {
+					return Value{}, fmt.Errorf("%w: %s.%s", ErrNoSuchColumn, ref.Table, ref.Name)
+				}
+				return bt.vals[i], nil
+			}
+		}
+		return Value{}, fmt.Errorf("%w: unknown table %s", ErrNoSuchColumn, ref.Table)
+	}
+	found := -1
+	var v Value
+	for _, bt := range c.tables {
+		if i, ok := bt.t.colIdx[ref.Name]; ok {
+			if found >= 0 {
+				return Value{}, fmt.Errorf("sqldb: ambiguous column %s", ref.Name)
+			}
+			found = i
+			v = bt.vals[i]
+		}
+	}
+	if found < 0 {
+		return Value{}, fmt.Errorf("%w: %s", ErrNoSuchColumn, ref.Name)
+	}
+	return v, nil
+}
+
+func (c *evalCtx) eval(e Expr) (Value, error) {
+	switch x := e.(type) {
+	case *Literal:
+		return x.Val, nil
+	case *Placeholder:
+		if x.Idx >= len(c.params) {
+			return Value{}, fmt.Errorf("sqldb: missing parameter %d", x.Idx+1)
+		}
+		return c.params[x.Idx], nil
+	case *ColumnRef:
+		return c.resolve(x)
+	case *UnaryExpr:
+		v, err := c.eval(x.X)
+		if err != nil {
+			return Value{}, err
+		}
+		switch x.Op {
+		case "NOT":
+			if v.IsNull() {
+				return Null(), nil
+			}
+			return Bool(!v.AsBool()), nil
+		case "-":
+			switch v.K {
+			case KindInt:
+				return Int(-v.I), nil
+			case KindFloat:
+				return Float(-v.F), nil
+			case KindNull:
+				return Null(), nil
+			default:
+				return Value{}, fmt.Errorf("sqldb: cannot negate %v", v.K)
+			}
+		}
+		return Value{}, fmt.Errorf("sqldb: unknown unary op %s", x.Op)
+	case *BinaryExpr:
+		return c.evalBinary(x)
+	case *IsNullExpr:
+		v, err := c.eval(x.X)
+		if err != nil {
+			return Value{}, err
+		}
+		return Bool(v.IsNull() != x.Negate), nil
+	case *InExpr:
+		v, err := c.eval(x.X)
+		if err != nil {
+			return Value{}, err
+		}
+		match := false
+		for _, item := range x.List {
+			iv, err := c.eval(item)
+			if err != nil {
+				return Value{}, err
+			}
+			if Equal(v, iv) {
+				match = true
+				break
+			}
+		}
+		return Bool(match != x.Negate), nil
+	case *BetweenExpr:
+		v, err := c.eval(x.X)
+		if err != nil {
+			return Value{}, err
+		}
+		lo, err := c.eval(x.Lo)
+		if err != nil {
+			return Value{}, err
+		}
+		hi, err := c.eval(x.Hi)
+		if err != nil {
+			return Value{}, err
+		}
+		if v.IsNull() || lo.IsNull() || hi.IsNull() {
+			return Null(), nil
+		}
+		in := Compare(v, lo) >= 0 && Compare(v, hi) <= 0
+		return Bool(in != x.Negate), nil
+	case *FuncCall:
+		if aggregateFuncs[x.Name] {
+			return Value{}, fmt.Errorf("sqldb: aggregate %s outside aggregation context", x.Name)
+		}
+		return c.evalScalarFunc(x)
+	default:
+		return Value{}, fmt.Errorf("sqldb: cannot evaluate %T", e)
+	}
+}
+
+func (c *evalCtx) evalBinary(x *BinaryExpr) (Value, error) {
+	// Short-circuit logical operators with three-valued logic.
+	switch x.Op {
+	case "AND":
+		l, err := c.eval(x.Left)
+		if err != nil {
+			return Value{}, err
+		}
+		if !l.IsNull() && !l.AsBool() {
+			return Bool(false), nil
+		}
+		r, err := c.eval(x.Right)
+		if err != nil {
+			return Value{}, err
+		}
+		if !r.IsNull() && !r.AsBool() {
+			return Bool(false), nil
+		}
+		if l.IsNull() || r.IsNull() {
+			return Null(), nil
+		}
+		return Bool(true), nil
+	case "OR":
+		l, err := c.eval(x.Left)
+		if err != nil {
+			return Value{}, err
+		}
+		if !l.IsNull() && l.AsBool() {
+			return Bool(true), nil
+		}
+		r, err := c.eval(x.Right)
+		if err != nil {
+			return Value{}, err
+		}
+		if !r.IsNull() && r.AsBool() {
+			return Bool(true), nil
+		}
+		if l.IsNull() || r.IsNull() {
+			return Null(), nil
+		}
+		return Bool(false), nil
+	}
+	l, err := c.eval(x.Left)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := c.eval(x.Right)
+	if err != nil {
+		return Value{}, err
+	}
+	switch x.Op {
+	case "=", "<>", "<", "<=", ">", ">=":
+		if l.IsNull() || r.IsNull() {
+			return Null(), nil
+		}
+		cmp := Compare(l, r)
+		var b bool
+		switch x.Op {
+		case "=":
+			b = cmp == 0
+		case "<>":
+			b = cmp != 0
+		case "<":
+			b = cmp < 0
+		case "<=":
+			b = cmp <= 0
+		case ">":
+			b = cmp > 0
+		case ">=":
+			b = cmp >= 0
+		}
+		return Bool(b), nil
+	case "LIKE":
+		if l.IsNull() || r.IsNull() {
+			return Null(), nil
+		}
+		return Bool(likeMatch(l.AsString(), r.AsString())), nil
+	case "+", "-", "*", "/":
+		if l.IsNull() || r.IsNull() {
+			return Null(), nil
+		}
+		if x.Op == "+" && (l.K == KindString || r.K == KindString) {
+			return Str(l.AsString() + r.AsString()), nil
+		}
+		if !l.numeric() || !r.numeric() {
+			return Value{}, fmt.Errorf("sqldb: arithmetic on non-numeric values %v %s %v", l, x.Op, r)
+		}
+		if l.K == KindInt && r.K == KindInt {
+			switch x.Op {
+			case "+":
+				return Int(l.I + r.I), nil
+			case "-":
+				return Int(l.I - r.I), nil
+			case "*":
+				return Int(l.I * r.I), nil
+			case "/":
+				if r.I == 0 {
+					return Null(), nil
+				}
+				return Int(l.I / r.I), nil
+			}
+		}
+		lf, rf := l.AsFloat(), r.AsFloat()
+		switch x.Op {
+		case "+":
+			return Float(lf + rf), nil
+		case "-":
+			return Float(lf - rf), nil
+		case "*":
+			return Float(lf * rf), nil
+		case "/":
+			if rf == 0 {
+				return Null(), nil
+			}
+			return Float(lf / rf), nil
+		}
+	}
+	return Value{}, fmt.Errorf("sqldb: unknown operator %s", x.Op)
+}
+
+func (c *evalCtx) evalScalarFunc(x *FuncCall) (Value, error) {
+	args := make([]Value, len(x.Args))
+	for i, a := range x.Args {
+		v, err := c.eval(a)
+		if err != nil {
+			return Value{}, err
+		}
+		args[i] = v
+	}
+	switch x.Name {
+	case "LOWER":
+		if len(args) != 1 {
+			return Value{}, fmt.Errorf("sqldb: LOWER takes 1 argument")
+		}
+		if args[0].IsNull() {
+			return Null(), nil
+		}
+		return Str(strings.ToLower(args[0].AsString())), nil
+	case "UPPER":
+		if len(args) != 1 {
+			return Value{}, fmt.Errorf("sqldb: UPPER takes 1 argument")
+		}
+		if args[0].IsNull() {
+			return Null(), nil
+		}
+		return Str(strings.ToUpper(args[0].AsString())), nil
+	case "LENGTH":
+		if len(args) != 1 {
+			return Value{}, fmt.Errorf("sqldb: LENGTH takes 1 argument")
+		}
+		if args[0].IsNull() {
+			return Null(), nil
+		}
+		return Int(int64(len(args[0].AsString()))), nil
+	default:
+		return Value{}, fmt.Errorf("sqldb: unknown function %s", x.Name)
+	}
+}
+
+// likeMatch implements SQL LIKE with % (any run) and _ (any single char),
+// case-insensitively (matching MySQL's default collation behavior, which the
+// applications' keyword search relies on).
+func likeMatch(s, pattern string) bool {
+	return likeRec(strings.ToLower(s), strings.ToLower(pattern))
+}
+
+func likeRec(s, p string) bool {
+	for len(p) > 0 {
+		switch p[0] {
+		case '%':
+			// Collapse consecutive %.
+			for len(p) > 0 && p[0] == '%' {
+				p = p[1:]
+			}
+			if len(p) == 0 {
+				return true
+			}
+			for i := 0; i <= len(s); i++ {
+				if likeRec(s[i:], p) {
+					return true
+				}
+			}
+			return false
+		case '_':
+			if len(s) == 0 {
+				return false
+			}
+			s, p = s[1:], p[1:]
+		default:
+			if len(s) == 0 || s[0] != p[0] {
+				return false
+			}
+			s, p = s[1:], p[1:]
+		}
+	}
+	return len(s) == 0
+}

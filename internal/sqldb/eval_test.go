@@ -1,0 +1,407 @@
+package sqldb
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// evalDB builds a tiny table for expression-evaluation tests.
+func evalDB(t *testing.T) *DB {
+	t.Helper()
+	db := New()
+	stmts := []string{
+		`CREATE TABLE v (id INT PRIMARY KEY, i INT, f FLOAT, s TEXT, b BOOL, ts TIMESTAMP)`,
+		`INSERT INTO v (id, i, f, s, b) VALUES (1, 10, 2.5, 'abc', TRUE)`,
+		`INSERT INTO v (id) VALUES (2)`, // all-NULL row
+	}
+	for _, s := range stmts {
+		if _, err := db.Exec(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+// one runs a single-row, single-column query.
+func one(t *testing.T, db *DB, sql string, args ...Value) Value {
+	t.Helper()
+	r, err := db.Query(sql, args...)
+	if err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+	if r.Len() != 1 || len(r.Cols) != 1 {
+		t.Fatalf("%s: %dx%d result", sql, r.Len(), len(r.Cols))
+	}
+	return r.Rows[0][0]
+}
+
+func TestArithmeticEvaluation(t *testing.T) {
+	db := evalDB(t)
+	cases := []struct {
+		sql  string
+		want Value
+	}{
+		{`SELECT i + 5 FROM v WHERE id = 1`, Int(15)},
+		{`SELECT i - 3 FROM v WHERE id = 1`, Int(7)},
+		{`SELECT i * 2 FROM v WHERE id = 1`, Int(20)},
+		{`SELECT i / 4 FROM v WHERE id = 1`, Int(2)}, // integer division
+		{`SELECT i + f FROM v WHERE id = 1`, Float(12.5)},
+		{`SELECT f * 2 FROM v WHERE id = 1`, Float(5)},
+		{`SELECT f - 0.5 FROM v WHERE id = 1`, Float(2)},
+		{`SELECT f / 2.5 FROM v WHERE id = 1`, Float(1)},
+		{`SELECT -i FROM v WHERE id = 1`, Int(-10)},
+		{`SELECT -f FROM v WHERE id = 1`, Float(-2.5)},
+	}
+	for _, c := range cases {
+		got := one(t, db, c.sql)
+		if Compare(got, c.want) != 0 || got.K != c.want.K {
+			t.Errorf("%s = %#v, want %#v", c.sql, got, c.want)
+		}
+	}
+}
+
+func TestNullPropagationInExpressions(t *testing.T) {
+	db := evalDB(t)
+	for _, sql := range []string{
+		`SELECT i + 1 FROM v WHERE id = 2`,
+		`SELECT -i FROM v WHERE id = 2`,
+		`SELECT i * f FROM v WHERE id = 2`,
+		`SELECT NOT b FROM v WHERE id = 2`,
+		`SELECT i BETWEEN 1 AND 5 FROM v WHERE id = 2`,
+	} {
+		if got := one(t, db, sql); !got.IsNull() {
+			t.Errorf("%s = %v, want NULL", sql, got)
+		}
+	}
+}
+
+func TestBooleanThreeValuedLogic(t *testing.T) {
+	db := evalDB(t)
+	// NULL AND FALSE = FALSE; NULL OR TRUE = TRUE; NULL AND TRUE = NULL.
+	if got := one(t, db, `SELECT i > 0 AND FALSE FROM v WHERE id = 2`); got.AsBool() {
+		t.Errorf("NULL AND FALSE = %v", got)
+	}
+	if got := one(t, db, `SELECT i > 0 OR TRUE FROM v WHERE id = 2`); !got.AsBool() {
+		t.Errorf("NULL OR TRUE = %v", got)
+	}
+	if got := one(t, db, `SELECT i > 0 AND TRUE FROM v WHERE id = 2`); !got.IsNull() {
+		t.Errorf("NULL AND TRUE = %v, want NULL", got)
+	}
+	if got := one(t, db, `SELECT NOT (i > 5) FROM v WHERE id = 1`); got.AsBool() {
+		t.Errorf("NOT TRUE = %v", got)
+	}
+}
+
+func TestNotInAndNotBetween(t *testing.T) {
+	db := evalDB(t)
+	if got := one(t, db, `SELECT COUNT(*) FROM v WHERE id NOT IN (2, 3)`); got.AsInt() != 1 {
+		t.Errorf("NOT IN = %v", got)
+	}
+	if got := one(t, db, `SELECT COUNT(*) FROM v WHERE id NOT BETWEEN 2 AND 9`); got.AsInt() != 1 {
+		t.Errorf("NOT BETWEEN = %v", got)
+	}
+}
+
+func TestAggregateExpressionArithmetic(t *testing.T) {
+	db := evalDB(t)
+	if _, err := db.Exec(`INSERT INTO v (id, i) VALUES (3, 30)`); err != nil {
+		t.Fatal(err)
+	}
+	// SUM(i) + COUNT(*) = 40 + 3.
+	got := one(t, db, `SELECT SUM(i) + COUNT(*) FROM v`)
+	if got.AsInt() != 43 {
+		t.Errorf("SUM+COUNT = %v", got)
+	}
+	// AVG over non-null values only: (10+30)/2.
+	got = one(t, db, `SELECT AVG(i) FROM v`)
+	if got.AsFloat() != 20 {
+		t.Errorf("AVG = %v", got)
+	}
+	// COUNT(col) skips NULLs; COUNT(*) does not.
+	if got := one(t, db, `SELECT COUNT(i) FROM v`); got.AsInt() != 2 {
+		t.Errorf("COUNT(i) = %v", got)
+	}
+	if got := one(t, db, `SELECT COUNT(*) FROM v`); got.AsInt() != 3 {
+		t.Errorf("COUNT(*) = %v", got)
+	}
+	// MIN/MAX over strings.
+	if got := one(t, db, `SELECT MIN(s) FROM v`); got.S != "abc" {
+		t.Errorf("MIN(s) = %v", got)
+	}
+	// SUM over an empty group is NULL.
+	if got := one(t, db, `SELECT SUM(i) FROM v WHERE id = 99`); !got.IsNull() {
+		t.Errorf("SUM(empty) = %v", got)
+	}
+	// Negated aggregate.
+	if got := one(t, db, `SELECT -SUM(i) FROM v`); got.AsInt() != -40 {
+		t.Errorf("-SUM = %v", got)
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	db := evalDB(t)
+	bad := []string{
+		`SELECT SUM(s) FROM v`,                // non-numeric SUM
+		`SELECT i FROM v WHERE SUM(i) > 0`,    // aggregate in WHERE
+		`SELECT * FROM v GROUP BY i`,          // star with aggregation
+		`SELECT SUM(i, f) FROM v`,             // wrong arity
+		`SELECT SUM(i) FROM v ORDER BY ghost`, // unknown output column
+	}
+	for _, sql := range bad {
+		if _, err := db.Query(sql); err == nil {
+			t.Errorf("%s accepted", sql)
+		}
+	}
+}
+
+func TestScalarFuncErrors(t *testing.T) {
+	db := evalDB(t)
+	for _, sql := range []string{
+		`SELECT LOWER(s, s) FROM v`,
+		`SELECT UPPER() FROM v`,
+		`SELECT LENGTH(s, s) FROM v`,
+		`SELECT NOSUCHFUNC(s) FROM v`,
+	} {
+		if _, err := db.Query(sql); err == nil {
+			t.Errorf("%s accepted", sql)
+		}
+	}
+	// NULL inputs yield NULL.
+	if got := one(t, db, `SELECT LOWER(s) FROM v WHERE id = 2`); !got.IsNull() {
+		t.Errorf("LOWER(NULL) = %v", got)
+	}
+	if got := one(t, db, `SELECT UPPER(s) FROM v WHERE id = 2`); !got.IsNull() {
+		t.Errorf("UPPER(NULL) = %v", got)
+	}
+	if got := one(t, db, `SELECT LENGTH(s) FROM v WHERE id = 2`); !got.IsNull() {
+		t.Errorf("LENGTH(NULL) = %v", got)
+	}
+}
+
+func TestArithmeticOnNonNumericFails(t *testing.T) {
+	db := evalDB(t)
+	if _, err := db.Query(`SELECT b * 2 FROM v WHERE id = 1`); err == nil {
+		t.Fatal("bool arithmetic accepted")
+	}
+	if _, err := db.Query(`SELECT -s FROM v WHERE id = 1`); err == nil {
+		t.Fatal("string negation accepted")
+	}
+}
+
+func TestTimestampValues(t *testing.T) {
+	db := evalDB(t)
+	ts := time.Date(2003, 5, 19, 12, 0, 0, 0, time.UTC)
+	if _, err := db.Exec(`UPDATE v SET ts = ? WHERE id = 1`, Time(ts)); err != nil {
+		t.Fatal(err)
+	}
+	got := one(t, db, `SELECT ts FROM v WHERE id = 1`)
+	if got.K != KindTime || !got.AsTime().Equal(ts) {
+		t.Fatalf("ts = %#v", got)
+	}
+	// Timestamp comparison and string coercion.
+	later := Time(ts.Add(time.Hour))
+	if Compare(got, later) >= 0 {
+		t.Fatal("timestamp ordering broken")
+	}
+	// RFC3339 strings coerce into timestamp columns.
+	if _, err := db.Exec(`UPDATE v SET ts = ? WHERE id = 2`, Str("2003-05-20T00:00:00Z")); err != nil {
+		t.Fatal(err)
+	}
+	got = one(t, db, `SELECT ts FROM v WHERE id = 2`)
+	if got.K != KindTime {
+		t.Fatalf("coerced ts = %#v", got)
+	}
+}
+
+func TestValueStringRendering(t *testing.T) {
+	cases := map[string]Value{
+		"NULL": Null(),
+		"42":   Int(42),
+		"'x'":  Str("x"),
+		"true": Bool(true),
+		"2.5":  Float(2.5),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("%#v.String() = %q, want %q", v, got, want)
+		}
+	}
+	if KindInt.String() != "INT" || KindNull.String() != "NULL" || KindTime.String() != "TIMESTAMP" {
+		t.Error("Kind strings wrong")
+	}
+}
+
+func TestValueConversions(t *testing.T) {
+	if Str("17").AsInt() != 17 || Str("2.5").AsFloat() != 2.5 {
+		t.Error("string numeric conversion broken")
+	}
+	if Bool(true).AsInt() != 1 || Bool(false).AsInt() != 0 {
+		t.Error("bool->int broken")
+	}
+	if Int(3).AsString() != "3" || Float(2.5).AsString() != "2.5" || Bool(true).AsString() != "true" {
+		t.Error("AsString broken")
+	}
+	if Null().AsString() != "" || !Null().IsNull() {
+		t.Error("null handling broken")
+	}
+	if Int(1).AsBool() != true || Int(0).AsBool() != false || Str("x").AsBool() != true {
+		t.Error("AsBool broken")
+	}
+	if !Int(5).AsTime().IsZero() {
+		t.Error("AsTime on non-time should be zero")
+	}
+}
+
+func TestSyntaxErrorMessage(t *testing.T) {
+	_, err := Parse(`SELECT FROM`)
+	var se *SyntaxError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v", err)
+	}
+	if !strings.Contains(se.Error(), "syntax error") || se.SQL != `SELECT FROM` {
+		t.Fatalf("message = %q", se.Error())
+	}
+}
+
+func TestTablesAndCostModelAccessors(t *testing.T) {
+	db := evalDB(t)
+	names := db.Tables()
+	if len(names) != 1 || names[0] != "v" {
+		t.Fatalf("tables = %v", names)
+	}
+	// A heavier cost model increases reported statement cost.
+	cheap, err := db.Query(`SELECT * FROM v`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expensive := DefaultCostModel
+	expensive.PerStatement *= 10
+	db.SetCostModel(expensive)
+	costly, err := db.Query(`SELECT * FROM v`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if costly.Cost <= cheap.Cost {
+		t.Fatalf("cost model ignored: %v <= %v", costly.Cost, cheap.Cost)
+	}
+	if _, err := db.RowCount("ghost"); !errors.Is(err, ErrNoSuchTable) {
+		t.Fatalf("RowCount ghost: %v", err)
+	}
+}
+
+func TestGroupByWithPlaceholderFilter(t *testing.T) {
+	db := New()
+	if _, err := db.Exec(`CREATE TABLE o (id INT PRIMARY KEY, cat TEXT, amt INT)`); err != nil {
+		t.Fatal(err)
+	}
+	rows := []struct {
+		cat string
+		amt int64
+	}{{"a", 1}, {"a", 2}, {"b", 5}, {"b", 7}, {"c", 100}}
+	for i, r := range rows {
+		if _, err := db.Exec(`INSERT INTO o VALUES (?, ?, ?)`, Int(int64(i)), Str(r.cat), Int(r.amt)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := db.Query(`SELECT cat, SUM(amt) AS total FROM o WHERE amt < ? GROUP BY cat ORDER BY total DESC`, Int(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Fatalf("groups = %d", res.Len())
+	}
+	if res.Rows[0][0].S != "b" || res.Rows[0][1].AsInt() != 12 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[1][0].S != "a" || res.Rows[1][1].AsInt() != 3 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestThreeWayJoin(t *testing.T) {
+	db := New()
+	for _, s := range []string{
+		`CREATE TABLE a (id INT PRIMARY KEY, name TEXT)`,
+		`CREATE TABLE b (id INT PRIMARY KEY, aid INT)`,
+		`CREATE TABLE c (id INT PRIMARY KEY, bid INT, v INT)`,
+		`INSERT INTO a VALUES (1, 'x'), (2, 'y')`,
+		`INSERT INTO b VALUES (10, 1), (11, 2)`,
+		`INSERT INTO c VALUES (100, 10, 7), (101, 11, 8), (102, 10, 9)`,
+	} {
+		if _, err := db.Exec(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := db.Query(`SELECT a.name, SUM(c.v) AS total
+		FROM a JOIN b ON b.aid = a.id JOIN c ON c.bid = b.id
+		GROUP BY a.name ORDER BY total DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 || res.Rows[0][0].S != "x" || res.Rows[0][1].AsInt() != 16 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestStringOrderingAndBoolOrdering(t *testing.T) {
+	if Compare(Str("a"), Str("b")) >= 0 || Compare(Bool(false), Bool(true)) >= 0 {
+		t.Fatal("ordering broken")
+	}
+	if Compare(Bool(true), Bool(true)) != 0 {
+		t.Fatal("bool equality broken")
+	}
+	// Mismatched non-numeric kinds order by kind, consistently.
+	if Compare(Str("z"), Bool(true))+Compare(Bool(true), Str("z")) != 0 {
+		t.Fatal("cross-kind ordering not antisymmetric")
+	}
+}
+
+func TestHavingFiltersGroups(t *testing.T) {
+	db := New()
+	if _, err := db.Exec(`CREATE TABLE o (id INT PRIMARY KEY, cat TEXT, amt INT)`); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range []struct {
+		cat string
+		amt int64
+	}{{"a", 1}, {"a", 2}, {"b", 5}, {"b", 7}, {"c", 1}} {
+		if _, err := db.Exec(`INSERT INTO o VALUES (?, ?, ?)`, Int(int64(i)), Str(r.cat), Int(r.amt)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := db.Query(`SELECT cat, SUM(amt) AS total FROM o GROUP BY cat HAVING SUM(amt) > 2 ORDER BY total DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Fatalf("groups = %d, want 2 (HAVING filtered)", res.Len())
+	}
+	if res.Rows[0][0].S != "b" || res.Rows[0][1].AsInt() != 12 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[1][0].S != "a" || res.Rows[1][1].AsInt() != 3 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	// HAVING with a COUNT filter and placeholder.
+	res, err = db.Query(`SELECT cat FROM o GROUP BY cat HAVING COUNT(*) >= ?`, Int(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Fatalf("groups = %d", res.Len())
+	}
+	// HAVING over a global aggregate (no GROUP BY).
+	res, err = db.Query(`SELECT SUM(amt) FROM o HAVING COUNT(*) > 100`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 0 {
+		t.Fatalf("rows = %d, want 0", res.Len())
+	}
+	// HAVING without aggregation context is rejected.
+	if _, err := db.Query(`SELECT amt FROM o HAVING amt > 1`); err == nil {
+		t.Fatal("HAVING without GROUP BY/aggregate accepted")
+	}
+}

@@ -1,0 +1,820 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	sql     string
+	toks    []token
+	pos     int
+	nParams int
+}
+
+// Parse parses a single SQL statement.
+func Parse(sql string) (Stmt, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{sql: sql, toks: toks}
+	st, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	// Optional trailing semicolon.
+	if p.peek().kind == tokSymbol && p.peek().text == ";" {
+		p.next()
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errorf("unexpected %q after statement", p.peek().text)
+	}
+	return st, nil
+}
+
+func (p *parser) peek() token   { return p.toks[p.pos] }
+func (p *parser) next() token   { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) save() int     { return p.pos }
+func (p *parser) restore(s int) { p.pos = s }
+
+func (p *parser) errorf(format string, args ...any) error {
+	return &SyntaxError{Pos: p.peek().pos, Msg: fmt.Sprintf(format, args...), SQL: p.sql}
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.peek().kind == tokKeyword && p.peek().text == kw {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errorf("expected %s", kw)
+	}
+	return nil
+}
+
+func (p *parser) acceptSymbol(s string) bool {
+	if p.peek().kind == tokSymbol && p.peek().text == s {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if !p.acceptSymbol(s) {
+		return p.errorf("expected %q", s)
+	}
+	return nil
+}
+
+// ident accepts an identifier or a non-reserved keyword used as a name
+// (column names like "count" are rejected; keep names unreserved).
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.kind == tokIdent {
+		p.next()
+		return t.text, nil
+	}
+	return "", p.errorf("expected identifier, got %q", t.text)
+}
+
+func (p *parser) statement() (Stmt, error) {
+	t := p.peek()
+	if t.kind != tokKeyword {
+		return nil, p.errorf("expected statement keyword, got %q", t.text)
+	}
+	switch t.text {
+	case "SELECT":
+		return p.selectStmt()
+	case "INSERT":
+		return p.insertStmt()
+	case "UPDATE":
+		return p.updateStmt()
+	case "DELETE":
+		return p.deleteStmt()
+	case "CREATE":
+		return p.createStmt()
+	case "DROP":
+		return p.dropStmt()
+	default:
+		return nil, p.errorf("unsupported statement %s", t.text)
+	}
+}
+
+func (p *parser) createStmt() (Stmt, error) {
+	if err := p.expectKeyword("CREATE"); err != nil {
+		return nil, err
+	}
+	unique := p.acceptKeyword("UNIQUE")
+	if p.acceptKeyword("TABLE") {
+		if unique {
+			return nil, p.errorf("UNIQUE TABLE is not valid")
+		}
+		return p.createTable()
+	}
+	if p.acceptKeyword("INDEX") {
+		return p.createIndex(unique)
+	}
+	return nil, p.errorf("expected TABLE or INDEX")
+}
+
+func (p *parser) createTable() (Stmt, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	st := &CreateTableStmt{Name: strings.ToLower(name)}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		kind, err := p.columnKind()
+		if err != nil {
+			return nil, err
+		}
+		def := ColumnDef{Name: strings.ToLower(col), Kind: kind}
+		for {
+			switch {
+			case p.acceptKeyword("PRIMARY"):
+				if err := p.expectKeyword("KEY"); err != nil {
+					return nil, err
+				}
+				def.PrimaryKey = true
+				def.NotNull = true
+			case p.acceptKeyword("NOT"):
+				if err := p.expectKeyword("NULL"); err != nil {
+					return nil, err
+				}
+				def.NotNull = true
+			default:
+				goto colDone
+			}
+		}
+	colDone:
+		st.Cols = append(st.Cols, def)
+		if p.acceptSymbol(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *parser) columnKind() (Kind, error) {
+	t := p.peek()
+	if t.kind != tokKeyword {
+		return 0, p.errorf("expected column type, got %q", t.text)
+	}
+	p.next()
+	switch t.text {
+	case "INT", "INTEGER":
+		return KindInt, nil
+	case "FLOAT", "REAL":
+		return KindFloat, nil
+	case "TEXT", "VARCHAR":
+		// VARCHAR may carry a length we ignore.
+		if p.acceptSymbol("(") {
+			if p.peek().kind != tokNumber {
+				return 0, p.errorf("expected length")
+			}
+			p.next()
+			if err := p.expectSymbol(")"); err != nil {
+				return 0, err
+			}
+		}
+		return KindString, nil
+	case "BOOL", "BOOLEAN":
+		return KindBool, nil
+	case "TIMESTAMP":
+		return KindTime, nil
+	default:
+		return 0, p.errorf("unsupported column type %s", t.text)
+	}
+}
+
+func (p *parser) createIndex(unique bool) (Stmt, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	col, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return &CreateIndexStmt{
+		Name:   strings.ToLower(name),
+		Table:  strings.ToLower(table),
+		Col:    strings.ToLower(col),
+		Unique: unique,
+	}, nil
+}
+
+func (p *parser) dropStmt() (Stmt, error) {
+	if err := p.expectKeyword("DROP"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	return &DropTableStmt{Name: strings.ToLower(name)}, nil
+}
+
+func (p *parser) insertStmt() (Stmt, error) {
+	if err := p.expectKeyword("INSERT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := &InsertStmt{Table: strings.ToLower(table)}
+	if p.acceptSymbol("(") {
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			st.Cols = append(st.Cols, strings.ToLower(col))
+			if p.acceptSymbol(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if p.acceptSymbol(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		st.Rows = append(st.Rows, row)
+		if p.acceptSymbol(",") {
+			continue
+		}
+		break
+	}
+	return st, nil
+}
+
+func (p *parser) updateStmt() (Stmt, error) {
+	if err := p.expectKeyword("UPDATE"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	st := &UpdateStmt{Table: strings.ToLower(table)}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return nil, err
+		}
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		st.Sets = append(st.Sets, Assign{Col: strings.ToLower(col), Expr: e})
+		if p.acceptSymbol(",") {
+			continue
+		}
+		break
+	}
+	if p.acceptKeyword("WHERE") {
+		w, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = w
+	}
+	return st, nil
+}
+
+func (p *parser) deleteStmt() (Stmt, error) {
+	if err := p.expectKeyword("DELETE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := &DeleteStmt{Table: strings.ToLower(table)}
+	if p.acceptKeyword("WHERE") {
+		w, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = w
+	}
+	return st, nil
+}
+
+func (p *parser) selectStmt() (Stmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	st := &SelectStmt{Limit: -1}
+	st.Distinct = p.acceptKeyword("DISTINCT")
+	// Output list.
+	for {
+		if p.acceptSymbol("*") {
+			st.Items = append(st.Items, SelectItem{Star: true})
+		} else {
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Expr: e}
+			if p.acceptKeyword("AS") {
+				alias, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				item.Alias = strings.ToLower(alias)
+			} else if p.peek().kind == tokIdent {
+				item.Alias = strings.ToLower(p.next().text)
+			}
+			st.Items = append(st.Items, item)
+		}
+		if p.acceptSymbol(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	// FROM list with optional JOIN ... ON.
+	ref, err := p.tableRef()
+	if err != nil {
+		return nil, err
+	}
+	st.From = append(st.From, ref)
+	st.JoinOn = append(st.JoinOn, nil)
+	for {
+		if p.acceptSymbol(",") {
+			ref, err := p.tableRef()
+			if err != nil {
+				return nil, err
+			}
+			st.From = append(st.From, ref)
+			st.JoinOn = append(st.JoinOn, nil)
+			continue
+		}
+		inner := p.acceptKeyword("INNER")
+		if p.acceptKeyword("JOIN") {
+			ref, err := p.tableRef()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("ON"); err != nil {
+				return nil, err
+			}
+			on, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			st.From = append(st.From, ref)
+			st.JoinOn = append(st.JoinOn, on)
+			continue
+		}
+		if inner {
+			return nil, p.errorf("expected JOIN after INNER")
+		}
+		break
+	}
+	if p.acceptKeyword("WHERE") {
+		w, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = w
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			st.GroupBy = append(st.GroupBy, e)
+			if p.acceptSymbol(",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.acceptKeyword("HAVING") {
+		h, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if len(st.GroupBy) == 0 && !hasAggregate(h) {
+			return nil, p.errorf("HAVING requires GROUP BY or an aggregate")
+		}
+		st.Having = h
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			k := OrderKey{Expr: e}
+			if p.acceptKeyword("DESC") {
+				k.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			st.OrderBy = append(st.OrderBy, k)
+			if p.acceptSymbol(",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		if p.peek().kind != tokNumber {
+			return nil, p.errorf("expected LIMIT count")
+		}
+		st.Limit = int(p.next().num.AsInt())
+	}
+	if p.acceptKeyword("OFFSET") {
+		if p.peek().kind != tokNumber {
+			return nil, p.errorf("expected OFFSET count")
+		}
+		st.Offset = int(p.next().num.AsInt())
+	}
+	return st, nil
+}
+
+func (p *parser) tableRef() (TableRef, error) {
+	name, err := p.ident()
+	if err != nil {
+		return TableRef{}, err
+	}
+	ref := TableRef{Table: strings.ToLower(name)}
+	if p.acceptKeyword("AS") {
+		alias, err := p.ident()
+		if err != nil {
+			return TableRef{}, err
+		}
+		ref.Alias = strings.ToLower(alias)
+	} else if p.peek().kind == tokIdent {
+		ref.Alias = strings.ToLower(p.next().text)
+	}
+	return ref, nil
+}
+
+// Expression grammar, lowest precedence first:
+// expr     = andExpr (OR andExpr)*
+// andExpr  = notExpr (AND notExpr)*
+// notExpr  = [NOT] cmpExpr
+// cmpExpr  = addExpr [(=|<>|<|<=|>|>=|LIKE) addExpr | IS [NOT] NULL |
+//            [NOT] IN (...) | [NOT] BETWEEN addExpr AND addExpr]
+// addExpr  = mulExpr ((+|-) mulExpr)*
+// mulExpr  = unary ((*|/) unary)*
+// unary    = [-] primary
+// primary  = literal | placeholder | funcCall | columnRef | (expr)
+
+func (p *parser) expression() (Expr, error) {
+	left, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		right, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "OR", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	left, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		right, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "AND", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) notExpr() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		x, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", X: x}, nil
+	}
+	return p.cmpExpr()
+}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	left, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind == tokSymbol {
+		switch t.text {
+		case "=", "<>", "<", "<=", ">", ">=":
+			p.next()
+			right, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &BinaryExpr{Op: t.text, Left: left, Right: right}, nil
+		}
+	}
+	if t.kind == tokKeyword {
+		switch t.text {
+		case "LIKE":
+			p.next()
+			right, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &BinaryExpr{Op: "LIKE", Left: left, Right: right}, nil
+		case "IS":
+			p.next()
+			neg := p.acceptKeyword("NOT")
+			if err := p.expectKeyword("NULL"); err != nil {
+				return nil, err
+			}
+			return &IsNullExpr{X: left, Negate: neg}, nil
+		case "IN":
+			p.next()
+			return p.inList(left, false)
+		case "BETWEEN":
+			p.next()
+			return p.between(left, false)
+		case "NOT":
+			// expr NOT IN / expr NOT BETWEEN.
+			saved := p.save()
+			p.next()
+			if p.acceptKeyword("IN") {
+				return p.inList(left, true)
+			}
+			if p.acceptKeyword("BETWEEN") {
+				return p.between(left, true)
+			}
+			p.restore(saved)
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) inList(left Expr, neg bool) (Expr, error) {
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	in := &InExpr{X: left, Negate: neg}
+	for {
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		in.List = append(in.List, e)
+		if p.acceptSymbol(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+func (p *parser) between(left Expr, neg bool) (Expr, error) {
+	lo, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AND"); err != nil {
+		return nil, err
+	}
+	hi, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &BetweenExpr{X: left, Lo: lo, Hi: hi, Negate: neg}, nil
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	left, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tokSymbol && (t.text == "+" || t.text == "-") {
+			p.next()
+			right, err := p.mulExpr()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinaryExpr{Op: t.text, Left: left, Right: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	left, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tokSymbol && (t.text == "*" || t.text == "/") {
+			p.next()
+			right, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinaryExpr{Op: t.text, Left: left, Right: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	if p.acceptSymbol("-") {
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "-", X: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		return &Literal{Val: t.num}, nil
+	case tokString:
+		p.next()
+		return &Literal{Val: Str(t.text)}, nil
+	case tokPlaceholder:
+		p.next()
+		e := &Placeholder{Idx: p.nParams}
+		p.nParams++
+		return e, nil
+	case tokKeyword:
+		switch t.text {
+		case "NULL":
+			p.next()
+			return &Literal{Val: Null()}, nil
+		case "TRUE":
+			p.next()
+			return &Literal{Val: Bool(true)}, nil
+		case "FALSE":
+			p.next()
+			return &Literal{Val: Bool(false)}, nil
+		case "COUNT", "SUM", "AVG", "MIN", "MAX":
+			p.next()
+			return p.funcCall(t.text)
+		}
+		return nil, p.errorf("unexpected keyword %s in expression", t.text)
+	case tokIdent:
+		p.next()
+		// Function call, qualified column, or bare column.
+		if p.peek().kind == tokSymbol && p.peek().text == "(" {
+			return p.funcCall(strings.ToUpper(t.text))
+		}
+		if p.acceptSymbol(".") {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return &ColumnRef{Table: strings.ToLower(t.text), Name: strings.ToLower(col)}, nil
+		}
+		return &ColumnRef{Name: strings.ToLower(t.text)}, nil
+	case tokSymbol:
+		if t.text == "(" {
+			p.next()
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errorf("unexpected %q in expression", t.text)
+}
+
+func (p *parser) funcCall(name string) (Expr, error) {
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	fc := &FuncCall{Name: name}
+	if p.acceptSymbol("*") {
+		fc.Star = true
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return fc, nil
+	}
+	if p.acceptSymbol(")") {
+		return fc, nil
+	}
+	for {
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		fc.Args = append(fc.Args, e)
+		if p.acceptSymbol(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return fc, nil
+}

@@ -1,0 +1,257 @@
+package sqldb
+
+import (
+	"errors"
+	"testing"
+)
+
+func mustParse(t *testing.T, sql string) Stmt {
+	t.Helper()
+	st, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	return st
+}
+
+func TestParseCreateTable(t *testing.T) {
+	st := mustParse(t, `CREATE TABLE item (
+		id INT PRIMARY KEY,
+		name TEXT NOT NULL,
+		price FLOAT,
+		in_stock BOOL,
+		listed TIMESTAMP
+	)`)
+	ct, ok := st.(*CreateTableStmt)
+	if !ok {
+		t.Fatalf("got %T", st)
+	}
+	if ct.Name != "item" || len(ct.Cols) != 5 {
+		t.Fatalf("table = %s, cols = %d", ct.Name, len(ct.Cols))
+	}
+	if !ct.Cols[0].PrimaryKey || !ct.Cols[0].NotNull || ct.Cols[0].Kind != KindInt {
+		t.Fatalf("pk col wrong: %+v", ct.Cols[0])
+	}
+	if !ct.Cols[1].NotNull || ct.Cols[1].Kind != KindString {
+		t.Fatalf("name col wrong: %+v", ct.Cols[1])
+	}
+	if ct.Cols[4].Kind != KindTime {
+		t.Fatalf("listed col wrong: %+v", ct.Cols[4])
+	}
+}
+
+func TestParseVarcharLength(t *testing.T) {
+	st := mustParse(t, `CREATE TABLE u (name VARCHAR(100))`)
+	ct := st.(*CreateTableStmt)
+	if ct.Cols[0].Kind != KindString {
+		t.Fatalf("VARCHAR(100) parsed as %v", ct.Cols[0].Kind)
+	}
+}
+
+func TestParseInsertMultiRow(t *testing.T) {
+	st := mustParse(t, `INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')`)
+	ins := st.(*InsertStmt)
+	if ins.Table != "t" || len(ins.Cols) != 2 || len(ins.Rows) != 2 {
+		t.Fatalf("%+v", ins)
+	}
+}
+
+func TestParseInsertPlaceholders(t *testing.T) {
+	st := mustParse(t, `INSERT INTO t VALUES (?, ?, ?)`)
+	ins := st.(*InsertStmt)
+	for i, e := range ins.Rows[0] {
+		ph, ok := e.(*Placeholder)
+		if !ok || ph.Idx != i {
+			t.Fatalf("placeholder %d = %#v", i, e)
+		}
+	}
+}
+
+func TestParseSelectFull(t *testing.T) {
+	st := mustParse(t, `SELECT i.name, COUNT(*) AS n
+		FROM items i JOIN bids b ON b.item_id = i.id
+		WHERE i.category = ? AND b.amount > 10
+		GROUP BY i.name
+		ORDER BY n DESC, i.name ASC
+		LIMIT 25 OFFSET 5`)
+	sel := st.(*SelectStmt)
+	if len(sel.Items) != 2 || sel.Items[1].Alias != "n" {
+		t.Fatalf("items: %+v", sel.Items)
+	}
+	if len(sel.From) != 2 || sel.From[1].Table != "bids" || sel.JoinOn[1] == nil {
+		t.Fatalf("from: %+v", sel.From)
+	}
+	if sel.Where == nil || len(sel.GroupBy) != 1 || len(sel.OrderBy) != 2 {
+		t.Fatalf("clauses: %+v", sel)
+	}
+	if !sel.OrderBy[0].Desc || sel.OrderBy[1].Desc {
+		t.Fatalf("order dirs: %+v", sel.OrderBy)
+	}
+	if sel.Limit != 25 || sel.Offset != 5 {
+		t.Fatalf("limit/offset: %d/%d", sel.Limit, sel.Offset)
+	}
+}
+
+func TestParseSelectStar(t *testing.T) {
+	st := mustParse(t, `SELECT * FROM t WHERE id = 1`)
+	sel := st.(*SelectStmt)
+	if len(sel.Items) != 1 || !sel.Items[0].Star {
+		t.Fatalf("%+v", sel.Items)
+	}
+}
+
+func TestParseOperatorPrecedence(t *testing.T) {
+	st := mustParse(t, `SELECT a FROM t WHERE a + 2 * 3 = 7 AND b = 1 OR c = 2`)
+	sel := st.(*SelectStmt)
+	// Top must be OR.
+	or, ok := sel.Where.(*BinaryExpr)
+	if !ok || or.Op != "OR" {
+		t.Fatalf("top = %#v", sel.Where)
+	}
+	and, ok := or.Left.(*BinaryExpr)
+	if !ok || and.Op != "AND" {
+		t.Fatalf("left = %#v", or.Left)
+	}
+	eq, ok := and.Left.(*BinaryExpr)
+	if !ok || eq.Op != "=" {
+		t.Fatalf("eq = %#v", and.Left)
+	}
+	add, ok := eq.Left.(*BinaryExpr)
+	if !ok || add.Op != "+" {
+		t.Fatalf("add = %#v", eq.Left)
+	}
+	if mul, ok := add.Right.(*BinaryExpr); !ok || mul.Op != "*" {
+		t.Fatalf("mul = %#v", add.Right)
+	}
+}
+
+func TestParseInBetweenIsNullLike(t *testing.T) {
+	st := mustParse(t, `SELECT a FROM t WHERE a IN (1, 2) AND b NOT IN (3)
+		AND c BETWEEN 1 AND 5 AND d IS NOT NULL AND e LIKE '%cat%' AND f IS NULL`)
+	sel := st.(*SelectStmt)
+	if sel.Where == nil {
+		t.Fatal("no where")
+	}
+}
+
+func TestParseUpdateDelete(t *testing.T) {
+	st := mustParse(t, `UPDATE inv SET qty = qty - 1, touched = TRUE WHERE item_id = ?`)
+	up := st.(*UpdateStmt)
+	if up.Table != "inv" || len(up.Sets) != 2 || up.Where == nil {
+		t.Fatalf("%+v", up)
+	}
+	st = mustParse(t, `DELETE FROM sessions WHERE expired = TRUE`)
+	del := st.(*DeleteStmt)
+	if del.Table != "sessions" || del.Where == nil {
+		t.Fatalf("%+v", del)
+	}
+}
+
+func TestParseCreateIndex(t *testing.T) {
+	st := mustParse(t, `CREATE UNIQUE INDEX idx_user ON users (nickname)`)
+	ci := st.(*CreateIndexStmt)
+	if !ci.Unique || ci.Table != "users" || ci.Col != "nickname" {
+		t.Fatalf("%+v", ci)
+	}
+}
+
+func TestParseCommaJoin(t *testing.T) {
+	st := mustParse(t, `SELECT a.x FROM a, b WHERE a.id = b.aid`)
+	sel := st.(*SelectStmt)
+	if len(sel.From) != 2 || sel.JoinOn[1] != nil {
+		t.Fatalf("%+v", sel)
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	st := mustParse(t, `SELECT a FROM t WHERE s = 'it''s'`)
+	sel := st.(*SelectStmt)
+	eq := sel.Where.(*BinaryExpr)
+	lit := eq.Right.(*Literal)
+	if lit.Val.S != "it's" {
+		t.Fatalf("string = %q", lit.Val.S)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	mustParse(t, "SELECT a FROM t -- trailing comment\nWHERE a = 1")
+}
+
+func TestParseNegativeNumber(t *testing.T) {
+	st := mustParse(t, `SELECT a FROM t WHERE a > -5`)
+	sel := st.(*SelectStmt)
+	gt := sel.Where.(*BinaryExpr)
+	if _, ok := gt.Right.(*UnaryExpr); !ok {
+		t.Fatalf("right = %#v", gt.Right)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"SELEC a FROM t",
+		"SELECT FROM t",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"INSERT INTO t",
+		"INSERT INTO t VALUES 1",
+		"UPDATE t SET",
+		"CREATE TABLE t",
+		"CREATE TABLE t (a BLOB)",
+		"SELECT a FROM t LIMIT x",
+		"SELECT a FROM t; SELECT b FROM t",
+		"SELECT a FROM t WHERE s = 'unterminated",
+		"SELECT a FROM t WHERE a @ 1",
+		"CREATE UNIQUE TABLE t (a INT)",
+		"SELECT a FROM t INNER WHERE a = 1",
+	}
+	for _, sql := range cases {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", sql)
+		} else {
+			var se *SyntaxError
+			if !errors.As(err, &se) {
+				t.Errorf("Parse(%q) error %T, want *SyntaxError", sql, err)
+			}
+		}
+	}
+}
+
+func TestParseTrailingSemicolon(t *testing.T) {
+	mustParse(t, "SELECT a FROM t;")
+}
+
+func TestParseAggregates(t *testing.T) {
+	st := mustParse(t, `SELECT COUNT(*), SUM(price), AVG(price), MIN(price), MAX(price) FROM items`)
+	sel := st.(*SelectStmt)
+	if len(sel.Items) != 5 {
+		t.Fatalf("items = %d", len(sel.Items))
+	}
+	fc := sel.Items[0].Expr.(*FuncCall)
+	if fc.Name != "COUNT" || !fc.Star {
+		t.Fatalf("%+v", fc)
+	}
+}
+
+func TestParseDistinct(t *testing.T) {
+	st := mustParse(t, `SELECT DISTINCT region FROM users`)
+	sel := st.(*SelectStmt)
+	if !sel.Distinct {
+		t.Fatal("DISTINCT not parsed")
+	}
+}
+
+func TestParseQualifiedStarUnsupported(t *testing.T) {
+	if _, err := Parse(`SELECT t.* FROM t`); err == nil {
+		t.Fatal("t.* should be rejected")
+	}
+}
+
+func TestParseScalarFuncs(t *testing.T) {
+	st := mustParse(t, `SELECT LOWER(name) FROM t WHERE UPPER(name) LIKE 'A%'`)
+	sel := st.(*SelectStmt)
+	fc := sel.Items[0].Expr.(*FuncCall)
+	if fc.Name != "LOWER" || len(fc.Args) != 1 {
+		t.Fatalf("%+v", fc)
+	}
+}

@@ -1,0 +1,555 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// execSelect runs a SELECT: nested-loop join with hash-index probes for
+// equality ON conditions, WHERE filtering, optional grouping/aggregation,
+// ORDER BY, DISTINCT and LIMIT/OFFSET.
+func (db *DB) execSelect(s *SelectStmt, args []Value) (*Result, error) {
+	tabs := make([]*table, len(s.From))
+	names := make([]string, len(s.From))
+	seen := make(map[string]bool, len(s.From))
+	for i, ref := range s.From {
+		t, ok := db.tables[ref.Table]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, ref.Table)
+		}
+		tabs[i] = t
+		names[i] = ref.Name()
+		if seen[names[i]] {
+			return nil, fmt.Errorf("sqldb: duplicate table name %s in FROM", names[i])
+		}
+		seen[names[i]] = true
+	}
+
+	scanned := 0
+	var matches []*evalCtx
+
+	// join recursively extends the current row combination table by table.
+	var join func(i int, bound []boundTable) error
+	join = func(i int, bound []boundTable) error {
+		if i == len(tabs) {
+			ctx := &evalCtx{params: args, tables: append([]boundTable(nil), bound...)}
+			if s.Where != nil {
+				v, err := ctx.eval(s.Where)
+				if err != nil {
+					return err
+				}
+				if !v.AsBool() {
+					return nil
+				}
+			}
+			matches = append(matches, ctx)
+			return nil
+		}
+		t := tabs[i]
+		// Try an index probe using the ON condition (or, for the first
+		// table, the WHERE clause).
+		var probe Expr
+		if i == 0 {
+			probe = s.Where
+		} else {
+			probe = s.JoinOn[i]
+		}
+		positions, err := db.joinCandidates(t, names[i], probe, bound, args)
+		if err != nil {
+			return err
+		}
+		for _, pos := range positions {
+			r := t.rows[pos]
+			if r.dead {
+				continue
+			}
+			scanned++
+			next := append(bound, boundTable{name: names[i], t: t, vals: r.vals})
+			if i > 0 && s.JoinOn[i] != nil {
+				ctx := &evalCtx{params: args, tables: next}
+				v, err := ctx.eval(s.JoinOn[i])
+				if err != nil {
+					return err
+				}
+				if !v.AsBool() {
+					continue
+				}
+			}
+			if err := join(i+1, next); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := join(0, nil); err != nil {
+		return nil, err
+	}
+
+	cols := db.outputColumns(s, tabs, names)
+
+	var rows [][]Value
+	if len(s.GroupBy) > 0 || itemsHaveAggregate(s.Items) || s.Having != nil {
+		grouped, err := groupRows(s, matches, args)
+		if err != nil {
+			return nil, err
+		}
+		rows = grouped
+	} else {
+		for _, ctx := range matches {
+			out, err := projectRow(s, ctx)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, out)
+		}
+	}
+
+	// Sort before deduplicating so that DISTINCT keeps rows in order and
+	// row/match alignment holds while sort keys are evaluated.
+	if len(s.OrderBy) > 0 {
+		if err := orderRows(s, rows, matches, args); err != nil {
+			return nil, err
+		}
+	}
+
+	if s.Distinct {
+		rows = distinctRows(rows)
+	}
+
+	if s.Offset > 0 {
+		if s.Offset >= len(rows) {
+			rows = nil
+		} else {
+			rows = rows[s.Offset:]
+		}
+	}
+	if s.Limit >= 0 && s.Limit < len(rows) {
+		rows = rows[:s.Limit]
+	}
+
+	return &Result{
+		Cols:    cols,
+		Rows:    rows,
+		Scanned: scanned,
+		Cost:    db.cost.cost(scanned, 0, len(rows)),
+	}, nil
+}
+
+// joinCandidates returns candidate positions in t, using a hash index when
+// probe contains an equality between a column of t and an expression
+// evaluable from already-bound tables and parameters.
+func (db *DB) joinCandidates(t *table, name string, probe Expr, bound []boundTable, args []Value) ([]int, error) {
+	if probe != nil {
+		if col, val, ok := boundEq(t, name, probe, bound, args); ok {
+			if ix := t.indexOn(col); ix != nil {
+				return append([]int(nil), ix.m[val.mapKey()]...), nil
+			}
+		}
+	}
+	all := make([]int, 0, t.live)
+	for pos, r := range t.rows {
+		if !r.dead {
+			all = append(all, pos)
+		}
+	}
+	return all, nil
+}
+
+// boundEq searches probe for a conjunct `t.col = expr` where expr evaluates
+// using only bound tables and parameters, returning the column and value.
+func boundEq(t *table, name string, probe Expr, bound []boundTable, args []Value) (int, Value, bool) {
+	be, ok := probe.(*BinaryExpr)
+	if !ok {
+		return 0, Value{}, false
+	}
+	switch be.Op {
+	case "AND":
+		if c, v, ok := boundEq(t, name, be.Left, bound, args); ok {
+			return c, v, true
+		}
+		return boundEq(t, name, be.Right, bound, args)
+	case "=":
+		if c, v, ok := boundEqSides(t, name, be.Left, be.Right, bound, args); ok {
+			return c, v, true
+		}
+		return boundEqSides(t, name, be.Right, be.Left, bound, args)
+	}
+	return 0, Value{}, false
+}
+
+func boundEqSides(t *table, name string, l, r Expr, bound []boundTable, args []Value) (int, Value, bool) {
+	ref, ok := l.(*ColumnRef)
+	if !ok {
+		return 0, Value{}, false
+	}
+	if ref.Table != "" && ref.Table != name {
+		return 0, Value{}, false
+	}
+	col, ok := t.colIdx[ref.Name]
+	if !ok {
+		return 0, Value{}, false
+	}
+	if ref.Table == "" {
+		// Unqualified: make sure it is not ambiguous with a bound table.
+		for _, bt := range bound {
+			if _, clash := bt.t.colIdx[ref.Name]; clash {
+				return 0, Value{}, false
+			}
+		}
+	}
+	// The other side must evaluate with only bound tables and params.
+	ctx := &evalCtx{params: args, tables: bound}
+	if !evaluableWith(r, ctx) {
+		return 0, Value{}, false
+	}
+	v, err := ctx.eval(r)
+	if err != nil {
+		return 0, Value{}, false
+	}
+	return col, v, true
+}
+
+// evaluableWith reports whether e references only columns resolvable in ctx.
+func evaluableWith(e Expr, ctx *evalCtx) bool {
+	switch x := e.(type) {
+	case nil:
+		return true
+	case *Literal, *Placeholder:
+		return true
+	case *ColumnRef:
+		_, err := ctx.resolve(x)
+		return err == nil
+	case *BinaryExpr:
+		return evaluableWith(x.Left, ctx) && evaluableWith(x.Right, ctx)
+	case *UnaryExpr:
+		return evaluableWith(x.X, ctx)
+	case *FuncCall:
+		for _, a := range x.Args {
+			if !evaluableWith(a, ctx) {
+				return false
+			}
+		}
+		return !aggregateFuncs[x.Name]
+	default:
+		return false
+	}
+}
+
+// outputColumns derives result column names.
+func (db *DB) outputColumns(s *SelectStmt, tabs []*table, names []string) []string {
+	var cols []string
+	for _, item := range s.Items {
+		if item.Star {
+			for _, t := range tabs {
+				for _, c := range t.cols {
+					cols = append(cols, c.Name)
+				}
+			}
+			continue
+		}
+		if item.Alias != "" {
+			cols = append(cols, item.Alias)
+			continue
+		}
+		cols = append(cols, exprName(item.Expr))
+	}
+	return cols
+}
+
+func exprName(e Expr) string {
+	switch x := e.(type) {
+	case *ColumnRef:
+		return x.Name
+	case *FuncCall:
+		return strings.ToLower(x.Name)
+	default:
+		return "expr"
+	}
+}
+
+func itemsHaveAggregate(items []SelectItem) bool {
+	for _, it := range items {
+		if !it.Star && hasAggregate(it.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+// projectRow computes the output row for one match in non-aggregate mode.
+func projectRow(s *SelectStmt, ctx *evalCtx) ([]Value, error) {
+	var out []Value
+	for _, item := range s.Items {
+		if item.Star {
+			for _, bt := range ctx.tables {
+				out = append(out, bt.vals...)
+			}
+			continue
+		}
+		v, err := ctx.eval(item.Expr)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// groupRows groups matches by GROUP BY keys (one global group when absent)
+// and evaluates the select items per group.
+func groupRows(s *SelectStmt, matches []*evalCtx, args []Value) ([][]Value, error) {
+	type group struct {
+		rows []*evalCtx
+	}
+	var orderKeys []string
+	groups := make(map[string]*group)
+	for _, ctx := range matches {
+		gk := ""
+		for _, ge := range s.GroupBy {
+			v, err := ctx.eval(ge)
+			if err != nil {
+				return nil, err
+			}
+			gk += v.String() + "\x00"
+		}
+		g, ok := groups[gk]
+		if !ok {
+			g = &group{}
+			groups[gk] = g
+			orderKeys = append(orderKeys, gk)
+		}
+		g.rows = append(g.rows, ctx)
+	}
+	// With no GROUP BY and no matches, aggregates still yield one row.
+	if len(s.GroupBy) == 0 && len(matches) == 0 {
+		groups[""] = &group{}
+		orderKeys = append(orderKeys, "")
+	}
+	var rows [][]Value
+	for _, gk := range orderKeys {
+		g := groups[gk]
+		if s.Having != nil {
+			keep, err := evalAggregate(s.Having, g.rows, args)
+			if err != nil {
+				return nil, err
+			}
+			if !keep.AsBool() {
+				continue
+			}
+		}
+		var out []Value
+		for _, item := range s.Items {
+			if item.Star {
+				return nil, fmt.Errorf("sqldb: SELECT * with aggregation is not supported")
+			}
+			v, err := evalAggregate(item.Expr, g.rows, args)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		rows = append(rows, out)
+	}
+	return rows, nil
+}
+
+// evalAggregate evaluates e over a group of row contexts: aggregate calls
+// fold over the group; bare columns take their value from the first row.
+func evalAggregate(e Expr, group []*evalCtx, args []Value) (Value, error) {
+	switch x := e.(type) {
+	case *Literal:
+		return x.Val, nil
+	case *Placeholder:
+		if x.Idx >= len(args) {
+			return Value{}, fmt.Errorf("sqldb: missing parameter %d", x.Idx+1)
+		}
+		return args[x.Idx], nil
+	case *ColumnRef:
+		if len(group) == 0 {
+			return Null(), nil
+		}
+		return group[0].resolve(x)
+	case *FuncCall:
+		if !aggregateFuncs[x.Name] {
+			if len(group) == 0 {
+				return Null(), nil
+			}
+			return group[0].evalScalarFunc(x)
+		}
+		return foldAggregate(x, group)
+	case *BinaryExpr:
+		l, err := evalAggregate(x.Left, group, args)
+		if err != nil {
+			return Value{}, err
+		}
+		r, err := evalAggregate(x.Right, group, args)
+		if err != nil {
+			return Value{}, err
+		}
+		tmp := &evalCtx{params: args}
+		return tmp.evalBinary(&BinaryExpr{Op: x.Op, Left: &Literal{Val: l}, Right: &Literal{Val: r}})
+	case *UnaryExpr:
+		v, err := evalAggregate(x.X, group, args)
+		if err != nil {
+			return Value{}, err
+		}
+		tmp := &evalCtx{params: args}
+		return tmp.eval(&UnaryExpr{Op: x.Op, X: &Literal{Val: v}})
+	default:
+		return Value{}, fmt.Errorf("sqldb: unsupported expression %T under aggregation", e)
+	}
+}
+
+func foldAggregate(fc *FuncCall, group []*evalCtx) (Value, error) {
+	if fc.Name == "COUNT" && fc.Star {
+		return Int(int64(len(group))), nil
+	}
+	if len(fc.Args) != 1 {
+		return Value{}, fmt.Errorf("sqldb: %s takes exactly one argument", fc.Name)
+	}
+	count := int64(0)
+	var sum float64
+	sumIsInt := true
+	var sumInt int64
+	var minV, maxV Value
+	for _, ctx := range group {
+		v, err := ctx.eval(fc.Args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		if v.IsNull() {
+			continue
+		}
+		count++
+		switch fc.Name {
+		case "SUM", "AVG":
+			if !v.numeric() {
+				return Value{}, fmt.Errorf("sqldb: %s over non-numeric value %v", fc.Name, v)
+			}
+			if v.K != KindInt {
+				sumIsInt = false
+			}
+			sumInt += v.AsInt()
+			sum += v.AsFloat()
+		case "MIN":
+			if minV.IsNull() || Compare(v, minV) < 0 {
+				minV = v
+			}
+		case "MAX":
+			if maxV.IsNull() || Compare(v, maxV) > 0 {
+				maxV = v
+			}
+		}
+	}
+	switch fc.Name {
+	case "COUNT":
+		return Int(count), nil
+	case "SUM":
+		if count == 0 {
+			return Null(), nil
+		}
+		if sumIsInt {
+			return Int(sumInt), nil
+		}
+		return Float(sum), nil
+	case "AVG":
+		if count == 0 {
+			return Null(), nil
+		}
+		return Float(sum / float64(count)), nil
+	case "MIN":
+		return minV, nil
+	case "MAX":
+		return maxV, nil
+	}
+	return Value{}, fmt.Errorf("sqldb: unknown aggregate %s", fc.Name)
+}
+
+// orderRows sorts rows per ORDER BY. In non-aggregate mode the sort keys are
+// evaluated against the original match contexts; in aggregate mode ORDER BY
+// may only reference output columns by alias or position in the select list.
+func orderRows(s *SelectStmt, rows [][]Value, matches []*evalCtx, args []Value) error {
+	aggregated := len(s.GroupBy) > 0 || itemsHaveAggregate(s.Items)
+	type keyed struct {
+		row  []Value
+		keys []Value
+	}
+	keyedRows := make([]keyed, len(rows))
+	for i := range rows {
+		keys := make([]Value, len(s.OrderBy))
+		for j, ok := range s.OrderBy {
+			var v Value
+			var err error
+			if aggregated {
+				v, err = orderKeyFromOutput(s, ok.Expr, rows[i])
+			} else {
+				v, err = matches[i].eval(ok.Expr)
+			}
+			if err != nil {
+				return err
+			}
+			keys[j] = v
+		}
+		keyedRows[i] = keyed{row: rows[i], keys: keys}
+	}
+	sort.SliceStable(keyedRows, func(a, b int) bool {
+		for j, ok := range s.OrderBy {
+			c := Compare(keyedRows[a].keys[j], keyedRows[b].keys[j])
+			if c == 0 {
+				continue
+			}
+			if ok.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	for i := range rows {
+		rows[i] = keyedRows[i].row
+	}
+	return nil
+}
+
+// orderKeyFromOutput resolves an ORDER BY expression in aggregate mode by
+// matching it against a select-item alias or column name.
+func orderKeyFromOutput(s *SelectStmt, e Expr, out []Value) (Value, error) {
+	ref, ok := e.(*ColumnRef)
+	if !ok {
+		return Value{}, fmt.Errorf("sqldb: ORDER BY with aggregation must reference an output column")
+	}
+	idx := 0
+	for _, item := range s.Items {
+		if item.Star {
+			return Value{}, fmt.Errorf("sqldb: ORDER BY with SELECT * aggregation is not supported")
+		}
+		name := item.Alias
+		if name == "" {
+			name = exprName(item.Expr)
+		}
+		if name == ref.Name {
+			return out[idx], nil
+		}
+		idx++
+	}
+	return Value{}, fmt.Errorf("sqldb: ORDER BY column %s not in select list", ref.Name)
+}
+
+// distinctRows removes duplicate rows, keeping first occurrences.
+func distinctRows(rows [][]Value) [][]Value {
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0]
+	for _, r := range rows {
+		k := ""
+		for _, v := range r {
+			k += v.String() + "\x00"
+		}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, r)
+	}
+	return out
+}

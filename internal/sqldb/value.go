@@ -1,0 +1,300 @@
+// Package sqldb implements a small embedded relational database with a SQL
+// subset: CREATE TABLE, CREATE INDEX, INSERT, SELECT (WHERE, inner joins,
+// aggregates, GROUP BY, ORDER BY, LIMIT/OFFSET, LIKE), UPDATE and DELETE,
+// plus transactions with rollback and hash indexes.
+//
+// It substitutes for the Oracle/MySQL servers of the paper's testbed: the
+// entity beans' persistence (BMP and CMP finders) and the applications'
+// aggregate queries execute against it. A pluggable cost model reports a
+// virtual service time per statement so the discrete-event simulation can
+// charge database work to the DB node's CPU.
+package sqldb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind identifies the dynamic type of a Value.
+type Kind uint8
+
+// Value kinds. Null is deliberately the zero value so that the zero Value is
+// SQL NULL.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+	KindTime
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "TEXT"
+	case KindBool:
+		return "BOOL"
+	case KindTime:
+		return "TIMESTAMP"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a dynamically typed SQL value. The zero value is NULL.
+type Value struct {
+	K Kind
+	I int64
+	F float64
+	S string
+	B bool
+	T time.Time
+}
+
+// Constructors.
+
+// Null returns the SQL NULL value.
+func Null() Value { return Value{} }
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{K: KindInt, I: v} }
+
+// Float returns a floating-point value.
+func Float(v float64) Value { return Value{K: KindFloat, F: v} }
+
+// Str returns a string value.
+func Str(v string) Value { return Value{K: KindString, S: v} }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value { return Value{K: KindBool, B: v} }
+
+// Time returns a timestamp value.
+func Time(v time.Time) Value { return Value{K: KindTime, T: v} }
+
+// IsNull reports whether the value is SQL NULL.
+func (v Value) IsNull() bool { return v.K == KindNull }
+
+// AsInt returns the value as int64 (floats truncate). NULL is 0.
+func (v Value) AsInt() int64 {
+	switch v.K {
+	case KindInt:
+		return v.I
+	case KindFloat:
+		return int64(v.F)
+	case KindBool:
+		if v.B {
+			return 1
+		}
+		return 0
+	case KindString:
+		n, _ := strconv.ParseInt(v.S, 10, 64)
+		return n
+	default:
+		return 0
+	}
+}
+
+// AsFloat returns the value as float64. NULL is 0.
+func (v Value) AsFloat() float64 {
+	switch v.K {
+	case KindInt:
+		return float64(v.I)
+	case KindFloat:
+		return v.F
+	case KindString:
+		f, _ := strconv.ParseFloat(v.S, 64)
+		return f
+	default:
+		return 0
+	}
+}
+
+// AsString renders the value as a string.
+func (v Value) AsString() string {
+	switch v.K {
+	case KindNull:
+		return ""
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindString:
+		return v.S
+	case KindBool:
+		return strconv.FormatBool(v.B)
+	case KindTime:
+		return v.T.Format(time.RFC3339)
+	default:
+		return ""
+	}
+}
+
+// AsBool returns the value interpreted as a boolean. NULL is false.
+func (v Value) AsBool() bool {
+	switch v.K {
+	case KindBool:
+		return v.B
+	case KindInt:
+		return v.I != 0
+	case KindFloat:
+		return v.F != 0
+	case KindString:
+		return v.S != ""
+	default:
+		return false
+	}
+}
+
+// AsTime returns the value as a time.Time (zero if not a timestamp).
+func (v Value) AsTime() time.Time {
+	if v.K == KindTime {
+		return v.T
+	}
+	return time.Time{}
+}
+
+// String implements fmt.Stringer for debugging output.
+func (v Value) String() string {
+	if v.K == KindNull {
+		return "NULL"
+	}
+	if v.K == KindString {
+		return "'" + v.S + "'"
+	}
+	return v.AsString()
+}
+
+func (v Value) numeric() bool { return v.K == KindInt || v.K == KindFloat }
+
+// Compare orders two values: -1, 0 or +1. NULL sorts before everything.
+// Numeric kinds compare cross-kind; other mismatched kinds compare by kind.
+func Compare(a, b Value) int {
+	if a.K == KindNull || b.K == KindNull {
+		switch {
+		case a.K == b.K:
+			return 0
+		case a.K == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if a.numeric() && b.numeric() {
+		af, bf := a.AsFloat(), b.AsFloat()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if a.K != b.K {
+		if a.K < b.K {
+			return -1
+		}
+		return 1
+	}
+	switch a.K {
+	case KindString:
+		return strings.Compare(a.S, b.S)
+	case KindBool:
+		switch {
+		case a.B == b.B:
+			return 0
+		case !a.B:
+			return -1
+		default:
+			return 1
+		}
+	case KindTime:
+		switch {
+		case a.T.Before(b.T):
+			return -1
+		case a.T.After(b.T):
+			return 1
+		default:
+			return 0
+		}
+	default:
+		return 0
+	}
+}
+
+// Equal reports SQL equality (NULL never equals anything, including NULL).
+func Equal(a, b Value) bool {
+	if a.K == KindNull || b.K == KindNull {
+		return false
+	}
+	return Compare(a, b) == 0
+}
+
+// key is a comparable form of Value suitable for use as a map key in hash
+// indexes and GROUP BY buckets. Numeric values normalize to float64 so that
+// Int(3) and Float(3) hash identically, matching Compare.
+type key struct {
+	k Kind
+	f float64
+	s string
+	b bool
+	t int64
+}
+
+func (v Value) mapKey() key {
+	switch v.K {
+	case KindInt:
+		return key{k: KindFloat, f: float64(v.I)}
+	case KindFloat:
+		return key{k: KindFloat, f: v.F}
+	case KindString:
+		return key{k: KindString, s: v.S}
+	case KindBool:
+		return key{k: KindBool, b: v.B}
+	case KindTime:
+		return key{k: KindTime, t: v.T.UnixNano()}
+	default:
+		return key{}
+	}
+}
+
+// coerce converts v to the column kind where a lossless-enough conversion
+// exists; otherwise it returns an error.
+func coerce(v Value, to Kind) (Value, error) {
+	if v.K == KindNull || v.K == to {
+		return v, nil
+	}
+	switch to {
+	case KindInt:
+		if v.numeric() {
+			return Int(v.AsInt()), nil
+		}
+	case KindFloat:
+		if v.numeric() {
+			return Float(v.AsFloat()), nil
+		}
+	case KindString:
+		return Str(v.AsString()), nil
+	case KindBool:
+		if v.K == KindInt {
+			return Bool(v.I != 0), nil
+		}
+	case KindTime:
+		if v.K == KindString {
+			t, err := time.Parse(time.RFC3339, v.S)
+			if err == nil {
+				return Time(t), nil
+			}
+		}
+	}
+	return Value{}, fmt.Errorf("sqldb: cannot coerce %v (%v) to %v", v, v.K, to)
+}

@@ -1,0 +1,191 @@
+// Package web models the web tier: a servlet container per application
+// server and an HTTP client primitive whose cost model matches the paper's
+// setup — no keep-alive connections, so every page request pays one TCP
+// handshake round trip plus one request/response round trip (the "extra
+// 400 ms" remote clients observe against a centralized server).
+//
+// HTTP session state (the servlet HTTPSession) is modeled by Session, which
+// lives on the web tier: in distributed configurations each client group's
+// sessions are held by its collocated edge server.
+package web
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"wadeploy/internal/sim"
+	"wadeploy/internal/simnet"
+)
+
+// ErrNoSuchPage is returned for requests to unregistered pages.
+var ErrNoSuchPage = errors.New("web: no such page")
+
+// Session is per-client web-tier state (HTTPSession attributes).
+type Session struct {
+	ID    string
+	Node  string // web container holding the session
+	attrs map[string]any
+}
+
+// NewSession creates an empty session pinned to a container node.
+func NewSession(id, node string) *Session {
+	return &Session{ID: id, Node: node, attrs: make(map[string]any)}
+}
+
+// Get returns a session attribute, or nil.
+func (s *Session) Get(key string) any { return s.attrs[key] }
+
+// Set stores a session attribute.
+func (s *Session) Set(key string, v any) { s.attrs[key] = v }
+
+// Delete removes a session attribute.
+func (s *Session) Delete(key string) { delete(s.attrs, key) }
+
+// Len returns the number of attributes.
+func (s *Session) Len() int { return len(s.attrs) }
+
+// Request is one page request arriving at a servlet.
+type Request struct {
+	Page       string
+	Params     map[string]string
+	Session    *Session
+	ClientNode string
+}
+
+// Param returns a request parameter ("" when absent).
+func (r *Request) Param(key string) string { return r.Params[key] }
+
+// Response is the servlet's reply.
+type Response struct {
+	Status int
+	Bytes  int // rendered page size
+}
+
+// Handler renders one page. Handlers run on the request's process and are
+// responsible for charging their own business-logic CPU (the container
+// charges dispatch CPU around them).
+type Handler func(p *sim.Proc, req *Request) (*Response, error)
+
+// Options is the HTTP/servlet cost model.
+type Options struct {
+	// RequestBytes is the HTTP request size.
+	RequestBytes int
+
+	// DefaultPageBytes is the response size when the handler leaves
+	// Response.Bytes zero.
+	DefaultPageBytes int
+
+	// KeepAlive controls whether a TCP handshake round trip precedes
+	// every request. The paper did not use keep-alive connections.
+	KeepAlive bool
+
+	// DispatchCPU is the container-side cost of HTTP parsing and servlet
+	// dispatch, charged against the server's CPU.
+	DispatchCPU time.Duration
+}
+
+// DefaultOptions matches the paper's methodology (Section 3.3).
+var DefaultOptions = Options{
+	RequestBytes:     512,
+	DefaultPageBytes: 8 * 1024,
+	KeepAlive:        false,
+	DispatchCPU:      2 * time.Millisecond,
+}
+
+// Container is one server's servlet container (Jetty in the paper).
+type Container struct {
+	node     *simnet.Node
+	net      *simnet.Network
+	opts     Options
+	servlets map[string]Handler
+
+	served int64
+}
+
+// NewContainer creates a servlet container on the named node.
+func NewContainer(net *simnet.Network, node string, opts Options) (*Container, error) {
+	n := net.Node(node)
+	if n == nil {
+		return nil, fmt.Errorf("web: no such node %s", node)
+	}
+	return &Container{
+		node:     n,
+		net:      net,
+		opts:     opts,
+		servlets: make(map[string]Handler),
+	}, nil
+}
+
+// Node returns the container's node ID.
+func (c *Container) Node() string { return c.node.ID }
+
+// Served returns the number of requests this container has handled.
+func (c *Container) Served() int64 { return c.served }
+
+// Handle registers a servlet for a page name, replacing any previous one.
+func (c *Container) Handle(page string, h Handler) {
+	c.servlets[page] = h
+}
+
+// Pages returns the number of registered pages.
+func (c *Container) Pages() int { return len(c.servlets) }
+
+// serve dispatches the request to the servlet, charging dispatch CPU on the
+// container's node.
+func (c *Container) serve(p *sim.Proc, req *Request) (*Response, error) {
+	h, ok := c.servlets[req.Page]
+	if !ok {
+		return nil, fmt.Errorf("web: %s on %s: %w", req.Page, c.node.ID, ErrNoSuchPage)
+	}
+	c.served++
+	c.node.CPU.Use(p, c.opts.DispatchCPU)
+	resp, err := h(p, req)
+	if err != nil {
+		return nil, err
+	}
+	if resp == nil {
+		resp = &Response{Status: 200}
+	}
+	if resp.Status == 0 {
+		resp.Status = 200
+	}
+	if resp.Bytes == 0 {
+		resp.Bytes = c.opts.DefaultPageBytes
+	}
+	return resp, nil
+}
+
+// Get performs one HTTP page request from clientNode against the container:
+// TCP handshake (unless keep-alive), request transfer, servlet execution,
+// response transfer. It returns the response and the total elapsed time.
+func (c *Container) Get(p *sim.Proc, clientNode, page string, params map[string]string, sess *Session) (*Response, time.Duration, error) {
+	start := p.Now()
+	server := c.node.ID
+	defer p.Span("page", page+" @ "+server)()
+	if !c.opts.KeepAlive {
+		endTCP := p.Span("tcp", "handshake "+clientNode+" -> "+server)
+		// TCP three-way handshake: one round trip before data flows.
+		if err := c.net.Transfer(p, clientNode, server, 64); err != nil {
+			return nil, 0, fmt.Errorf("web: connect %s->%s: %w", clientNode, server, err)
+		}
+		if err := c.net.Transfer(p, server, clientNode, 64); err != nil {
+			return nil, 0, fmt.Errorf("web: connect %s->%s: %w", clientNode, server, err)
+		}
+		endTCP()
+	}
+	if err := c.net.Transfer(p, clientNode, server, c.opts.RequestBytes); err != nil {
+		return nil, 0, fmt.Errorf("web: request %s: %w", page, err)
+	}
+	req := &Request{Page: page, Params: params, Session: sess, ClientNode: clientNode}
+	endServe := p.Span("servlet", page)
+	resp, err := c.serve(p, req)
+	endServe()
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := c.net.Transfer(p, server, clientNode, resp.Bytes); err != nil {
+		return nil, 0, fmt.Errorf("web: response %s: %w", page, err)
+	}
+	return resp, p.Now() - start, nil
+}

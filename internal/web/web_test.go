@@ -1,0 +1,252 @@
+package web
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"wadeploy/internal/sim"
+	"wadeploy/internal/simnet"
+)
+
+func testNet(t *testing.T, env *sim.Env) *simnet.Network {
+	t.Helper()
+	n := simnet.New(env)
+	for _, id := range []string{"client", "server"} {
+		if _, err := n.AddNode(id, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := n.AddLink("client", "server", 100*time.Millisecond, 1e12); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestGetCostsTwoRoundTripsWithoutKeepAlive(t *testing.T) {
+	env := sim.NewEnv(1)
+	net := testNet(t, env)
+	opts := DefaultOptions
+	opts.DispatchCPU = 0
+	c, err := NewContainer(net, "server", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Handle("main", func(p *sim.Proc, r *Request) (*Response, error) {
+		return &Response{Bytes: 1}, nil
+	})
+	var elapsed time.Duration
+	env.Spawn("client", func(p *sim.Proc) {
+		_, d, err := c.Get(p, "client", "main", nil, nil)
+		if err != nil {
+			t.Errorf("get: %v", err)
+		}
+		elapsed = d
+	})
+	env.RunAll()
+	// Handshake RTT (200ms) + request/response RTT (200ms) = 400ms: the
+	// paper's "extra 400 ms" for WAN page requests.
+	if elapsed != 400*time.Millisecond {
+		t.Fatalf("elapsed = %v, want 400ms", elapsed)
+	}
+}
+
+func TestKeepAliveSkipsHandshake(t *testing.T) {
+	env := sim.NewEnv(1)
+	net := testNet(t, env)
+	opts := DefaultOptions
+	opts.DispatchCPU = 0
+	opts.KeepAlive = true
+	c, _ := NewContainer(net, "server", opts)
+	c.Handle("main", func(p *sim.Proc, r *Request) (*Response, error) {
+		return &Response{Bytes: 1}, nil
+	})
+	var elapsed time.Duration
+	env.Spawn("client", func(p *sim.Proc) {
+		_, d, err := c.Get(p, "client", "main", nil, nil)
+		if err != nil {
+			t.Errorf("get: %v", err)
+		}
+		elapsed = d
+	})
+	env.RunAll()
+	if elapsed != 200*time.Millisecond {
+		t.Fatalf("elapsed = %v, want 200ms with keep-alive", elapsed)
+	}
+}
+
+func TestDispatchCPUCharged(t *testing.T) {
+	env := sim.NewEnv(1)
+	net := testNet(t, env)
+	opts := Options{DispatchCPU: 5 * time.Millisecond, KeepAlive: true, RequestBytes: 1, DefaultPageBytes: 1}
+	c, _ := NewContainer(net, "server", opts)
+	c.Handle("main", func(p *sim.Proc, r *Request) (*Response, error) { return nil, nil })
+	var elapsed time.Duration
+	env.Spawn("client", func(p *sim.Proc) {
+		_, d, err := c.Get(p, "client", "main", nil, nil)
+		if err != nil {
+			t.Errorf("get: %v", err)
+		}
+		elapsed = d
+	})
+	env.RunAll()
+	if elapsed != 205*time.Millisecond {
+		t.Fatalf("elapsed = %v, want 205ms (RTT + dispatch)", elapsed)
+	}
+	if c.Served() != 1 {
+		t.Fatalf("served = %d", c.Served())
+	}
+}
+
+func TestConcurrentRequestsQueueOnCPU(t *testing.T) {
+	env := sim.NewEnv(1)
+	net := simnet.New(env)
+	if _, err := net.AddNode("client", 16); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.AddNode("server", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.AddLink("client", "server", 0, 1e12); err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{DispatchCPU: 10 * time.Millisecond, KeepAlive: true, RequestBytes: 1, DefaultPageBytes: 1}
+	c, _ := NewContainer(net, "server", opts)
+	c.Handle("main", func(p *sim.Proc, r *Request) (*Response, error) { return nil, nil })
+	done := 0
+	for i := 0; i < 3; i++ {
+		env.Spawn("client", func(p *sim.Proc) {
+			if _, _, err := c.Get(p, "client", "main", nil, nil); err != nil {
+				t.Errorf("get: %v", err)
+			}
+			done++
+		})
+	}
+	env.RunAll()
+	if done != 3 {
+		t.Fatalf("done = %d", done)
+	}
+	// Single CPU slot: three 10ms dispatches serialize to 30ms total.
+	if env.Now() != 30*time.Millisecond {
+		t.Fatalf("clock = %v, want 30ms (CPU serialized)", env.Now())
+	}
+}
+
+func TestUnknownPage(t *testing.T) {
+	env := sim.NewEnv(1)
+	net := testNet(t, env)
+	c, _ := NewContainer(net, "server", DefaultOptions)
+	env.Spawn("client", func(p *sim.Proc) {
+		_, _, err := c.Get(p, "client", "missing", nil, nil)
+		if !errors.Is(err, ErrNoSuchPage) {
+			t.Errorf("err = %v, want ErrNoSuchPage", err)
+		}
+	})
+	env.RunAll()
+}
+
+func TestHandlerErrorPropagates(t *testing.T) {
+	env := sim.NewEnv(1)
+	net := testNet(t, env)
+	c, _ := NewContainer(net, "server", DefaultOptions)
+	boom := errors.New("boom")
+	c.Handle("bad", func(p *sim.Proc, r *Request) (*Response, error) { return nil, boom })
+	env.Spawn("client", func(p *sim.Proc) {
+		if _, _, err := c.Get(p, "client", "bad", nil, nil); !errors.Is(err, boom) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	env.RunAll()
+}
+
+func TestSessionAttributes(t *testing.T) {
+	s := NewSession("s1", "server")
+	if s.Get("cart") != nil {
+		t.Fatal("empty session returned value")
+	}
+	s.Set("cart", []string{"item1"})
+	s.Set("user", "ann")
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if got := s.Get("user"); got != "ann" {
+		t.Fatalf("user = %v", got)
+	}
+	s.Delete("user")
+	if s.Get("user") != nil || s.Len() != 1 {
+		t.Fatal("delete failed")
+	}
+}
+
+func TestRequestParamsAndSessionReachHandler(t *testing.T) {
+	env := sim.NewEnv(1)
+	net := testNet(t, env)
+	c, _ := NewContainer(net, "server", DefaultOptions)
+	sess := NewSession("s1", "server")
+	c.Handle("item", func(p *sim.Proc, r *Request) (*Response, error) {
+		if r.Param("id") != "42" {
+			t.Errorf("id = %q", r.Param("id"))
+		}
+		if r.Param("missing") != "" {
+			t.Error("missing param should be empty")
+		}
+		if r.Session != sess || r.ClientNode != "client" {
+			t.Error("session/client not threaded through")
+		}
+		r.Session.Set("visited", true)
+		return nil, nil
+	})
+	env.Spawn("client", func(p *sim.Proc) {
+		if _, _, err := c.Get(p, "client", "item", map[string]string{"id": "42"}, sess); err != nil {
+			t.Errorf("get: %v", err)
+		}
+	})
+	env.RunAll()
+	if sess.Get("visited") != true {
+		t.Fatal("session write lost")
+	}
+}
+
+func TestContainerOnMissingNode(t *testing.T) {
+	env := sim.NewEnv(1)
+	net := testNet(t, env)
+	if _, err := NewContainer(net, "nowhere", DefaultOptions); err == nil {
+		t.Fatal("container on missing node accepted")
+	}
+}
+
+func TestResponseDefaults(t *testing.T) {
+	env := sim.NewEnv(1)
+	net := testNet(t, env)
+	c, _ := NewContainer(net, "server", DefaultOptions)
+	c.Handle("main", func(p *sim.Proc, r *Request) (*Response, error) {
+		return &Response{}, nil // zero status and bytes
+	})
+	env.Spawn("client", func(p *sim.Proc) {
+		resp, _, err := c.Get(p, "client", "main", nil, nil)
+		if err != nil {
+			t.Errorf("get: %v", err)
+			return
+		}
+		if resp.Status != 200 || resp.Bytes != DefaultOptions.DefaultPageBytes {
+			t.Errorf("resp = %+v", resp)
+		}
+	})
+	env.RunAll()
+}
+
+func TestGetAcrossPartitionFails(t *testing.T) {
+	env := sim.NewEnv(1)
+	net := testNet(t, env)
+	c, _ := NewContainer(net, "server", DefaultOptions)
+	c.Handle("main", func(p *sim.Proc, r *Request) (*Response, error) { return nil, nil })
+	if err := net.SetLinkState("client", "server", false); err != nil {
+		t.Fatal(err)
+	}
+	env.Spawn("client", func(p *sim.Proc) {
+		if _, _, err := c.Get(p, "client", "main", nil, nil); err == nil {
+			t.Error("request across partition succeeded")
+		}
+	})
+	env.RunAll()
+}

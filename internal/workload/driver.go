@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"wadeploy/internal/sim"
+)
+
+// Step is one page request within a session.
+type Step struct {
+	Page   string
+	Params map[string]string
+}
+
+// SessionGen produces the step sequence of one session. Generators are
+// application-specific: the Pet Store Browser draws pages with the Table 2
+// weights, the Buyer follows the fixed Table 3 sequence, and so on.
+type SessionGen func(rng *rand.Rand) []Step
+
+// Client identifies one simulated client machine process: its network node
+// and a unique ID that applications use to key per-client web sessions.
+type Client struct {
+	Node string
+	ID   string
+}
+
+// RequestFunc issues one page request on behalf of a client and returns the
+// measured response time.
+type RequestFunc func(p *sim.Proc, client Client, step Step) (time.Duration, error)
+
+// Group is one client group: the machines collocated with one application
+// server, split between browser and writer usage patterns.
+type Group struct {
+	Name       string // e.g. "local", "remote-1"
+	ClientNode string
+	Local      bool
+
+	Browsers int // concurrent browser clients
+	Writers  int // concurrent buyer/bidder clients
+
+	// Delay is the soft think time: the interval between successive
+	// request starts within a session. Offered load per client is
+	// 1/Delay regardless of response times (Section 3.3).
+	Delay time.Duration
+
+	BrowserPattern string
+	WriterPattern  string
+	BrowserGen     SessionGen
+	WriterGen      SessionGen
+
+	Request RequestFunc
+}
+
+// Rate returns the group's offered load in requests per second.
+func (g Group) Rate() float64 {
+	if g.Delay <= 0 {
+		return 0
+	}
+	return float64(g.Browsers+g.Writers) / g.Delay.Seconds()
+}
+
+// Config drives one experiment run.
+type Config struct {
+	Env    *sim.Env
+	Groups []Group
+
+	// Warmup is discarded; Duration is the measured interval after it.
+	Warmup   time.Duration
+	Duration time.Duration
+}
+
+// Run simulates the configured client load and returns collected statistics.
+// It spawns one process per client, runs the environment for
+// Warmup+Duration of virtual time, then tears the clients down.
+func Run(cfg Config) (*Stats, error) {
+	if cfg.Env == nil {
+		return nil, fmt.Errorf("workload: nil environment")
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("workload: non-positive duration")
+	}
+	stats := NewStats(cfg.Warmup)
+	for gi, g := range cfg.Groups {
+		if g.Request == nil {
+			return nil, fmt.Errorf("workload: group %q has no request function", g.Name)
+		}
+		if g.Delay <= 0 {
+			return nil, fmt.Errorf("workload: group %q has non-positive delay", g.Name)
+		}
+		if g.Browsers > 0 && g.BrowserGen == nil {
+			return nil, fmt.Errorf("workload: group %q has browsers but no generator", g.Name)
+		}
+		if g.Writers > 0 && g.WriterGen == nil {
+			return nil, fmt.Errorf("workload: group %q has writers but no generator", g.Name)
+		}
+		for i := 0; i < g.Browsers; i++ {
+			spawnClient(cfg, stats, g, gi, i, g.BrowserPattern, g.BrowserGen)
+		}
+		for i := 0; i < g.Writers; i++ {
+			spawnClient(cfg, stats, g, gi, g.Browsers+i, g.WriterPattern, g.WriterGen)
+		}
+	}
+	cfg.Env.Run(cfg.Warmup + cfg.Duration)
+	cfg.Env.Close()
+	return stats, nil
+}
+
+// spawnClient starts one client process running sessions back to back. Each
+// client's first request is jittered across one Delay interval so arrivals
+// spread evenly instead of thundering in at t=0.
+func spawnClient(cfg Config, stats *Stats, g Group, gi, ci int, pattern string, gen SessionGen) {
+	env := cfg.Env
+	name := fmt.Sprintf("client/%s/%s-%d", g.Name, pattern, ci)
+	// Deterministic per-client jitter derived from the env RNG at spawn
+	// time (not inside the process, so spawn order fixes the seeds).
+	jitter := time.Duration(env.Rand().Int63n(int64(g.Delay)))
+	seed := env.Rand().Int63()
+	client := Client{Node: g.ClientNode, ID: name}
+	env.SpawnAt(env.Now()+jitter, name, func(p *sim.Proc) {
+		rng := rand.New(rand.NewSource(seed))
+		end := cfg.Warmup + cfg.Duration
+		for p.Now() < end {
+			steps := gen(rng)
+			for _, step := range steps {
+				if p.Now() >= end {
+					return
+				}
+				start := p.Now()
+				rt, err := g.Request(p, client, step)
+				if err != nil {
+					stats.RecordError(p.Now(), step.Page)
+				} else {
+					stats.Record(p.Now(), SeriesKey{Pattern: pattern, Page: step.Page, Local: g.Local}, rt)
+				}
+				// Soft think time: wait out the remainder of the
+				// Delay interval; if the response took longer than
+				// Delay, start the next request immediately.
+				elapsed := p.Now() - start
+				if wait := g.Delay - elapsed; wait > 0 {
+					p.Sleep(wait)
+				}
+			}
+		}
+	})
+}

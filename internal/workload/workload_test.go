@@ -1,0 +1,283 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"wadeploy/internal/sim"
+)
+
+func TestSummaryStatistics(t *testing.T) {
+	s := &Summary{}
+	for _, d := range []time.Duration{10, 20, 30, 40, 50} {
+		s.add(d * time.Millisecond)
+	}
+	if s.Count() != 5 {
+		t.Fatalf("count = %d", s.Count())
+	}
+	if s.Mean() != 30*time.Millisecond {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	if s.Min() != 10*time.Millisecond || s.Max() != 50*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if p := s.Percentile(50); p != 30*time.Millisecond {
+		t.Fatalf("p50 = %v", p)
+	}
+	if p := s.Percentile(100); p != 50*time.Millisecond {
+		t.Fatalf("p100 = %v", p)
+	}
+	if p := s.Percentile(0); p != 10*time.Millisecond {
+		t.Fatalf("p0 = %v", p)
+	}
+}
+
+func TestEmptySummary(t *testing.T) {
+	s := &Summary{}
+	if s.Mean() != 0 || s.Percentile(50) != 0 {
+		t.Fatal("empty summary should report zeros")
+	}
+}
+
+func TestStatsWarmupDiscard(t *testing.T) {
+	st := NewStats(time.Minute)
+	key := SeriesKey{Pattern: "Browser", Page: "Main", Local: true}
+	st.Record(30*time.Second, key, 100*time.Millisecond) // during warm-up
+	st.Record(90*time.Second, key, 200*time.Millisecond)
+	if st.Mean(key) != 200*time.Millisecond {
+		t.Fatalf("mean = %v; warm-up sample leaked in", st.Mean(key))
+	}
+	if st.TotalSamples() != 1 {
+		t.Fatalf("samples = %d", st.TotalSamples())
+	}
+	st.RecordError(30*time.Second, "Main")
+	st.RecordError(90*time.Second, "Main")
+	if st.Errors() != 1 || st.ErrorsFor("Main") != 1 {
+		t.Fatalf("errors = %d", st.Errors())
+	}
+}
+
+func TestSessionMeanWeightsByCount(t *testing.T) {
+	st := NewStats(0)
+	// 3 fast Main requests, 1 slow Item request.
+	for i := 0; i < 3; i++ {
+		st.Record(time.Second, SeriesKey{Pattern: "Browser", Page: "Main", Local: false}, 100*time.Millisecond)
+	}
+	st.Record(time.Second, SeriesKey{Pattern: "Browser", Page: "Item", Local: false}, 500*time.Millisecond)
+	// Weighted: (3*100 + 500) / 4 = 200ms.
+	if m := st.SessionMean("Browser", false); m != 200*time.Millisecond {
+		t.Fatalf("session mean = %v, want 200ms", m)
+	}
+	// Other locality class is independent.
+	if m := st.SessionMean("Browser", true); m != 0 {
+		t.Fatalf("local mean = %v, want 0", m)
+	}
+}
+
+func TestStatsKeysDeterministic(t *testing.T) {
+	st := NewStats(0)
+	keys := []SeriesKey{
+		{Pattern: "Buyer", Page: "Main", Local: false},
+		{Pattern: "Browser", Page: "Item", Local: true},
+		{Pattern: "Browser", Page: "Item", Local: false},
+		{Pattern: "Browser", Page: "Category", Local: true},
+	}
+	for _, k := range keys {
+		st.Record(time.Second, k, time.Millisecond)
+	}
+	got := st.Keys()
+	if len(got) != 4 {
+		t.Fatalf("keys = %d", len(got))
+	}
+	want := []SeriesKey{
+		{Pattern: "Browser", Page: "Category", Local: true},
+		{Pattern: "Browser", Page: "Item", Local: true},
+		{Pattern: "Browser", Page: "Item", Local: false},
+		{Pattern: "Buyer", Page: "Main", Local: false},
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("keys[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if st.String() == "" {
+		t.Fatal("String() empty")
+	}
+}
+
+// fixedRequest returns a RequestFunc with a constant simulated service time.
+func fixedRequest(rt time.Duration) RequestFunc {
+	return func(p *sim.Proc, client Client, step Step) (time.Duration, error) {
+		p.Sleep(rt)
+		return rt, nil
+	}
+}
+
+func singlePageGen(page string, n int) SessionGen {
+	return func(rng *rand.Rand) []Step {
+		steps := make([]Step, n)
+		for i := range steps {
+			steps[i] = Step{Page: page}
+		}
+		return steps
+	}
+}
+
+func TestRunOfferedLoadIndependentOfResponseTime(t *testing.T) {
+	// Two runs with very different response times must produce nearly the
+	// same number of requests thanks to soft think times.
+	count := func(rt time.Duration) int {
+		env := sim.NewEnv(3)
+		stats, err := Run(Config{
+			Env: env,
+			Groups: []Group{{
+				Name: "g", ClientNode: "c", Local: true,
+				Browsers: 10, Delay: time.Second,
+				BrowserPattern: "Browser",
+				BrowserGen:     singlePageGen("Main", 5),
+				Request:        fixedRequest(rt),
+			}},
+			Warmup:   0,
+			Duration: 30 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.TotalSamples()
+	}
+	fast := count(10 * time.Millisecond)
+	slow := count(700 * time.Millisecond)
+	if fast == 0 {
+		t.Fatal("no samples")
+	}
+	diff := float64(fast-slow) / float64(fast)
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 0.1 {
+		t.Fatalf("offered load varied with response time: fast=%d slow=%d", fast, slow)
+	}
+}
+
+func TestRunSplitsPatterns(t *testing.T) {
+	env := sim.NewEnv(3)
+	stats, err := Run(Config{
+		Env: env,
+		Groups: []Group{{
+			Name: "g", ClientNode: "c", Local: false,
+			Browsers: 4, Writers: 1, Delay: time.Second,
+			BrowserPattern: "Browser", WriterPattern: "Bidder",
+			BrowserGen: singlePageGen("Item", 3),
+			WriterGen:  singlePageGen("StoreBid", 3),
+			Request:    fixedRequest(5 * time.Millisecond),
+		}},
+		Warmup:   2 * time.Second,
+		Duration: 20 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := stats.Series(SeriesKey{Pattern: "Browser", Page: "Item", Local: false})
+	w := stats.Series(SeriesKey{Pattern: "Bidder", Page: "StoreBid", Local: false})
+	if b == nil || w == nil {
+		t.Fatalf("missing series: %v", stats.Keys())
+	}
+	// 4 browsers vs 1 writer at the same delay: roughly 4x the samples.
+	ratio := float64(b.Count()) / float64(w.Count())
+	if ratio < 3 || ratio > 5 {
+		t.Fatalf("browser/writer sample ratio = %v, want ~4", ratio)
+	}
+}
+
+func TestRunGroupRate(t *testing.T) {
+	g := Group{Browsers: 8, Writers: 2, Delay: time.Second}
+	if r := g.Rate(); r != 10 {
+		t.Fatalf("rate = %v, want 10 req/s", r)
+	}
+	if (Group{}).Rate() != 0 {
+		t.Fatal("zero-delay rate should be 0")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	env := sim.NewEnv(1)
+	if _, err := Run(Config{Env: nil, Duration: time.Second}); err == nil {
+		t.Fatal("nil env accepted")
+	}
+	if _, err := Run(Config{Env: env, Duration: 0}); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+	bad := []Group{
+		{Name: "no-request", Browsers: 1, Delay: time.Second, BrowserGen: singlePageGen("p", 1)},
+		{Name: "no-delay", Browsers: 1, Request: fixedRequest(0), BrowserGen: singlePageGen("p", 1)},
+		{Name: "no-gen", Browsers: 1, Delay: time.Second, Request: fixedRequest(0)},
+		{Name: "no-writer-gen", Writers: 1, Delay: time.Second, Request: fixedRequest(0)},
+	}
+	for _, g := range bad {
+		if _, err := Run(Config{Env: sim.NewEnv(1), Groups: []Group{g}, Duration: time.Second}); err == nil {
+			t.Fatalf("group %q accepted", g.Name)
+		}
+	}
+}
+
+func TestRunDeterministicAcrossRuns(t *testing.T) {
+	run := func() string {
+		env := sim.NewEnv(42)
+		stats, err := Run(Config{
+			Env: env,
+			Groups: []Group{{
+				Name: "g", ClientNode: "c", Local: true,
+				Browsers: 3, Delay: 500 * time.Millisecond,
+				BrowserPattern: "Browser",
+				BrowserGen: func(rng *rand.Rand) []Step {
+					n := rng.Intn(4) + 1
+					steps := make([]Step, n)
+					for i := range steps {
+						steps[i] = Step{Page: "P"}
+					}
+					return steps
+				},
+				Request: fixedRequest(7 * time.Millisecond),
+			}},
+			Duration: 10 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.String()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic stats:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// Property: mean lies within [min, max] and percentiles are monotone.
+func TestPropertySummaryInvariants(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := &Summary{}
+		for _, r := range raw {
+			s.add(time.Duration(r%1e6) * time.Microsecond)
+		}
+		m := s.Mean()
+		if m < s.Min() || m > s.Max() {
+			return false
+		}
+		last := time.Duration(-1)
+		for _, q := range []float64{0, 25, 50, 75, 90, 99, 100} {
+			p := s.Percentile(q)
+			if p < last {
+				return false
+			}
+			last = p
+		}
+		return s.Percentile(0) == s.Min() && s.Percentile(100) == s.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
