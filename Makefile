@@ -2,9 +2,16 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench repro repro-quick examples clean
+# Perf record written by `make bench`; bump the suffix per PR so the
+# trajectory (BENCH_PR1.json, BENCH_PR2.json, ...) stays comparable.
+BENCH_OUT ?= BENCH_PR1.json
 
-all: build vet test
+.PHONY: all verify build vet test race bench repro repro-quick examples clean
+
+all: verify
+
+# Tier-1 verification: compile, static checks, full test suite.
+verify: build vet test
 
 build:
 	$(GO) build ./...
@@ -15,8 +22,18 @@ vet:
 test:
 	$(GO) test ./...
 
+# Race-detector pass over every package: the parallel experiment scheduler
+# overlaps entire simulation runs, so this must stay clean.
+race:
+	$(GO) test -race ./...
+
+# Run the engine microbenchmarks plus one pass of the paper benchmarks, and
+# record them (with sequential-vs-parallel `wadeploy all` wall-clock) as
+# machine-readable JSON for cross-PR comparison.
 bench:
-	$(GO) test -bench=. -benchmem .
+	( $(GO) test -bench=BenchmarkEngine -benchmem -run '^$$' ./internal/sim && \
+	  $(GO) test -bench=. -benchmem -benchtime=1x -run '^$$' . ) \
+	| $(GO) run ./cmd/benchjson -time-wadeploy -o $(BENCH_OUT)
 
 # Full paper-length reproduction: Tables 6-7 and Figures 7-8 at one virtual
 # hour per configuration (about a minute of wall-clock time), plus the

@@ -1,0 +1,139 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// perf record, optionally adding wall-clock timings of `wadeploy all` in
+// sequential and parallel modes. It exists so `make bench` leaves a
+// machine-readable perf trajectory (BENCH_PR1.json, BENCH_PR2.json, …) that
+// future changes can be compared against.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... | go run ./cmd/benchjson -time-wadeploy -o BENCH_PR1.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// benchResult is one benchmark line: iteration count plus every reported
+// metric ("ns/op", "allocs/op", application metrics like "rem-browse-ms").
+type benchResult struct {
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// wallClock records one timed end-to-end command.
+type wallClock struct {
+	Command string  `json:"command"`
+	Seconds float64 `json:"seconds"`
+}
+
+type record struct {
+	GoVersion  string                 `json:"go_version"`
+	GOMAXPROCS int                    `json:"gomaxprocs"`
+	Benchmarks map[string]benchResult `json:"benchmarks"`
+	WallClock  []wallClock            `json:"wall_clock,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	timeWadeploy := flag.Bool("time-wadeploy", false,
+		"also time `wadeploy -quick all` sequentially and in parallel")
+	flag.Parse()
+	rec := record{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchmarks: map[string]benchResult{},
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the human-readable output through
+		name, res, ok := parseBenchLine(line)
+		if ok {
+			rec.Benchmarks[name] = res
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if *timeWadeploy {
+		for _, mode := range []struct{ name, flag string }{
+			{"sequential", "-parallel=1"},
+			{"parallel", "-parallel=0"},
+		} {
+			args := []string{"run", "./cmd/wadeploy", mode.flag, "-quick", "all"}
+			start := time.Now()
+			cmd := exec.Command("go", args...)
+			cmd.Stdout = nil // tables are byte-identical either way; discard
+			cmd.Stderr = os.Stderr
+			if err := cmd.Run(); err != nil {
+				fatal(fmt.Errorf("timing wadeploy (%s): %w", mode.name, err))
+			}
+			rec.WallClock = append(rec.WallClock, wallClock{
+				Command: "wadeploy " + strings.Join(args[2:], " "),
+				Seconds: time.Since(start).Seconds(),
+			})
+		}
+	}
+	data, err := json.MarshalIndent(&rec, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// parseBenchLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkEngineEventLoop-8   14331817   76.85 ns/op   0 B/op   0 allocs/op
+//
+// Metrics come in "value unit" pairs after the iteration count.
+func parseBenchLine(line string) (string, benchResult, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", benchResult{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", benchResult{}, false
+	}
+	res := benchResult{Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", benchResult{}, false
+		}
+		res.Metrics[fields[i+1]] = v
+	}
+	if len(res.Metrics) == 0 {
+		return "", benchResult{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	// Strip the -GOMAXPROCS suffix so names stay stable across machines.
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	return name, res, true
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

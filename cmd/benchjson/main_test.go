@@ -1,0 +1,56 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	tests := []struct {
+		line     string
+		wantName string
+		wantOK   bool
+		metric   string
+		value    float64
+	}{
+		{
+			line:     "BenchmarkEngineEventLoop-8   \t14331817\t        76.85 ns/op\t       0 B/op\t       0 allocs/op",
+			wantName: "EngineEventLoop",
+			wantOK:   true,
+			metric:   "ns/op",
+			value:    76.85,
+		},
+		{
+			line:     "BenchmarkTable6AsyncUpdates-4 \t1\t123456789 ns/op\t12.5 rem-browse-ms",
+			wantName: "Table6AsyncUpdates",
+			wantOK:   true,
+			metric:   "rem-browse-ms",
+			value:    12.5,
+		},
+		{
+			// Sub-benchmark names keep their suffix path.
+			line:     "BenchmarkAblationStubCaching/cached-stub-2 \t100\t5 ns/op",
+			wantName: "AblationStubCaching/cached-stub",
+			wantOK:   true,
+			metric:   "ns/op",
+			value:    5,
+		},
+		{line: "ok  \twadeploy\t10.258s", wantOK: false},
+		{line: "PASS", wantOK: false},
+		{line: "goos: linux", wantOK: false},
+		{line: "BenchmarkBroken notanumber 5 ns/op", wantOK: false},
+	}
+	for _, tc := range tests {
+		name, res, ok := parseBenchLine(tc.line)
+		if ok != tc.wantOK {
+			t.Errorf("parseBenchLine(%q) ok = %v, want %v", tc.line, ok, tc.wantOK)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if name != tc.wantName {
+			t.Errorf("parseBenchLine(%q) name = %q, want %q", tc.line, name, tc.wantName)
+		}
+		if got := res.Metrics[tc.metric]; got != tc.value {
+			t.Errorf("parseBenchLine(%q) %s = %v, want %v", tc.line, tc.metric, got, tc.value)
+		}
+	}
+}

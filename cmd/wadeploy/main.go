@@ -10,12 +10,15 @@
 // 30 req/s three-group workload and prints the per-page (table) or
 // per-session (figure) average response times.
 //
-// Flags: -quick (short run), -seed, -warmup, -duration, -diag (CPU/RMI/JMS
-// counters), -p95 (tail-latency tables), -ext (append the DB-replication
-// extension row), -csv FILE (long-format export), and -app/-config to select
-// the target of explain and the sweeps. explain prints per-page layer traces
-// (TCP/RMI/SQL/render/push) for a remote client; sweep-latency and
-// sweep-load are WAN-latency and offered-load sensitivity studies.
+// Flags: -quick (short run), -seed, -warmup, -duration, -parallel N
+// (concurrent runs per table/sweep; 0 = one per CPU, 1 = sequential),
+// -diag (CPU/RMI/JMS counters), -p95 (tail-latency tables), -ext (append the
+// DB-replication extension row), -csv FILE (long-format export), and
+// -app/-config to select the target of explain and the sweeps. explain
+// prints per-page layer traces (TCP/RMI/SQL/render/push) for a remote
+// client; sweep-latency and sweep-load are WAN-latency and offered-load
+// sensitivity studies. Runs are independent seeded simulations, so any
+// -parallel setting prints byte-identical tables.
 package main
 
 import (
@@ -43,6 +46,7 @@ func run(args []string) error {
 	warmup := fs.Duration("warmup", 5*time.Minute, "virtual warm-up discarded from statistics")
 	duration := fs.Duration("duration", time.Hour, "measured virtual duration per configuration")
 	quick := fs.Bool("quick", false, "short run (30s warm-up, 4min measurement)")
+	parallel := fs.Int("parallel", 0, "concurrent runs per table/sweep (0 = one per CPU, 1 = sequential)")
 	diag := fs.Bool("diag", false, "print per-run diagnostics (CPU, RMI, JMS counters)")
 	p95 := fs.Bool("p95", false, "also print 95th-percentile tables")
 	ext := fs.Bool("ext", false, "append extension configurations (DB replication) to table runs")
@@ -57,6 +61,7 @@ func run(args []string) error {
 		opts = experiment.QuickRunOptions()
 		opts.Seed = *seed
 	}
+	opts.Parallelism = *parallel
 	cmds := fs.Args()
 	if len(cmds) == 0 {
 		cmds = []string{"all"}

@@ -21,6 +21,16 @@ func TestRunTable6Tiny(t *testing.T) {
 	}
 }
 
+// TestRunTableParallel exercises the -parallel flag across the sequential
+// path, an explicit pool, and the one-worker-per-CPU default.
+func TestRunTableParallel(t *testing.T) {
+	for _, parallel := range []string{"1", "4", "0"} {
+		if err := run(tiny("-parallel", parallel, "table7")); err != nil {
+			t.Fatalf("-parallel %s: %v", parallel, err)
+		}
+	}
+}
+
 func TestRunFig8Tiny(t *testing.T) {
 	if err := run(tiny("fig8")); err != nil {
 		t.Fatal(err)

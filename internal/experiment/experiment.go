@@ -40,6 +40,13 @@ type RunOptions struct {
 
 	// Faults are link outages injected during the run (failure testing).
 	Faults []Fault
+
+	// Parallelism bounds how many independent runs a table or sweep may
+	// execute concurrently: 0 (the default) means one worker per CPU
+	// (GOMAXPROCS), 1 forces the sequential path, and values above the
+	// number of runs are clamped. Every run owns its environment, seed and
+	// database, so any setting produces byte-identical tables.
+	Parallelism int
 }
 
 // DefaultRunOptions mirrors the paper's methodology (each test ran for about
@@ -279,13 +286,17 @@ func RunTableWithExtensions(app AppID, opts RunOptions) ([]*Result, error) {
 }
 
 func runConfigs(app AppID, opts RunOptions, configs []core.ConfigID) ([]*Result, error) {
-	out := make([]*Result, 0, len(configs))
-	for _, cfg := range configs {
-		r, err := Run(app, cfg, opts)
+	out := make([]*Result, len(configs))
+	err := forEachParallel(opts.Parallelism, len(configs), func(i int) error {
+		r, err := Run(app, configs[i], opts)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, r)
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,86 @@
+package experiment
+
+// Parallel run scheduler.
+//
+// The evaluation grid is embarrassingly parallel: every Run builds its own
+// sim.Env, seeded RNG, network, containers and sqldb instance, so runs share
+// no mutable state and can execute on separate OS threads. Each run stays
+// internally deterministic (seeded virtual clock), and results are written
+// into their input slot, so output is byte-identical to a sequential pass
+// regardless of completion order — a property pinned by
+// TestParallelRunTableDeterminism.
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// clampParallelism resolves a requested worker count against n jobs:
+// non-positive values mean "one worker per CPU", and the pool is never wider
+// than the number of jobs.
+func clampParallelism(parallel, n int) int {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > n {
+		parallel = n
+	}
+	if parallel < 1 {
+		parallel = 1
+	}
+	return parallel
+}
+
+// forEachParallel runs job(0) … job(n-1) on a pool of at most parallel
+// workers and blocks until all started jobs finish.
+//
+// Semantics:
+//   - parallel <= 0 selects GOMAXPROCS workers; the pool is clamped to n.
+//   - parallel == 1 (or n == 1) runs inline on the caller's goroutine and
+//     stops at the first error, exactly like the pre-pool sequential loop.
+//   - On error, jobs not yet started are abandoned; jobs already in flight
+//     run to completion (a sim run cannot be interrupted midway).
+//   - All errors observed are aggregated with errors.Join in job-index
+//     order, so the same failing set yields the same error text.
+func forEachParallel(parallel, n int, job func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	parallel = clampParallelism(parallel, n)
+	if parallel == 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next    atomic.Int64
+		stopped atomic.Bool
+		wg      sync.WaitGroup
+	)
+	next.Store(-1)
+	errs := make([]error, n) // disjoint slots; wg.Wait is the barrier
+	wg.Add(parallel)
+	for w := 0; w < parallel; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n || stopped.Load() {
+					return
+				}
+				if err := job(i); err != nil {
+					errs[i] = err
+					stopped.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}

@@ -75,18 +75,27 @@ func point(app AppID, r *Result, x float64) SweepPoint {
 // varies — how each configuration's benefit scales with network distance
 // (not a paper experiment; a sensitivity study over its fixed 100 ms point).
 func LatencySweep(app AppID, cfg core.ConfigID, oneWays []time.Duration, opts RunOptions) ([]SweepPoint, error) {
-	out := make([]SweepPoint, 0, len(oneWays))
+	// Validate every point before launching workers so bad input fails the
+	// same way regardless of parallelism.
 	for _, wan := range oneWays {
 		if wan <= 0 {
 			return nil, fmt.Errorf("experiment: non-positive WAN latency %v", wan)
 		}
+	}
+	out := make([]SweepPoint, len(oneWays))
+	err := forEachParallel(opts.Parallelism, len(oneWays), func(i int) error {
+		wan := oneWays[i]
 		topo := simnet.DefaultTopologyParams()
 		topo.WANOneWay = wan
 		r, err := runWith(app, cfg, opts, topo, 1)
 		if err != nil {
-			return nil, fmt.Errorf("latency sweep %v: %w", wan, err)
+			return fmt.Errorf("latency sweep %v: %w", wan, err)
 		}
-		out = append(out, point(app, r, float64(wan)/float64(time.Millisecond)))
+		out[i] = point(app, r, float64(wan)/float64(time.Millisecond))
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -95,16 +104,23 @@ func LatencySweep(app AppID, cfg core.ConfigID, oneWays []time.Duration, opts Ru
 // around the paper's 30 req/s operating point, exposing where CPU queueing
 // begins to dominate.
 func LoadSweep(app AppID, cfg core.ConfigID, scales []float64, opts RunOptions) ([]SweepPoint, error) {
-	out := make([]SweepPoint, 0, len(scales))
 	for _, s := range scales {
 		if s <= 0 {
 			return nil, fmt.Errorf("experiment: non-positive load scale %v", s)
 		}
+	}
+	out := make([]SweepPoint, len(scales))
+	err := forEachParallel(opts.Parallelism, len(scales), func(i int) error {
+		s := scales[i]
 		r, err := runWith(app, cfg, opts, simnet.TopologyParams{}, s)
 		if err != nil {
-			return nil, fmt.Errorf("load sweep %v: %w", s, err)
+			return fmt.Errorf("load sweep %v: %w", s, err)
 		}
-		out = append(out, point(app, r, 30*s))
+		out[i] = point(app, r, 30*s)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -30,12 +30,19 @@ var errKilled = errors.New("sim: process killed by Env.Close")
 // ErrClosed is returned by operations on an environment that has been closed.
 var ErrClosed = errors.New("sim: environment closed")
 
-// event is a scheduled callback. seq breaks ties so that events scheduled
-// earlier at the same instant run first, keeping runs deterministic.
+// event is a scheduled callback or process resumption. seq breaks ties so
+// that events scheduled earlier at the same instant run first, keeping runs
+// deterministic.
+//
+// Process resumptions are the engine's hot path (every Sleep, Await wake-up
+// and Resource hand-off is one), so they are stored as a *Proc rather than a
+// `func() { e.step(p) }` closure: the scheduler calls step directly and the
+// heap slot carries no per-event heap allocation.
 type event struct {
-	at  time.Duration
-	seq uint64
-	fn  func()
+	at   time.Duration
+	seq  uint64
+	fn   func() // raw callback (Env.At/After); nil for process resumptions
+	proc *Proc  // process to resume; nil for raw callbacks
 }
 
 // eventHeap is a min-heap of events ordered by (at, seq).
@@ -60,7 +67,11 @@ func (h *eventHeap) pop() event {
 	top := old[0]
 	n := len(old) - 1
 	old[0] = old[n]
-	old[n] = event{}
+	// The vacated slot is deliberately not re-zeroed: the backing array is a
+	// freelist that the next push overwrites in place, and clearing it here
+	// costs a write per event on the hot path. Stale fn/proc references are
+	// retained at most until the slot is reused or the Env is dropped, both
+	// bounded by the peak event-queue size of the run.
 	*h = old[:n]
 	if n > 0 {
 		h.down(0)
@@ -153,6 +164,21 @@ func (e *Env) At(at time.Duration, fn func()) {
 // After schedules fn to run d from now.
 func (e *Env) After(d time.Duration, fn func()) { e.At(e.now+d, fn) }
 
+// scheduleProc schedules p to be resumed at virtual time at (clamped to now
+// if in the past). It is the allocation-free counterpart of
+// At(at, func() { e.step(p) }) used by Sleep, promise resolution and
+// resource hand-off.
+func (e *Env) scheduleProc(at time.Duration, p *Proc) {
+	if e.closed {
+		return
+	}
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	e.events.push(event{at: at, seq: e.seq, proc: p})
+}
+
 // Proc is a simulation process: a goroutine whose execution is interleaved
 // deterministically with all other processes by the environment.
 type Proc struct {
@@ -209,7 +235,7 @@ func (e *Env) SpawnAt(at time.Duration, name string, fn func(p *Proc)) *Proc {
 		}()
 		fn(p)
 	}()
-	e.At(at, func() { e.step(p) })
+	e.scheduleProc(at, p)
 	return p
 }
 
@@ -246,7 +272,7 @@ func (p *Proc) Sleep(d time.Duration) {
 		d = 0
 	}
 	e := p.env
-	e.At(e.now+d, func() { e.step(p) })
+	e.scheduleProc(e.now+d, p)
 	p.pause()
 }
 
@@ -264,7 +290,11 @@ func (e *Env) Run(until time.Duration) {
 		}
 		ev := e.events.pop()
 		e.now = ev.at
-		ev.fn()
+		if ev.proc != nil {
+			e.step(ev.proc)
+		} else {
+			ev.fn()
+		}
 	}
 	if e.now < until {
 		e.now = until
@@ -278,7 +308,11 @@ func (e *Env) RunAll() {
 	for !e.closed && len(e.events) > 0 {
 		ev := e.events.pop()
 		e.now = ev.at
-		ev.fn()
+		if ev.proc != nil {
+			e.step(ev.proc)
+		} else {
+			ev.fn()
+		}
 	}
 }
 
@@ -306,7 +340,12 @@ type Promise[T any] struct {
 	resolved bool
 	value    T
 	err      error
-	waiters  []*Proc
+
+	// The overwhelmingly common case is a single waiting process (one
+	// request, one reply), so the first waiter is stored inline and the
+	// slice is only allocated when a second process awaits the same promise.
+	waiter  *Proc
+	waiters []*Proc
 }
 
 // NewPromise returns an unresolved promise bound to e.
@@ -335,9 +374,12 @@ func (pr *Promise[T]) complete(v T, err error) {
 	pr.value = v
 	pr.err = err
 	e := pr.env
+	if pr.waiter != nil {
+		e.scheduleProc(e.now, pr.waiter)
+		pr.waiter = nil
+	}
 	for _, w := range pr.waiters {
-		w := w
-		e.At(e.now, func() { e.step(w) })
+		e.scheduleProc(e.now, w)
 	}
 	pr.waiters = nil
 }
@@ -347,7 +389,11 @@ func (pr *Promise[T]) complete(v T, err error) {
 // without yielding.
 func Await[T any](p *Proc, pr *Promise[T]) (T, error) {
 	if !pr.resolved {
-		pr.waiters = append(pr.waiters, p)
+		if pr.waiter == nil && len(pr.waiters) == 0 {
+			pr.waiter = p
+		} else {
+			pr.waiters = append(pr.waiters, p)
+		}
 		p.pause()
 	}
 	return pr.value, pr.err
@@ -427,8 +473,7 @@ func (r *Resource) Release() {
 		next := r.queue[0]
 		r.queue = r.queue[1:]
 		// The slot transfers directly: inUse stays constant.
-		e := r.env
-		e.At(e.now, func() { e.step(next) })
+		r.env.scheduleProc(r.env.now, next)
 		return
 	}
 	r.account()

@@ -126,6 +126,15 @@ type Placeholder struct {
 type ColumnRef struct {
 	Table string
 	Name  string
+
+	// Resolution cache filled in by evalCtx.resolve. Each AST belongs to
+	// exactly one DB (via its prepared-statement cache) and is only
+	// evaluated under that DB's mutex, so mutating these here is safe.
+	// cachedT's pointer identity validates the entry: dropping and
+	// re-creating a table yields a new *table and the cache misses.
+	cachedT    *table
+	cachedSlot int
+	cachedCol  int
 }
 
 // BinaryExpr applies an operator to two operands. Op is one of:

@@ -557,9 +557,10 @@ func (db *DB) execUpdate(s *UpdateStmt, args []Value, tx *Tx) (*Result, error) {
 	// Phase 1: evaluate and validate every row's new values so a failure
 	// leaves the table untouched (statement atomicity).
 	planned := make([][]Value, len(positions))
+	ctx := evalCtx{params: args, tables: []boundTable{{name: s.Table, t: t}}}
 	for i, pos := range positions {
 		r := t.rows[pos]
-		ctx := &evalCtx{params: args, tables: []boundTable{{name: s.Table, t: t, vals: r.vals}}}
+		ctx.tables[0].vals = r.vals
 		newVals := append([]Value(nil), r.vals...)
 		for j, a := range s.Sets {
 			v, err := ctx.eval(a.Expr)
@@ -654,6 +655,8 @@ func (db *DB) matchRows(t *table, where Expr, args []Value) ([]int, int, error) 
 	}
 	var out []int
 	scanned := 0
+	// One context for the whole scan; only the bound row changes per step.
+	ctx := evalCtx{params: args, tables: []boundTable{{name: t.name, t: t}}}
 	for _, pos := range candidates {
 		r := t.rows[pos]
 		if r.dead {
@@ -664,7 +667,7 @@ func (db *DB) matchRows(t *table, where Expr, args []Value) ([]int, int, error) 
 			out = append(out, pos)
 			continue
 		}
-		ctx := &evalCtx{params: args, tables: []boundTable{{name: t.name, t: t, vals: r.vals}}}
+		ctx.tables[0].vals = r.vals
 		v, err := ctx.eval(where)
 		if err != nil {
 			return nil, 0, err

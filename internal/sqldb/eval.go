@@ -20,13 +20,25 @@ type evalCtx struct {
 }
 
 func (c *evalCtx) resolve(ref *ColumnRef) (Value, error) {
+	// Fast path: the per-statement cache remembers which bound-table slot
+	// and column index this reference resolved to last time. The pointer
+	// comparison against the cached *table revalidates the map lookup.
+	if ref.cachedT != nil && ref.cachedSlot < len(c.tables) {
+		bt := &c.tables[ref.cachedSlot]
+		if bt.t == ref.cachedT && (ref.Table != "" && bt.name == ref.Table ||
+			ref.Table == "" && len(c.tables) == 1) {
+			return bt.vals[ref.cachedCol], nil
+		}
+	}
 	if ref.Table != "" {
-		for _, bt := range c.tables {
+		for si := range c.tables {
+			bt := &c.tables[si]
 			if bt.name == ref.Table {
 				i, ok := bt.t.colIdx[ref.Name]
 				if !ok {
 					return Value{}, fmt.Errorf("%w: %s.%s", ErrNoSuchColumn, ref.Table, ref.Name)
 				}
+				ref.cachedT, ref.cachedSlot, ref.cachedCol = bt.t, si, i
 				return bt.vals[i], nil
 			}
 		}
@@ -45,6 +57,12 @@ func (c *evalCtx) resolve(ref *ColumnRef) (Value, error) {
 	}
 	if found < 0 {
 		return Value{}, fmt.Errorf("%w: %s", ErrNoSuchColumn, ref.Name)
+	}
+	// Only a single-table context can cache an unqualified reference:
+	// with several tables bound the ambiguity check must rerun, and a
+	// partially-bound join context could later gain a clashing table.
+	if len(c.tables) == 1 {
+		ref.cachedT, ref.cachedSlot, ref.cachedCol = c.tables[0].t, 0, found
 	}
 	return v, nil
 }
@@ -298,9 +316,63 @@ func (c *evalCtx) evalScalarFunc(x *FuncCall) (Value, error) {
 
 // likeMatch implements SQL LIKE with % (any run) and _ (any single char),
 // case-insensitively (matching MySQL's default collation behavior, which the
-// applications' keyword search relies on).
+// applications' keyword search relies on). ASCII operands — all the hot
+// keyword-search traffic — fold per byte during the match; anything with
+// multi-byte runes falls back to lowercasing both strings up front.
 func likeMatch(s, pattern string) bool {
+	if isASCII(s) && isASCII(pattern) {
+		return likeRecFold(s, pattern)
+	}
 	return likeRec(strings.ToLower(s), strings.ToLower(pattern))
+}
+
+func isASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 0x80 {
+			return false
+		}
+	}
+	return true
+}
+
+func lowerByte(b byte) byte {
+	if 'A' <= b && b <= 'Z' {
+		return b + ('a' - 'A')
+	}
+	return b
+}
+
+// likeRecFold is likeRec with per-byte ASCII case folding, avoiding the
+// ToLower copies of both operands on every row.
+func likeRecFold(s, p string) bool {
+	for len(p) > 0 {
+		switch p[0] {
+		case '%':
+			for len(p) > 0 && p[0] == '%' {
+				p = p[1:]
+			}
+			if len(p) == 0 {
+				return true
+			}
+			for i := 0; i <= len(s); i++ {
+				if likeRecFold(s[i:], p) {
+					return true
+				}
+			}
+			return false
+		case '_':
+			if len(s) == 0 {
+				return false
+			}
+			s, p = s[1:], p[1:]
+		default:
+			if len(s) == 0 || lowerByte(s[0]) != lowerByte(p[0]) {
+				return false
+			}
+			s, p = s[1:], p[1:]
+		}
+	}
+	return len(s) == 0
 }
 
 func likeRec(s, p string) bool {

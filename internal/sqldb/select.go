@@ -29,13 +29,18 @@ func (db *DB) execSelect(s *SelectStmt, args []Value) (*Result, error) {
 	scanned := 0
 	var matches []*evalCtx
 
+	// filter is reused for WHERE and ON evaluation so that rejected row
+	// combinations — the overwhelming majority in a scan — cost no
+	// allocation; only accepted ones get a retained context of their own.
+	filter := evalCtx{params: args}
+
 	// join recursively extends the current row combination table by table.
 	var join func(i int, bound []boundTable) error
 	join = func(i int, bound []boundTable) error {
 		if i == len(tabs) {
-			ctx := &evalCtx{params: args, tables: append([]boundTable(nil), bound...)}
 			if s.Where != nil {
-				v, err := ctx.eval(s.Where)
+				filter.tables = bound
+				v, err := filter.eval(s.Where)
 				if err != nil {
 					return err
 				}
@@ -43,7 +48,7 @@ func (db *DB) execSelect(s *SelectStmt, args []Value) (*Result, error) {
 					return nil
 				}
 			}
-			matches = append(matches, ctx)
+			matches = append(matches, &evalCtx{params: args, tables: append([]boundTable(nil), bound...)})
 			return nil
 		}
 		t := tabs[i]
@@ -67,8 +72,8 @@ func (db *DB) execSelect(s *SelectStmt, args []Value) (*Result, error) {
 			scanned++
 			next := append(bound, boundTable{name: names[i], t: t, vals: r.vals})
 			if i > 0 && s.JoinOn[i] != nil {
-				ctx := &evalCtx{params: args, tables: next}
-				v, err := ctx.eval(s.JoinOn[i])
+				filter.tables = next
+				v, err := filter.eval(s.JoinOn[i])
 				if err != nil {
 					return err
 				}
