@@ -1,7 +1,9 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"time"
 
 	"wadeploy/internal/core"
@@ -13,10 +15,22 @@ import (
 	"wadeploy/internal/workload"
 )
 
+// spanRecord is one explain -json output line: a traced span tagged with the
+// page whose request produced it.
+type spanRecord struct {
+	Page    string `json:"page"`
+	Layer   string `json:"layer"`
+	Label   string `json:"label"`
+	StartNs int64  `json:"start_ns"`
+	EndNs   int64  `json:"end_ns"`
+	Depth   int    `json:"depth"`
+}
+
 // explain deploys the app under cfg and prints a per-layer trace of every
 // page in a representative remote-client session — where each page's
-// milliseconds go (TCP, RMI, SQL, rendering, pushes).
-func explain(appID experiment.AppID, cfg core.ConfigID, seed int64) error {
+// milliseconds go (TCP, RMI, SQL, rendering, pushes). With asJSON it emits
+// the spans machine-readably instead: one JSON object per line.
+func explain(appID experiment.AppID, cfg core.ConfigID, seed int64, asJSON bool) error {
 	env := sim.NewEnv(seed)
 	var request workload.RequestFunc
 	var steps []workload.Step
@@ -71,8 +85,11 @@ func explain(appID experiment.AppID, cfg core.ConfigID, seed int64) error {
 	}
 
 	client := workload.Client{Node: simnet.NodeClientsEdge1, ID: "explain-client"}
-	fmt.Printf("Per-page layer traces: %s / %s (remote client %s; stub caches warm)\n\n",
-		appID, cfg.Title(), client.Node)
+	enc := json.NewEncoder(os.Stdout)
+	if !asJSON {
+		fmt.Printf("Per-page layer traces: %s / %s (remote client %s; stub caches warm)\n\n",
+			appID, cfg.Title(), client.Node)
+	}
 	var failed error
 	env.Spawn("explain", func(p *sim.Proc) {
 		// First pass warms stub caches and session state silently.
@@ -90,6 +107,23 @@ func explain(appID experiment.AppID, cfg core.ConfigID, seed int64) error {
 			if err != nil {
 				failed = fmt.Errorf("%s: %w", step.Page, err)
 				return
+			}
+			if asJSON {
+				for _, s := range tr.Spans() {
+					rec := spanRecord{
+						Page:    step.Page,
+						Layer:   s.Layer,
+						Label:   s.Label,
+						StartNs: int64(s.Start),
+						EndNs:   int64(s.End),
+						Depth:   s.Depth,
+					}
+					if err := enc.Encode(rec); err != nil {
+						failed = err
+						return
+					}
+				}
+				continue
 			}
 			fmt.Printf("%s — %v\n%s\n", step.Page, rt.Round(100*time.Microsecond), tr)
 		}

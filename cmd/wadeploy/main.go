@@ -2,26 +2,31 @@
 //
 // Usage:
 //
-//	wadeploy [flags] table6|table7|fig7|fig8|inventory|explain|sweep-latency|sweep-load|all
+//	wadeploy [flags] table6|table7|fig7|fig8|metrics|inventory|explain|sweep-latency|sweep-load|all
 //
 // table6/fig7 run Java Pet Store, table7/fig8 run RUBiS; each table run
 // executes all five configurations (centralized, remote façade, stateful
 // component caching, query caching, asynchronous updates) under the paper's
 // 30 req/s three-group workload and prints the per-page (table) or
-// per-session (figure) average response times.
+// per-session (figure) average response times. metrics runs a table and
+// prints a per-configuration comparison of every substrate counter.
 //
 // Flags: -quick (short run), -seed, -warmup, -duration, -parallel N
 // (concurrent runs per table/sweep; 0 = one per CPU, 1 = sequential),
 // -diag (CPU/RMI/JMS counters), -p95 (tail-latency tables), -ext (append the
-// DB-replication extension row), -csv FILE (long-format export), and
-// -app/-config to select the target of explain and the sweeps. explain
-// prints per-page layer traces (TCP/RMI/SQL/render/push) for a remote
-// client; sweep-latency and sweep-load are WAN-latency and offered-load
-// sensitivity studies. Runs are independent seeded simulations, so any
-// -parallel setting prints byte-identical tables.
+// DB-replication extension row), -csv FILE (long-format export),
+// -metrics-out FILE (full registry snapshots as JSON; -metrics-tick sets the
+// virtual-time series sampling interval), -json (machine-readable explain
+// output, one span per line), and -app/-config to select the target of
+// explain and the sweeps. explain prints per-page layer traces
+// (TCP/RMI/SQL/render/push) for a remote client; sweep-latency and
+// sweep-load are WAN-latency and offered-load sensitivity studies. Runs are
+// independent seeded simulations, so any -parallel setting prints
+// byte-identical tables (and writes byte-identical -metrics-out files).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +35,7 @@ import (
 	"wadeploy/internal/container"
 	"wadeploy/internal/core"
 	"wadeploy/internal/experiment"
+	"wadeploy/internal/metrics"
 	"wadeploy/internal/petstore"
 )
 
@@ -51,6 +57,9 @@ func run(args []string) error {
 	p95 := fs.Bool("p95", false, "also print 95th-percentile tables")
 	ext := fs.Bool("ext", false, "append extension configurations (DB replication) to table runs")
 	csvPath := fs.String("csv", "", "also write table results as CSV to this file")
+	metricsOut := fs.String("metrics-out", "", "write per-configuration metrics registry snapshots as JSON to this file")
+	metricsTick := fs.Duration("metrics-tick", time.Minute, "virtual-time sampling interval for counter/gauge series (with -metrics-out)")
+	jsonOut := fs.Bool("json", false, "machine-readable explain output: one JSON span per line")
 	appFlag := fs.String("app", "petstore", "application for sweeps: petstore|rubis")
 	cfgFlag := fs.String("config", "async-updates", "configuration for sweeps: centralized|remote-facade|stateful-caching|query-caching|async-updates")
 	if err := fs.Parse(args); err != nil {
@@ -62,6 +71,9 @@ func run(args []string) error {
 		opts.Seed = *seed
 	}
 	opts.Parallelism = *parallel
+	if *metricsOut != "" {
+		opts.MetricsTick = *metricsTick
+	}
 	cmds := fs.Args()
 	if len(cmds) == 0 {
 		cmds = []string{"all"}
@@ -69,20 +81,42 @@ func run(args []string) error {
 	for _, cmd := range cmds {
 		switch cmd {
 		case "table6":
-			if err := table(experiment.PetStore, opts, false, *diag, *p95, *ext, *csvPath); err != nil {
+			if err := table(experiment.PetStore, opts, false, *diag, *p95, *ext, *csvPath, *metricsOut); err != nil {
 				return err
 			}
 		case "table7":
-			if err := table(experiment.RUBiS, opts, false, *diag, *p95, *ext, *csvPath); err != nil {
+			if err := table(experiment.RUBiS, opts, false, *diag, *p95, *ext, *csvPath, *metricsOut); err != nil {
 				return err
 			}
 		case "fig7":
-			if err := table(experiment.PetStore, opts, true, *diag, false, false, ""); err != nil {
+			if err := table(experiment.PetStore, opts, true, *diag, false, false, "", ""); err != nil {
 				return err
 			}
 		case "fig8":
-			if err := table(experiment.RUBiS, opts, true, *diag, false, false, ""); err != nil {
+			if err := table(experiment.RUBiS, opts, true, *diag, false, false, "", ""); err != nil {
 				return err
+			}
+		case "metrics":
+			app := experiment.PetStore
+			if *appFlag == "rubis" {
+				app = experiment.RUBiS
+			}
+			var results []*experiment.Result
+			var err error
+			if *ext {
+				results, err = experiment.RunTableWithExtensions(app, opts)
+			} else {
+				results, err = experiment.RunTable(app, opts)
+			}
+			if err != nil {
+				return err
+			}
+			fmt.Printf("Per-configuration metrics: %s\n", app)
+			fmt.Print(experiment.FormatMetricsComparison(results))
+			if *metricsOut != "" {
+				if err := writeMetrics(*metricsOut, app, opts, results); err != nil {
+					return err
+				}
 			}
 		case "inventory":
 			printInventory()
@@ -91,7 +125,7 @@ func run(args []string) error {
 			if err != nil {
 				return err
 			}
-			if err := explain(app, cfg, *seed); err != nil {
+			if err := explain(app, cfg, *seed, *jsonOut); err != nil {
 				return err
 			}
 		case "sweep-latency":
@@ -146,7 +180,7 @@ func run(args []string) error {
 				}
 			}
 		default:
-			return fmt.Errorf("unknown command %q (want table6|table7|fig7|fig8|inventory|explain|sweep-latency|sweep-load|all)", cmd)
+			return fmt.Errorf("unknown command %q (want table6|table7|fig7|fig8|metrics|inventory|explain|sweep-latency|sweep-load|all)", cmd)
 		}
 	}
 	return nil
@@ -171,7 +205,7 @@ func sweepTarget(app, cfg string) (experiment.AppID, core.ConfigID, error) {
 	return "", 0, fmt.Errorf("unknown config %q", cfg)
 }
 
-func table(app experiment.AppID, opts experiment.RunOptions, figure, diag, p95, ext bool, csvPath string) error {
+func table(app experiment.AppID, opts experiment.RunOptions, figure, diag, p95, ext bool, csvPath, metricsOut string) error {
 	var results []*experiment.Result
 	var err error
 	if ext {
@@ -205,7 +239,41 @@ func table(app experiment.AppID, opts experiment.RunOptions, figure, diag, p95, 
 			return err
 		}
 	}
+	if metricsOut != "" {
+		if err := writeMetrics(metricsOut, app, opts, results); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// metricsFile is the -metrics-out JSON document: one registry snapshot per
+// configuration, plus the run parameters needed to interpret the series.
+type metricsFile struct {
+	App    experiment.AppID `json:"app"`
+	Seed   int64            `json:"seed"`
+	TickNs int64            `json:"tick_ns,omitempty"`
+	Runs   []metricsRun     `json:"runs"`
+}
+
+type metricsRun struct {
+	Config  string            `json:"config"`
+	Metrics *metrics.Snapshot `json:"metrics"`
+}
+
+// writeMetrics dumps every run's registry snapshot. Snapshots are sorted by
+// instrument name and runs keep table order, so the same seed produces a
+// byte-identical file regardless of -parallel.
+func writeMetrics(path string, app experiment.AppID, opts experiment.RunOptions, results []*experiment.Result) error {
+	doc := metricsFile{App: app, Seed: opts.Seed, TickNs: int64(opts.MetricsTick)}
+	for _, r := range results {
+		doc.Runs = append(doc.Runs, metricsRun{Config: r.Config.String(), Metrics: r.Metrics})
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func printInventory() {

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"wadeploy/internal/jms"
+	"wadeploy/internal/metrics"
 	"wadeploy/internal/rmi"
 	"wadeploy/internal/sim"
 	"wadeploy/internal/simnet"
@@ -119,6 +120,9 @@ type Server struct {
 	replicaDB *sqldb.DB
 
 	sqlStatements int64
+
+	mSQL        *metrics.Counter
+	mReplicaSQL *metrics.Counter
 }
 
 // binding records a bean deployed on this server.
@@ -153,18 +157,21 @@ func NewServer(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("container: web tier: %w", err)
 	}
+	reg := cfg.Net.Env().Metrics()
 	return &Server{
-		name:  cfg.Name,
-		node:  node,
-		net:   cfg.Net,
-		rt:    cfg.RMI,
-		web:   wc,
-		db:    cfg.DB,
-		dbSrv: dbNode,
-		jms:   cfg.JMS,
-		costs: cfg.Costs,
-		stubs: rmi.NewStubCache(cfg.RMI, cfg.Name),
-		beans: make(map[string]*binding),
+		name:        cfg.Name,
+		node:        node,
+		net:         cfg.Net,
+		rt:          cfg.RMI,
+		web:         wc,
+		db:          cfg.DB,
+		dbSrv:       dbNode,
+		jms:         cfg.JMS,
+		costs:       cfg.Costs,
+		stubs:       rmi.NewStubCache(cfg.RMI, cfg.Name),
+		beans:       make(map[string]*binding),
+		mSQL:        reg.CounterVec("container_sql_statements_total", "server").With(cfg.Name),
+		mReplicaSQL: reg.CounterVec("container_replica_sql_statements_total", "server").With(cfg.Name),
 	}, nil
 }
 
@@ -252,6 +259,7 @@ func (s *Server) SQLReplica(p *sim.Proc, query string, args ...sqldb.Value) (*sq
 		return nil, fmt.Errorf("container: %s has no replica DB", s.name)
 	}
 	s.sqlStatements++
+	s.mReplicaSQL.Inc()
 	label := query
 	if len(label) > 48 {
 		label = label[:48] + "..."
@@ -279,6 +287,7 @@ func (s *Server) SQLTx(p *sim.Proc, tx *sqldb.Tx, query string, args ...sqldb.Va
 
 func (s *Server) sqlOn(p *sim.Proc, tx *sqldb.Tx, query string, args ...sqldb.Value) (*sqldb.Result, error) {
 	s.sqlStatements++
+	s.mSQL.Inc()
 	label := query
 	if len(label) > 48 {
 		label = label[:48] + "..."

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"wadeploy/internal/jms"
+	"wadeploy/internal/metrics"
 	"wadeploy/internal/rmi"
 	"wadeploy/internal/sim"
 	"wadeploy/internal/sqldb"
@@ -102,6 +103,9 @@ type RWEntity struct {
 
 	loads  int64
 	writes int64
+
+	mLoad  *metrics.Counter
+	mStore *metrics.Counter
 }
 
 // DeployRWEntity deploys a read-write entity bean backed by table with the
@@ -110,7 +114,12 @@ func DeployRWEntity(srv *Server, name, table, pkCol string) (*RWEntity, error) {
 	if _, dup := srv.beans[name]; dup {
 		return nil, fmt.Errorf("container: bean %s already deployed on %s", name, srv.name)
 	}
-	b := &RWEntity{srv: srv, name: name, table: table, pkCol: pkCol}
+	reg := srv.Env().Metrics()
+	b := &RWEntity{
+		srv: srv, name: name, table: table, pkCol: pkCol,
+		mLoad:  reg.Counter("container_ejb_load_total"),
+		mStore: reg.Counter("container_ejb_store_total"),
+	}
 	srv.beans[name] = &binding{name: name, kind: Entity}
 	return b, nil
 }
@@ -140,6 +149,7 @@ func (b *RWEntity) Propagators() int { return len(b.props) }
 // so this is a single SELECT).
 func (b *RWEntity) Load(p *sim.Proc, pk sqldb.Value) (State, error) {
 	b.loads++
+	b.mLoad.Inc()
 	b.srv.Compute(p, b.srv.costs.EntityLoadCPU)
 	res, err := b.srv.SQL(p, "SELECT * FROM "+b.table+" WHERE "+b.pkCol+" = ?", pk)
 	if err != nil {
@@ -190,6 +200,7 @@ func (b *RWEntity) Insert(p *sim.Proc, st State) error {
 		return fmt.Errorf("entity %s insert: %w", b.name, err)
 	}
 	b.writes++
+	b.mStore.Inc()
 	return b.propagate(p, Update{Bean: b.name, PK: st[b.pkCol], State: st.Clone()})
 }
 
@@ -218,6 +229,7 @@ func (b *RWEntity) UpdateFields(p *sim.Proc, pk sqldb.Value, changes State) (Sta
 		return nil, fmt.Errorf("entity %s update: %w", b.name, err)
 	}
 	b.writes++
+	b.mStore.Inc()
 	merged := cur.Merge(changes)
 	u := Update{Bean: b.name, PK: pk, State: merged}
 	if b.deltaPush {
@@ -240,6 +252,7 @@ func (b *RWEntity) Delete(p *sim.Proc, pk sqldb.Value) error {
 		return fmt.Errorf("entity %s pk %v: %w", b.name, pk, ErrNoSuchEntity)
 	}
 	b.writes++
+	b.mStore.Inc()
 	return b.propagate(p, Update{Bean: b.name, PK: pk, Deleted: true})
 }
 
@@ -306,6 +319,12 @@ type ROEntity struct {
 	delaySamples int64
 	delaySum     time.Duration
 	delayMax     time.Duration
+
+	mHits      *metrics.Counter
+	mMisses    *metrics.Counter
+	mStaleRef  *metrics.Counter
+	mPushes    *metrics.Counter
+	mStaleness *metrics.Histogram
 }
 
 type roEntry struct {
@@ -321,12 +340,18 @@ func DeployROEntity(srv *Server, name, rwBean string, fetch FetchFunc) (*ROEntit
 	if _, dup := srv.beans[name]; dup {
 		return nil, fmt.Errorf("container: bean %s already deployed on %s", name, srv.name)
 	}
+	reg := srv.Env().Metrics()
 	b := &ROEntity{
-		srv:     srv,
-		name:    name,
-		rw:      rwBean,
-		fetch:   fetch,
-		entries: make(map[string]roEntry),
+		srv:        srv,
+		name:       name,
+		rw:         rwBean,
+		fetch:      fetch,
+		entries:    make(map[string]roEntry),
+		mHits:      reg.Counter("container_replica_hits_total"),
+		mMisses:    reg.Counter("container_replica_misses_total"),
+		mStaleRef:  reg.Counter("container_replica_stale_refreshes_total"),
+		mPushes:    reg.Counter("container_replica_pushes_total"),
+		mStaleness: reg.Histogram("container_replica_staleness_ns"),
 	}
 	srv.beans[name] = &binding{name: name, kind: Entity}
 	return b, nil
@@ -380,6 +405,7 @@ func (b *ROEntity) Get(p *sim.Proc, pk sqldb.Value) (State, error) {
 	e, ok := b.entries[k]
 	if ok && !e.stale && !b.expired(e) {
 		b.hits++
+		b.mHits.Inc()
 		b.srv.Compute(p, b.srv.costs.CacheHitCPU)
 		return e.state.Clone(), nil
 	}
@@ -388,8 +414,10 @@ func (b *ROEntity) Get(p *sim.Proc, pk sqldb.Value) (State, error) {
 	}
 	if ok {
 		b.staleRefreshes++
+		b.mStaleRef.Inc()
 	} else {
 		b.misses++
+		b.mMisses.Inc()
 	}
 	st, err := b.fetch(p, pk)
 	if err != nil {
@@ -408,6 +436,7 @@ func (b *ROEntity) Preload(pk sqldb.Value, st State) {
 // serve local reads).
 func (b *ROEntity) ApplyUpdate(u Update) {
 	b.pushes++
+	b.mPushes.Inc()
 	now := b.srv.Env().Now()
 	if u.CommittedAt > 0 {
 		delay := now - u.CommittedAt
@@ -416,6 +445,7 @@ func (b *ROEntity) ApplyUpdate(u Update) {
 		if delay > b.delayMax {
 			b.delayMax = delay
 		}
+		b.mStaleness.Observe(delay)
 	}
 	k := pkKey(u.PK)
 	if u.Deleted {
@@ -465,6 +495,8 @@ type UpdaterFacade struct {
 	name     string
 	appliers map[string][]Applier
 	applied  int64
+
+	mApplied *metrics.Counter
 }
 
 // MethodApply is the RMI method name for pushing updates to an
@@ -473,7 +505,10 @@ const MethodApply = "apply"
 
 // DeployUpdaterFacade deploys and JNDI-binds an updater façade.
 func DeployUpdaterFacade(srv *Server, name string) (*UpdaterFacade, error) {
-	u := &UpdaterFacade{srv: srv, name: name, appliers: make(map[string][]Applier)}
+	u := &UpdaterFacade{
+		srv: srv, name: name, appliers: make(map[string][]Applier),
+		mApplied: srv.Env().Metrics().Counter("container_updates_applied_total"),
+	}
 	if err := srv.bind(name, StatelessSession, u.handle); err != nil {
 		return nil, err
 	}
@@ -493,6 +528,7 @@ func (u *UpdaterFacade) Apply(p *sim.Proc, updates []Update) {
 	u.srv.Compute(p, u.srv.costs.CacheHitCPU)
 	for _, up := range updates {
 		u.applied++
+		u.mApplied.Inc()
 		for _, a := range u.appliers[up.Bean] {
 			a.ApplyUpdate(up)
 		}
@@ -536,6 +572,10 @@ type SyncPropagator struct {
 	Parallel bool
 
 	skipped int64
+
+	mPushes  *metrics.Counter
+	mSkipped *metrics.Counter
+	mPushNs  *metrics.Histogram
 }
 
 // SyncTarget names an updater façade deployment.
@@ -549,7 +589,13 @@ func NewSyncPropagator(srv *Server, targets []SyncTarget, msgBytes int) *SyncPro
 	if msgBytes <= 0 {
 		msgBytes = 1024
 	}
-	return &SyncPropagator{srv: srv, targets: targets, bytes: msgBytes}
+	reg := srv.Env().Metrics()
+	return &SyncPropagator{
+		srv: srv, targets: targets, bytes: msgBytes,
+		mPushes:  reg.Counter("container_sync_pushes_total"),
+		mSkipped: reg.Counter("container_sync_push_skipped_total"),
+		mPushNs:  reg.Histogram("container_sync_push_ns"),
+	}
 }
 
 // Skipped returns the number of pushes dropped in best-effort mode.
@@ -589,6 +635,8 @@ func (sp *SyncPropagator) batchBytes(updates []Update) int {
 // Propagate blocks while each target applies the batch.
 func (sp *SyncPropagator) Propagate(p *sim.Proc, updates []Update) error {
 	defer p.Span("push", "sync fan-out")()
+	start := p.Now()
+	defer func() { sp.mPushNs.Observe(p.Now() - start) }()
 	payload := sp.batchBytes(updates)
 	if sp.Parallel && len(sp.targets) > 1 {
 		return sp.propagateParallel(p, payload, updates)
@@ -597,6 +645,7 @@ func (sp *SyncPropagator) Propagate(p *sim.Proc, updates []Update) error {
 		if err := sp.pushOne(p, t, payload, updates); err != nil {
 			if sp.BestEffort {
 				sp.skipped++
+				sp.mSkipped.Inc()
 				continue
 			}
 			return err
@@ -614,6 +663,7 @@ func (sp *SyncPropagator) pushOne(p *sim.Proc, t SyncTarget, payload int, update
 	if err != nil {
 		return fmt.Errorf("sync push to %s/%s: %w", t.Server, t.Facade, err)
 	}
+	sp.mPushes.Inc()
 	return nil
 }
 
@@ -638,6 +688,7 @@ func (sp *SyncPropagator) propagateParallel(p *sim.Proc, payload int, updates []
 		if _, err := sim.Await(p, pr); err != nil {
 			if sp.BestEffort {
 				sp.skipped++
+				sp.mSkipped.Inc()
 				continue
 			}
 			if firstErr == nil {
@@ -655,6 +706,8 @@ type AsyncPropagator struct {
 	srv   *Server
 	topic string
 	bytes int
+
+	mPublishes *metrics.Counter
 }
 
 // NewAsyncPropagator creates a non-blocking propagator publishing on topic.
@@ -666,7 +719,10 @@ func NewAsyncPropagator(srv *Server, topic string, msgBytes int) (*AsyncPropagat
 		msgBytes = 1024
 	}
 	srv.jms.CreateTopic(topic)
-	return &AsyncPropagator{srv: srv, topic: topic, bytes: msgBytes}, nil
+	return &AsyncPropagator{
+		srv: srv, topic: topic, bytes: msgBytes,
+		mPublishes: srv.Env().Metrics().Counter("container_async_publishes_total"),
+	}, nil
 }
 
 // Topic returns the JMS topic name.
@@ -678,6 +734,7 @@ func (ap *AsyncPropagator) Propagate(p *sim.Proc, updates []Update) error {
 	if err := ap.srv.jms.Publish(p, ap.srv.name, ap.topic, updates, ap.bytes); err != nil {
 		return fmt.Errorf("async push: %w", err)
 	}
+	ap.mPublishes.Inc()
 	return nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"wadeploy/internal/metrics"
 	"wadeploy/internal/sim"
 )
 
@@ -27,6 +28,11 @@ type QueryCache struct {
 	misses  int64
 	refresh int64
 	pushed  int64
+
+	mHits    *metrics.Counter
+	mMisses  *metrics.Counter
+	mRefresh *metrics.Counter
+	mPushed  *metrics.Counter
 }
 
 type queryEntry struct {
@@ -37,11 +43,16 @@ type queryEntry struct {
 // NewQueryCache creates a query cache owned by srv. fetch may be nil for
 // strictly push-fed caches.
 func NewQueryCache(srv *Server, name string, fetch QueryFetch) *QueryCache {
+	reg := srv.Env().Metrics()
 	return &QueryCache{
-		srv:     srv,
-		name:    name,
-		fetch:   fetch,
-		entries: make(map[string]queryEntry),
+		srv:      srv,
+		name:     name,
+		fetch:    fetch,
+		entries:  make(map[string]queryEntry),
+		mHits:    reg.Counter("container_querycache_hits_total"),
+		mMisses:  reg.Counter("container_querycache_misses_total"),
+		mRefresh: reg.Counter("container_querycache_refresh_total"),
+		mPushed:  reg.Counter("container_querycache_pushed_total"),
 	}
 }
 
@@ -62,6 +73,7 @@ func (qc *QueryCache) Get(p *sim.Proc, key string) (any, error) {
 	e, ok := qc.entries[key]
 	if ok && !e.stale {
 		qc.hits++
+		qc.mHits.Inc()
 		qc.srv.Compute(p, qc.srv.costs.CacheHitCPU)
 		return e.result, nil
 	}
@@ -70,8 +82,10 @@ func (qc *QueryCache) Get(p *sim.Proc, key string) (any, error) {
 	}
 	if ok {
 		qc.refresh++
+		qc.mRefresh.Inc()
 	} else {
 		qc.misses++
+		qc.mMisses.Inc()
 	}
 	v, err := qc.fetch(p, key)
 	if err != nil {
@@ -105,6 +119,7 @@ func (qc *QueryCache) InvalidatePrefix(prefix string) int {
 // readers are never penalized).
 func (qc *QueryCache) ApplyPush(key string, v any) {
 	qc.pushed++
+	qc.mPushed.Inc()
 	qc.entries[key] = queryEntry{result: v}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"wadeploy/internal/jms"
+	"wadeploy/internal/metrics"
 	"wadeploy/internal/rmi"
 	"wadeploy/internal/sim"
 )
@@ -44,12 +45,17 @@ type StatelessBean struct {
 	name    string
 	methods map[string]Method
 	calls   int64
+
+	mCalls *metrics.Counter
 }
 
 // DeployStateless deploys a stateless session bean with the given business
 // methods and binds it in the server's JNDI registry.
 func DeployStateless(srv *Server, name string, methods map[string]Method) (*StatelessBean, error) {
-	b := &StatelessBean{srv: srv, name: name, methods: methods}
+	b := &StatelessBean{
+		srv: srv, name: name, methods: methods,
+		mCalls: srv.Env().Metrics().Counter("container_stateless_calls_total"),
+	}
 	if err := srv.bind(name, StatelessSession, b.handle); err != nil {
 		return nil, err
 	}
@@ -68,6 +74,7 @@ func (b *StatelessBean) handle(p *sim.Proc, call *rmi.Call) (any, error) {
 		return nil, fmt.Errorf("container: %s.%s: %w", b.name, call.Method, ErrNoSuchMethod)
 	}
 	b.calls++
+	b.mCalls.Inc()
 	b.srv.Compute(p, b.srv.costs.MethodCPU)
 	return m(p, &Invocation{
 		Server: b.srv,
@@ -94,6 +101,10 @@ type StatefulBean struct {
 	// mutating call pay a wide-area push, which is measurable here).
 	replicaServer string
 	replicated    int64
+
+	mCalls       *metrics.Counter
+	mActivations *metrics.Counter
+	mRepl        *metrics.Counter
 }
 
 // methodApplySession is the internal method replication peers invoke to
@@ -120,11 +131,15 @@ func (b *StatefulBean) Resume(session string) bool {
 
 // DeployStateful deploys a stateful session bean.
 func DeployStateful(srv *Server, name string, methods map[string]Method) (*StatefulBean, error) {
+	reg := srv.Env().Metrics()
 	b := &StatefulBean{
-		srv:       srv,
-		name:      name,
-		methods:   methods,
-		instances: make(map[string]State),
+		srv:          srv,
+		name:         name,
+		methods:      methods,
+		instances:    make(map[string]State),
+		mCalls:       reg.Counter("container_stateful_calls_total"),
+		mActivations: reg.Counter("container_stateful_activations_total"),
+		mRepl:        reg.Counter("container_session_replications_total"),
 	}
 	if err := srv.bind(name, StatefulSession, b.handle); err != nil {
 		return nil, err
@@ -169,8 +184,10 @@ func (b *StatefulBean) handle(p *sim.Proc, call *rmi.Call) (any, error) {
 	if !ok {
 		st = make(State)
 		b.instances[sessionKey] = st
+		b.mActivations.Inc()
 	}
 	b.calls++
+	b.mCalls.Inc()
 	b.srv.Compute(p, b.srv.costs.MethodCPU)
 	result, err := m(p, &Invocation{
 		Server:  b.srv,
@@ -199,6 +216,7 @@ func (b *StatefulBean) replicate(p *sim.Proc, sessionKey string, st State) error
 		return err
 	}
 	b.replicated++
+	b.mRepl.Inc()
 	return nil
 }
 
@@ -208,6 +226,8 @@ type MDBean struct {
 	srv      *Server
 	name     string
 	received int64
+
+	mRecv *metrics.Counter
 }
 
 // DeployMDB deploys a message-driven bean subscribed to topic on the
@@ -217,9 +237,13 @@ func DeployMDB(srv *Server, name, topic string, onMessage func(p *sim.Proc, srvr
 	if srv.jms == nil {
 		return nil, fmt.Errorf("container: deploy MDB %s: server %s has no JMS provider", name, srv.name)
 	}
-	b := &MDBean{srv: srv, name: name}
+	b := &MDBean{
+		srv: srv, name: name,
+		mRecv: srv.Env().Metrics().Counter("container_mdb_deliveries_total"),
+	}
 	err := srv.jms.Subscribe(topic, srv.name, name, func(p *sim.Proc, msg *jms.Message) {
 		b.received++
+		b.mRecv.Inc()
 		srv.Compute(p, srv.costs.MethodCPU)
 		onMessage(p, srv, msg)
 	})

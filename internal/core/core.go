@@ -27,6 +27,7 @@ import (
 
 	"wadeploy/internal/container"
 	"wadeploy/internal/jms"
+	"wadeploy/internal/metrics"
 	"wadeploy/internal/rmi"
 	"wadeploy/internal/sim"
 	"wadeploy/internal/simnet"
@@ -157,6 +158,7 @@ func NewPaperDeployment(env *sim.Env, opts Options) (*Deployment, error) {
 	}
 	db := sqldb.New()
 	db.SetCostModel(opts.DBCost)
+	InstrumentDB(env.Metrics(), db)
 	rt := rmi.NewRuntime(net, opts.RMI)
 	provider, err := jms.NewProvider(net, simnet.NodeMain, opts.JMS)
 	if err != nil {
@@ -191,6 +193,40 @@ func NewPaperDeployment(env *sim.Env, opts Options) (*Deployment, error) {
 		}
 	}
 	return d, nil
+}
+
+// InstrumentDB attaches a statement observer to db that mirrors every
+// executed statement into reg: totals by verb and table, row-volume
+// counters, and index-vs-full-scan counts for the access-path statements
+// (select/update/delete). The observer runs under the database lock, so it
+// only increments pre-registered counters.
+func InstrumentDB(reg *metrics.Registry, db *sqldb.DB) {
+	total := reg.Counter("sqldb_statements_total")
+	byVerb := reg.CounterVec("sqldb_statements_total", "verb")
+	byTable := reg.CounterVec("sqldb_table_statements_total", "table")
+	scanned := reg.Counter("sqldb_rows_scanned_total")
+	written := reg.Counter("sqldb_rows_written_total")
+	returned := reg.Counter("sqldb_rows_returned_total")
+	indexScans := reg.Counter("sqldb_index_scans_total")
+	fullScans := reg.Counter("sqldb_full_scans_total")
+	db.SetObserver(func(st sqldb.StatementInfo) {
+		total.Inc()
+		byVerb.With(st.Verb).Inc()
+		if st.Table != "" {
+			byTable.With(st.Table).Inc()
+		}
+		scanned.Add(int64(st.Scanned))
+		written.Add(int64(st.Written))
+		returned.Add(int64(st.Returned))
+		switch st.Verb {
+		case "select", "update", "delete":
+			if st.IndexUsed {
+				indexScans.Inc()
+			} else {
+				fullScans.Inc()
+			}
+		}
+	})
 }
 
 // Servers returns main followed by the edge servers.

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"time"
 
+	"wadeploy/internal/metrics"
 	"wadeploy/internal/sim"
 	"wadeploy/internal/simnet"
 	"wadeploy/internal/sqldb"
@@ -67,6 +68,12 @@ type Primary struct {
 
 	replicas []*Replica
 	shipped  int64
+
+	mShipped *metrics.Counter
+	mDropped *metrics.Counter
+	mApplied *metrics.Counter
+	mFailed  *metrics.Counter
+	mLag     *metrics.Histogram
 }
 
 // Options tunes the replication stream.
@@ -93,13 +100,19 @@ func NewPrimary(net *simnet.Network, node string, db *sqldb.DB, opts Options) (*
 	if opts.StatementBytes <= 0 {
 		opts.StatementBytes = DefaultOptions.StatementBytes
 	}
+	reg := net.Env().Metrics()
 	p := &Primary{
-		env:     net.Env(),
-		net:     net,
-		node:    node,
-		db:      db,
-		bytes:   opts.StatementBytes,
-		applyMS: opts.ApplyCPU,
+		env:      net.Env(),
+		net:      net,
+		node:     node,
+		db:       db,
+		bytes:    opts.StatementBytes,
+		applyMS:  opts.ApplyCPU,
+		mShipped: reg.Counter("dbrepl_shipped_total"),
+		mDropped: reg.Counter("dbrepl_dropped_total"),
+		mApplied: reg.Counter("dbrepl_applied_total"),
+		mFailed:  reg.Counter("dbrepl_failed_total"),
+		mLag:     reg.Histogram("dbrepl_apply_lag_ns"),
 	}
 	db.SetWriteHook(p.ship)
 	return p, nil
@@ -135,12 +148,14 @@ func (p *Primary) Attach(node string, init func(db *sqldb.DB) error) (*Replica, 
 // asynchronously and in order per replica.
 func (p *Primary) ship(sql string, args []sqldb.Value) {
 	p.shipped++
+	p.mShipped.Inc()
 	argsCopy := append([]sqldb.Value(nil), args...)
 	for _, r := range p.replicas {
 		r := r
 		delay, err := p.net.Delay(p.node, r.node.ID, p.bytes)
 		if err != nil {
 			r.dropped++
+			p.mDropped.Inc()
 			continue
 		}
 		shippedAt := p.env.Now()
@@ -157,15 +172,18 @@ func (p *Primary) ship(sql string, args []sqldb.Value) {
 				res, err := r.DB.Exec(sql, argsCopy...)
 				if err != nil {
 					r.failed++
+					p.mFailed.Inc()
 					return
 				}
 				r.node.CPU.Use(proc, res.Cost)
 				r.applied++
+				p.mApplied.Inc()
 				lag := proc.Now() - shippedAt
 				r.lagSum += lag
 				if lag > r.lagMax {
 					r.lagMax = lag
 				}
+				p.mLag.Observe(lag)
 			})
 		})
 	}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"wadeploy/internal/core"
+	"wadeploy/internal/metrics"
 	"wadeploy/internal/petstore"
 	"wadeploy/internal/rubis"
 	"wadeploy/internal/sim"
@@ -47,6 +48,12 @@ type RunOptions struct {
 	// number of runs are clamped. Every run owns its environment, seed and
 	// database, so any setting produces byte-identical tables.
 	Parallelism int
+
+	// MetricsTick, when positive, samples every counter and gauge into its
+	// time series on this virtual-time interval. Sampling is armed as a raw
+	// timer callback (no process, no RNG draw), so enabling it does not
+	// perturb the workload schedule.
+	MetricsTick time.Duration
 }
 
 // DefaultRunOptions mirrors the paper's methodology (each test ran for about
@@ -92,6 +99,10 @@ type Result struct {
 	EdgeCPUUtil  float64
 	JMSPublished int64
 	JMSDelivered int64
+
+	// Metrics is the run's full registry snapshot, taken after the workload
+	// finishes (deterministic: same seed, same snapshot).
+	Metrics *metrics.Snapshot
 }
 
 // Cell returns the cell for (pattern, page), or nil.
@@ -220,6 +231,15 @@ func collect(app AppID, cfg core.ConfigID, d *core.Deployment, opts RunOptions,
 		d.Env.At(f.At, func() { _ = d.Net.SetLinkState(f.LinkA, f.LinkB, false) })
 		d.Env.At(f.At+f.Duration, func() { _ = d.Net.SetLinkState(f.LinkA, f.LinkB, true) })
 	}
+	reg := d.Env.Metrics()
+	if opts.MetricsTick > 0 {
+		var tick func()
+		tick = func() {
+			reg.Sample()
+			d.Env.After(opts.MetricsTick, tick)
+		}
+		d.Env.After(opts.MetricsTick, tick)
+	}
 	stats, err := workload.Run(workload.Config{
 		Env:      d.Env,
 		Groups:   groups,
@@ -266,6 +286,7 @@ func collect(app AppID, cfg core.ConfigID, d *core.Deployment, opts RunOptions,
 		edgeNode := d.Net.Node(d.Edges[0].Name())
 		res.EdgeCPUUtil = edgeNode.CPU.Utilization()
 	}
+	res.Metrics = reg.Snapshot()
 	return res, nil
 }
 

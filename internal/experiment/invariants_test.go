@@ -1,0 +1,154 @@
+package experiment
+
+import (
+	"testing"
+
+	"wadeploy/internal/core"
+	"wadeploy/internal/metrics"
+	"wadeploy/internal/petstore"
+	"wadeploy/internal/sim"
+	"wadeploy/internal/simnet"
+	"wadeploy/internal/workload"
+)
+
+// browseSteps is a representative remote browser session (no writes).
+func browseSteps() []workload.Step {
+	return []workload.Step{
+		{Page: petstore.PageMain},
+		{Page: petstore.PageCategory, Params: map[string]string{"cat": petstore.CategoryID(1)}},
+		{Page: petstore.PageProduct, Params: map[string]string{"product": petstore.ProductID(1, 1)}},
+		{Page: petstore.PageItem, Params: map[string]string{"item": petstore.ItemID(1, 1, 1)}},
+	}
+}
+
+// buyerSteps is a full purchase session, ending in order-placement writes.
+func buyerSteps() []workload.Step {
+	user := petstore.UserID(0)
+	return []workload.Step{
+		{Page: petstore.PageMain},
+		{Page: petstore.PageSignin},
+		{Page: petstore.PageVerifySignin, Params: map[string]string{"user": user, "password": "pw-" + user}},
+		{Page: petstore.PageCart, Params: map[string]string{"item": petstore.ItemID(1, 1, 1)}},
+		{Page: petstore.PageCheckout},
+		{Page: petstore.PagePlaceOrder},
+		{Page: petstore.PageBilling},
+		{Page: petstore.PageCommit},
+		{Page: petstore.PageSignout},
+	}
+}
+
+// runSession deploys Pet Store under cfg, plays the warm steps silently,
+// then runs the measured steps (through perStep when given, so callers can
+// read counter deltas around each page). Steps run from the edge-1 client
+// group; the environment's registry is returned for final assertions.
+func runSession(t *testing.T, cfg core.ConfigID, warm, measured []workload.Step,
+	perStep func(reg *metrics.Registry, page string, run func())) *metrics.Registry {
+	t.Helper()
+	env := sim.NewEnv(1)
+	d, err := core.NewPaperDeployment(env, core.DefaultOptions())
+	if err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	a, err := petstore.Deploy(d, cfg)
+	if err != nil {
+		t.Fatalf("petstore: %v", err)
+	}
+	request := a.RequestFunc()
+	reg := env.Metrics()
+	client := workload.Client{Node: simnet.NodeClientsEdge1, ID: "invariant-client"}
+	var failed error
+	env.Spawn("invariants", func(p *sim.Proc) {
+		for _, step := range warm {
+			if _, err := request(p, client, step); err != nil {
+				failed = err
+				return
+			}
+		}
+		for _, step := range measured {
+			step := step
+			if perStep != nil {
+				perStep(reg, step.Page, func() {
+					if _, err := request(p, client, step); err != nil {
+						failed = err
+					}
+				})
+				if failed != nil {
+					return
+				}
+				continue
+			}
+			if _, err := request(p, client, step); err != nil {
+				failed = err
+				return
+			}
+		}
+	})
+	env.RunAll()
+	env.Close()
+	if failed != nil {
+		t.Fatalf("session: %v", failed)
+	}
+	return reg
+}
+
+// TestInvariantRemoteFacadeOneWANCall asserts the paper's remote-façade
+// design rule directly from the metrics registry: with stub caches warm,
+// serving any browse page from a remote client costs at most one wide-area
+// RMI call (Section 4.2's "exactly one remote call" rule).
+func TestInvariantRemoteFacadeOneWANCall(t *testing.T) {
+	steps := browseSteps()
+	runSession(t, core.RemoteFacade, steps, steps,
+		func(reg *metrics.Registry, page string, run func()) {
+			before := reg.CounterValue("rmi_wide_area_calls_total")
+			run()
+			delta := reg.CounterValue("rmi_wide_area_calls_total") - before
+			if delta > 1 {
+				t.Errorf("page %s: %d wide-area RMI calls, design rule allows at most 1", page, delta)
+			}
+		})
+}
+
+// TestInvariantQueryCachingNoCatalogSQL asserts that query caching removes
+// the catalog load from the main database: with caches warm, a remote
+// browser session issues zero SQL statements against the category and
+// product tables (Section 4.4).
+func TestInvariantQueryCachingNoCatalogSQL(t *testing.T) {
+	catKey := metrics.LabelName("sqldb_table_statements_total", "table", "category")
+	prodKey := metrics.LabelName("sqldb_table_statements_total", "table", "product")
+	steps := browseSteps()
+	runSession(t, core.QueryCaching, steps, steps,
+		func(reg *metrics.Registry, page string, run func()) {
+			catBefore := reg.CounterValue(catKey)
+			prodBefore := reg.CounterValue(prodKey)
+			run()
+			if d := reg.CounterValue(catKey) - catBefore; d != 0 {
+				t.Errorf("page %s: %d category-table statements, want 0 with warm query caches", page, d)
+			}
+			if d := reg.CounterValue(prodKey) - prodBefore; d != 0 {
+				t.Errorf("page %s: %d product-table statements, want 0 with warm query caches", page, d)
+			}
+		})
+}
+
+// TestInvariantAsyncUpdatesNoBlockingPushes asserts the asynchronous-updates
+// rule: writers publish updates to JMS and never perform a blocking WAN
+// push. The stateful-caching configuration is the contrast — the same buyer
+// session there does block on synchronous pushes.
+func TestInvariantAsyncUpdatesNoBlockingPushes(t *testing.T) {
+	steps := buyerSteps()
+	reg := runSession(t, core.AsyncUpdates, nil, steps, nil)
+	if v := reg.CounterValue("container_sync_pushes_total"); v != 0 {
+		t.Errorf("async-updates: %d blocking sync pushes, want 0", v)
+	}
+	if v := reg.CounterValue("container_async_publishes_total"); v == 0 {
+		t.Errorf("async-updates: no async publishes recorded; buyer writes should publish updates")
+	}
+	if v := reg.CounterValue("jms_published_total"); v == 0 {
+		t.Errorf("async-updates: jms_published_total is 0, want > 0")
+	}
+
+	contrast := runSession(t, core.StatefulCaching, nil, steps, nil)
+	if v := contrast.CounterValue("container_sync_pushes_total"); v == 0 {
+		t.Errorf("stateful-caching contrast: no sync pushes recorded; writes should block on WAN pushes")
+	}
+}

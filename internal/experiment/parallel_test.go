@@ -74,8 +74,8 @@ func TestClampParallelism(t *testing.T) {
 	}{
 		{parallel: 1, n: 5, want: 1},
 		{parallel: 2, n: 8, want: 2},
-		{parallel: 10, n: 3, want: 3}, // never wider than the job count
-		{parallel: 5, n: 1, want: 1},  // single-run fast path
+		{parallel: 10, n: 3, want: 3},             // never wider than the job count
+		{parallel: 5, n: 1, want: 1},              // single-run fast path
 		{parallel: 0, n: procs + 8, want: procs},  // default: one per CPU
 		{parallel: -3, n: procs + 8, want: procs}, // negative: same default
 	}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"time"
 
+	"wadeploy/internal/metrics"
 	"wadeploy/internal/sim"
 	"wadeploy/internal/simnet"
 )
@@ -68,6 +69,9 @@ type subscription struct {
 type Topic struct {
 	name string
 	subs []*subscription
+
+	mPub *metrics.Counter
+	mDel *metrics.Counter
 }
 
 // Provider is a JMS broker bound to a node of the network.
@@ -80,6 +84,12 @@ type Provider struct {
 
 	published int64
 	delivered int64
+
+	mPub   *metrics.Counter
+	mDel   *metrics.Counter
+	mLag   *metrics.Histogram
+	pubVec *metrics.CounterVec
+	delVec *metrics.CounterVec
 }
 
 // NewProvider creates a broker on node.
@@ -87,12 +97,18 @@ func NewProvider(net *simnet.Network, node string, opts Options) (*Provider, err
 	if net.Node(node) == nil {
 		return nil, fmt.Errorf("jms: no such node %s", node)
 	}
+	reg := net.Env().Metrics()
 	return &Provider{
 		env:    net.Env(),
 		net:    net,
 		node:   node,
 		opts:   opts,
 		topics: make(map[string]*Topic),
+		mPub:   reg.Counter("jms_published_total"),
+		mDel:   reg.Counter("jms_delivered_total"),
+		mLag:   reg.Histogram("jms_delivery_lag_ns"),
+		pubVec: reg.CounterVec("jms_published_total", "topic"),
+		delVec: reg.CounterVec("jms_delivered_total", "topic"),
 	}, nil
 }
 
@@ -110,7 +126,7 @@ func (pr *Provider) CreateTopic(name string) *Topic {
 	if t, ok := pr.topics[name]; ok {
 		return t
 	}
-	t := &Topic{name: name}
+	t := &Topic{name: name, mPub: pr.pubVec.With(name), mDel: pr.delVec.With(name)}
 	pr.topics[name] = t
 	return t
 }
@@ -156,6 +172,8 @@ func (pr *Provider) Publish(p *sim.Proc, fromNode, topic string, body any, bytes
 	}
 	msg := &Message{Topic: topic, Body: body, Bytes: bytes, PublishedAt: pr.env.Now()}
 	pr.published++
+	pr.mPub.Inc()
+	t.mPub.Inc()
 	for _, sub := range t.subs {
 		sub := sub
 		delay, err := pr.net.Delay(pr.node, sub.node, bytes)
@@ -172,6 +190,9 @@ func (pr *Provider) Publish(p *sim.Proc, fromNode, topic string, body any, bytes
 			pr.env.Spawn("jms:"+sub.name, func(dp *sim.Proc) {
 				dp.Sleep(pr.opts.DeliverCPU)
 				pr.delivered++
+				pr.mDel.Inc()
+				t.mDel.Inc()
+				pr.mLag.Observe(dp.Now() - msg.PublishedAt)
 				sub.fn(dp, msg)
 			})
 		})

@@ -1,0 +1,7 @@
+//go:build !race
+
+package metrics
+
+// RaceEnabled reports whether the race detector is active; alloc-guard tests
+// skip under it because instrumentation perturbs allocation counts.
+const RaceEnabled = false

@@ -701,7 +701,7 @@ func (a *App) sessionFor(clientID string, srv *container.Server) *web.Session {
 	k := clientID + "|" + srv.Name()
 	s, ok := a.sessions[k]
 	if !ok {
-		s = web.NewSession(k, srv.Name())
+		s = srv.Web().NewSession(k)
 		a.sessions[k] = s
 	}
 	return s

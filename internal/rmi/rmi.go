@@ -16,9 +16,16 @@ import (
 	"fmt"
 	"time"
 
+	"wadeploy/internal/metrics"
 	"wadeploy/internal/sim"
 	"wadeploy/internal/simnet"
 )
+
+// wideAreaOneWay is the one-way latency above which a remote call is
+// classified wide-area. The paper's WAN links are 100 ms each way and its
+// LANs are sub-millisecond, so any threshold between the two works; 10 ms
+// keeps the classification robust for sweep topologies too.
+const wideAreaOneWay = 10 * time.Millisecond
 
 // ErrNotBound is returned when a name is not present in a registry.
 var ErrNotBound = errors.New("rmi: name not bound")
@@ -93,6 +100,15 @@ type Runtime struct {
 	opts  Options
 	reg   map[string]map[string]*Object // node -> name -> object
 	stats Stats
+
+	mLocal      *metrics.Counter
+	mRemote     *metrics.Counter
+	mWide       *metrics.Counter
+	mRemoteNs   *metrics.Histogram
+	mLookups    *metrics.Counter
+	mRemoteLkup *metrics.Counter
+	mStubHits   *metrics.Counter
+	mStubMiss   *metrics.Counter
 }
 
 // NewRuntime creates an RMI runtime over net with the given cost options.
@@ -100,10 +116,20 @@ func NewRuntime(net *simnet.Network, opts Options) *Runtime {
 	if opts.Rounds < 1 {
 		opts.Rounds = 1
 	}
+	mreg := net.Env().Metrics()
+	mreg.Gauge("rmi_configured_rounds_milli").Set(int64(opts.Rounds * 1000))
 	return &Runtime{
-		net:  net,
-		opts: opts,
-		reg:  make(map[string]map[string]*Object),
+		net:         net,
+		opts:        opts,
+		reg:         make(map[string]map[string]*Object),
+		mLocal:      mreg.Counter("rmi_local_calls_total"),
+		mRemote:     mreg.Counter("rmi_remote_calls_total"),
+		mWide:       mreg.Counter("rmi_wide_area_calls_total"),
+		mRemoteNs:   mreg.Histogram("rmi_remote_call_ns"),
+		mLookups:    mreg.Counter("rmi_lookups_total"),
+		mRemoteLkup: mreg.Counter("rmi_remote_lookups_total"),
+		mStubHits:   mreg.Counter("rmi_stubcache_hits_total"),
+		mStubMiss:   mreg.Counter("rmi_stubcache_misses_total"),
 	}
 }
 
@@ -166,9 +192,11 @@ func (s *Stub) Remote() bool { return s.obj.Node != s.caller }
 // costs only local dispatch CPU. The returned stub is owned by callerNode.
 func (rt *Runtime) Lookup(p *sim.Proc, callerNode, registryNode, name string) (*Stub, error) {
 	rt.stats.Lookups++
+	rt.mLookups.Inc()
 	defer p.Span("jndi", name+" @ "+registryNode)()
 	if callerNode != registryNode {
 		rt.stats.RemoteLkups++
+		rt.mRemoteLkup.Inc()
 		if err := rt.networkRoundTrip(p, callerNode, registryNode, 128, 256); err != nil {
 			return nil, fmt.Errorf("rmi: lookup %s on %s: %w", name, registryNode, err)
 		}
@@ -214,11 +242,16 @@ func (s *Stub) InvokeSized(p *sim.Proc, method string, reqBytes, replyBytes int,
 	call := &Call{Method: method, Args: args, Caller: s.caller}
 	if !s.Remote() {
 		rt.stats.LocalCalls++
+		rt.mLocal.Inc()
 		defer p.Span("call", s.obj.Name+"."+method)()
 		p.Sleep(rt.opts.LocalDispatch)
 		return s.obj.h(p, call)
 	}
 	rt.stats.RemoteCalls++
+	rt.mRemote.Inc()
+	if oneWay, owErr := rt.net.Latency(s.caller, s.obj.Node); owErr == nil && oneWay >= wideAreaOneWay {
+		rt.mWide.Inc()
+	}
 	defer p.Span("rmi", s.obj.Name+"."+method+" -> "+s.obj.Node)()
 	start := p.Now()
 	p.Sleep(rt.opts.MarshalCPU)
@@ -237,6 +270,7 @@ func (s *Stub) InvokeSized(p *sim.Proc, method string, reqBytes, replyBytes int,
 		}
 	}
 	rt.stats.WideAreaRTT += p.Now() - start
+	rt.mRemoteNs.Observe(p.Now() - start)
 	return result, err
 }
 
@@ -267,8 +301,10 @@ func NewStubCache(rt *Runtime, callerNode string) *StubCache {
 func (c *StubCache) Get(p *sim.Proc, registryNode, name string) (*Stub, error) {
 	k := registryNode + "/" + name
 	if s, ok := c.stubs[k]; ok {
+		c.rt.mStubHits.Inc()
 		return s, nil
 	}
+	c.rt.mStubMiss.Inc()
 	s, err := c.rt.Lookup(p, c.caller, registryNode, name)
 	if err != nil {
 		return nil, err

@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"wadeploy/internal/metrics"
 )
 
 // errKilled is panicked inside a blocked process when the environment is
@@ -124,6 +126,8 @@ type Env struct {
 	inRun  bool
 	curr   *Proc // process currently holding control, if any
 	fatal  any   // panic value captured from a process, re-raised by the scheduler
+
+	metrics *metrics.Registry // lazily created; reads the virtual clock
 }
 
 // NewEnv returns a fresh environment whose random source is seeded with seed.
@@ -140,6 +144,18 @@ func (e *Env) Now() time.Duration { return e.now }
 
 // Rand returns the environment's deterministic random source.
 func (e *Env) Rand() *rand.Rand { return e.rng }
+
+// Metrics returns the environment's metrics registry, creating it on first
+// use. The registry reads the virtual clock, so sampled series are as
+// deterministic as the run itself. Instruments are mutated only under the
+// engine's one-goroutine-at-a-time handoff protocol and therefore take no
+// locks.
+func (e *Env) Metrics() *metrics.Registry {
+	if e.metrics == nil {
+		e.metrics = metrics.NewRegistry(func() time.Duration { return e.now })
+	}
+	return e.metrics
+}
 
 // Pending reports the number of scheduled events not yet executed.
 func (e *Env) Pending() int { return len(e.events) }

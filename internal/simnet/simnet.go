@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"time"
 
+	"wadeploy/internal/metrics"
 	"wadeploy/internal/sim"
 )
 
@@ -45,6 +46,11 @@ type Link struct {
 	// [1] is B->A. A transfer must wait for the transmitter to drain
 	// before its serialization delay starts.
 	busyUntil [2]time.Duration
+
+	// Per-direction instruments, registered at AddLink time so the Delay
+	// hot path only touches pre-resolved handles.
+	mBytes [2]*metrics.Counter
+	mQueue [2]*metrics.Histogram
 }
 
 // Network is a set of nodes and links with latency-shortest-path routing.
@@ -57,15 +63,29 @@ type Network struct {
 	// routes caches computed paths; invalidated when topology or link
 	// state changes.
 	routes map[[2]string][]*Link
+
+	mMsgs     *metrics.Counter
+	mBytes    *metrics.Counter
+	mDelay    *metrics.Histogram
+	mLinks    *metrics.Gauge
+	linkBytes *metrics.CounterVec
+	linkQueue *metrics.HistogramVec
 }
 
 // New returns an empty network bound to env.
 func New(env *sim.Env) *Network {
+	reg := env.Metrics()
 	return &Network{
-		env:    env,
-		nodes:  make(map[string]*Node),
-		adj:    make(map[string][]*Link),
-		routes: make(map[[2]string][]*Link),
+		env:       env,
+		nodes:     make(map[string]*Node),
+		adj:       make(map[string][]*Link),
+		routes:    make(map[[2]string][]*Link),
+		mMsgs:     reg.Counter("simnet_messages_total"),
+		mBytes:    reg.Counter("simnet_bytes_total"),
+		mDelay:    reg.Histogram("simnet_delivery_delay_ns"),
+		mLinks:    reg.Gauge("simnet_links"),
+		linkBytes: reg.CounterVec("simnet_link_bytes_total", "link"),
+		linkQueue: reg.HistogramVec("simnet_link_queue_wait_ns", "link"),
 	}
 }
 
@@ -102,6 +122,11 @@ func (n *Network) AddLink(a, b string, latency time.Duration, bps float64) (*Lin
 		return nil, fmt.Errorf("simnet: link %s-%s bandwidth must be positive", a, b)
 	}
 	l := &Link{A: a, B: b, Latency: latency, Bps: bps}
+	l.mBytes[0] = n.linkBytes.With(a + ">" + b)
+	l.mBytes[1] = n.linkBytes.With(b + ">" + a)
+	l.mQueue[0] = n.linkQueue.With(a + ">" + b)
+	l.mQueue[1] = n.linkQueue.With(b + ">" + a)
+	n.mLinks.Add(1)
 	n.links = append(n.links, l)
 	n.adj[a] = append(n.adj[a], l)
 	n.adj[b] = append(n.adj[b], l)
@@ -245,6 +270,8 @@ func (n *Network) Delay(from, to string, bytes int) (time.Duration, error) {
 		if l.busyUntil[dir] > start {
 			start = l.busyUntil[dir]
 		}
+		l.mBytes[dir].Add(int64(bytes))
+		l.mQueue[dir].Observe(start - depart)
 		l.busyUntil[dir] = start + ser
 		depart = start + l.Latency
 		arrive = start + ser + l.Latency
@@ -254,6 +281,9 @@ func (n *Network) Delay(from, to string, bytes int) (time.Duration, error) {
 			at = l.A
 		}
 	}
+	n.mMsgs.Inc()
+	n.mBytes.Add(int64(bytes))
+	n.mDelay.Observe(arrive - now)
 	return arrive - now, nil
 }
 

@@ -48,6 +48,10 @@ type Result struct {
 	Affected int       // rows inserted/updated/deleted
 	Scanned  int       // rows examined while executing
 	Cost     time.Duration
+
+	// IndexUsed reports whether a hash index narrowed the scan (SELECT,
+	// UPDATE and DELETE; always false for other statements).
+	IndexUsed bool
 }
 
 // Len returns the number of result rows.
@@ -150,6 +154,20 @@ type DB struct {
 	// text and bound arguments — the hook statement-based replication
 	// (dbrepl) ships its log from.
 	onWrite func(sql string, args []Value)
+
+	// observer, when set, sees every successful statement's execution
+	// profile — the metrics layer's view into the database.
+	observer func(StatementInfo)
+}
+
+// StatementInfo describes one executed statement for an observer.
+type StatementInfo struct {
+	Verb      string // select, insert, update, delete, create-table, create-index, drop-table
+	Table     string // target table (first FROM table for joins)
+	Scanned   int    // rows examined
+	Written   int    // rows inserted/updated/deleted
+	Returned  int    // result rows
+	IndexUsed bool   // a hash index narrowed the scan
 }
 
 // New returns an empty database with the default cost model.
@@ -221,6 +239,16 @@ func (db *DB) SetWriteHook(fn func(sql string, args []Value)) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.onWrite = fn
+}
+
+// SetObserver registers fn to observe every successfully executed statement
+// (including transactional ones at execution time). Pass nil to disable.
+// The observer runs synchronously under the database lock and must not call
+// back into the same DB.
+func (db *DB) SetObserver(fn func(StatementInfo)) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.observer = fn
 }
 
 // Exec parses (with caching) and executes one statement with ? parameters
@@ -332,6 +360,44 @@ func (tx *Tx) Rollback() error {
 // execLocked dispatches a parsed statement. db.mu must be held.
 func (db *DB) execLocked(st Stmt, args []Value, tx *Tx) (*Result, error) {
 	db.statements++
+	res, err := db.dispatchLocked(st, args, tx)
+	if err == nil && db.observer != nil {
+		db.observer(statementInfo(st, res))
+	}
+	return res, err
+}
+
+// statementInfo derives the observer's view of one executed statement.
+func statementInfo(st Stmt, res *Result) StatementInfo {
+	info := StatementInfo{
+		Scanned:   res.Scanned,
+		Returned:  len(res.Rows),
+		IndexUsed: res.IndexUsed,
+	}
+	switch s := st.(type) {
+	case *SelectStmt:
+		info.Verb = "select"
+		if len(s.From) > 0 {
+			info.Table = s.From[0].Table
+		}
+	case *InsertStmt:
+		info.Verb, info.Table, info.Written = "insert", s.Table, res.Affected
+	case *UpdateStmt:
+		info.Verb, info.Table, info.Written = "update", s.Table, res.Affected
+	case *DeleteStmt:
+		info.Verb, info.Table, info.Written = "delete", s.Table, res.Affected
+	case *CreateTableStmt:
+		info.Verb, info.Table = "create-table", s.Name
+	case *CreateIndexStmt:
+		info.Verb, info.Table = "create-index", s.Table
+	case *DropTableStmt:
+		info.Verb, info.Table = "drop-table", s.Name
+	}
+	return info
+}
+
+// dispatchLocked executes a parsed statement. db.mu must be held.
+func (db *DB) dispatchLocked(st Stmt, args []Value, tx *Tx) (*Result, error) {
 	switch s := st.(type) {
 	case *CreateTableStmt:
 		return db.execCreateTable(s)
@@ -550,7 +616,7 @@ func (db *DB) execUpdate(s *UpdateStmt, args []Value, tx *Tx) (*Result, error) {
 		}
 		setPos[i] = c
 	}
-	positions, scanned, err := db.matchRows(t, s.Where, args)
+	positions, scanned, usedIndex, err := db.matchRows(t, s.Where, args)
 	if err != nil {
 		return nil, err
 	}
@@ -622,7 +688,7 @@ func (db *DB) execUpdate(s *UpdateStmt, args []Value, tx *Tx) (*Result, error) {
 			tx.undo = append(tx.undo, func() { applyRow(pos, oldVals) })
 		}
 	}
-	return &Result{Affected: len(applied), Scanned: scanned, Cost: db.cost.cost(scanned, len(applied), 0)}, nil
+	return &Result{Affected: len(applied), Scanned: scanned, IndexUsed: usedIndex, Cost: db.cost.cost(scanned, len(applied), 0)}, nil
 }
 
 func (db *DB) execDelete(s *DeleteStmt, args []Value, tx *Tx) (*Result, error) {
@@ -630,7 +696,7 @@ func (db *DB) execDelete(s *DeleteStmt, args []Value, tx *Tx) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, s.Table)
 	}
-	positions, scanned, err := db.matchRows(t, s.Where, args)
+	positions, scanned, usedIndex, err := db.matchRows(t, s.Where, args)
 	if err != nil {
 		return nil, err
 	}
@@ -642,16 +708,17 @@ func (db *DB) execDelete(s *DeleteStmt, args []Value, tx *Tx) (*Result, error) {
 			tx.undo = append(tx.undo, func() { db.reviveRow(t, pos, oldVals) })
 		}
 	}
-	return &Result{Affected: len(positions), Scanned: scanned, Cost: db.cost.cost(scanned, len(positions), 0)}, nil
+	return &Result{Affected: len(positions), Scanned: scanned, IndexUsed: usedIndex, Cost: db.cost.cost(scanned, len(positions), 0)}, nil
 }
 
 // matchRows returns live row positions matching where (all live rows when
 // where is nil), using a hash index for top-level equality conjuncts when
-// one applies. It also reports how many rows were scanned.
-func (db *DB) matchRows(t *table, where Expr, args []Value) ([]int, int, error) {
+// one applies. It also reports how many rows were scanned and whether an
+// index narrowed the candidate set.
+func (db *DB) matchRows(t *table, where Expr, args []Value) ([]int, int, bool, error) {
 	candidates, usedIndex, err := db.candidates(t, where, args)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, false, err
 	}
 	var out []int
 	scanned := 0
@@ -670,17 +737,13 @@ func (db *DB) matchRows(t *table, where Expr, args []Value) ([]int, int, error) 
 		ctx.tables[0].vals = r.vals
 		v, err := ctx.eval(where)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, false, err
 		}
 		if v.AsBool() {
 			out = append(out, pos)
 		}
 	}
-	if usedIndex {
-		// Index probes do not scan the whole table; charge only matches.
-		return out, scanned, nil
-	}
-	return out, scanned, nil
+	return out, scanned, usedIndex, nil
 }
 
 // candidates returns candidate row positions for a single-table predicate,

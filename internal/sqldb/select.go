@@ -27,6 +27,7 @@ func (db *DB) execSelect(s *SelectStmt, args []Value) (*Result, error) {
 	}
 
 	scanned := 0
+	usedIndex := false
 	var matches []*evalCtx
 
 	// filter is reused for WHERE and ON evaluation so that rejected row
@@ -60,9 +61,12 @@ func (db *DB) execSelect(s *SelectStmt, args []Value) (*Result, error) {
 		} else {
 			probe = s.JoinOn[i]
 		}
-		positions, err := db.joinCandidates(t, names[i], probe, bound, args)
+		positions, probed, err := db.joinCandidates(t, names[i], probe, bound, args)
 		if err != nil {
 			return err
+		}
+		if probed {
+			usedIndex = true
 		}
 		for _, pos := range positions {
 			r := t.rows[pos]
@@ -134,21 +138,23 @@ func (db *DB) execSelect(s *SelectStmt, args []Value) (*Result, error) {
 	}
 
 	return &Result{
-		Cols:    cols,
-		Rows:    rows,
-		Scanned: scanned,
-		Cost:    db.cost.cost(scanned, 0, len(rows)),
+		Cols:      cols,
+		Rows:      rows,
+		Scanned:   scanned,
+		IndexUsed: usedIndex,
+		Cost:      db.cost.cost(scanned, 0, len(rows)),
 	}, nil
 }
 
 // joinCandidates returns candidate positions in t, using a hash index when
 // probe contains an equality between a column of t and an expression
-// evaluable from already-bound tables and parameters.
-func (db *DB) joinCandidates(t *table, name string, probe Expr, bound []boundTable, args []Value) ([]int, error) {
+// evaluable from already-bound tables and parameters. The second return
+// reports whether an index probe was used.
+func (db *DB) joinCandidates(t *table, name string, probe Expr, bound []boundTable, args []Value) ([]int, bool, error) {
 	if probe != nil {
 		if col, val, ok := boundEq(t, name, probe, bound, args); ok {
 			if ix := t.indexOn(col); ix != nil {
-				return append([]int(nil), ix.m[val.mapKey()]...), nil
+				return append([]int(nil), ix.m[val.mapKey()]...), true, nil
 			}
 		}
 	}
@@ -158,7 +164,7 @@ func (db *DB) joinCandidates(t *table, name string, probe Expr, bound []boundTab
 			all = append(all, pos)
 		}
 	}
-	return all, nil
+	return all, false, nil
 }
 
 // boundEq searches probe for a conjunct `t.col = expr` where expr evaluates

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"time"
 
+	"wadeploy/internal/metrics"
 	"wadeploy/internal/sim"
 	"wadeploy/internal/simnet"
 )
@@ -101,6 +102,11 @@ type Container struct {
 	servlets map[string]Handler
 
 	served int64
+
+	mReqs     *metrics.Counter
+	mErrors   *metrics.Counter
+	mSessions *metrics.Counter
+	pageVec   *metrics.CounterVec
 }
 
 // NewContainer creates a servlet container on the named node.
@@ -109,12 +115,24 @@ func NewContainer(net *simnet.Network, node string, opts Options) (*Container, e
 	if n == nil {
 		return nil, fmt.Errorf("web: no such node %s", node)
 	}
+	reg := net.Env().Metrics()
 	return &Container{
-		node:     n,
-		net:      net,
-		opts:     opts,
-		servlets: make(map[string]Handler),
+		node:      n,
+		net:       net,
+		opts:      opts,
+		servlets:  make(map[string]Handler),
+		mReqs:     reg.CounterVec("web_requests_total", "server").With(node),
+		mErrors:   reg.Counter("web_request_errors_total"),
+		mSessions: reg.CounterVec("web_sessions_created_total", "server").With(node),
+		pageVec:   reg.CounterVec("web_page_requests_total", "page"),
 	}, nil
+}
+
+// NewSession creates an empty session pinned to this container, counting it
+// in the web_sessions_created_total metric.
+func (c *Container) NewSession(id string) *Session {
+	c.mSessions.Inc()
+	return NewSession(id, c.node.ID)
 }
 
 // Node returns the container's node ID.
@@ -139,9 +157,12 @@ func (c *Container) serve(p *sim.Proc, req *Request) (*Response, error) {
 		return nil, fmt.Errorf("web: %s on %s: %w", req.Page, c.node.ID, ErrNoSuchPage)
 	}
 	c.served++
+	c.mReqs.Inc()
+	c.pageVec.With(req.Page).Inc()
 	c.node.CPU.Use(p, c.opts.DispatchCPU)
 	resp, err := h(p, req)
 	if err != nil {
+		c.mErrors.Inc()
 		return nil, err
 	}
 	if resp == nil {

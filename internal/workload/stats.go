@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"wadeploy/internal/metrics"
 )
 
 // SeriesKey identifies one measured series: a page requested under a usage
@@ -19,55 +21,33 @@ type SeriesKey struct {
 	Local   bool
 }
 
-// Summary holds the samples of one series.
+// Summary accumulates one series into a log-bucketed histogram: memory is
+// bounded by the bucket count regardless of run length (an hour-long run
+// used to retain every sample). Count, sum, min, max and mean stay exact;
+// percentiles are nearest-rank over the buckets, so they can sit at most
+// one bucket width (~3%) above the exact sample value.
 type Summary struct {
-	samples []time.Duration
-	sum     time.Duration
-	minV    time.Duration
-	maxV    time.Duration
+	hist metrics.Histogram
 }
 
-func (s *Summary) add(d time.Duration) {
-	if len(s.samples) == 0 || d < s.minV {
-		s.minV = d
-	}
-	if len(s.samples) == 0 || d > s.maxV {
-		s.maxV = d
-	}
-	s.samples = append(s.samples, d)
-	s.sum += d
-}
+func (s *Summary) add(d time.Duration) { s.hist.Observe(d) }
 
 // Count returns the number of samples.
-func (s *Summary) Count() int { return len(s.samples) }
+func (s *Summary) Count() int { return int(s.hist.Count()) }
 
 // Mean returns the average response time.
-func (s *Summary) Mean() time.Duration {
-	if len(s.samples) == 0 {
-		return 0
-	}
-	return s.sum / time.Duration(len(s.samples))
-}
+func (s *Summary) Mean() time.Duration { return s.hist.Mean() }
 
 // Min and Max return the observed extremes.
-func (s *Summary) Min() time.Duration { return s.minV }
-func (s *Summary) Max() time.Duration { return s.maxV }
+func (s *Summary) Min() time.Duration { return s.hist.Min() }
+func (s *Summary) Max() time.Duration { return s.hist.Max() }
 
-// Percentile returns the q-th percentile (q in [0,100]).
+// Percentile returns the q-th percentile (q in [0,100]) by nearest rank:
+// the rank is rounded to the closest sample instead of truncated, so e.g.
+// P50 of an even-sized series picks the nearer middle sample rather than
+// always the lower one.
 func (s *Summary) Percentile(q float64) time.Duration {
-	if len(s.samples) == 0 {
-		return 0
-	}
-	sorted := append([]time.Duration(nil), s.samples...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	idx := int(q / 100 * float64(len(sorted)-1))
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
-	}
-	return sorted[idx]
+	return s.hist.Quantile(q)
 }
 
 // Stats accumulates response-time samples across all series, discarding
@@ -158,7 +138,7 @@ func (st *Stats) SessionMean(pattern string, local bool) time.Duration {
 	n := 0
 	for k, s := range st.series {
 		if k.Pattern == pattern && k.Local == local {
-			sum += s.sum
+			sum += s.hist.Sum()
 			n += s.Count()
 		}
 	}

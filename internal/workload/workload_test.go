@@ -1,11 +1,14 @@
 package workload
 
 import (
+	"math"
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 	"time"
 
+	"wadeploy/internal/metrics"
 	"wadeploy/internal/sim"
 )
 
@@ -23,14 +26,75 @@ func TestSummaryStatistics(t *testing.T) {
 	if s.Min() != 10*time.Millisecond || s.Max() != 50*time.Millisecond {
 		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
 	}
-	if p := s.Percentile(50); p != 30*time.Millisecond {
-		t.Fatalf("p50 = %v", p)
+	// P50 resolves to the bucket holding the 30ms sample.
+	if lo, hi := metrics.BucketRange(30 * time.Millisecond); s.Percentile(50) < lo || s.Percentile(50) > hi {
+		t.Fatalf("p50 = %v, want within bucket [%v, %v]", s.Percentile(50), lo, hi)
 	}
 	if p := s.Percentile(100); p != 50*time.Millisecond {
 		t.Fatalf("p100 = %v", p)
 	}
 	if p := s.Percentile(0); p != 10*time.Millisecond {
 		t.Fatalf("p0 = %v", p)
+	}
+}
+
+// TestPercentileNearestRank pins the nearest-rank rule. The samples are tiny
+// durations (< 32 ns), where the histogram's buckets are exact, so the rule
+// is observable without bucket rounding: the rank round(q/100·(n−1)) is
+// rounded to the closest sample, where the old implementation truncated.
+func TestPercentileNearestRank(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []time.Duration
+		q       float64
+		want    time.Duration
+	}{
+		{"odd-median", []time.Duration{10, 20, 30}, 50, 20},
+		{"even-median-rounds-up", []time.Duration{10, 20, 30, 31}, 50, 30}, // trunc would give 20
+		{"p25-of-five", []time.Duration{10, 12, 14, 16, 18}, 25, 12},
+		{"p75-of-five", []time.Duration{10, 12, 14, 16, 18}, 75, 16},
+		{"p90-rounds-to-last", []time.Duration{10, 20}, 90, 20},
+		{"p10-rounds-to-first", []time.Duration{10, 20}, 10, 10},
+		{"p40-of-four-rounds", []time.Duration{10, 20, 30, 31}, 40, 20}, // rank round(1.2)=1
+		{"single-sample", []time.Duration{17}, 50, 17},
+		{"p0-is-min", []time.Duration{5, 9, 13}, 0, 5},
+		{"p100-is-max", []time.Duration{5, 9, 13}, 100, 13},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := &Summary{}
+			for _, d := range tc.samples {
+				s.add(d)
+			}
+			if got := s.Percentile(tc.q); got != tc.want {
+				t.Fatalf("P%v of %v = %v, want %v", tc.q, tc.samples, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestSummaryPercentileDrift bounds the cost of the bounded-memory rewrite:
+// against a retained-samples oracle, the histogram-backed P95 may sit at
+// most one bucket width above the exact nearest-rank value.
+func TestSummaryPercentileDrift(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := &Summary{}
+	samples := make([]time.Duration, 0, 5000)
+	for i := 0; i < 5000; i++ {
+		// Long-tailed response times: 1ms to ~2s.
+		d := time.Duration(1e6 * math.Exp(rng.Float64()*7.6))
+		s.add(d)
+		samples = append(samples, d)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{50, 90, 95, 99} {
+		rank := int(math.Round(q / 100 * float64(len(samples)-1)))
+		exact := samples[rank]
+		got := s.Percentile(q)
+		lo, hi := metrics.BucketRange(exact)
+		if got < lo || got > hi {
+			t.Errorf("P%v = %v, exact %v, want within that sample's bucket [%v, %v]", q, got, exact, lo, hi)
+		}
 	}
 }
 
