@@ -4,7 +4,7 @@ GO ?= go
 
 # Perf record written by `make bench`; bump the suffix per PR so the
 # trajectory (BENCH_PR1.json, BENCH_PR2.json, ...) stays comparable.
-BENCH_OUT ?= BENCH_PR2.json
+BENCH_OUT ?= BENCH_PR3.json
 
 .PHONY: all verify build vet test race bench repro repro-quick examples clean
 
@@ -47,6 +47,8 @@ repro-quick:
 examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/custom
+	$(GO) run ./examples/petstore
+	$(GO) run ./examples/rubis
 	$(GO) run ./examples/failover
 	$(GO) run ./examples/autoscale
 

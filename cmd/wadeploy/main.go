@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	wadeploy [flags] table6|table7|fig7|fig8|metrics|inventory|explain|sweep-latency|sweep-load|all
+//	wadeploy [flags] table6|table7|fig7|fig8|metrics|inventory|plan|explain|sweep-latency|sweep-load|all
 //
 // table6/fig7 run Java Pet Store, table7/fig8 run RUBiS; each table run
 // executes all five configurations (centralized, remote façade, stateful
@@ -18,7 +18,11 @@
 // -metrics-out FILE (full registry snapshots as JSON; -metrics-tick sets the
 // virtual-time series sampling interval), -json (machine-readable explain
 // output, one span per line), and -app/-config to select the target of
-// explain and the sweeps. explain prints per-page layer traces
+// plan, explain and the sweeps. plan runs the deployment advisor
+// (internal/planner): it ranks every valid pattern combination by predicted
+// mean response time and prints the recommended placement; -sim adds
+// simulated means and prediction error, -json emits the full advisor
+// document. explain prints per-page layer traces
 // (TCP/RMI/SQL/render/push) for a remote client; sweep-latency and
 // sweep-load are WAN-latency and offered-load sensitivity studies. Runs are
 // independent seeded simulations, so any -parallel setting prints
@@ -59,7 +63,8 @@ func run(args []string) error {
 	csvPath := fs.String("csv", "", "also write table results as CSV to this file")
 	metricsOut := fs.String("metrics-out", "", "write per-configuration metrics registry snapshots as JSON to this file")
 	metricsTick := fs.Duration("metrics-tick", time.Minute, "virtual-time sampling interval for counter/gauge series (with -metrics-out)")
-	jsonOut := fs.Bool("json", false, "machine-readable explain output: one JSON span per line")
+	jsonOut := fs.Bool("json", false, "machine-readable output (explain: one JSON span per line; plan: full advisor document)")
+	sim := fs.Bool("sim", false, "with plan: also simulate the five paper configurations and print prediction error")
 	appFlag := fs.String("app", "petstore", "application for sweeps: petstore|rubis")
 	cfgFlag := fs.String("config", "async-updates", "configuration for sweeps: centralized|remote-facade|stateful-caching|query-caching|async-updates")
 	if err := fs.Parse(args); err != nil {
@@ -120,6 +125,16 @@ func run(args []string) error {
 			}
 		case "inventory":
 			printInventory()
+		case "plan":
+			app := experiment.PetStore
+			if *appFlag == "rubis" {
+				app = experiment.RUBiS
+			} else if *appFlag != "petstore" {
+				return fmt.Errorf("unknown app %q (want petstore|rubis)", *appFlag)
+			}
+			if err := plan(app, *jsonOut, *sim, opts); err != nil {
+				return err
+			}
 		case "explain":
 			app, cfg, err := sweepTarget(*appFlag, *cfgFlag)
 			if err != nil {
@@ -180,7 +195,7 @@ func run(args []string) error {
 				}
 			}
 		default:
-			return fmt.Errorf("unknown command %q (want table6|table7|fig7|fig8|metrics|inventory|explain|sweep-latency|sweep-load|all)", cmd)
+			return fmt.Errorf("unknown command %q (want table6|table7|fig7|fig8|metrics|inventory|plan|explain|sweep-latency|sweep-load|all)", cmd)
 		}
 	}
 	return nil

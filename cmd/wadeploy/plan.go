@@ -1,0 +1,63 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"wadeploy/internal/experiment"
+	"wadeploy/internal/petstore"
+	"wadeploy/internal/planner"
+	"wadeploy/internal/rubis"
+)
+
+// plannerModel resolves the -app flag to its planner model.
+func plannerModel(app experiment.AppID) *planner.Model {
+	if app == experiment.RUBiS {
+		return rubis.PlannerModel()
+	}
+	return petstore.PlannerModel()
+}
+
+// plan runs the deployment advisor for one application: an exhaustive search
+// of the pattern space with the analytic cost model. With sim it also runs
+// the five paper configurations in the simulator and prints the predicted
+// vs. simulated error per configuration. The search itself is closed-form
+// and deterministic, so output is byte-identical across -parallel settings.
+func plan(app experiment.AppID, jsonOut, sim bool, opts experiment.RunOptions) error {
+	m := plannerModel(app)
+	res, err := planner.Search(m)
+	if err != nil {
+		return err
+	}
+	var sims map[string]time.Duration
+	if sim {
+		results, err := experiment.RunTable(app, opts)
+		if err != nil {
+			return err
+		}
+		sims = make(map[string]time.Duration, len(results))
+		for _, r := range results {
+			sims[r.Config.String()] = simulatedOverall(m, r)
+		}
+	}
+	if jsonOut {
+		return planner.WriteJSON(os.Stdout, res, sims)
+	}
+	fmt.Print(planner.FormatResult(res, sims))
+	return nil
+}
+
+// simulatedOverall reproduces the planner's objective from a simulated run:
+// the client-weighted mean of the per-class session means.
+func simulatedOverall(m *planner.Model, r *experiment.Result) time.Duration {
+	var num, den float64
+	for _, cl := range m.Classes {
+		num += float64(cl.Clients) * float64(r.SessionMeans[cl.Pattern][cl.Local])
+		den += float64(cl.Clients)
+	}
+	if den == 0 {
+		return 0
+	}
+	return time.Duration(num / den)
+}

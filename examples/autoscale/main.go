@@ -12,10 +12,15 @@ import (
 
 	"wadeploy/internal/container"
 	"wadeploy/internal/core"
+	"wadeploy/internal/planner"
 	"wadeploy/internal/sim"
 	"wadeploy/internal/simnet"
 	"wadeploy/internal/sqldb"
 )
+
+// pushBytes is the replica-refresh payload for the Price bundle; the
+// autoscaler threshold below is derived from the same value.
+const pushBytes = 256
 
 func main() {
 	if err := run(); err != nil {
@@ -59,7 +64,7 @@ func run() error {
 		},
 	}, core.WireOptions{
 		Deferred:  true,
-		PushBytes: 256,
+		PushBytes: pushBytes,
 		FetchFor: func(server *container.Server, rwBean string) container.FetchFunc {
 			return func(p *sim.Proc, pk sqldb.Value) (container.State, error) {
 				stub, err := server.StubFor(p, simnet.NodeMain, "PriceFacade")
@@ -82,9 +87,25 @@ func run() error {
 		return err
 	}
 
+	// The extension trigger comes from the deployment advisor's cost model
+	// rather than a hard-coded rate: replicas save (wide-area call − local
+	// hit) per read but cost one blocking push per write, so the break-even
+	// read rate scales with the write rate we provision for. Price updates
+	// are rare in this scenario; provisioning for two per second puts the
+	// threshold near two wide-area reads per second, with a floor so an
+	// all-read workload still needs sustained traffic to trigger.
+	params := (&planner.Model{Options: core.DefaultOptions(), PushBytes: pushBytes}).Params()
+	const provisionedWrites = 2.0 // price updates per second
+	threshold := planner.ExtensionThreshold(params, provisionedWrites)
+	if threshold < 0.5 {
+		threshold = 0.5
+	}
+	fmt.Printf("advisor: extension threshold %.1f wide-area calls/s (provisioned for %.1f writes/s)\n",
+		threshold, provisionedWrites)
+
 	scaler, err := core.StartAutoscaler(d, wiring, core.AutoscalerConfig{
 		Interval:  10 * time.Second,
-		Threshold: 2, // wide-area calls per second
+		Threshold: threshold,
 		Cooldown:  20 * time.Second,
 	})
 	if err != nil {

@@ -1,0 +1,220 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"wadeploy/internal/core"
+	"wadeploy/internal/petstore"
+	"wadeploy/internal/planner"
+	"wadeploy/internal/rubis"
+	"wadeploy/internal/sim"
+)
+
+// accuracyBand is the relative error the analytic model must stay within
+// against the simulated session means for every paper configuration. The
+// closed form ignores CPU queueing (main-server utilization peaks near 25%
+// in the centralized runs) and histogram bucketing, which together account
+// for a few percent.
+const accuracyBand = 0.10
+
+func plannerModels() map[AppID]*planner.Model {
+	return map[AppID]*planner.Model{
+		PetStore: petstore.PlannerModel(),
+		RUBiS:    rubis.PlannerModel(),
+	}
+}
+
+// simOverall reproduces the planner's objective from a simulated run: the
+// client-weighted mean of the per-class session means.
+func simOverall(m *planner.Model, r *Result) time.Duration {
+	var num, den float64
+	for _, cl := range m.Classes {
+		num += float64(cl.Clients) * float64(r.SessionMeans[cl.Pattern][cl.Local])
+		den += float64(cl.Clients)
+	}
+	return time.Duration(num / den)
+}
+
+func relErr(pred, sim time.Duration) float64 {
+	return math.Abs(float64(pred)-float64(sim)) / float64(sim)
+}
+
+// TestPlannerPredictionsMatchSimulation validates the analytic cost model
+// against the simulation engine: for each application and each of the five
+// paper configurations, the predicted per-class session means and the
+// overall objective must land within accuracyBand of the measured values.
+func TestPlannerPredictionsMatchSimulation(t *testing.T) {
+	ps, rb := tables(t)
+	sims := map[AppID][]*Result{PetStore: ps, RUBiS: rb}
+	for app, m := range plannerModels() {
+		res, err := planner.Search(m)
+		if err != nil {
+			t.Fatalf("%s: %v", app, err)
+		}
+		for _, rk := range res.Ranked {
+			if !rk.HasConfig {
+				continue
+			}
+			sim := byConfig(sims[app], rk.Config)
+			if sim == nil {
+				t.Fatalf("%s: no simulated result for %s", app, rk.Config)
+			}
+			for _, cm := range rk.PerClass {
+				got := sim.SessionMeans[cm.Pattern][cm.Local]
+				if got == 0 {
+					t.Fatalf("%s/%s: no simulated session mean for %s local=%v",
+						app, rk.Config, cm.Pattern, cm.Local)
+				}
+				if e := relErr(cm.Mean, got); e > accuracyBand {
+					t.Errorf("%s/%s %s local=%v: predicted %v, simulated %v (err %.1f%% > %.0f%%)",
+						app, rk.Config, cm.Pattern, cm.Local, cm.Mean, got,
+						e*100, accuracyBand*100)
+				}
+			}
+			simOv := simOverall(m, sim)
+			if e := relErr(rk.Overall, simOv); e > accuracyBand {
+				t.Errorf("%s/%s overall: predicted %v, simulated %v (err %.1f%% > %.0f%%)",
+					app, rk.Config, rk.Overall, simOv, e*100, accuracyBand*100)
+			} else {
+				t.Logf("%s/%s overall: predicted %v, simulated %v (err %.1f%%)",
+					app, rk.Config, rk.Overall, simOv, relErr(rk.Overall, simOv)*100)
+			}
+		}
+	}
+}
+
+// TestPlannerRecommendsAsyncUpdates pins the headline result: under the
+// paper's 80/20 two-remote-group mix the advisor's top-ranked placement is
+// the full async-updates configuration for both applications, and the
+// simulation agrees that it beats every other paper configuration.
+func TestPlannerRecommendsAsyncUpdates(t *testing.T) {
+	ps, rb := tables(t)
+	sims := map[AppID][]*Result{PetStore: ps, RUBiS: rb}
+	for app, m := range plannerModels() {
+		res, err := planner.Search(m)
+		if err != nil {
+			t.Fatalf("%s: %v", app, err)
+		}
+		best := res.Best()
+		if !best.HasConfig || best.Config != core.AsyncUpdates {
+			t.Errorf("%s: top-ranked candidate is %s (%s), want %s",
+				app, best.Candidate, best.ConfigName(), core.AsyncUpdates)
+		}
+		if got := res.GreedyCandidate(); got != best.Candidate {
+			t.Errorf("%s: greedy climb ends at %s, exhaustive best is %s",
+				app, got, best.Candidate)
+		}
+		// The simulation ranks the paper configs the same way at the top.
+		bestSim, bestCfg := time.Duration(math.MaxInt64), core.Centralized
+		for _, r := range sims[app] {
+			if ov := simOverall(m, r); ov < bestSim {
+				bestSim, bestCfg = ov, r.Config
+			}
+		}
+		if bestCfg != core.AsyncUpdates {
+			t.Errorf("%s: simulation ranks %s best, expected %s", app, bestCfg, core.AsyncUpdates)
+		}
+	}
+}
+
+// TestPlannerLadderClimbsAllFourPatterns checks the greedy climb: it starts
+// by replicating the web tier (every other pattern depends on it), every
+// step strictly improves the objective, and it ends having adopted all four
+// paper patterns. The paper's evaluation applies the patterns in a fixed
+// cumulative order; the greedy climb may adopt the two caching patterns in
+// either order depending on which page weights dominate, but it must arrive
+// at the same summit.
+func TestPlannerLadderClimbsAllFourPatterns(t *testing.T) {
+	for app, m := range plannerModels() {
+		res, err := planner.Search(m)
+		if err != nil {
+			t.Fatalf("%s: %v", app, err)
+		}
+		if len(res.Ladder) != len(planner.Features) {
+			t.Fatalf("%s: greedy ladder has %d steps (%v), want %d",
+				app, len(res.Ladder), res.Ladder, len(planner.Features))
+		}
+		if res.Ladder[0].Feature != planner.FeatureWeb {
+			t.Errorf("%s: ladder starts with %s, want %s",
+				app, res.Ladder[0].Feature, planner.FeatureWeb)
+		}
+		prev := res.Base
+		seen := make(map[planner.Feature]bool)
+		for i, step := range res.Ladder {
+			if seen[step.Feature] {
+				t.Errorf("%s: ladder step %d repeats %s", app, i, step.Feature)
+			}
+			seen[step.Feature] = true
+			if step.After >= prev {
+				t.Errorf("%s: ladder step %d does not improve (%v -> %v)",
+					app, i, prev, step.After)
+			}
+			prev = step.After
+		}
+	}
+}
+
+// TestPlannerPlansMatchApplicationPlans pins the synthesized placement
+// against the hand-written application Plan() for each paper configuration:
+// the advisor must emit byte-for-byte the same placements the deployment
+// descriptors install.
+func TestPlannerPlansMatchApplicationPlans(t *testing.T) {
+	appPlan := func(app AppID, cfg core.ConfigID) *core.Plan {
+		env := sim.NewEnv(1)
+		switch app {
+		case PetStore:
+			d, err := core.NewPaperDeployment(env, core.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := petstore.Deploy(d, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return a.Plan()
+		default:
+			d, err := core.NewPaperDeployment(env, rubis.DeployOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := rubis.Deploy(d, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return a.Plan()
+		}
+	}
+	for app, m := range plannerModels() {
+		for _, c := range planner.Candidates() {
+			cfg, ok := c.Config()
+			if !ok {
+				continue
+			}
+			got := m.PlanFor(c)
+			want := appPlan(app, cfg)
+			if len(got.Placements) != len(want.Placements) {
+				t.Errorf("%s/%s: synthesized %d placements, app plan has %d",
+					app, cfg, len(got.Placements), len(want.Placements))
+				continue
+			}
+			for i, p := range got.Placements {
+				w := want.Placements[i]
+				if p.Desc != w.Desc {
+					t.Errorf("%s/%s placement %d: desc %+v, want %+v", app, cfg, i, p.Desc, w.Desc)
+				}
+				if len(p.Servers) != len(w.Servers) {
+					t.Errorf("%s/%s %s: servers %v, want %v", app, cfg, p.Desc.Name, p.Servers, w.Servers)
+					continue
+				}
+				for j := range p.Servers {
+					if p.Servers[j] != w.Servers[j] {
+						t.Errorf("%s/%s %s: servers %v, want %v", app, cfg, p.Desc.Name, p.Servers, w.Servers)
+						break
+					}
+				}
+			}
+		}
+	}
+}

@@ -524,7 +524,7 @@ func (a *App) wireReplicas() error {
 		}
 	}
 	w, err := core.AutoWire(a.d, ext, core.WireOptions{
-		PushBytes:   1024,
+		PushBytes:   replicaPushBytes,
 		UpdaterName: "Updater",
 		FetchFor: func(server *container.Server, rwBean string) container.FetchFunc {
 			return func(p *sim.Proc, pk sqldb.Value) (container.State, error) {

@@ -1,0 +1,363 @@
+package planner
+
+import (
+	"time"
+
+	"wadeploy/internal/simnet"
+)
+
+// Params are the calibration constants the closed-form model is built from.
+// Every value traces to a substrate knob documented in
+// internal/experiment/calibrate.go; Model.Params derives them from the same
+// core.Options the simulator deploys with, so prediction and simulation
+// share one source of truth.
+type Params struct {
+	// Topology (Fig. 2): a star of three application servers around a
+	// router, the database on the main server's LAN, clients on each
+	// server's LAN.
+	WANOneWay time.Duration // server <-> server one-way latency
+	LANOneWay time.Duration // client <-> collocated server, main <-> db
+	WANBps    float64       // WAN bottleneck bandwidth, bytes/s
+	LANBps    float64       // LAN bandwidth, bytes/s
+	Edges     int           // edge servers receiving replicas/pushes
+
+	// RMI.
+	Rounds        float64 // network round trips per remote invocation
+	ReqBytes      int     // default request payload
+	ReplyBytes    int     // default reply payload
+	LocalDispatch time.Duration
+	MarshalCPU    time.Duration
+
+	// HTTP.
+	KeepAlive      bool
+	HandshakeBytes int // TCP SYN/SYN-ACK segment size
+	WebReqBytes    int
+	PageBytes      int // default response size
+	DispatchCPU    time.Duration
+
+	// Container.
+	MethodCPU      time.Duration
+	EntityLoadCPU  time.Duration
+	EntityStoreCPU time.Duration
+	CacheHitCPU    time.Duration
+	JDBCRounds     float64
+
+	// Database.
+	SQLPerStatement   time.Duration
+	SQLPerRowScanned  time.Duration
+	SQLPerRowWritten  time.Duration
+	SQLPerRowReturned time.Duration
+
+	// JMS and replica propagation.
+	PublishCPU     time.Duration
+	PushBytes      int // replica-refresh payload per blocking push
+	PushReplyBytes int // push acknowledgement
+}
+
+// Substrate constants the model shares with the engine but that are not
+// exposed through an options struct.
+const (
+	handshakeSegment = 64 // web container TCP SYN/SYN-ACK segment
+	pushReplySegment = 64 // propagation push acknowledgement
+)
+
+// Params derives the model constants from the application's deployment
+// options (the same values core.NewPaperDeployment builds the simulated
+// testbed from). A zero Topology selects the paper's Fig. 2 values, exactly
+// as NewPaperDeployment does.
+func (m *Model) Params() Params {
+	opts := m.Options
+	topo := opts.Topology
+	if topo.WANOneWay == 0 {
+		topo = simnet.DefaultTopologyParams()
+	}
+	if topo.LANOneWay == 0 {
+		topo.LANOneWay = simnet.LANOneWay
+	}
+	if topo.WANBps <= 0 {
+		topo.WANBps = simnet.WANBps
+	}
+	if topo.LANBps <= 0 {
+		topo.LANBps = simnet.LANBps
+	}
+	return Params{
+		WANOneWay: topo.WANOneWay,
+		LANOneWay: topo.LANOneWay,
+		WANBps:    topo.WANBps,
+		LANBps:    topo.LANBps,
+		Edges:     len(simnet.ServerNodes) - 1,
+
+		Rounds:        opts.RMI.Rounds,
+		ReqBytes:      opts.RMI.RequestBytes,
+		ReplyBytes:    opts.RMI.ReplyBytes,
+		LocalDispatch: opts.RMI.LocalDispatch,
+		MarshalCPU:    opts.RMI.MarshalCPU,
+
+		KeepAlive:      opts.Web.KeepAlive,
+		HandshakeBytes: handshakeSegment,
+		WebReqBytes:    opts.Web.RequestBytes,
+		PageBytes:      opts.Web.DefaultPageBytes,
+		DispatchCPU:    opts.Web.DispatchCPU,
+
+		MethodCPU:      opts.Costs.MethodCPU,
+		EntityLoadCPU:  opts.Costs.EntityLoadCPU,
+		EntityStoreCPU: opts.Costs.EntityStoreCPU,
+		CacheHitCPU:    opts.Costs.CacheHitCPU,
+		JDBCRounds:     opts.Costs.JDBCRounds,
+
+		SQLPerStatement:   opts.DBCost.PerStatement,
+		SQLPerRowScanned:  opts.DBCost.PerRowScanned,
+		SQLPerRowWritten:  opts.DBCost.PerRowWritten,
+		SQLPerRowReturned: opts.DBCost.PerRowReturned,
+
+		PublishCPU:     opts.JMS.PublishCPU,
+		PushBytes:      m.PushBytes,
+		PushReplyBytes: pushReplySegment,
+	}
+}
+
+// Evaluator computes predicted response times for one model.
+type Evaluator struct {
+	m *Model
+	p Params
+}
+
+// NewEvaluator builds an evaluator over the model's derived parameters.
+func NewEvaluator(m *Model) *Evaluator {
+	return &Evaluator{m: m, p: m.Params()}
+}
+
+// Params returns the derived calibration constants.
+func (ev *Evaluator) Params() Params { return ev.p }
+
+// xfer is an uncontended one-way transfer: path latency plus one
+// serialization at the bottleneck bandwidth (the simulated network is
+// cut-through with equal link rates).
+func xfer(lat time.Duration, bytes int, bps float64) time.Duration {
+	return lat + time.Duration(float64(bytes)/bps*float64(time.Second))
+}
+
+// remoteCall is a wide-area RMI between two application servers: marshal
+// CPU, request and reply transfers, and the protocol's extra round trips
+// (rounds − 1 beyond the request/response pair).
+func (ev *Evaluator) remoteCall(req, reply int, body time.Duration) time.Duration {
+	p := ev.p
+	if req == 0 {
+		req = p.ReqBytes
+	}
+	if reply == 0 {
+		reply = p.ReplyBytes
+	}
+	d := p.MarshalCPU
+	d += xfer(p.WANOneWay, req, p.WANBps)
+	d += p.MethodCPU + body
+	d += xfer(p.WANOneWay, reply, p.WANBps)
+	d += time.Duration((p.Rounds - 1) * float64(2*p.WANOneWay))
+	return d
+}
+
+// localCall is an in-VM invocation through a co-located stub.
+func (ev *Evaluator) localCall(body time.Duration) time.Duration {
+	return ev.p.LocalDispatch + ev.p.MethodCPU + body
+}
+
+// sqlCost is one statement over JDBC from the main server to the database
+// node: connection round trips plus the engine's per-row cost model.
+func (ev *Evaluator) sqlCost(scan, write, out int) time.Duration {
+	p := ev.p
+	d := time.Duration(p.JDBCRounds * float64(2*p.LANOneWay))
+	d += p.SQLPerStatement
+	d += time.Duration(scan) * p.SQLPerRowScanned
+	d += time.Duration(write) * p.SQLPerRowWritten
+	d += time.Duration(out) * p.SQLPerRowReturned
+	return d
+}
+
+// loadCost is an entity-bean ejbLoad: field marshalling plus the
+// primary-key SELECT.
+func (ev *Evaluator) loadCost() time.Duration {
+	return ev.p.EntityLoadCPU + ev.sqlCost(1, 0, 1)
+}
+
+// pushCost is the write-side cost of propagating one update to the edge
+// caches: a blocking wide-area push per edge under synchronous propagation,
+// or a local transactional JMS publish under asynchronous updates (delivery
+// then happens off the writer's critical path).
+func (ev *Evaluator) pushCost(c Candidate) time.Duration {
+	p := ev.p
+	if c.AsyncUpdates {
+		return p.PublishCPU
+	}
+	apply := p.MethodCPU + p.CacheHitCPU // Updater façade applying the state
+	one := p.MarshalCPU
+	one += xfer(p.WANOneWay, p.PushBytes, p.WANBps)
+	one += apply
+	one += xfer(p.WANOneWay, p.PushReplyBytes, p.WANBps)
+	one += time.Duration((p.Rounds - 1) * float64(2*p.WANOneWay))
+	return time.Duration(p.Edges) * one
+}
+
+// Op evaluation.
+
+func (s Seq) cost(ev *Evaluator, ctx Ctx) time.Duration {
+	var d time.Duration
+	for _, op := range s {
+		if op != nil {
+			d += op.cost(ev, ctx)
+		}
+	}
+	return d
+}
+
+func (c Call) cost(ev *Evaluator, ctx Ctx) time.Duration {
+	atCallee := ctx.AtEdge && c.Bean != "" && ev.m.beanAtEdge(c.Bean, ctx.C)
+	body := time.Duration(0)
+	if c.Body != nil {
+		body = c.Body.cost(ev, Ctx{C: ctx.C, AtEdge: atCallee})
+	}
+	if !ctx.AtEdge || atCallee {
+		return ev.localCall(body)
+	}
+	return ev.remoteCall(c.Req, c.Reply, body)
+}
+
+func (s SQL) cost(ev *Evaluator, _ Ctx) time.Duration {
+	return ev.sqlCost(s.Scan, s.Write, s.Out)
+}
+
+func (Load) cost(ev *Evaluator, _ Ctx) time.Duration { return ev.loadCost() }
+
+func (i Insert) cost(ev *Evaluator, ctx Ctx) time.Duration {
+	d := ev.p.EntityStoreCPU + ev.sqlCost(0, 1, 0)
+	if i.Push != nil && i.Push(ctx) {
+		d += ev.pushCost(ctx.C)
+	}
+	return d
+}
+
+func (u Update) cost(ev *Evaluator, ctx Ctx) time.Duration {
+	d := ev.loadCost() // the container re-loads fields before storing
+	d += ev.p.EntityStoreCPU + ev.sqlCost(1, 1, 0)
+	if u.Push != nil && u.Push(ctx) {
+		d += ev.pushCost(ctx.C)
+	}
+	return d
+}
+
+func (Hit) cost(ev *Evaluator, _ Ctx) time.Duration { return ev.p.CacheHitCPU }
+
+func (c CPUTime) cost(*Evaluator, Ctx) time.Duration { return time.Duration(c) }
+
+func (i If) cost(ev *Evaluator, ctx Ctx) time.Duration {
+	if i.Cond(ctx) {
+		if i.Then != nil {
+			return i.Then.cost(ev, ctx)
+		}
+		return 0
+	}
+	if i.Else != nil {
+		return i.Else.cost(ev, ctx)
+	}
+	return 0
+}
+
+// PageCost predicts the response time of one page for a client of the given
+// locality under candidate c: TCP handshake (keep-alive off), request
+// transfer, servlet dispatch, the handler's stub calls, rendering, and the
+// response transfer.
+func (ev *Evaluator) PageCost(c Candidate, page *Page, local bool) time.Duration {
+	p := ev.p
+	atEdge := !local && c.ReplicateWeb
+
+	// Client-to-web-tier path: collocated LAN, or LAN plus the WAN star
+	// when a remote client must reach the main server.
+	lat, bps := p.LANOneWay, p.LANBps
+	if !local && !atEdge {
+		lat += p.WANOneWay
+		bps = p.WANBps
+	}
+
+	var d time.Duration
+	if !p.KeepAlive {
+		d += 2 * xfer(lat, p.HandshakeBytes, bps)
+	}
+	d += xfer(lat, p.WebReqBytes, bps)
+	d += p.DispatchCPU
+	if page.Body != nil {
+		d += page.Body.cost(ev, Ctx{C: c, AtEdge: atEdge})
+	}
+	d += page.RenderCPU + page.RenderLat
+	bytes := page.Bytes
+	if bytes == 0 {
+		bytes = p.PageBytes
+	}
+	d += xfer(lat, bytes, bps)
+	return d
+}
+
+// SessionMean predicts a pattern's mean response time across its pages for
+// one locality, weighted by expected visit counts — the quantity plotted in
+// the paper's Figures 7 and 8.
+func (ev *Evaluator) SessionMean(c Candidate, pattern string, local bool) time.Duration {
+	pat := ev.m.pattern(pattern)
+	if pat == nil {
+		return 0
+	}
+	var sum float64
+	var visits float64
+	for i := range ev.m.Pages {
+		page := &ev.m.Pages[i]
+		v := pat.Visits[page.Name]
+		if v == 0 {
+			continue
+		}
+		sum += v * float64(ev.PageCost(c, page, local))
+		visits += v
+	}
+	if visits == 0 {
+		return 0
+	}
+	return time.Duration(sum / visits)
+}
+
+// Overall predicts the mean response time across all client classes,
+// weighted by client count: soft think-time pacing gives every client the
+// same request rate, so a class contributes in proportion to its
+// population. This is the search objective.
+func (ev *Evaluator) Overall(c Candidate) time.Duration {
+	var sum float64
+	clients := 0
+	for _, cl := range ev.m.Classes {
+		sum += float64(cl.Clients) * float64(ev.SessionMean(c, cl.Pattern, cl.Local))
+		clients += cl.Clients
+	}
+	if clients == 0 {
+		return 0
+	}
+	return time.Duration(sum / float64(clients))
+}
+
+// ExtensionThreshold converts the model into an autoscaler trigger: the
+// wide-area read rate (calls/s) above which extending replicas to the edges
+// pays off. Replicas save (remote façade call − local cache hit) per read
+// but cost one blocking push per write; the break-even read rate is where
+// the saving matches the push bill. A zero write rate means replication
+// pays at any read rate; callers should still apply a small floor to avoid
+// reacting to noise.
+func ExtensionThreshold(p Params, writesPerSecond float64) float64 {
+	remote := p.MarshalCPU
+	remote += xfer(p.WANOneWay, p.ReqBytes, p.WANBps)
+	remote += p.MethodCPU
+	remote += xfer(p.WANOneWay, p.ReplyBytes, p.WANBps)
+	remote += time.Duration((p.Rounds - 1) * float64(2*p.WANOneWay))
+	saved := remote - p.CacheHitCPU
+	if saved <= 0 {
+		return 0
+	}
+	pushPerEdge := p.MarshalCPU +
+		xfer(p.WANOneWay, p.PushBytes, p.WANBps) +
+		p.MethodCPU + p.CacheHitCPU +
+		xfer(p.WANOneWay, p.PushReplyBytes, p.WANBps) +
+		time.Duration((p.Rounds-1)*float64(2*p.WANOneWay))
+	return writesPerSecond * float64(pushPerEdge) / float64(saved)
+}

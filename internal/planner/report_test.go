@@ -1,0 +1,72 @@
+package planner_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"wadeploy/internal/core"
+	"wadeploy/internal/planner"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the
+// file when the -update flag is set.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("%s output changed (run with -update to accept):\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func goldenResult(t *testing.T) *planner.Result {
+	t.Helper()
+	res, err := planner.Search(testModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// goldenSims are hand-picked "simulated" overall means for two of the paper
+// configurations, so the simulated and error columns (and the em-dash for
+// unsimulated rows) are pinned.
+func goldenSims() map[string]time.Duration {
+	return map[string]time.Duration{
+		core.Centralized.String():  320 * time.Millisecond,
+		core.AsyncUpdates.String(): 95 * time.Millisecond,
+	}
+}
+
+func TestFormatResultGolden(t *testing.T) {
+	checkGolden(t, "plan_report", planner.FormatResult(goldenResult(t), nil))
+}
+
+func TestFormatResultWithSimsGolden(t *testing.T) {
+	checkGolden(t, "plan_report_sims", planner.FormatResult(goldenResult(t), goldenSims()))
+}
+
+func TestWriteJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := planner.WriteJSON(&buf, goldenResult(t), goldenSims()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "plan_report_json", buf.String())
+}

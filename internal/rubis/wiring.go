@@ -27,7 +27,7 @@ func (a *App) wireReplicas() error {
 		},
 	}
 	opts := core.WireOptions{
-		PushBytes:   1024,
+		PushBytes:   replicaPushBytes,
 		UpdaterName: "Updater",
 		FetchFor: func(server *container.Server, rwBean string) container.FetchFunc {
 			return func(p *sim.Proc, pk sqldb.Value) (container.State, error) {
