@@ -4,9 +4,9 @@ GO ?= go
 
 # Perf record written by `make bench`; bump the suffix per PR so the
 # trajectory (BENCH_PR1.json, BENCH_PR2.json, ...) stays comparable.
-BENCH_OUT ?= BENCH_PR3.json
+BENCH_OUT ?= BENCH_PR4.json
 
-.PHONY: all verify build vet test race bench repro repro-quick examples clean
+.PHONY: all verify build vet test race bench bench-smoke repro repro-quick examples clean
 
 all: verify
 
@@ -32,8 +32,16 @@ race:
 # machine-readable JSON for cross-PR comparison.
 bench:
 	( $(GO) test -bench=BenchmarkEngine -benchmem -run '^$$' ./internal/sim && \
+	  $(GO) test -bench=BenchmarkSqldb -benchmem -run '^$$' ./internal/sqldb && \
 	  $(GO) test -bench=. -benchmem -benchtime=1x -run '^$$' . ) \
 	| $(GO) run ./cmd/benchjson -time-wadeploy -o $(BENCH_OUT)
+
+# One-iteration pass over every benchmark family: catches benchmarks that
+# no longer compile or crash, without paying measurement time. CI runs this.
+bench-smoke:
+	$(GO) test -bench=BenchmarkSqldb -benchtime=1x -run '^$$' ./internal/sqldb
+	$(GO) test -bench=BenchmarkEngine -benchtime=1x -run '^$$' ./internal/sim
+	$(GO) test -bench=. -benchtime=1x -run '^$$' .
 
 # Full paper-length reproduction: Tables 6-7 and Figures 7-8 at one virtual
 # hour per configuration (about a minute of wall-clock time), plus the

@@ -101,6 +101,13 @@ type RWEntity struct {
 	props     []Propagator
 	deltaPush bool
 
+	// SQL text for the fixed-shape operations, built once at deploy time so
+	// the hot paths hand the database a stable string (which its prepared-
+	// statement cache keys on) without per-call concatenation.
+	loadSQL    string
+	deleteSQL  string
+	findPrefix string
+
 	loads  int64
 	writes int64
 
@@ -117,8 +124,11 @@ func DeployRWEntity(srv *Server, name, table, pkCol string) (*RWEntity, error) {
 	reg := srv.Env().Metrics()
 	b := &RWEntity{
 		srv: srv, name: name, table: table, pkCol: pkCol,
-		mLoad:  reg.Counter("container_ejb_load_total"),
-		mStore: reg.Counter("container_ejb_store_total"),
+		loadSQL:    "SELECT * FROM " + table + " WHERE " + pkCol + " = ?",
+		deleteSQL:  "DELETE FROM " + table + " WHERE " + pkCol + " = ?",
+		findPrefix: "SELECT * FROM " + table,
+		mLoad:      reg.Counter("container_ejb_load_total"),
+		mStore:     reg.Counter("container_ejb_store_total"),
 	}
 	srv.beans[name] = &binding{name: name, kind: Entity}
 	return b, nil
@@ -151,7 +161,7 @@ func (b *RWEntity) Load(p *sim.Proc, pk sqldb.Value) (State, error) {
 	b.loads++
 	b.mLoad.Inc()
 	b.srv.Compute(p, b.srv.costs.EntityLoadCPU)
-	res, err := b.srv.SQL(p, "SELECT * FROM "+b.table+" WHERE "+b.pkCol+" = ?", pk)
+	res, err := b.srv.SQL(p, b.loadSQL, pk)
 	if err != nil {
 		return nil, fmt.Errorf("entity %s load: %w", b.name, err)
 	}
@@ -165,7 +175,7 @@ func (b *RWEntity) Load(p *sim.Proc, pk sqldb.Value) (State, error) {
 // returns the matching entities' states.
 func (b *RWEntity) FindWhere(p *sim.Proc, cond string, args ...sqldb.Value) ([]State, error) {
 	b.srv.Compute(p, b.srv.costs.EntityLoadCPU)
-	q := "SELECT * FROM " + b.table
+	q := b.findPrefix
 	if strings.TrimSpace(cond) != "" {
 		q += " WHERE " + cond
 	}
@@ -244,7 +254,7 @@ func (b *RWEntity) UpdateFields(p *sim.Proc, pk sqldb.Value, changes State) (Sta
 // Delete removes the entity (ejbRemove) and propagates the deletion.
 func (b *RWEntity) Delete(p *sim.Proc, pk sqldb.Value) error {
 	b.srv.Compute(p, b.srv.costs.EntityStoreCPU)
-	res, err := b.srv.SQL(p, "DELETE FROM "+b.table+" WHERE "+b.pkCol+" = ?", pk)
+	res, err := b.srv.SQL(p, b.deleteSQL, pk)
 	if err != nil {
 		return fmt.Errorf("entity %s delete: %w", b.name, err)
 	}

@@ -209,6 +209,17 @@ func InstrumentDB(reg *metrics.Registry, db *sqldb.DB) {
 	returned := reg.Counter("sqldb_rows_returned_total")
 	indexScans := reg.Counter("sqldb_index_scans_total")
 	fullScans := reg.Counter("sqldb_full_scans_total")
+	// Physical execution counters: Scanned above is the cost model's
+	// (virtual) figure, scannedActual counts rows the engine really touched
+	// after index narrowing and early termination.
+	scannedActual := reg.Counter("sqldb_rows_scanned_actual_total")
+	actualByTable := reg.CounterVec("sqldb_rows_scanned_actual_total", "table")
+	probes := reg.Counter("sqldb_index_probes_total")
+	probesByTable := reg.CounterVec("sqldb_index_probes_total", "table")
+	planHits := reg.Counter("sqldb_plan_cache_hits_total")
+	planHitsByVerb := reg.CounterVec("sqldb_plan_cache_hits_total", "verb")
+	planMisses := reg.Counter("sqldb_plan_cache_misses_total")
+	planMissesByVerb := reg.CounterVec("sqldb_plan_cache_misses_total", "verb")
 	db.SetObserver(func(st sqldb.StatementInfo) {
 		total.Inc()
 		byVerb.With(st.Verb).Inc()
@@ -218,6 +229,21 @@ func InstrumentDB(reg *metrics.Registry, db *sqldb.DB) {
 		scanned.Add(int64(st.Scanned))
 		written.Add(int64(st.Written))
 		returned.Add(int64(st.Returned))
+		scannedActual.Add(int64(st.ScannedActual))
+		probes.Add(int64(st.IndexProbes))
+		if st.Table != "" {
+			actualByTable.With(st.Table).Add(int64(st.ScannedActual))
+			probesByTable.With(st.Table).Add(int64(st.IndexProbes))
+		}
+		if st.Planned {
+			if st.PlanHit {
+				planHits.Inc()
+				planHitsByVerb.With(st.Verb).Inc()
+			} else {
+				planMisses.Inc()
+				planMissesByVerb.With(st.Verb).Inc()
+			}
+		}
 		switch st.Verb {
 		case "select", "update", "delete":
 			if st.IndexUsed {

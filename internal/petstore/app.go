@@ -580,16 +580,20 @@ func (a *App) wireReplicas() error {
 func (a *App) preloadReplicas() error {
 	type src struct {
 		bean  string
-		table string
+		query string
 		pk    string
 	}
 	for _, s := range []src{
-		{BeanCategory, "category", "catid"},
-		{BeanProduct, "product", "productid"},
-		{BeanItem, "item", "itemid"},
-		{BeanInventory, "inventory", "itemid"},
+		{BeanCategory, `SELECT * FROM category`, "catid"},
+		{BeanProduct, `SELECT * FROM product`, "productid"},
+		{BeanItem, `SELECT * FROM item`, "itemid"},
+		{BeanInventory, `SELECT * FROM inventory`, "itemid"},
 	} {
-		res, err := a.d.DB.Exec("SELECT * FROM " + s.table)
+		stmt, err := a.d.DB.PrepareStmt(s.query)
+		if err != nil {
+			return fmt.Errorf("petstore preload: %w", err)
+		}
+		res, err := stmt.Exec()
 		if err != nil {
 			return fmt.Errorf("petstore preload: %w", err)
 		}

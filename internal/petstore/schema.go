@@ -7,6 +7,7 @@ package petstore
 
 import (
 	"fmt"
+	"sync"
 
 	"wadeploy/internal/sqldb"
 )
@@ -41,9 +42,35 @@ func ItemID(c, p, n int) string {
 // UserID returns the id of account u (zero-based).
 func UserID(u int) string { return fmt.Sprintf("user%03d", u+1) }
 
+// Every experiment run seeds identical data, so the seed script executes
+// once per process into a template database whose snapshot later runs
+// restore directly — no SQL replay. The template records its statement
+// profile so restored databases replay the same observer stream a SQL
+// seeding would have produced.
+var (
+	seedOnce sync.Once
+	seedSnap *sqldb.Snapshot
+	seedErr  error
+)
+
 // InitSchema creates the Pet Store tables (the data tier of Fig. 1) and
 // seeds them. It is idempotent per fresh database only.
 func InitSchema(db *sqldb.DB) error {
+	seedOnce.Do(func() {
+		tmpl := sqldb.New()
+		tmpl.RecordProfile(true)
+		if seedErr = initSchemaInto(tmpl); seedErr == nil {
+			seedSnap = tmpl.Snapshot()
+		}
+	})
+	if seedErr != nil {
+		return seedErr
+	}
+	db.Restore(seedSnap)
+	return nil
+}
+
+func initSchemaInto(db *sqldb.DB) error {
 	stmts := []string{
 		`CREATE TABLE category (catid TEXT PRIMARY KEY, name TEXT NOT NULL, descn TEXT)`,
 		`CREATE TABLE product (productid TEXT PRIMARY KEY, catid TEXT NOT NULL, name TEXT NOT NULL, descn TEXT)`,

@@ -7,6 +7,7 @@ package rubis
 
 import (
 	"fmt"
+	"sync"
 
 	"wadeploy/internal/sqldb"
 )
@@ -28,8 +29,32 @@ func Nickname(u int) string { return fmt.Sprintf("bidder%03d", u+1) }
 // Password returns user u's password.
 func Password(u int) string { return "pw-" + Nickname(u) }
 
+// As in petstore, the seed script runs once per process into a template
+// database; later runs restore its snapshot instead of replaying SQL. The
+// recorded statement profile keeps observer streams identical.
+var (
+	seedOnce sync.Once
+	seedSnap *sqldb.Snapshot
+	seedErr  error
+)
+
 // InitSchema creates and seeds the RUBiS tables.
 func InitSchema(db *sqldb.DB) error {
+	seedOnce.Do(func() {
+		tmpl := sqldb.New()
+		tmpl.RecordProfile(true)
+		if seedErr = initSchemaInto(tmpl); seedErr == nil {
+			seedSnap = tmpl.Snapshot()
+		}
+	})
+	if seedErr != nil {
+		return seedErr
+	}
+	db.Restore(seedSnap)
+	return nil
+}
+
+func initSchemaInto(db *sqldb.DB) error {
 	stmts := []string{
 		`CREATE TABLE regions (id INT PRIMARY KEY, name TEXT NOT NULL)`,
 		`CREATE TABLE categories (id INT PRIMARY KEY, name TEXT NOT NULL)`,

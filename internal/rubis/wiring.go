@@ -112,12 +112,16 @@ func (a *App) recomputeQueries(u container.Update) map[string]any {
 // edge query caches) with current database contents.
 func (a *App) preload() error {
 	for _, src := range []struct {
-		bean, table string
+		bean, query string
 	}{
-		{BeanItem, "items"},
-		{BeanUser, "users"},
+		{BeanItem, `SELECT * FROM items`},
+		{BeanUser, `SELECT * FROM users`},
 	} {
-		res, err := a.d.DB.Exec("SELECT * FROM " + src.table)
+		stmt, err := a.d.DB.PrepareStmt(src.query)
+		if err != nil {
+			return fmt.Errorf("rubis preload: %w", err)
+		}
+		res, err := stmt.Exec()
 		if err != nil {
 			return fmt.Errorf("rubis preload: %w", err)
 		}

@@ -48,12 +48,20 @@ type UpdateStmt struct {
 	Table string
 	Sets  []Assign
 	Where Expr
+
+	// plan caches the WHERE access path. Like ColumnRef's resolution
+	// cache, each AST belongs to exactly one DB and is only executed under
+	// that DB's mutex; the plan revalidates against db+epoch on use.
+	plan *matchPlan
 }
 
 // DeleteStmt is DELETE FROM table [WHERE ...].
 type DeleteStmt struct {
 	Table string
 	Where Expr
+
+	// plan caches the WHERE access path (see UpdateStmt.plan).
+	plan *matchPlan
 }
 
 // TableRef names a table with an optional alias in a FROM clause.
@@ -99,6 +107,10 @@ type SelectStmt struct {
 	OrderBy []OrderKey
 	Limit   int // -1 when absent
 	Offset  int
+
+	// plan caches table binding and access-path selection (see
+	// UpdateStmt.plan for the safety argument).
+	plan *selectPlan
 }
 
 func (*CreateTableStmt) stmt() {}

@@ -3,6 +3,7 @@ package sqldb
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 )
@@ -46,12 +47,26 @@ type Result struct {
 	Cols     []string  // result column names (SELECT only)
 	Rows     [][]Value // result rows (SELECT only)
 	Affected int       // rows inserted/updated/deleted
-	Scanned  int       // rows examined while executing
+	Scanned  int       // rows examined (virtual: the cost model's view)
 	Cost     time.Duration
 
 	// IndexUsed reports whether a hash index narrowed the scan (SELECT,
 	// UPDATE and DELETE; always false for other statements).
 	IndexUsed bool
+
+	// ScannedActual counts the rows the chosen physical plan really
+	// visited. Scanned stays pinned to the original engine's figure so the
+	// simulation charges identical virtual CPU regardless of plan choice;
+	// ScannedActual is where ordered-index scans and early termination
+	// show up.
+	ScannedActual int
+
+	// IndexProbes counts index lookups performed while executing.
+	IndexProbes int
+
+	// PlanCached reports whether the statement reused a cached query plan
+	// (SELECT, UPDATE and DELETE only).
+	PlanCached bool
 }
 
 // Len returns the number of result rows.
@@ -82,25 +97,87 @@ type row struct {
 	dead bool
 }
 
-// index is a hash index over a single column.
+// index is a hash index over a single column, doubled by an ordered key
+// list so range scans, prefix-LIKE scans and index-ordered walks can
+// traverse the same structure. Two invariants hold at all times:
+//
+//   - keys lists exactly the keys present in m, sorted by compareKey;
+//   - every bucket holds its live row positions in ascending order.
+//
+// The second invariant makes every access path — full scan, hash probe,
+// range walk — enumerate candidates in the same row-position order, which is
+// what keeps result row order identical across plan choices.
 type index struct {
 	name   string
 	col    int
 	unique bool
-	m      map[key][]int // value -> live row positions
+	m      map[key][]int // value -> live row positions, ascending
+	keys   []key         // keys of m, sorted by compareKey
+
+	// nonASCII counts string keys containing non-ASCII bytes. Prefix-LIKE
+	// narrowing enumerates ASCII case variants, which cannot account for
+	// Unicode case folding, so it only engages while this is zero.
+	nonASCII int
 }
 
 func (ix *index) add(k key, pos int) {
-	ix.m[k] = append(ix.m[k], pos)
+	b, ok := ix.m[k]
+	if !ok {
+		ix.insertKey(k)
+		ix.m[k] = append(b, pos)
+		return
+	}
+	// New rows get the highest position, so appends dominate.
+	if n := len(b); b[n-1] < pos {
+		ix.m[k] = append(b, pos)
+		return
+	}
+	i := sort.SearchInts(b, pos)
+	b = append(b, 0)
+	copy(b[i+1:], b[i:])
+	b[i] = pos
+	ix.m[k] = b
 }
 
 func (ix *index) remove(k key, pos int) {
-	s := ix.m[k]
-	for i, p := range s {
-		if p == pos {
-			s[i] = s[len(s)-1]
-			ix.m[k] = s[:len(s)-1]
-			return
+	b := ix.m[k]
+	i := sort.SearchInts(b, pos)
+	if i >= len(b) || b[i] != pos {
+		return
+	}
+	copy(b[i:], b[i+1:])
+	b = b[:len(b)-1]
+	if len(b) == 0 {
+		delete(ix.m, k)
+		ix.removeKey(k)
+		return
+	}
+	ix.m[k] = b
+}
+
+func (ix *index) insertKey(k key) {
+	if k.k == KindString && !isASCII(k.s) {
+		ix.nonASCII++
+	}
+	n := len(ix.keys)
+	// Monotonically growing keys (sequential primary keys) append.
+	if n == 0 || compareKey(ix.keys[n-1], k) < 0 {
+		ix.keys = append(ix.keys, k)
+		return
+	}
+	i := sort.Search(n, func(i int) bool { return compareKey(ix.keys[i], k) >= 0 })
+	ix.keys = append(ix.keys, key{})
+	copy(ix.keys[i+1:], ix.keys[i:])
+	ix.keys[i] = k
+}
+
+func (ix *index) removeKey(k key) {
+	i := sort.Search(len(ix.keys), func(i int) bool { return compareKey(ix.keys[i], k) >= 0 })
+	if i < len(ix.keys) && ix.keys[i] == k {
+		copy(ix.keys[i:], ix.keys[i+1:])
+		ix.keys = ix.keys[:len(ix.keys)-1]
+		if k.k == KindString && !isASCII(k.s) {
+			ix.nonASCII--
 		}
 	}
 }
@@ -149,6 +226,17 @@ type DB struct {
 	// statements counts executed statements, for instrumentation.
 	statements int64
 
+	// epoch counts schema changes (CREATE/DROP TABLE, CREATE INDEX,
+	// Restore). Cached query plans record the epoch they were built at and
+	// rebuild when it moves.
+	epoch int64
+
+	// profiling records every successful statement's StatementInfo into
+	// profile, so a Snapshot can replay the seed script's observer stream
+	// into databases seeded by Restore.
+	profiling bool
+	profile   []StatementInfo
+
 	// onWrite, when set, observes every successful mutating statement
 	// (INSERT/UPDATE/DELETE with at least one affected row) with its SQL
 	// text and bound arguments — the hook statement-based replication
@@ -164,10 +252,15 @@ type DB struct {
 type StatementInfo struct {
 	Verb      string // select, insert, update, delete, create-table, create-index, drop-table
 	Table     string // target table (first FROM table for joins)
-	Scanned   int    // rows examined
+	Scanned   int    // rows examined (virtual: the cost model's view)
 	Written   int    // rows inserted/updated/deleted
 	Returned  int    // result rows
 	IndexUsed bool   // a hash index narrowed the scan
+
+	ScannedActual int  // rows the physical plan really visited
+	IndexProbes   int  // index lookups performed
+	Planned       bool // statement verb goes through the plan cache
+	PlanHit       bool // plan was served from the cache
 }
 
 // New returns an empty database with the default cost model.
@@ -361,8 +454,14 @@ func (tx *Tx) Rollback() error {
 func (db *DB) execLocked(st Stmt, args []Value, tx *Tx) (*Result, error) {
 	db.statements++
 	res, err := db.dispatchLocked(st, args, tx)
-	if err == nil && db.observer != nil {
-		db.observer(statementInfo(st, res))
+	if err == nil && (db.observer != nil || db.profiling) {
+		info := statementInfo(st, res)
+		if db.observer != nil {
+			db.observer(info)
+		}
+		if db.profiling {
+			db.profile = append(db.profile, info)
+		}
 	}
 	return res, err
 }
@@ -370,22 +469,25 @@ func (db *DB) execLocked(st Stmt, args []Value, tx *Tx) (*Result, error) {
 // statementInfo derives the observer's view of one executed statement.
 func statementInfo(st Stmt, res *Result) StatementInfo {
 	info := StatementInfo{
-		Scanned:   res.Scanned,
-		Returned:  len(res.Rows),
-		IndexUsed: res.IndexUsed,
+		Scanned:       res.Scanned,
+		Returned:      len(res.Rows),
+		IndexUsed:     res.IndexUsed,
+		ScannedActual: res.ScannedActual,
+		IndexProbes:   res.IndexProbes,
+		PlanHit:       res.PlanCached,
 	}
 	switch s := st.(type) {
 	case *SelectStmt:
-		info.Verb = "select"
+		info.Verb, info.Planned = "select", true
 		if len(s.From) > 0 {
 			info.Table = s.From[0].Table
 		}
 	case *InsertStmt:
 		info.Verb, info.Table, info.Written = "insert", s.Table, res.Affected
 	case *UpdateStmt:
-		info.Verb, info.Table, info.Written = "update", s.Table, res.Affected
+		info.Verb, info.Table, info.Written, info.Planned = "update", s.Table, res.Affected, true
 	case *DeleteStmt:
-		info.Verb, info.Table, info.Written = "delete", s.Table, res.Affected
+		info.Verb, info.Table, info.Written, info.Planned = "delete", s.Table, res.Affected, true
 	case *CreateTableStmt:
 		info.Verb, info.Table = "create-table", s.Name
 	case *CreateIndexStmt:
@@ -449,6 +551,7 @@ func (db *DB) execCreateTable(s *CreateTableStmt) (*Result, error) {
 		})
 	}
 	db.tables[s.Name] = t
+	db.epoch++
 	return &Result{Cost: db.cost.cost(0, 0, 0)}, nil
 }
 
@@ -478,6 +581,7 @@ func (db *DB) execCreateIndex(s *CreateIndexStmt) (*Result, error) {
 		ix.add(k, pos)
 	}
 	t.indexes = append(t.indexes, ix)
+	db.epoch++
 	return &Result{Cost: db.cost.cost(t.live, 0, 0)}, nil
 }
 
@@ -486,6 +590,7 @@ func (db *DB) execDropTable(s *DropTableStmt) (*Result, error) {
 		return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, s.Name)
 	}
 	delete(db.tables, s.Name)
+	db.epoch++
 	return &Result{Cost: db.cost.cost(0, 0, 0)}, nil
 }
 
@@ -616,7 +721,8 @@ func (db *DB) execUpdate(s *UpdateStmt, args []Value, tx *Tx) (*Result, error) {
 		}
 		setPos[i] = c
 	}
-	positions, scanned, usedIndex, err := db.matchRows(t, s.Where, args)
+	pl, hit := matchPlanCached(&s.plan, db, t, s.Where)
+	positions, scanned, usedIndex, actual, probes, err := db.matchRowsPlanned(pl, s.Where, args)
 	if err != nil {
 		return nil, err
 	}
@@ -688,7 +794,15 @@ func (db *DB) execUpdate(s *UpdateStmt, args []Value, tx *Tx) (*Result, error) {
 			tx.undo = append(tx.undo, func() { applyRow(pos, oldVals) })
 		}
 	}
-	return &Result{Affected: len(applied), Scanned: scanned, IndexUsed: usedIndex, Cost: db.cost.cost(scanned, len(applied), 0)}, nil
+	return &Result{
+		Affected:      len(applied),
+		Scanned:       scanned,
+		IndexUsed:     usedIndex,
+		ScannedActual: actual,
+		IndexProbes:   probes,
+		PlanCached:    hit,
+		Cost:          db.cost.cost(scanned, len(applied), 0),
+	}, nil
 }
 
 func (db *DB) execDelete(s *DeleteStmt, args []Value, tx *Tx) (*Result, error) {
@@ -696,7 +810,8 @@ func (db *DB) execDelete(s *DeleteStmt, args []Value, tx *Tx) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, s.Table)
 	}
-	positions, scanned, usedIndex, err := db.matchRows(t, s.Where, args)
+	pl, hit := matchPlanCached(&s.plan, db, t, s.Where)
+	positions, scanned, usedIndex, actual, probes, err := db.matchRowsPlanned(pl, s.Where, args)
 	if err != nil {
 		return nil, err
 	}
@@ -708,102 +823,46 @@ func (db *DB) execDelete(s *DeleteStmt, args []Value, tx *Tx) (*Result, error) {
 			tx.undo = append(tx.undo, func() { db.reviveRow(t, pos, oldVals) })
 		}
 	}
-	return &Result{Affected: len(positions), Scanned: scanned, IndexUsed: usedIndex, Cost: db.cost.cost(scanned, len(positions), 0)}, nil
+	return &Result{
+		Affected:      len(positions),
+		Scanned:       scanned,
+		IndexUsed:     usedIndex,
+		ScannedActual: actual,
+		IndexProbes:   probes,
+		PlanCached:    hit,
+		Cost:          db.cost.cost(scanned, len(positions), 0),
+	}, nil
 }
 
-// matchRows returns live row positions matching where (all live rows when
-// where is nil), using a hash index for top-level equality conjuncts when
-// one applies. It also reports how many rows were scanned and whether an
-// index narrowed the candidate set.
-func (db *DB) matchRows(t *table, where Expr, args []Value) ([]int, int, bool, error) {
-	candidates, usedIndex, err := db.candidates(t, where, args)
+// Prepared is a parsed statement bound to its database: a handle whose Exec
+// skips the SQL-text map lookup and reuses the statement's cached plan.
+type Prepared struct {
+	db  *DB
+	sql string
+	st  Stmt
+}
+
+// PrepareStmt parses sql once and returns a reusable handle bound to db.
+func (db *DB) PrepareStmt(sql string) (*Prepared, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	st, err := db.prepareLocked(sql)
 	if err != nil {
-		return nil, 0, false, err
+		return nil, err
 	}
-	var out []int
-	scanned := 0
-	// One context for the whole scan; only the bound row changes per step.
-	ctx := evalCtx{params: args, tables: []boundTable{{name: t.name, t: t}}}
-	for _, pos := range candidates {
-		r := t.rows[pos]
-		if r.dead {
-			continue
-		}
-		scanned++
-		if where == nil {
-			out = append(out, pos)
-			continue
-		}
-		ctx.tables[0].vals = r.vals
-		v, err := ctx.eval(where)
-		if err != nil {
-			return nil, 0, false, err
-		}
-		if v.AsBool() {
-			out = append(out, pos)
-		}
-	}
-	return out, scanned, usedIndex, nil
+	return &Prepared{db: db, sql: sql, st: st}, nil
 }
 
-// candidates returns candidate row positions for a single-table predicate,
-// probing a hash index when the predicate contains a top-level `col = const`
-// conjunct on an indexed column.
-func (db *DB) candidates(t *table, where Expr, args []Value) ([]int, bool, error) {
-	if col, val, ok := indexableEq(t, where, args); ok {
-		if ix := t.indexOn(col); ix != nil {
-			return append([]int(nil), ix.m[val.mapKey()]...), true, nil
-		}
+// Exec executes the prepared statement with ? parameters bound to args. It
+// behaves exactly like DB.Exec with the handle's SQL text.
+func (p *Prepared) Exec(args ...Value) (*Result, error) {
+	db := p.db
+	db.mu.Lock()
+	res, err := db.execLocked(p.st, args, nil)
+	hook := db.onWrite
+	db.mu.Unlock()
+	if err == nil && hook != nil && isWrite(p.st) && res.Affected > 0 {
+		hook(p.sql, args)
 	}
-	all := make([]int, 0, t.live)
-	for pos, r := range t.rows {
-		if !r.dead {
-			all = append(all, pos)
-		}
-	}
-	return all, false, nil
-}
-
-// indexableEq finds a top-level equality conjunct `col = literal/param`
-// in where and returns the column position and bound value.
-func indexableEq(t *table, where Expr, args []Value) (int, Value, bool) {
-	switch e := where.(type) {
-	case *BinaryExpr:
-		switch e.Op {
-		case "AND":
-			if c, v, ok := indexableEq(t, e.Left, args); ok {
-				return c, v, true
-			}
-			return indexableEq(t, e.Right, args)
-		case "=":
-			if c, v, ok := eqSides(t, e.Left, e.Right, args); ok {
-				return c, v, true
-			}
-			return eqSides(t, e.Right, e.Left, args)
-		}
-	}
-	return 0, Value{}, false
-}
-
-func eqSides(t *table, l, r Expr, args []Value) (int, Value, bool) {
-	ref, ok := l.(*ColumnRef)
-	if !ok {
-		return 0, Value{}, false
-	}
-	if ref.Table != "" && ref.Table != t.name {
-		return 0, Value{}, false
-	}
-	c, ok := t.colIdx[ref.Name]
-	if !ok {
-		return 0, Value{}, false
-	}
-	switch v := r.(type) {
-	case *Literal:
-		return c, v.Val, true
-	case *Placeholder:
-		if v.Idx < len(args) {
-			return c, args[v.Idx], true
-		}
-	}
-	return 0, Value{}, false
+	return res, err
 }

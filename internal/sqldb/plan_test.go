@@ -1,0 +1,436 @@
+package sqldb
+
+import (
+	"testing"
+)
+
+// checkIndexInvariant verifies the ordered-index structural invariant: keys
+// mirrors the map's key set in compareKey order, and every bucket holds
+// strictly ascending row positions.
+func checkIndexInvariant(t *testing.T, ix *index) {
+	t.Helper()
+	if len(ix.keys) != len(ix.m) {
+		t.Fatalf("index %s: %d sorted keys vs %d map keys", ix.name, len(ix.keys), len(ix.m))
+	}
+	for i, k := range ix.keys {
+		if _, ok := ix.m[k]; !ok {
+			t.Fatalf("index %s: sorted key %d missing from map", ix.name, i)
+		}
+		if i > 0 && compareKey(ix.keys[i-1], k) >= 0 {
+			t.Fatalf("index %s: keys out of order at %d", ix.name, i)
+		}
+	}
+	for k, b := range ix.m {
+		if len(b) == 0 {
+			t.Fatalf("index %s: empty bucket for %v", ix.name, k)
+		}
+		for i := 1; i < len(b); i++ {
+			if b[i-1] >= b[i] {
+				t.Fatalf("index %s: bucket %v not ascending: %v", ix.name, k, b)
+			}
+		}
+	}
+}
+
+func checkAllIndexes(t *testing.T, db *DB) {
+	t.Helper()
+	for _, tab := range db.tables {
+		for _, ix := range tab.indexes {
+			checkIndexInvariant(t, ix)
+		}
+	}
+}
+
+func TestOrderedIndexMaintenance(t *testing.T) {
+	db := New()
+	mustExec(t, db, `CREATE TABLE t (id INT PRIMARY KEY, v TEXT)`)
+	mustExec(t, db, `CREATE INDEX idx_v ON t (v)`)
+	// Insert out of key order, with duplicates on the secondary index.
+	mustExec(t, db, `INSERT INTO t VALUES (5, 'm'), (1, 'z'), (9, 'a'), (3, 'm'), (7, 'a')`)
+	checkAllIndexes(t, db)
+
+	// Deleting empties one bucket and shrinks another.
+	mustExec(t, db, `DELETE FROM t WHERE id = 1`)
+	mustExec(t, db, `DELETE FROM t WHERE v = 'a'`)
+	checkAllIndexes(t, db)
+
+	// Updating an indexed column moves the row between buckets.
+	mustExec(t, db, `UPDATE t SET v = 'q' WHERE id = 5`)
+	checkAllIndexes(t, db)
+
+	// Rolled-back work must leave the ordered structure intact.
+	tx := db.Begin()
+	if _, err := tx.Exec(`INSERT INTO t VALUES (2, 'b'), (8, 'y')`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(`UPDATE t SET v = 'k' WHERE id = 3`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(`DELETE FROM t WHERE id = 5`); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	checkAllIndexes(t, db)
+	r, err := db.Query(`SELECT id FROM t ORDER BY id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := intColumn(r, 0); !equalInts(got, []int64{3, 5}) {
+		t.Fatalf("after rollback: %v", got)
+	}
+}
+
+func mustExec(t *testing.T, db *DB, sql string, args ...Value) *Result {
+	t.Helper()
+	res, err := db.Exec(sql, args...)
+	if err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+	return res
+}
+
+func intColumn(r *Result, col int) []int64 {
+	out := make([]int64, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		out = append(out, row[col].AsInt())
+	}
+	return out
+}
+
+func equalInts(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRangeScanNarrowsActualNotVirtual(t *testing.T) {
+	db := newTestDB(t)
+	r, err := db.Query(`SELECT name FROM items WHERE id > ?`, Int(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 || r.Rows[0][0].S != "lamp" || r.Rows[1][0].S != "couch" {
+		t.Fatalf("rows: %v", r.Rows)
+	}
+	// The cost model's view stays the legacy full scan; the engine only
+	// touched the rows inside the range.
+	if r.Scanned != 4 {
+		t.Fatalf("virtual scanned = %d, want 4", r.Scanned)
+	}
+	if r.ScannedActual != 2 {
+		t.Fatalf("actual scanned = %d, want 2", r.ScannedActual)
+	}
+	if r.IndexUsed {
+		t.Fatal("IndexUsed must stay false: the legacy plan full-scanned")
+	}
+	if r.IndexProbes != 1 {
+		t.Fatalf("probes = %d, want 1", r.IndexProbes)
+	}
+}
+
+func TestBetweenNarrowing(t *testing.T) {
+	db := newTestDB(t)
+	r, err := db.Query(`SELECT id FROM items WHERE id BETWEEN ? AND ?`, Int(2), Int(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := intColumn(r, 0); !equalInts(got, []int64{2, 3}) {
+		t.Fatalf("rows: %v", got)
+	}
+	if r.Scanned != 4 || r.ScannedActual != 2 {
+		t.Fatalf("scanned=%d actual=%d, want 4/2", r.Scanned, r.ScannedActual)
+	}
+}
+
+func TestRangeBoundsStrictness(t *testing.T) {
+	db := newTestDB(t)
+	for _, tc := range []struct {
+		sql  string
+		want []int64
+	}{
+		{`SELECT id FROM items WHERE id >= 3`, []int64{3, 4}},
+		{`SELECT id FROM items WHERE id < 2`, []int64{1}},
+		{`SELECT id FROM items WHERE id <= 2`, []int64{1, 2}},
+		{`SELECT id FROM items WHERE 2 < id`, []int64{3, 4}},
+		{`SELECT id FROM items WHERE id > 1 AND id <= 3`, []int64{2, 3}},
+	} {
+		r, err := db.Query(tc.sql)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.sql, err)
+		}
+		if got := intColumn(r, 0); !equalInts(got, tc.want) {
+			t.Fatalf("%s: got %v want %v", tc.sql, got, tc.want)
+		}
+		if r.ScannedActual != len(tc.want) {
+			t.Fatalf("%s: actual=%d want %d", tc.sql, r.ScannedActual, len(tc.want))
+		}
+	}
+}
+
+func TestLikePrefixNarrowing(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, `CREATE INDEX idx_users_nick ON users (nick)`)
+	r, err := db.Query(`SELECT nick FROM users WHERE nick LIKE ?`, Str("a%"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 || r.Rows[0][0].S != "ann" {
+		t.Fatalf("rows: %v", r.Rows)
+	}
+	if r.Scanned != 3 {
+		t.Fatalf("virtual scanned = %d, want 3", r.Scanned)
+	}
+	if r.ScannedActual != 1 {
+		t.Fatalf("actual scanned = %d, want 1", r.ScannedActual)
+	}
+
+	// LIKE is case-insensitive: an upper-case pattern must still narrow to
+	// the same row via case-variant probes.
+	r2, err := db.Query(`SELECT nick FROM users WHERE nick LIKE ?`, Str("A%"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Len() != 1 || r2.Rows[0][0].S != "ann" || r2.ScannedActual != 1 {
+		t.Fatalf("upper-case pattern: rows=%v actual=%d", r2.Rows, r2.ScannedActual)
+	}
+}
+
+func TestLikeNonASCIIKeysDisableNarrowing(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, `CREATE INDEX idx_users_nick ON users (nick)`)
+	// A non-ASCII key makes byte-wise case variants unsound (Unicode case
+	// folding), so prefix narrowing must fall back to the full scan.
+	mustExec(t, db, `INSERT INTO users VALUES (4, 'ärn', 'east', 1)`)
+	r, err := db.Query(`SELECT nick FROM users WHERE nick LIKE ?`, Str("a%"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 || r.Rows[0][0].S != "ann" {
+		t.Fatalf("rows: %v", r.Rows)
+	}
+	if r.ScannedActual != 4 {
+		t.Fatalf("actual = %d, want full-scan fallback of 4", r.ScannedActual)
+	}
+	// Removing the offending row re-enables narrowing.
+	mustExec(t, db, `DELETE FROM users WHERE id = 4`)
+	r2, err := db.Query(`SELECT nick FROM users WHERE nick LIKE ?`, Str("a%"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.ScannedActual != 1 {
+		t.Fatalf("after delete: actual = %d, want 1", r2.ScannedActual)
+	}
+}
+
+func TestOrderedWalkLimit(t *testing.T) {
+	db := newTestDB(t)
+	r, err := db.Query(`SELECT id FROM items ORDER BY id LIMIT 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := intColumn(r, 0); !equalInts(got, []int64{1, 2}) {
+		t.Fatalf("rows: %v", got)
+	}
+	if r.ScannedActual != 2 {
+		t.Fatalf("early termination: actual = %d, want 2", r.ScannedActual)
+	}
+	if r.Scanned != 4 {
+		t.Fatalf("virtual scanned = %d, want 4", r.Scanned)
+	}
+}
+
+func TestOrderedWalkDesc(t *testing.T) {
+	db := newTestDB(t)
+	r, err := db.Query(`SELECT id FROM items ORDER BY id DESC LIMIT 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := intColumn(r, 0); !equalInts(got, []int64{4}) {
+		t.Fatalf("rows: %v", got)
+	}
+	if r.ScannedActual != 1 {
+		t.Fatalf("actual = %d, want 1", r.ScannedActual)
+	}
+}
+
+func TestOrderedWalkOffset(t *testing.T) {
+	db := newTestDB(t)
+	r, err := db.Query(`SELECT id FROM items ORDER BY id LIMIT 1 OFFSET 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := intColumn(r, 0); !equalInts(got, []int64{3}) {
+		t.Fatalf("rows: %v", got)
+	}
+	if r.ScannedActual != 3 {
+		t.Fatalf("actual = %d, want 3 (offset rows are visited)", r.ScannedActual)
+	}
+}
+
+func TestOrderedWalkLimitZero(t *testing.T) {
+	db := newTestDB(t)
+	r, err := db.Query(`SELECT id FROM items ORDER BY id LIMIT 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 0 || r.ScannedActual != 0 {
+		t.Fatalf("rows=%d actual=%d, want 0/0", r.Len(), r.ScannedActual)
+	}
+}
+
+func TestOrderedWalkTiesKeepPositionOrder(t *testing.T) {
+	db := newTestDB(t)
+	// category has duplicates; a full walk (no LIMIT, full access) must
+	// reproduce the stable sort's insertion order within equal keys.
+	r, err := db.Query(`SELECT name FROM items ORDER BY category`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"lamp", "couch", "red bike", "blue bike"}
+	if r.Len() != len(want) {
+		t.Fatalf("rows: %v", r.Rows)
+	}
+	for i, w := range want {
+		if r.Rows[i][0].S != w {
+			t.Fatalf("row %d = %q, want %q (full: %v)", i, r.Rows[i][0].S, w, r.Rows)
+		}
+	}
+}
+
+func TestOrderedWalkWithWhereFilter(t *testing.T) {
+	db := newTestDB(t)
+	// WHERE on a non-eq predicate keeps the legacy plan full-scanning, so
+	// the ordered walk still applies and filters inline.
+	r, err := db.Query(`SELECT id FROM items WHERE price < ? ORDER BY id DESC LIMIT 2`, Float(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := intColumn(r, 0); !equalInts(got, []int64{3, 2}) {
+		t.Fatalf("rows: %v", got)
+	}
+}
+
+func TestPlanCacheHitAndDDLInvalidation(t *testing.T) {
+	db := newTestDB(t)
+	q := `SELECT name FROM items WHERE category = ?`
+	r1, err := db.Query(q, Str("home"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.PlanCached {
+		t.Fatal("first execution must build the plan")
+	}
+	r2, err := db.Query(q, Str("sports"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.PlanCached {
+		t.Fatal("second execution must hit the plan cache")
+	}
+	// Any schema change invalidates cached plans.
+	mustExec(t, db, `CREATE INDEX idx_items_name ON items (name)`)
+	r3, err := db.Query(q, Str("home"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.PlanCached {
+		t.Fatal("DDL must invalidate the cached plan")
+	}
+	r4, err := db.Query(q, Str("home"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r4.PlanCached {
+		t.Fatal("rebuilt plan must be cached again")
+	}
+}
+
+func TestUpdateDeletePlansCached(t *testing.T) {
+	db := newTestDB(t)
+	r1 := mustExec(t, db, `UPDATE items SET qty = ? WHERE id = ?`, Int(5), Int(1))
+	if r1.PlanCached || r1.Scanned != 1 {
+		t.Fatalf("first update: cached=%v scanned=%d", r1.PlanCached, r1.Scanned)
+	}
+	r2 := mustExec(t, db, `UPDATE items SET qty = ? WHERE id = ?`, Int(6), Int(2))
+	if !r2.PlanCached {
+		t.Fatal("second update must hit the plan cache")
+	}
+	d1 := mustExec(t, db, `DELETE FROM bids WHERE item_id = ?`, Int(3))
+	if d1.PlanCached {
+		t.Fatal("first delete must build the plan")
+	}
+	d2 := mustExec(t, db, `DELETE FROM bids WHERE item_id = ?`, Int(1))
+	if !d2.PlanCached || !d2.IndexUsed {
+		t.Fatalf("second delete: cached=%v indexed=%v", d2.PlanCached, d2.IndexUsed)
+	}
+	checkAllIndexes(t, db)
+}
+
+func TestPreparedHandle(t *testing.T) {
+	db := newTestDB(t)
+	sel, err := db.PrepareStmt(`SELECT name FROM items WHERE category = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sel.Exec(Str("home"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("rows: %v", r.Rows)
+	}
+	r2, err := sel.Exec(Str("sports"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.PlanCached {
+		t.Fatal("prepared re-execution must hit the plan cache")
+	}
+
+	var hookSQL string
+	db.SetWriteHook(func(sql string, args []Value) { hookSQL = sql })
+	upd, err := db.PrepareStmt(`UPDATE items SET qty = ? WHERE id = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := upd.Exec(Int(42), Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	if hookSQL == "" {
+		t.Fatal("write hook must fire for prepared mutations")
+	}
+
+	if _, err := db.PrepareStmt(`SELECT FROM`); err == nil {
+		t.Fatal("syntax error must surface at prepare time")
+	}
+}
+
+func TestJoinCountsAndProbes(t *testing.T) {
+	db := newTestDB(t)
+	r, err := db.Query(
+		`SELECT items.name, bids.amount FROM items JOIN bids ON bids.item_id = items.id WHERE items.id = ?`,
+		Int(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("rows: %v", r.Rows)
+	}
+	if !r.IndexUsed {
+		t.Fatal("join must probe the bids index")
+	}
+	if r.ScannedActual != r.Scanned {
+		t.Fatalf("join virtual (%d) and actual (%d) must coincide", r.Scanned, r.ScannedActual)
+	}
+	if r.IndexProbes == 0 {
+		t.Fatal("join must count index probes")
+	}
+}

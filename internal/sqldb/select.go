@@ -6,41 +6,274 @@ import (
 	"strings"
 )
 
-// execSelect runs a SELECT: nested-loop join with hash-index probes for
-// equality ON conditions, WHERE filtering, optional grouping/aggregation,
-// ORDER BY, DISTINCT and LIMIT/OFFSET.
+// execSelect runs a SELECT under a cached plan: single-table statements get
+// a one-pass filter-and-project scan (optionally walking an ordered index),
+// joins and aggregations run the nested-loop path with per-level index
+// probes.
 func (db *DB) execSelect(s *SelectStmt, args []Value) (*Result, error) {
-	tabs := make([]*table, len(s.From))
-	names := make([]string, len(s.From))
-	seen := make(map[string]bool, len(s.From))
-	for i, ref := range s.From {
-		t, ok := db.tables[ref.Table]
-		if !ok {
-			return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, ref.Table)
+	pl, hit, err := db.selectPlanFor(s)
+	if err != nil {
+		return nil, err
+	}
+	if pl.single != nil {
+		if pl.single.walk != nil {
+			return db.execOrderedWalk(s, pl, args, hit)
 		}
-		tabs[i] = t
-		names[i] = ref.Name()
-		if seen[names[i]] {
-			return nil, fmt.Errorf("sqldb: duplicate table name %s in FROM", names[i])
+		return db.execSelectSingle(s, pl, args, hit)
+	}
+	return db.execSelectJoin(s, pl, args, hit)
+}
+
+// resolveProbe walks a level's probe candidates in conjunct order; the
+// first one whose value expression evaluates decides probe-vs-scan, exactly
+// as the original engine's dynamic conjunct walk did — indexed or not.
+func resolveProbe(cands []probeCand, ctx *evalCtx) (bucket []int, probed bool) {
+	for _, c := range cands {
+		v, err := ctx.eval(c.val)
+		if err != nil {
+			continue
 		}
-		seen[names[i]] = true
+		if c.ix != nil {
+			return c.ix.m[v.mapKey()], true
+		}
+		break
+	}
+	return nil, false
+}
+
+// execSelectSingle runs a non-aggregated single-table SELECT in one pass:
+// each surviving row is projected and its sort keys evaluated immediately,
+// with no per-row context retained.
+func (db *DB) execSelectSingle(s *SelectStmt, pl *selectPlan, args []Value, hit bool) (*Result, error) {
+	t := pl.tabs[0]
+	ctx := evalCtx{params: args, tables: []boundTable{{name: pl.names[0], t: t}}}
+
+	probes := 0
+	bucket, probed := resolveProbe(pl.levels[0].cands, &ctx)
+
+	virtual := 0
+	actual := 0
+	usedIndex := false
+	var scan []int
+	fullScan := false
+	if probed {
+		scan = bucket
+		virtual = len(bucket)
+		usedIndex = true
+		probes++
+	} else {
+		virtual = t.live
+		if cands, p, narrowed := accessCandidates(pl.single.access, &ctx); narrowed {
+			probes += p
+			scan = cands
+		} else {
+			fullScan = true
+		}
 	}
 
+	needKeys := len(s.OrderBy) > 0
+	var rows [][]Value
+	var keys [][]Value
+	visit := func(r *row) error {
+		actual++
+		ctx.tables[0].vals = r.vals
+		if s.Where != nil {
+			v, err := ctx.eval(s.Where)
+			if err != nil {
+				return err
+			}
+			if !v.AsBool() {
+				return nil
+			}
+		}
+		out, err := projectRow(s, &ctx)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, out)
+		if needKeys {
+			ks := make([]Value, len(s.OrderBy))
+			for j, ok := range s.OrderBy {
+				v, err := ctx.eval(ok.Expr)
+				if err != nil {
+					return err
+				}
+				ks[j] = v
+			}
+			keys = append(keys, ks)
+		}
+		return nil
+	}
+	if fullScan {
+		for _, r := range t.rows {
+			if r.dead {
+				continue
+			}
+			if err := visit(r); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for _, pos := range scan {
+			if err := visit(t.rows[pos]); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	if needKeys {
+		sortKeyedRows(rows, keys, s.OrderBy)
+	}
+	if s.Distinct {
+		rows = distinctRows(rows)
+	}
+	rows = sliceWindow(rows, s.Offset, s.Limit)
+
+	return &Result{
+		Cols:          pl.cols,
+		Rows:          rows,
+		Scanned:       virtual,
+		IndexUsed:     usedIndex,
+		ScannedActual: actual,
+		IndexProbes:   probes,
+		PlanCached:    hit,
+		Cost:          db.cost.cost(virtual, 0, len(rows)),
+	}, nil
+}
+
+// execOrderedWalk produces an ORDER BY result by walking the ordered index,
+// terminating early once OFFSET+LIMIT rows have been accepted. The virtual
+// scan figure stays t.live — what the full-scan-and-sort plan reported.
+func (db *DB) execOrderedWalk(s *SelectStmt, pl *selectPlan, args []Value, hit bool) (*Result, error) {
+	t := pl.tabs[0]
+	w := pl.single.walk
+	ctx := evalCtx{params: args, tables: []boundTable{{name: pl.names[0], t: t}}}
+	virtual := t.live
+	actual := 0
+	var rows [][]Value
+	skip := s.Offset
+	if s.Limit == 0 {
+		return &Result{
+			Cols:       pl.cols,
+			Scanned:    virtual,
+			IndexProbes: 1,
+			PlanCached: hit,
+			Cost:       db.cost.cost(virtual, 0, 0),
+		}, nil
+	}
+	visit := func(pos int) (done bool, err error) {
+		r := t.rows[pos]
+		actual++
+		ctx.tables[0].vals = r.vals
+		if s.Where != nil {
+			v, err := ctx.eval(s.Where)
+			if err != nil {
+				return false, err
+			}
+			if !v.AsBool() {
+				return false, nil
+			}
+		}
+		if skip > 0 {
+			skip--
+			return false, nil
+		}
+		out, err := projectRow(s, &ctx)
+		if err != nil {
+			return false, err
+		}
+		rows = append(rows, out)
+		return s.Limit >= 0 && len(rows) >= s.Limit, nil
+	}
+	keys := w.ix.keys
+	done := false
+	if !w.desc {
+		for i := 0; i < len(keys) && !done; i++ {
+			for _, pos := range w.ix.m[keys[i]] {
+				d, err := visit(pos)
+				if err != nil {
+					return nil, err
+				}
+				if d {
+					done = true
+					break
+				}
+			}
+		}
+	} else {
+		for i := len(keys) - 1; i >= 0 && !done; i-- {
+			for _, pos := range w.ix.m[keys[i]] {
+				d, err := visit(pos)
+				if err != nil {
+					return nil, err
+				}
+				if d {
+					done = true
+					break
+				}
+			}
+		}
+	}
+	return &Result{
+		Cols:          pl.cols,
+		Rows:          rows,
+		Scanned:       virtual,
+		ScannedActual: actual,
+		IndexProbes:   1,
+		PlanCached:    hit,
+		Cost:          db.cost.cost(virtual, 0, len(rows)),
+	}, nil
+}
+
+// execSelectJoin runs joins and aggregated queries: recursive nested loops
+// with per-level index probes, retaining a context per matched combination
+// for grouping and ordering. Virtual and actual scan counts coincide here —
+// the legacy access decisions are preserved exactly; the savings come from
+// plan reuse and allocation elimination.
+func (db *DB) execSelectJoin(s *SelectStmt, pl *selectPlan, args []Value, hit bool) (*Result, error) {
+	tabs, names := pl.tabs, pl.names
+
 	scanned := 0
+	probes := 0
 	usedIndex := false
 	var matches []*evalCtx
 
 	// filter is reused for WHERE and ON evaluation so that rejected row
 	// combinations — the overwhelming majority in a scan — cost no
 	// allocation; only accepted ones get a retained context of their own.
+	// resolver evaluates probe values against the bound prefix. boundArr is
+	// the single reusable binding frame, copied only on accept.
 	filter := evalCtx{params: args}
+	resolver := evalCtx{params: args}
+	boundArr := make([]boundTable, len(tabs))
+	for i := range tabs {
+		boundArr[i] = boundTable{name: names[i], t: tabs[i]}
+	}
 
 	// join recursively extends the current row combination table by table.
-	var join func(i int, bound []boundTable) error
-	join = func(i int, bound []boundTable) error {
+	var join func(i int) error
+	step := func(i int, r *row) (descend bool, err error) {
+		if r.dead {
+			return false, nil
+		}
+		scanned++
+		boundArr[i].vals = r.vals
+		if i > 0 && s.JoinOn[i] != nil {
+			filter.tables = boundArr[:i+1]
+			v, err := filter.eval(s.JoinOn[i])
+			if err != nil {
+				return false, err
+			}
+			if !v.AsBool() {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	join = func(i int) error {
 		if i == len(tabs) {
 			if s.Where != nil {
-				filter.tables = bound
+				filter.tables = boundArr
 				v, err := filter.eval(s.Where)
 				if err != nil {
 					return err
@@ -49,56 +282,47 @@ func (db *DB) execSelect(s *SelectStmt, args []Value) (*Result, error) {
 					return nil
 				}
 			}
-			matches = append(matches, &evalCtx{params: args, tables: append([]boundTable(nil), bound...)})
+			matches = append(matches, &evalCtx{params: args, tables: append([]boundTable(nil), boundArr...)})
 			return nil
 		}
 		t := tabs[i]
-		// Try an index probe using the ON condition (or, for the first
-		// table, the WHERE clause).
-		var probe Expr
-		if i == 0 {
-			probe = s.Where
-		} else {
-			probe = s.JoinOn[i]
-		}
-		positions, probed, err := db.joinCandidates(t, names[i], probe, bound, args)
-		if err != nil {
-			return err
-		}
+		resolver.tables = boundArr[:i]
+		bucket, probed := resolveProbe(pl.levels[i].cands, &resolver)
 		if probed {
 			usedIndex = true
-		}
-		for _, pos := range positions {
-			r := t.rows[pos]
-			if r.dead {
-				continue
-			}
-			scanned++
-			next := append(bound, boundTable{name: names[i], t: t, vals: r.vals})
-			if i > 0 && s.JoinOn[i] != nil {
-				filter.tables = next
-				v, err := filter.eval(s.JoinOn[i])
+			probes++
+			for _, pos := range bucket {
+				descend, err := step(i, t.rows[pos])
 				if err != nil {
 					return err
 				}
-				if !v.AsBool() {
-					continue
+				if descend {
+					if err := join(i + 1); err != nil {
+						return err
+					}
 				}
 			}
-			if err := join(i+1, next); err != nil {
+			return nil
+		}
+		for _, r := range t.rows {
+			descend, err := step(i, r)
+			if err != nil {
 				return err
+			}
+			if descend {
+				if err := join(i + 1); err != nil {
+					return err
+				}
 			}
 		}
 		return nil
 	}
-	if err := join(0, nil); err != nil {
+	if err := join(0); err != nil {
 		return nil, err
 	}
 
-	cols := db.outputColumns(s, tabs, names)
-
 	var rows [][]Value
-	if len(s.GroupBy) > 0 || itemsHaveAggregate(s.Items) || s.Having != nil {
+	if pl.aggregated {
 		grouped, err := groupRows(s, matches, args)
 		if err != nil {
 			return nil, err
@@ -125,130 +349,38 @@ func (db *DB) execSelect(s *SelectStmt, args []Value) (*Result, error) {
 	if s.Distinct {
 		rows = distinctRows(rows)
 	}
-
-	if s.Offset > 0 {
-		if s.Offset >= len(rows) {
-			rows = nil
-		} else {
-			rows = rows[s.Offset:]
-		}
-	}
-	if s.Limit >= 0 && s.Limit < len(rows) {
-		rows = rows[:s.Limit]
-	}
+	rows = sliceWindow(rows, s.Offset, s.Limit)
 
 	return &Result{
-		Cols:      cols,
-		Rows:      rows,
-		Scanned:   scanned,
-		IndexUsed: usedIndex,
-		Cost:      db.cost.cost(scanned, 0, len(rows)),
+		Cols:          pl.cols,
+		Rows:          rows,
+		Scanned:       scanned,
+		IndexUsed:     usedIndex,
+		ScannedActual: scanned,
+		IndexProbes:   probes,
+		PlanCached:    hit,
+		Cost:          db.cost.cost(scanned, 0, len(rows)),
 	}, nil
 }
 
-// joinCandidates returns candidate positions in t, using a hash index when
-// probe contains an equality between a column of t and an expression
-// evaluable from already-bound tables and parameters. The second return
-// reports whether an index probe was used.
-func (db *DB) joinCandidates(t *table, name string, probe Expr, bound []boundTable, args []Value) ([]int, bool, error) {
-	if probe != nil {
-		if col, val, ok := boundEq(t, name, probe, bound, args); ok {
-			if ix := t.indexOn(col); ix != nil {
-				return append([]int(nil), ix.m[val.mapKey()]...), true, nil
-			}
+// sliceWindow applies OFFSET then LIMIT, preserving the original engine's
+// exact slicing semantics.
+func sliceWindow(rows [][]Value, offset, limit int) [][]Value {
+	if offset > 0 {
+		if offset >= len(rows) {
+			rows = nil
+		} else {
+			rows = rows[offset:]
 		}
 	}
-	all := make([]int, 0, t.live)
-	for pos, r := range t.rows {
-		if !r.dead {
-			all = append(all, pos)
-		}
+	if limit >= 0 && limit < len(rows) {
+		rows = rows[:limit]
 	}
-	return all, false, nil
-}
-
-// boundEq searches probe for a conjunct `t.col = expr` where expr evaluates
-// using only bound tables and parameters, returning the column and value.
-func boundEq(t *table, name string, probe Expr, bound []boundTable, args []Value) (int, Value, bool) {
-	be, ok := probe.(*BinaryExpr)
-	if !ok {
-		return 0, Value{}, false
-	}
-	switch be.Op {
-	case "AND":
-		if c, v, ok := boundEq(t, name, be.Left, bound, args); ok {
-			return c, v, true
-		}
-		return boundEq(t, name, be.Right, bound, args)
-	case "=":
-		if c, v, ok := boundEqSides(t, name, be.Left, be.Right, bound, args); ok {
-			return c, v, true
-		}
-		return boundEqSides(t, name, be.Right, be.Left, bound, args)
-	}
-	return 0, Value{}, false
-}
-
-func boundEqSides(t *table, name string, l, r Expr, bound []boundTable, args []Value) (int, Value, bool) {
-	ref, ok := l.(*ColumnRef)
-	if !ok {
-		return 0, Value{}, false
-	}
-	if ref.Table != "" && ref.Table != name {
-		return 0, Value{}, false
-	}
-	col, ok := t.colIdx[ref.Name]
-	if !ok {
-		return 0, Value{}, false
-	}
-	if ref.Table == "" {
-		// Unqualified: make sure it is not ambiguous with a bound table.
-		for _, bt := range bound {
-			if _, clash := bt.t.colIdx[ref.Name]; clash {
-				return 0, Value{}, false
-			}
-		}
-	}
-	// The other side must evaluate with only bound tables and params.
-	ctx := &evalCtx{params: args, tables: bound}
-	if !evaluableWith(r, ctx) {
-		return 0, Value{}, false
-	}
-	v, err := ctx.eval(r)
-	if err != nil {
-		return 0, Value{}, false
-	}
-	return col, v, true
-}
-
-// evaluableWith reports whether e references only columns resolvable in ctx.
-func evaluableWith(e Expr, ctx *evalCtx) bool {
-	switch x := e.(type) {
-	case nil:
-		return true
-	case *Literal, *Placeholder:
-		return true
-	case *ColumnRef:
-		_, err := ctx.resolve(x)
-		return err == nil
-	case *BinaryExpr:
-		return evaluableWith(x.Left, ctx) && evaluableWith(x.Right, ctx)
-	case *UnaryExpr:
-		return evaluableWith(x.X, ctx)
-	case *FuncCall:
-		for _, a := range x.Args {
-			if !evaluableWith(a, ctx) {
-				return false
-			}
-		}
-		return !aggregateFuncs[x.Name]
-	default:
-		return false
-	}
+	return rows
 }
 
 // outputColumns derives result column names.
-func (db *DB) outputColumns(s *SelectStmt, tabs []*table, names []string) []string {
+func outputColumns(s *SelectStmt, tabs []*table) []string {
 	var cols []string
 	for _, item := range s.Items {
 		if item.Star {
@@ -482,13 +614,9 @@ func foldAggregate(fc *FuncCall, group []*evalCtx) (Value, error) {
 // may only reference output columns by alias or position in the select list.
 func orderRows(s *SelectStmt, rows [][]Value, matches []*evalCtx, args []Value) error {
 	aggregated := len(s.GroupBy) > 0 || itemsHaveAggregate(s.Items)
-	type keyed struct {
-		row  []Value
-		keys []Value
-	}
-	keyedRows := make([]keyed, len(rows))
+	keys := make([][]Value, len(rows))
 	for i := range rows {
-		keys := make([]Value, len(s.OrderBy))
+		ks := make([]Value, len(s.OrderBy))
 		for j, ok := range s.OrderBy {
 			var v Value
 			var err error
@@ -500,12 +628,27 @@ func orderRows(s *SelectStmt, rows [][]Value, matches []*evalCtx, args []Value) 
 			if err != nil {
 				return err
 			}
-			keys[j] = v
+			ks[j] = v
 		}
-		keyedRows[i] = keyed{row: rows[i], keys: keys}
+		keys[i] = ks
+	}
+	sortKeyedRows(rows, keys, s.OrderBy)
+	return nil
+}
+
+// sortKeyedRows stably sorts rows in place by their pre-evaluated ORDER BY
+// keys, permuting keys alongside.
+func sortKeyedRows(rows [][]Value, keys [][]Value, order []OrderKey) {
+	type keyed struct {
+		row  []Value
+		keys []Value
+	}
+	keyedRows := make([]keyed, len(rows))
+	for i := range rows {
+		keyedRows[i] = keyed{row: rows[i], keys: keys[i]}
 	}
 	sort.SliceStable(keyedRows, func(a, b int) bool {
-		for j, ok := range s.OrderBy {
+		for j, ok := range order {
 			c := Compare(keyedRows[a].keys[j], keyedRows[b].keys[j])
 			if c == 0 {
 				continue
@@ -520,7 +663,6 @@ func orderRows(s *SelectStmt, rows [][]Value, matches []*evalCtx, args []Value) 
 	for i := range rows {
 		rows[i] = keyedRows[i].row
 	}
-	return nil
 }
 
 // orderKeyFromOutput resolves an ORDER BY expression in aggregate mode by

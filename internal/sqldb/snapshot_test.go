@@ -1,0 +1,206 @@
+package sqldb
+
+import (
+	"testing"
+	"time"
+)
+
+func seedSnapshotDB(t *testing.T) *DB {
+	t.Helper()
+	db := New()
+	mustExec(t, db, `CREATE TABLE kv (id INT PRIMARY KEY, v TEXT, n INT)`)
+	mustExec(t, db, `CREATE INDEX idx_kv_v ON kv (v)`)
+	mustExec(t, db, `INSERT INTO kv VALUES (1, 'a', 10), (2, 'b', 20), (3, 'a', 30)`)
+	mustExec(t, db, `DELETE FROM kv WHERE id = 2`)
+	return db
+}
+
+func queryAll(t *testing.T, db *DB) string {
+	t.Helper()
+	r, err := db.Query(`SELECT id, v, n FROM kv ORDER BY id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ""
+	for _, row := range r.Rows {
+		for _, v := range row {
+			out += v.String() + "|"
+		}
+		out += "\n"
+	}
+	return out
+}
+
+func TestSnapshotRestoreReproducesState(t *testing.T) {
+	src := seedSnapshotDB(t)
+	snap := src.Snapshot()
+
+	dst := New()
+	dst.Restore(snap)
+	if got, want := queryAll(t, dst), queryAll(t, src); got != want {
+		t.Fatalf("restored contents differ:\n%s\nvs\n%s", got, want)
+	}
+	if dst.Statements() != src.Statements() {
+		t.Fatalf("statements: restored %d, source %d", dst.Statements(), src.Statements())
+	}
+	checkAllIndexes(t, dst)
+
+	// Index probes must work against the copied ordered structure.
+	r, err := dst.Query(`SELECT id FROM kv WHERE v = ?`, Str("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.IndexUsed || r.Len() != 2 {
+		t.Fatalf("indexed probe on restored db: used=%v rows=%v", r.IndexUsed, r.Rows)
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	src := seedSnapshotDB(t)
+	snap := src.Snapshot()
+	want := queryAll(t, src)
+
+	a := New()
+	a.Restore(snap)
+	mustExec(t, a, `UPDATE kv SET v = 'zzz', n = 99 WHERE id = 1`)
+	mustExec(t, a, `DELETE FROM kv WHERE id = 3`)
+	mustExec(t, a, `INSERT INTO kv VALUES (7, 'q', 70)`)
+
+	// Neither the source nor a second restore may see a's writes.
+	if got := queryAll(t, src); got != want {
+		t.Fatalf("source mutated through snapshot:\n%s", got)
+	}
+	b := New()
+	b.Restore(snap)
+	if got := queryAll(t, b); got != want {
+		t.Fatalf("second restore polluted:\n%s", got)
+	}
+	checkAllIndexes(t, a)
+	checkAllIndexes(t, b)
+}
+
+func TestSnapshotProfileReplaysIntoObserver(t *testing.T) {
+	// Observer streams must be indistinguishable between SQL-replayed and
+	// snapshot-restored seeding — the metrics byte-identity requirement.
+	tmpl := New()
+	tmpl.RecordProfile(true)
+	var replayed []StatementInfo
+	seedInto := func(db *DB) {
+		mustExec(t, db, `CREATE TABLE kv (id INT PRIMARY KEY, v TEXT)`)
+		mustExec(t, db, `INSERT INTO kv VALUES (1, 'a'), (2, 'b')`)
+		mustExec(t, db, `UPDATE kv SET v = 'c' WHERE id = 2`)
+	}
+	seedInto(tmpl)
+	snap := tmpl.Snapshot()
+
+	restored := New()
+	restored.SetObserver(func(st StatementInfo) { replayed = append(replayed, st) })
+	restored.Restore(snap)
+
+	var direct []StatementInfo
+	ref := New()
+	ref.SetObserver(func(st StatementInfo) { direct = append(direct, st) })
+	seedInto(ref)
+
+	if len(replayed) != len(direct) {
+		t.Fatalf("replayed %d infos, direct seeding produced %d", len(replayed), len(direct))
+	}
+	for i := range direct {
+		if replayed[i] != direct[i] {
+			t.Fatalf("info %d differs: %+v vs %+v", i, replayed[i], direct[i])
+		}
+	}
+}
+
+func TestRestoreInvalidatesCachedPlans(t *testing.T) {
+	db := seedSnapshotDB(t)
+	snap := db.Snapshot()
+	q := `SELECT v FROM kv WHERE id = ?`
+	if _, err := db.Query(q, Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := db.Query(q, Int(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.PlanCached {
+		t.Fatal("expected a plan-cache hit before restore")
+	}
+	db.Restore(snap)
+	r2, err := db.Query(q, Int(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.PlanCached {
+		t.Fatal("restore replaces tables; stale plans must not survive it")
+	}
+	if r2.Len() != 1 || r2.Rows[0][0].S != "a" {
+		t.Fatalf("rows: %v", r2.Rows)
+	}
+}
+
+func TestCloneCarriesCostModel(t *testing.T) {
+	src := seedSnapshotDB(t)
+	custom := CostModel{
+		PerStatement:   time.Millisecond,
+		PerRowScanned:  time.Millisecond,
+		PerRowReturned: time.Millisecond,
+	}
+	src.SetCostModel(custom)
+	snap := src.Snapshot()
+	dup := src.Clone(snap)
+	rs, err := src.Query(`SELECT id FROM kv`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := dup.Query(`SELECT id FROM kv`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Cost != rd.Cost || rd.Cost == 0 {
+		t.Fatalf("clone cost %v, source cost %v", rd.Cost, rs.Cost)
+	}
+}
+
+func TestRestoreDoesNotFireWriteHook(t *testing.T) {
+	src := seedSnapshotDB(t)
+	snap := src.Snapshot()
+	dst := New()
+	fired := 0
+	dst.SetWriteHook(func(sql string, args []Value) { fired++ })
+	dst.Restore(snap)
+	if fired != 0 {
+		t.Fatalf("restore fired the write hook %d times; it is state transfer, not execution", fired)
+	}
+}
+
+func TestConcurrentRestoresShareSnapshot(t *testing.T) {
+	src := seedSnapshotDB(t)
+	snap := src.Snapshot()
+	want := queryAll(t, src)
+	done := make(chan string, 8)
+	for i := 0; i < 8; i++ {
+		go func(i int) {
+			db := New()
+			db.Restore(snap)
+			if i%2 == 0 {
+				db.Exec(`UPDATE kv SET n = ? WHERE id = 1`, Int(int64(i)))
+				db.Exec(`INSERT INTO kv VALUES (?, 'x', 0)`, Int(int64(100+i)))
+			}
+			r, err := db.Query(`SELECT id FROM kv WHERE v = ?`, Str("a"))
+			if err != nil || r.Len() == 0 {
+				done <- "probe failed"
+				return
+			}
+			done <- ""
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		if msg := <-done; msg != "" {
+			t.Fatal(msg)
+		}
+	}
+	if got := queryAll(t, src); got != want {
+		t.Fatalf("source mutated by concurrent restores:\n%s", got)
+	}
+}

@@ -267,6 +267,52 @@ func (v Value) mapKey() key {
 	}
 }
 
+// compareKey orders index keys consistently with Compare over the values
+// they were derived from: NULL (the zero key) sorts first, numeric keys are
+// already normalized to KindFloat by mapKey, and mismatched kinds order by
+// kind id exactly as Compare orders mismatched non-numeric values.
+func compareKey(a, b key) int {
+	if a.k != b.k {
+		if a.k < b.k {
+			return -1
+		}
+		return 1
+	}
+	switch a.k {
+	case KindFloat:
+		switch {
+		case a.f < b.f:
+			return -1
+		case a.f > b.f:
+			return 1
+		default:
+			return 0
+		}
+	case KindString:
+		return strings.Compare(a.s, b.s)
+	case KindBool:
+		switch {
+		case a.b == b.b:
+			return 0
+		case !a.b:
+			return -1
+		default:
+			return 1
+		}
+	case KindTime:
+		switch {
+		case a.t < b.t:
+			return -1
+		case a.t > b.t:
+			return 1
+		default:
+			return 0
+		}
+	default:
+		return 0
+	}
+}
+
 // coerce converts v to the column kind where a lossless-enough conversion
 // exists; otherwise it returns an error.
 func coerce(v Value, to Kind) (Value, error) {
