@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	wadeploy [flags] table6|table7|fig7|fig8|metrics|inventory|plan|explain|sweep-latency|sweep-load|all
+//	wadeploy [flags] table6|table7|fig7|fig8|metrics|faults|inventory|plan|explain|sweep-latency|sweep-load|all
 //
 // table6/fig7 run Java Pet Store, table7/fig8 run RUBiS; each table run
 // executes all five configurations (centralized, remote façade, stateful
@@ -13,6 +13,9 @@
 //
 // Flags: -quick (short run), -seed, -warmup, -duration, -parallel N
 // (concurrent runs per table/sweep; 0 = one per CPU, 1 = sequential),
+// -faults canonical|FILE (arm a WAN fault schedule plus the default
+// resilience policies on every run; the faults command prints the
+// availability table — per-page success rates on the partitioned edge),
 // -diag (CPU/RMI/JMS counters), -p95 (tail-latency tables), -ext (append the
 // DB-replication extension row), -csv FILE (long-format export),
 // -metrics-out FILE (full registry snapshots as JSON; -metrics-tick sets the
@@ -39,6 +42,7 @@ import (
 	"wadeploy/internal/container"
 	"wadeploy/internal/core"
 	"wadeploy/internal/experiment"
+	"wadeploy/internal/faults"
 	"wadeploy/internal/metrics"
 	"wadeploy/internal/petstore"
 )
@@ -67,6 +71,7 @@ func run(args []string) error {
 	sim := fs.Bool("sim", false, "with plan: also simulate the five paper configurations and print prediction error")
 	appFlag := fs.String("app", "petstore", "application for sweeps: petstore|rubis")
 	cfgFlag := fs.String("config", "async-updates", "configuration for sweeps: centralized|remote-facade|stateful-caching|query-caching|async-updates")
+	faultsFlag := fs.String("faults", "", "fault schedule: 'canonical' or a JSON schedule file; arms the WAN-outage script and the resilience policies on every run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -78,6 +83,13 @@ func run(args []string) error {
 	opts.Parallelism = *parallel
 	if *metricsOut != "" {
 		opts.MetricsTick = *metricsTick
+	}
+	if *faultsFlag != "" {
+		var err error
+		if opts.Schedule, err = loadSchedule(*faultsFlag, opts); err != nil {
+			return err
+		}
+		opts.Resilience = core.DefaultResilience()
 	}
 	cmds := fs.Args()
 	if len(cmds) == 0 {
@@ -122,6 +134,16 @@ func run(args []string) error {
 				if err := writeMetrics(*metricsOut, app, opts, results); err != nil {
 					return err
 				}
+			}
+		case "faults":
+			app := experiment.PetStore
+			if *appFlag == "rubis" {
+				app = experiment.RUBiS
+			} else if *appFlag != "petstore" {
+				return fmt.Errorf("unknown app %q (want petstore|rubis)", *appFlag)
+			}
+			if err := availability(app, opts, *diag, *metricsOut); err != nil {
+				return err
 			}
 		case "inventory":
 			printInventory()
@@ -195,8 +217,49 @@ func run(args []string) error {
 				}
 			}
 		default:
-			return fmt.Errorf("unknown command %q (want table6|table7|fig7|fig8|metrics|inventory|plan|explain|sweep-latency|sweep-load|all)", cmd)
+			return fmt.Errorf("unknown command %q (want table6|table7|fig7|fig8|metrics|faults|inventory|plan|explain|sweep-latency|sweep-load|all)", cmd)
 		}
+	}
+	return nil
+}
+
+// loadSchedule resolves the -faults flag: the literal "canonical" builds the
+// canonical WAN-outage script scaled to the run's warm-up and duration;
+// anything else is a path to a JSON schedule file.
+func loadSchedule(arg string, opts experiment.RunOptions) (*faults.Schedule, error) {
+	if arg == "canonical" {
+		return faults.Canonical(opts.Warmup, opts.Duration), nil
+	}
+	s, err := faults.Load(arg)
+	if err != nil {
+		return nil, fmt.Errorf("-faults: %w", err)
+	}
+	return s, nil
+}
+
+// availability runs the availability experiment and prints the Table-6-style
+// success-rate table for the partitioned edge's clients.
+func availability(app experiment.AppID, opts experiment.RunOptions, diag bool, metricsOut string) error {
+	results, err := experiment.RunAvailability(app, opts)
+	if err != nil {
+		return err
+	}
+	name := "canonical-outage"
+	if opts.Schedule != nil && opts.Schedule.Name != "" {
+		name = opts.Schedule.Name
+	}
+	fmt.Printf("Availability experiment: %s under schedule %q\n", app, name)
+	fmt.Print(experiment.FormatAvailability(results))
+	full := make([]*experiment.Result, len(results))
+	for i, r := range results {
+		full[i] = r.Full
+	}
+	if diag {
+		fmt.Println()
+		fmt.Print(experiment.FormatDiagnostics(full))
+	}
+	if metricsOut != "" {
+		return writeMetrics(metricsOut, app, opts, full)
 	}
 	return nil
 }

@@ -58,12 +58,26 @@ func TestRunExplain(t *testing.T) {
 	}
 }
 
+func TestRunFaultsTiny(t *testing.T) {
+	if err := run(tiny("-faults", "canonical", "faults")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTableWithFaults(t *testing.T) {
+	if err := run(tiny("-faults", "canonical", "table6")); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	cases := [][]string{
 		{"frobnicate"},
 		{"-app", "nope", "sweep-load"},
 		{"-config", "nope", "sweep-latency"},
 		{"-app", "nope", "explain"},
+		{"-app", "nope", "faults"},
+		{"-faults", "/nonexistent/schedule.json", "table6"},
 	}
 	for _, args := range cases {
 		if err := run(args); err == nil {

@@ -2,10 +2,16 @@
 // deployment improves service availability because cached components keep
 // serving clients when the WAN path to the main server fails.
 //
-// We deploy Pet Store in the query-caching configuration, cut edge1's WAN
-// link, and show that edge1's clients still browse (read-only beans and
+// We deploy Pet Store in the query-caching configuration with the default
+// resilience policies (retries, circuit breaker, serve-stale caches), arm a
+// scripted WAN outage on edge1's uplink through internal/faults, and show
+// that edge1's clients still browse during the outage (read-only beans and
 // query caches answer locally) while buyer commits — which need the central
-// read-write beans — fail until the link recovers.
+// read-write beans — degrade as expected until the link recovers.
+//
+// Expected degradation (buyer pages failing mid-outage) is reported as such;
+// the example only exits non-zero on unexpected failures, e.g. a browse page
+// failing while the edge caches should be carrying it.
 package main
 
 import (
@@ -14,10 +20,16 @@ import (
 	"time"
 
 	"wadeploy/internal/core"
+	"wadeploy/internal/faults"
 	"wadeploy/internal/petstore"
 	"wadeploy/internal/sim"
 	"wadeploy/internal/simnet"
 	"wadeploy/internal/workload"
+)
+
+const (
+	outageAt  = 20 * time.Second
+	outageLen = 40 * time.Second
 )
 
 func main() {
@@ -28,8 +40,11 @@ func main() {
 }
 
 func run() error {
-	env := sim.NewEnv(11)
-	d, err := core.NewPaperDeployment(env, core.DefaultOptions())
+	const seed = 11
+	env := sim.NewEnv(seed)
+	copts := core.DefaultOptions()
+	copts.Resilience = core.DefaultResilience()
+	d, err := core.NewPaperDeployment(env, copts)
 	if err != nil {
 		return err
 	}
@@ -37,6 +52,19 @@ func run() error {
 	if err != nil {
 		return err
 	}
+
+	// One scripted outage: edge1 loses its WAN uplink, edge2 and the main
+	// site stay healthy.
+	schedule := &faults.Schedule{
+		Name: "edge1-outage",
+		Events: []faults.Event{
+			{Kind: faults.LinkDown, A: simnet.NodeEdge1, B: simnet.NodeRouter, At: outageAt, Duration: outageLen},
+		},
+	}
+	if err := faults.Arm(d.Net, schedule, seed); err != nil {
+		return err
+	}
+
 	request := app.RequestFunc()
 	client := workload.Client{Node: simnet.NodeClientsEdge1, ID: "edge1-client"}
 
@@ -53,41 +81,61 @@ func run() error {
 		{Page: petstore.PageCommit},
 	}
 
-	var failed error
+	// Unexpected failures fail the example; expected degradation (buyer
+	// pages needing the main server mid-outage) is only reported.
+	var unexpected []string
 	env.Spawn("failover", func(p *sim.Proc) {
-		exercise := func(phase string) {
+		exercise := func(phase string, outage bool) {
 			fmt.Printf("--- %s\n", phase)
 			for _, step := range browse {
 				rt, err := request(p, client, step)
 				if err != nil {
-					fmt.Printf("  %-14s FAILED: %v\n", step.Page, err)
+					// Browse must survive the outage on the edge caches.
+					unexpected = append(unexpected, fmt.Sprintf("%s: browse %s failed: %v", phase, step.Page, err))
+					fmt.Printf("  %-14s FAILED (unexpected): %v\n", step.Page, err)
 					continue
 				}
 				fmt.Printf("  %-14s %8v\n", step.Page, rt.Round(time.Millisecond))
 			}
 			for _, step := range buy {
 				rt, err := request(p, client, step)
-				if err != nil {
-					fmt.Printf("  %-14s FAILED (needs the main server)\n", step.Page)
-					continue
+				switch {
+				case err == nil:
+					fmt.Printf("  %-14s %8v\n", step.Page, rt.Round(time.Millisecond))
+				case outage:
+					fmt.Printf("  %-14s DEGRADED (expected: needs the main server)\n", step.Page)
+				default:
+					unexpected = append(unexpected, fmt.Sprintf("%s: %s failed: %v", phase, step.Page, err))
+					fmt.Printf("  %-14s FAILED (unexpected): %v\n", step.Page, err)
 				}
-				fmt.Printf("  %-14s %8v\n", step.Page, rt.Round(time.Millisecond))
 			}
 		}
 		// Warm caches while healthy.
-		exercise("WAN link up")
-		if err := d.Net.SetLinkState(simnet.NodeEdge1, simnet.NodeRouter, false); err != nil {
-			failed = err
-			return
-		}
-		exercise("WAN link DOWN: browsing survives on edge caches")
-		if err := d.Net.SetLinkState(simnet.NodeEdge1, simnet.NodeRouter, true); err != nil {
-			failed = err
-			return
-		}
-		exercise("WAN link recovered")
+		exercise("WAN link up", false)
+		p.Sleep(outageAt + outageLen/2 - p.Now())
+		exercise("WAN link DOWN: browsing survives on edge caches", true)
+		p.Sleep(outageAt + outageLen + 15*time.Second - p.Now())
+		exercise("WAN link recovered", false)
 	})
 	env.RunAll()
 	env.Close()
-	return failed
+
+	reg := env.Metrics()
+	fmt.Println("--- resilience counters")
+	for _, name := range []string{
+		"rmi_breaker_fastfail_total",
+		"rmi_retries_total",
+		"container_stale_serves_total",
+		"container_sync_push_skipped_total",
+	} {
+		fmt.Printf("  %-36s %d\n", name, reg.CounterValue(name))
+	}
+
+	if len(unexpected) > 0 {
+		for _, u := range unexpected {
+			fmt.Fprintln(os.Stderr, "unexpected:", u)
+		}
+		return fmt.Errorf("%d unexpected failure(s)", len(unexpected))
+	}
+	return nil
 }

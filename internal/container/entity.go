@@ -322,6 +322,12 @@ type ROEntity struct {
 
 	entries map[string]roEntry
 
+	// staleMaxAge, when positive, lets a failed refresh serve the cached
+	// copy while it is younger than the bound (graceful degradation when
+	// the central server is unreachable).
+	staleMaxAge time.Duration
+	staleServes int64
+
 	hits, misses, staleRefreshes, pushes int64
 
 	// Propagation-delay accounting (commit at the read-write bean to
@@ -335,6 +341,10 @@ type ROEntity struct {
 	mStaleRef  *metrics.Counter
 	mPushes    *metrics.Counter
 	mStaleness *metrics.Histogram
+	// Registered lazily by SetServeStale so degradation-free runs export
+	// byte-identical metric snapshots.
+	mStale    *metrics.Counter
+	mStaleAge *metrics.Histogram
 }
 
 type roEntry struct {
@@ -387,6 +397,21 @@ func (b *ROEntity) SetTTL(ttl time.Duration) { b.ttl = ttl }
 // TTL returns the timeout-invalidation interval (0 when disabled).
 func (b *ROEntity) TTL() time.Duration { return b.ttl }
 
+// SetServeStale enables graceful degradation: when a refresh fails (the
+// central server is unreachable) and a local copy younger than maxAge
+// exists, Get serves the stale copy instead of erroring.
+func (b *ROEntity) SetServeStale(maxAge time.Duration) {
+	b.staleMaxAge = maxAge
+	if maxAge > 0 && b.mStale == nil {
+		reg := b.srv.Env().Metrics()
+		b.mStale = reg.Counter("container_stale_serves_total")
+		b.mStaleAge = reg.Histogram("container_stale_serve_age_ns")
+	}
+}
+
+// StaleServes returns the number of reads served from stale entries.
+func (b *ROEntity) StaleServes() int64 { return b.staleServes }
+
 // MaxPropagationDelay returns the largest observed commit-to-apply delay.
 func (b *ROEntity) MaxPropagationDelay() time.Duration { return b.delayMax }
 
@@ -431,6 +456,17 @@ func (b *ROEntity) Get(p *sim.Proc, pk sqldb.Value) (State, error) {
 	}
 	st, err := b.fetch(p, pk)
 	if err != nil {
+		// Serve-stale degradation: a refresh that cannot reach the
+		// central server falls back to the local copy while it is
+		// younger than the staleness bound.
+		if ok && b.staleMaxAge > 0 {
+			if age := p.Now() - e.loadedAt; age <= b.staleMaxAge {
+				b.staleServes++
+				b.mStale.Inc()
+				b.mStaleAge.Observe(age)
+				return e.state.Clone(), nil
+			}
+		}
 		return nil, fmt.Errorf("read-only %s refresh: %w", b.name, err)
 	}
 	b.entries[k] = roEntry{state: st.Clone(), loadedAt: p.Now()}

@@ -3,6 +3,7 @@ package container
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"wadeploy/internal/metrics"
 	"wadeploy/internal/sim"
@@ -29,15 +30,28 @@ type QueryCache struct {
 	refresh int64
 	pushed  int64
 
+	// ttl, when positive, bounds how long an entry is served without a
+	// refetch; staleMaxAge, when positive, lets a failed refetch fall
+	// back to the cached value while it is younger than the bound
+	// (graceful degradation during WAN outages).
+	ttl         time.Duration
+	staleMaxAge time.Duration
+	staleServes int64
+
 	mHits    *metrics.Counter
 	mMisses  *metrics.Counter
 	mRefresh *metrics.Counter
 	mPushed  *metrics.Counter
+	// Registered lazily by SetServeStale so degradation-free runs export
+	// byte-identical metric snapshots.
+	mStale    *metrics.Counter
+	mStaleAge *metrics.Histogram
 }
 
 type queryEntry struct {
-	result any
-	stale  bool
+	result   any
+	stale    bool
+	loadedAt time.Duration
 }
 
 // NewQueryCache creates a query cache owned by srv. fetch may be nil for
@@ -59,6 +73,25 @@ func NewQueryCache(srv *Server, name string, fetch QueryFetch) *QueryCache {
 // Name returns the cache's name.
 func (qc *QueryCache) Name() string { return qc.name }
 
+// SetTTL bounds entry freshness: entries older than ttl are refetched on
+// access (0 disables, the default).
+func (qc *QueryCache) SetTTL(ttl time.Duration) { qc.ttl = ttl }
+
+// SetServeStale enables graceful degradation: when a refetch fails (the
+// central server is unreachable) and a previously cached value younger than
+// maxAge exists, Get serves the stale value instead of erroring.
+func (qc *QueryCache) SetServeStale(maxAge time.Duration) {
+	qc.staleMaxAge = maxAge
+	if maxAge > 0 && qc.mStale == nil {
+		reg := qc.srv.Env().Metrics()
+		qc.mStale = reg.Counter("container_stale_serves_total")
+		qc.mStaleAge = reg.Histogram("container_stale_serve_age_ns")
+	}
+}
+
+// StaleServes returns the number of reads served from stale entries.
+func (qc *QueryCache) StaleServes() int64 { return qc.staleServes }
+
 // Hits, Misses, Pushed report cache behavior.
 func (qc *QueryCache) Hits() int64   { return qc.hits }
 func (qc *QueryCache) Misses() int64 { return qc.misses }
@@ -70,8 +103,10 @@ func (qc *QueryCache) Size() int { return len(qc.entries) }
 // Get returns the cached result for key, fetching on a miss or after a pull
 // invalidation.
 func (qc *QueryCache) Get(p *sim.Proc, key string) (any, error) {
+	now := qc.srv.Env().Now()
 	e, ok := qc.entries[key]
-	if ok && !e.stale {
+	expired := ok && qc.ttl > 0 && now-e.loadedAt >= qc.ttl
+	if ok && !e.stale && !expired {
 		qc.hits++
 		qc.mHits.Inc()
 		qc.srv.Compute(p, qc.srv.costs.CacheHitCPU)
@@ -89,15 +124,26 @@ func (qc *QueryCache) Get(p *sim.Proc, key string) (any, error) {
 	}
 	v, err := qc.fetch(p, key)
 	if err != nil {
+		// Serve-stale degradation: a refetch that cannot reach the
+		// central server falls back to the cached value while it is
+		// younger than the staleness bound.
+		if ok && qc.staleMaxAge > 0 {
+			if age := p.Now() - e.loadedAt; age <= qc.staleMaxAge {
+				qc.staleServes++
+				qc.mStale.Inc()
+				qc.mStaleAge.Observe(age)
+				return e.result, nil
+			}
+		}
 		return nil, fmt.Errorf("query cache %s fetch %q: %w", qc.name, key, err)
 	}
-	qc.entries[key] = queryEntry{result: v}
+	qc.entries[key] = queryEntry{result: v, loadedAt: p.Now()}
 	return v, nil
 }
 
 // Put stores a result directly (warm-up, or computing on the fly).
 func (qc *QueryCache) Put(key string, v any) {
-	qc.entries[key] = queryEntry{result: v}
+	qc.entries[key] = queryEntry{result: v, loadedAt: qc.srv.Env().Now()}
 }
 
 // InvalidatePrefix marks every entry whose key starts with prefix stale
@@ -120,7 +166,7 @@ func (qc *QueryCache) InvalidatePrefix(prefix string) int {
 func (qc *QueryCache) ApplyPush(key string, v any) {
 	qc.pushed++
 	qc.mPushed.Inc()
-	qc.entries[key] = queryEntry{result: v}
+	qc.entries[key] = queryEntry{result: v, loadedAt: qc.srv.Env().Now()}
 }
 
 // QueryInvalidation adapts a QueryCache to the Applier interface so an

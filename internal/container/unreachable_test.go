@@ -1,0 +1,49 @@
+package container
+
+import (
+	"errors"
+	"testing"
+
+	"wadeploy/internal/sim"
+	"wadeploy/internal/simnet"
+)
+
+// TestUnreachablePropagatesToCaller pins the error chain across the layers:
+// a partition surfaces to a container-level stub invocation as a wrapped
+// simnet.UnreachableError (errors.As reaches it through the rmi wrapping),
+// so callers can distinguish network failures from application errors.
+func TestUnreachablePropagatesToCaller(t *testing.T) {
+	f := newFixture(t)
+	if _, err := DeployStateless(f.main, "Facade", map[string]Method{
+		"ping": func(p *sim.Proc, inv *Invocation) (any, error) { return "pong", nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f.run(t, func(p *sim.Proc) {
+		stub, err := f.edge.StubFor(p, "main", "Facade")
+		if err != nil {
+			t.Errorf("stub: %v", err)
+			return
+		}
+		if _, err := stub.Invoke(p, "ping"); err != nil {
+			t.Errorf("invoke before partition: %v", err)
+			return
+		}
+		if err := f.net.SetLinkState("main", "edge", false); err != nil {
+			t.Error(err)
+			return
+		}
+		_, err = stub.Invoke(p, "ping")
+		var ue *simnet.UnreachableError
+		if !errors.As(err, &ue) {
+			t.Errorf("invoke during partition = %v, want wrapped simnet.UnreachableError", err)
+		}
+		if err := f.net.SetLinkState("main", "edge", true); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := stub.Invoke(p, "ping"); err != nil {
+			t.Errorf("invoke after heal: %v", err)
+		}
+	})
+}

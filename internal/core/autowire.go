@@ -141,6 +141,12 @@ func AutoWire(d *Deployment, ext *container.ExtendedDescriptor, opts WireOptions
 		case container.SyncUpdate:
 			sp := container.NewSyncPropagator(d.Main, nil, opts.PushBytes)
 			sp.BestEffort = spec.BestEffort
+			if d.Resilience != nil {
+				// Under a resilience policy a partitioned edge must not
+				// fail writers everywhere: skip unreachable targets (the
+				// replica's TTL + serve-stale bound covers the gap).
+				sp.BestEffort = true
+			}
 			w.syncProps[spec.Bean] = sp
 			rw.AddPropagator(sp)
 		case container.AsyncUpdate:
@@ -188,6 +194,14 @@ func (w *Wiring) ExtendTo(server *container.Server) error {
 			// stale a read can be even if pushes are lost.
 			ro.SetTTL(spec.MaxStaleness)
 		}
+		if r := w.d.Resilience; r != nil {
+			if spec.MaxStaleness == 0 && r.ReplicaTTL > 0 {
+				ro.SetTTL(r.ReplicaTTL)
+			}
+			if r.StaleMaxAge > 0 {
+				ro.SetServeStale(r.StaleMaxAge)
+			}
+		}
 		if spec.Refresh == container.PushRefresh {
 			uf.Register(spec.Bean, ro)
 		} else {
@@ -202,6 +216,14 @@ func (w *Wiring) ExtendTo(server *container.Server) error {
 			qfetch = w.opts.QueryFetchFor(server)
 		}
 		qc := container.NewQueryCache(server, w.updaterName()+"Queries", qfetch)
+		if r := w.d.Resilience; r != nil {
+			if r.ReplicaTTL > 0 {
+				qc.SetTTL(r.ReplicaTTL)
+			}
+			if r.StaleMaxAge > 0 {
+				qc.SetServeStale(r.StaleMaxAge)
+			}
+		}
 		w.Caches[server.Name()] = qc
 		inval := &container.QueryInvalidation{
 			Cache:     qc,

@@ -114,6 +114,10 @@ type Deployment struct {
 	Main  *container.Server
 	Edges []*container.Server
 
+	// Resilience echoes Options.Resilience so AutoWire can apply the
+	// staleness-fallback pieces to the replicas it materializes.
+	Resilience *ResilienceOptions
+
 	rw map[string]*container.RWEntity
 }
 
@@ -126,6 +130,12 @@ type Options struct {
 	Costs    container.CostModel
 	DBCost   sqldb.CostModel
 	Topology simnet.TopologyParams // zero WANOneWay selects the paper values
+
+	// Resilience, when non-nil, arms the WAN-degradation machinery across
+	// the substrate: RMI retries/breakers, JMS redelivery, and serve-stale
+	// bounds on AutoWired replicas and caches. Nil (the default) keeps
+	// strict semantics and byte-identical metric output.
+	Resilience *ResilienceOptions
 }
 
 // DefaultOptions returns the substrate defaults.
@@ -159,18 +169,24 @@ func NewPaperDeployment(env *sim.Env, opts Options) (*Deployment, error) {
 	db := sqldb.New()
 	db.SetCostModel(opts.DBCost)
 	InstrumentDB(env.Metrics(), db)
+	if r := opts.Resilience; r != nil {
+		opts.RMI.Retry = r.Retry
+		opts.RMI.Breaker = r.Breaker
+		opts.JMS.Redelivery = r.Redelivery
+	}
 	rt := rmi.NewRuntime(net, opts.RMI)
 	provider, err := jms.NewProvider(net, simnet.NodeMain, opts.JMS)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	d := &Deployment{
-		Env: env,
-		Net: net,
-		DB:  db,
-		RMI: rt,
-		JMS: provider,
-		rw:  make(map[string]*container.RWEntity),
+		Env:        env,
+		Net:        net,
+		DB:         db,
+		RMI:        rt,
+		JMS:        provider,
+		Resilience: opts.Resilience,
+		rw:         make(map[string]*container.RWEntity),
 	}
 	for _, name := range simnet.ServerNodes {
 		srv, err := container.NewServer(container.Config{

@@ -69,11 +69,17 @@ type Primary struct {
 	replicas []*Replica
 	shipped  int64
 
+	retryMax   int
+	retryDelay time.Duration
+
 	mShipped *metrics.Counter
 	mDropped *metrics.Counter
 	mApplied *metrics.Counter
 	mFailed  *metrics.Counter
 	mLag     *metrics.Histogram
+	// mRetries is registered only when retries are configured, so
+	// retry-free runs export byte-identical metric snapshots.
+	mRetries *metrics.Counter
 }
 
 // Options tunes the replication stream.
@@ -83,6 +89,12 @@ type Options struct {
 	// ApplyCPU is the replica-side cost of applying one statement (on top
 	// of the statement's own database cost).
 	ApplyCPU time.Duration
+	// RetryMax, when positive, re-attempts shipping a statement to an
+	// unreachable replica up to RetryMax times (every RetryDelay) before
+	// counting it dropped. Retried statements still apply in ship order
+	// per replica.
+	RetryMax   int
+	RetryDelay time.Duration
 }
 
 // DefaultOptions models row-based log shipping of small OLTP statements.
@@ -102,17 +114,22 @@ func NewPrimary(net *simnet.Network, node string, db *sqldb.DB, opts Options) (*
 	}
 	reg := net.Env().Metrics()
 	p := &Primary{
-		env:      net.Env(),
-		net:      net,
-		node:     node,
-		db:       db,
-		bytes:    opts.StatementBytes,
-		applyMS:  opts.ApplyCPU,
-		mShipped: reg.Counter("dbrepl_shipped_total"),
-		mDropped: reg.Counter("dbrepl_dropped_total"),
-		mApplied: reg.Counter("dbrepl_applied_total"),
-		mFailed:  reg.Counter("dbrepl_failed_total"),
-		mLag:     reg.Histogram("dbrepl_apply_lag_ns"),
+		env:        net.Env(),
+		net:        net,
+		node:       node,
+		db:         db,
+		bytes:      opts.StatementBytes,
+		applyMS:    opts.ApplyCPU,
+		retryMax:   opts.RetryMax,
+		retryDelay: opts.RetryDelay,
+		mShipped:   reg.Counter("dbrepl_shipped_total"),
+		mDropped:   reg.Counter("dbrepl_dropped_total"),
+		mApplied:   reg.Counter("dbrepl_applied_total"),
+		mFailed:    reg.Counter("dbrepl_failed_total"),
+		mLag:       reg.Histogram("dbrepl_apply_lag_ns"),
+	}
+	if opts.RetryMax > 0 {
+		p.mRetries = reg.Counter("dbrepl_ship_retries_total")
 	}
 	db.SetWriteHook(p.ship)
 	return p, nil
@@ -151,40 +168,50 @@ func (p *Primary) ship(sql string, args []sqldb.Value) {
 	p.mShipped.Inc()
 	argsCopy := append([]sqldb.Value(nil), args...)
 	for _, r := range p.replicas {
-		r := r
-		delay, err := p.net.Delay(p.node, r.node.ID, p.bytes)
-		if err != nil {
-			r.dropped++
-			p.mDropped.Inc()
-			continue
-		}
-		shippedAt := p.env.Now()
-		arrival := shippedAt + delay
-		if arrival < r.lastArrival {
-			arrival = r.lastArrival
-		}
-		r.lastArrival = arrival
-		p.env.At(arrival, func() {
-			p.env.Spawn("dbrepl-apply", func(proc *sim.Proc) {
-				if p.applyMS > 0 {
-					r.node.CPU.Use(proc, p.applyMS)
-				}
-				res, err := r.DB.Exec(sql, argsCopy...)
-				if err != nil {
-					r.failed++
-					p.mFailed.Inc()
-					return
-				}
-				r.node.CPU.Use(proc, res.Cost)
-				r.applied++
-				p.mApplied.Inc()
-				lag := proc.Now() - shippedAt
-				r.lagSum += lag
-				if lag > r.lagMax {
-					r.lagMax = lag
-				}
-				p.mLag.Observe(lag)
-			})
-		})
+		p.shipTo(r, sql, argsCopy, 0)
 	}
+}
+
+// shipTo attempts delivery of one statement to one replica; attempt counts
+// retries already spent.
+func (p *Primary) shipTo(r *Replica, sql string, argsCopy []sqldb.Value, attempt int) {
+	delay, err := p.net.Delay(p.node, r.node.ID, p.bytes)
+	if err != nil {
+		if attempt < p.retryMax {
+			p.mRetries.Inc()
+			p.env.After(p.retryDelay, func() { p.shipTo(r, sql, argsCopy, attempt+1) })
+			return
+		}
+		r.dropped++
+		p.mDropped.Inc()
+		return
+	}
+	shippedAt := p.env.Now()
+	arrival := shippedAt + delay
+	if arrival < r.lastArrival {
+		arrival = r.lastArrival
+	}
+	r.lastArrival = arrival
+	p.env.At(arrival, func() {
+		p.env.Spawn("dbrepl-apply", func(proc *sim.Proc) {
+			if p.applyMS > 0 {
+				r.node.CPU.Use(proc, p.applyMS)
+			}
+			res, err := r.DB.Exec(sql, argsCopy...)
+			if err != nil {
+				r.failed++
+				p.mFailed.Inc()
+				return
+			}
+			r.node.CPU.Use(proc, res.Cost)
+			r.applied++
+			p.mApplied.Inc()
+			lag := proc.Now() - shippedAt
+			r.lagSum += lag
+			if lag > r.lagMax {
+				r.lagMax = lag
+			}
+			p.mLag.Observe(lag)
+		})
+	})
 }

@@ -1,0 +1,82 @@
+package dbrepl
+
+import (
+	"testing"
+	"time"
+
+	"wadeploy/internal/sim"
+	"wadeploy/internal/simnet"
+	"wadeploy/internal/sqldb"
+)
+
+func newRetryFixture(t *testing.T, retryMax int) *fixture {
+	t.Helper()
+	env := sim.NewEnv(3)
+	net := simnet.New(env)
+	for _, id := range []string{"main", "edge"} {
+		if _, err := net.AddNode(id, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := net.AddLink("main", "edge", 100*time.Millisecond, 1e12); err != nil {
+		t.Fatal(err)
+	}
+	main := sqldb.New()
+	if err := initKV(main); err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions
+	opts.RetryMax = retryMax
+	opts.RetryDelay = time.Second
+	p, err := NewPrimary(net, "main", main, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := p.Attach("edge", initKV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{env: env, net: net, primary: p, main: main, replica: r}
+}
+
+func TestShipRetryAppliesAfterHeal(t *testing.T) {
+	f := newRetryFixture(t, 10)
+	if err := f.net.SetLinkState("main", "edge", false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.main.Exec(`UPDATE kv SET v = 7 WHERE id = 1`); err != nil {
+		t.Fatal(err)
+	}
+	f.env.At(3*time.Second, func() {
+		if err := f.net.SetLinkState("main", "edge", true); err != nil {
+			t.Error(err)
+		}
+	})
+	f.env.RunAll()
+	f.env.Close()
+	if f.replica.Applied() != 1 || f.replica.Dropped() != 0 {
+		t.Fatalf("applied=%d dropped=%d, want the statement retried until the heal",
+			f.replica.Applied(), f.replica.Dropped())
+	}
+	if got := f.env.Metrics().CounterValue("dbrepl_ship_retries_total"); got == 0 {
+		t.Fatal("no ship retries recorded")
+	}
+}
+
+func TestShipRetryDropsAfterCap(t *testing.T) {
+	f := newRetryFixture(t, 2)
+	if err := f.net.SetLinkState("main", "edge", false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.main.Exec(`UPDATE kv SET v = 7 WHERE id = 1`); err != nil {
+		t.Fatal(err)
+	}
+	f.env.RunAll()
+	f.env.Close()
+	if f.replica.Dropped() != 1 || f.replica.Applied() != 0 {
+		t.Fatalf("dropped=%d applied=%d", f.replica.Dropped(), f.replica.Applied())
+	}
+	if got := f.env.Metrics().CounterValue("dbrepl_ship_retries_total"); got != 2 {
+		t.Fatalf("ship retries = %d, want 2", got)
+	}
+}

@@ -1,0 +1,157 @@
+package experiment
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"wadeploy/internal/core"
+	"wadeploy/internal/metrics"
+)
+
+// counterOf sums a counter family in a snapshot: the bare name plus any
+// labeled children ("name{label=...}").
+func counterOf(snap *metrics.Snapshot, name string) int64 {
+	var total int64
+	for _, c := range snap.Counters {
+		if c.Name == name || strings.HasPrefix(c.Name, name+"{") {
+			total += c.Value
+		}
+	}
+	return total
+}
+
+// availQuickOptions is the availability-test run: short enough for CI, with
+// enough pre-outage traffic (5 virtual minutes) that the edge caches have
+// seen the whole key space before the WAN link drops. The canonical outage
+// window is [Warmup+Duration/4, Warmup+Duration/2] = [5m, 7m].
+func availQuickOptions() RunOptions {
+	opts := QuickRunOptions()
+	opts.Warmup = 3 * time.Minute
+	opts.Duration = 8 * time.Minute
+	return opts
+}
+
+func availResults(t *testing.T) []*AvailabilityResult {
+	t.Helper()
+	results, err := RunAvailability(PetStore, availQuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(core.Configs) {
+		t.Fatalf("got %d results, want %d", len(results), len(core.Configs))
+	}
+	return results
+}
+
+// TestAvailabilityInvariants pins the experiment's headline claim: under the
+// canonical WAN outage, configurations that cache state on the edges keep
+// serving browse pages to the partitioned edge's clients, while the
+// centralized configuration loses essentially all of them. It also asserts
+// that each resilience mechanism actually fired.
+func TestAvailabilityInvariants(t *testing.T) {
+	results := availResults(t)
+	byConfig := make(map[core.ConfigID]*AvailabilityResult)
+	for _, r := range results {
+		byConfig[r.Config] = r
+	}
+
+	cent := byConfig[core.Centralized]
+	if cent.BrowseOK+cent.BrowseFail == 0 {
+		t.Fatal("centralized saw no browse traffic in the window")
+	}
+	if rate := cent.BrowseSuccessRate(); rate > 0.05 {
+		t.Errorf("centralized browse success = %.1f%%, want ~0%% (clients cut off from main)", 100*rate)
+	}
+	for _, cfg := range []core.ConfigID{core.QueryCaching, core.AsyncUpdates} {
+		r := byConfig[cfg]
+		if r.BrowseOK+r.BrowseFail == 0 {
+			t.Fatalf("%s saw no browse traffic in the window", cfg)
+		}
+		if rate := r.BrowseSuccessRate(); rate < 0.95 {
+			t.Errorf("%s browse success = %.1f%%, want >= 95%% (edge caches carry the outage)", cfg, 100*rate)
+		}
+		// Commit-path pages must fail (no WAN path to the shared state) —
+		// degradation is expected, not silent success.
+		if r.WriteFail == 0 {
+			t.Errorf("%s write failures = 0, want > 0 during the partition", cfg)
+		}
+	}
+
+	// Every resilience family fired somewhere across the five runs.
+	totals := make(map[string]int64)
+	families := []string{
+		"rmi_retries_total",
+		"rmi_call_timeouts_total",
+		"rmi_breaker_fastfail_total",
+		"rmi_breaker_transitions_total",
+		"container_stale_serves_total",
+		"jms_redeliveries_total",
+		"simnet_dropped_total",
+		"faults_injected_total",
+	}
+	for _, r := range results {
+		for _, name := range families {
+			totals[name] += counterOf(r.Full.Metrics, name)
+		}
+	}
+	for _, name := range families {
+		if totals[name] == 0 {
+			t.Errorf("metric family %s never fired across the availability runs", name)
+		}
+	}
+}
+
+// TestAvailabilityDeterministic pins byte-identical replay: the same seed
+// yields the same availability table (and full metric snapshots) regardless
+// of worker parallelism.
+func TestAvailabilityDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	run := func(parallel int) []byte {
+		opts := availQuickOptions()
+		opts.Parallelism = parallel
+		results, err := RunAvailability(PetStore, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Result.SessionMeans is not JSON-marshalable (map[bool]...), so
+		// compare the availability rows plus the full metric snapshots.
+		type row struct {
+			Config  string
+			Rest    *AvailabilityResult
+			Metrics *metrics.Snapshot
+		}
+		rows := make([]row, len(results))
+		for i, r := range results {
+			full := r.Full
+			r.Full = nil
+			rows[i] = row{Config: r.Config.String(), Rest: r, Metrics: full.Metrics}
+		}
+		b, err := json.Marshal(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	seq := run(1)
+	par := run(8)
+	if string(seq) != string(par) {
+		t.Fatal("availability results differ between -parallel 1 and -parallel 8")
+	}
+	if string(seq) != string(run(1)) {
+		t.Fatal("availability results differ between repeated same-seed runs")
+	}
+}
+
+func TestFormatAvailability(t *testing.T) {
+	results := availResults(t)
+	out := FormatAvailability(results)
+	for _, want := range []string{"Availability on", "browse%", "write%", "Centralized application", "Asynchronous updates"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted table missing %q:\n%s", want, out)
+		}
+	}
+}

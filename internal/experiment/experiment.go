@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"wadeploy/internal/core"
+	"wadeploy/internal/faults"
 	"wadeploy/internal/metrics"
 	"wadeploy/internal/petstore"
 	"wadeploy/internal/rubis"
@@ -41,6 +42,22 @@ type RunOptions struct {
 
 	// Faults are link outages injected during the run (failure testing).
 	Faults []Fault
+
+	// Schedule, when non-nil, arms a scripted fault schedule on the run's
+	// network (link flaps, partitions, latency/loss degradation, node
+	// crashes) before the workload starts. Replay is deterministic: the
+	// fault RNG derives from Seed on a separate stream.
+	Schedule *faults.Schedule
+
+	// Resilience, when non-nil, enables the WAN-degradation machinery
+	// (RMI retries/breakers, JMS redelivery, serve-stale replicas) on the
+	// deployment under test. Nil keeps strict semantics and byte-identical
+	// output.
+	Resilience *core.ResilienceOptions
+
+	// Observer, when non-nil, sees every completed request (warm-up and
+	// failures included) — the hook behind availability scoring.
+	Observer workload.Observer
 
 	// Parallelism bounds how many independent runs a table or sweep may
 	// execute concurrently: 0 (the default) means one worker per CPU
@@ -177,7 +194,9 @@ func Run(app AppID, cfg core.ConfigID, opts RunOptions) (*Result, error) {
 	env := sim.NewEnv(opts.Seed)
 	switch app {
 	case PetStore:
-		d, err := core.NewPaperDeployment(env, core.DefaultOptions())
+		copts := core.DefaultOptions()
+		copts.Resilience = opts.Resilience
+		d, err := core.NewPaperDeployment(env, copts)
 		if err != nil {
 			return nil, err
 		}
@@ -187,7 +206,9 @@ func Run(app AppID, cfg core.ConfigID, opts RunOptions) (*Result, error) {
 		}
 		return collect(app, cfg, d, opts, petstore.PaperWorkload(a), petStorePatterns, columnsFor(app))
 	case RUBiS:
-		d, err := core.NewPaperDeployment(env, rubis.DeployOptions())
+		copts := rubis.DeployOptions()
+		copts.Resilience = opts.Resilience
+		d, err := core.NewPaperDeployment(env, copts)
 		if err != nil {
 			return nil, err
 		}
@@ -231,6 +252,11 @@ func collect(app AppID, cfg core.ConfigID, d *core.Deployment, opts RunOptions,
 		d.Env.At(f.At, func() { _ = d.Net.SetLinkState(f.LinkA, f.LinkB, false) })
 		d.Env.At(f.At+f.Duration, func() { _ = d.Net.SetLinkState(f.LinkA, f.LinkB, true) })
 	}
+	if opts.Schedule != nil {
+		if err := faults.Arm(d.Net, opts.Schedule, opts.Seed); err != nil {
+			return nil, fmt.Errorf("experiment: %w", err)
+		}
+	}
 	reg := d.Env.Metrics()
 	if opts.MetricsTick > 0 {
 		var tick func()
@@ -245,6 +271,7 @@ func collect(app AppID, cfg core.ConfigID, d *core.Deployment, opts RunOptions,
 		Groups:   groups,
 		Warmup:   opts.Warmup,
 		Duration: opts.Duration,
+		Observer: opts.Observer,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiment: %s/%s: %w", app, cfg, err)

@@ -46,6 +46,21 @@ type Options struct {
 
 	// MessageBytes is the default payload size.
 	MessageBytes int
+
+	// Redelivery, when non-nil, re-attempts deliveries that fail because
+	// the subscriber is unreachable (or the message is lost to a lossy
+	// link) instead of dropping them. See RedeliveryPolicy.
+	Redelivery *RedeliveryPolicy
+}
+
+// RedeliveryPolicy makes delivery at-least-once across failures: a failed
+// delivery is re-attempted every Delay until it lands or MaxAttempts is
+// reached, at which point it is counted as a dead letter. Redelivered
+// messages may arrive out of publish order, exactly like a real provider's
+// redelivery queue.
+type RedeliveryPolicy struct {
+	MaxAttempts int           // total attempts per subscription, including the first
+	Delay       time.Duration // pause between attempts
 }
 
 // DefaultOptions models a persistent JMS provider of the paper's era: a
@@ -90,6 +105,11 @@ type Provider struct {
 	mLag   *metrics.Histogram
 	pubVec *metrics.CounterVec
 	delVec *metrics.CounterVec
+
+	// Registered only when a redelivery policy is configured, so
+	// redelivery-free runs export byte-identical metric snapshots.
+	mRedeliver  *metrics.Counter
+	mDeadLetter *metrics.Counter
 }
 
 // NewProvider creates a broker on node.
@@ -98,7 +118,7 @@ func NewProvider(net *simnet.Network, node string, opts Options) (*Provider, err
 		return nil, fmt.Errorf("jms: no such node %s", node)
 	}
 	reg := net.Env().Metrics()
-	return &Provider{
+	pr := &Provider{
 		env:    net.Env(),
 		net:    net,
 		node:   node,
@@ -109,7 +129,12 @@ func NewProvider(net *simnet.Network, node string, opts Options) (*Provider, err
 		mLag:   reg.Histogram("jms_delivery_lag_ns"),
 		pubVec: reg.CounterVec("jms_published_total", "topic"),
 		delVec: reg.CounterVec("jms_delivered_total", "topic"),
-	}, nil
+	}
+	if opts.Redelivery != nil {
+		pr.mRedeliver = reg.Counter("jms_redeliveries_total")
+		pr.mDeadLetter = reg.Counter("jms_deadletters_total")
+	}
+	return pr, nil
 }
 
 // Node returns the broker's node.
@@ -175,27 +200,44 @@ func (pr *Provider) Publish(p *sim.Proc, fromNode, topic string, body any, bytes
 	pr.mPub.Inc()
 	t.mPub.Inc()
 	for _, sub := range t.subs {
-		sub := sub
-		delay, err := pr.net.Delay(pr.node, sub.node, bytes)
-		if err != nil {
-			// Partitioned subscriber: drop (at-most-once across failures).
-			continue
-		}
-		arrival := pr.env.Now() + delay
-		if arrival < sub.lastArrival {
-			arrival = sub.lastArrival // FIFO per subscription
-		}
-		sub.lastArrival = arrival
-		pr.env.At(arrival, func() {
-			pr.env.Spawn("jms:"+sub.name, func(dp *sim.Proc) {
-				dp.Sleep(pr.opts.DeliverCPU)
-				pr.delivered++
-				pr.mDel.Inc()
-				t.mDel.Inc()
-				pr.mLag.Observe(dp.Now() - msg.PublishedAt)
-				sub.fn(dp, msg)
-			})
-		})
+		pr.deliver(t, sub, msg, 1)
 	}
 	return nil
+}
+
+// deliver schedules one delivery attempt of msg to sub. A failed attempt is
+// dropped (at-most-once, the historical behavior) unless a redelivery policy
+// is configured, in which case it is re-attempted up to the policy's cap and
+// then counted as a dead letter.
+func (pr *Provider) deliver(t *Topic, sub *subscription, msg *Message, attempt int) {
+	delay, err := pr.net.Delay(pr.node, sub.node, msg.Bytes)
+	if err != nil {
+		rd := pr.opts.Redelivery
+		if rd == nil {
+			// Partitioned subscriber: drop (at-most-once across failures).
+			return
+		}
+		if attempt < rd.MaxAttempts {
+			pr.mRedeliver.Inc()
+			pr.env.After(rd.Delay, func() { pr.deliver(t, sub, msg, attempt+1) })
+		} else {
+			pr.mDeadLetter.Inc()
+		}
+		return
+	}
+	arrival := pr.env.Now() + delay
+	if arrival < sub.lastArrival {
+		arrival = sub.lastArrival // FIFO per subscription
+	}
+	sub.lastArrival = arrival
+	pr.env.At(arrival, func() {
+		pr.env.Spawn("jms:"+sub.name, func(dp *sim.Proc) {
+			dp.Sleep(pr.opts.DeliverCPU)
+			pr.delivered++
+			pr.mDel.Inc()
+			t.mDel.Inc()
+			pr.mLag.Observe(dp.Now() - msg.PublishedAt)
+			sub.fn(dp, msg)
+		})
+	})
 }

@@ -1,0 +1,273 @@
+package rmi
+
+// WAN resilience for remote invocations: per-call timeouts, capped
+// exponential backoff with a runtime-wide retry budget, and a
+// per-destination circuit breaker.
+//
+// All of it is opt-in (Options.Retry / Options.Breaker nil by default), and
+// its metric families are registered only when a policy is configured, so
+// resilience-free runs export byte-identical metrics snapshots.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"wadeploy/internal/metrics"
+	"wadeploy/internal/sim"
+	"wadeploy/internal/simnet"
+)
+
+// ErrCallTimeout wraps remote calls that waited out the per-call timeout
+// after the network silently dropped a request or reply.
+var ErrCallTimeout = errors.New("rmi: call timed out")
+
+// BreakerOpenError is returned without touching the network when the circuit
+// breaker for a caller->target pair is open.
+type BreakerOpenError struct {
+	Caller, Target string
+}
+
+func (e *BreakerOpenError) Error() string {
+	return fmt.Sprintf("rmi: circuit breaker open for %s -> %s", e.Caller, e.Target)
+}
+
+// RetryPolicy enables per-call timeouts and capped exponential backoff for
+// remote invocations that fail with network errors (unreachable, dropped,
+// timed out). Application errors returned by the remote handler are never
+// retried. Note the at-least-once caveat: a reply dropped after the handler
+// ran is indistinguishable from a dropped request, so retried methods should
+// be idempotent.
+type RetryPolicy struct {
+	// CallTimeout is the time a caller waits before declaring a silently
+	// dropped request or reply lost. Unreachable destinations fail fast
+	// (the connection is refused) and are not charged the timeout.
+	CallTimeout time.Duration
+	// MaxAttempts is the total number of tries, including the first.
+	MaxAttempts int
+	// Backoff is the sleep before the first retry; it doubles per retry
+	// up to BackoffMax.
+	Backoff    time.Duration
+	BackoffMax time.Duration
+	// Budget caps the total number of retries across the runtime's
+	// lifetime (0 = unlimited): a storm of failing calls degrades to
+	// fail-fast instead of multiplying offered load.
+	Budget int64
+}
+
+// BreakerPolicy enables a per-destination circuit breaker: after Threshold
+// consecutive network failures from one caller node to one target node the
+// breaker opens and calls fail fast; after Cooldown a single probe is let
+// through (half-open) and its outcome closes or re-opens the circuit.
+type BreakerPolicy struct {
+	Threshold int
+	Cooldown  time.Duration
+}
+
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+type breakerState struct {
+	state    int
+	fails    int
+	openedAt time.Duration
+}
+
+// resilience is the runtime's resilience state; nil when neither policy is
+// configured (the hot path then skips it entirely).
+type resilience struct {
+	retry   *RetryPolicy
+	breaker *BreakerPolicy
+
+	budgetUsed int64
+	breakers   map[string]*breakerState // "caller|target"
+
+	mRetries     *metrics.Counter
+	mTimeouts    *metrics.Counter
+	mBudgetOut   *metrics.Counter
+	mFastFails   *metrics.Counter
+	mTransitions *metrics.CounterVec
+}
+
+func newResilience(reg *metrics.Registry, retry *RetryPolicy, breaker *BreakerPolicy) *resilience {
+	if retry == nil && breaker == nil {
+		return nil
+	}
+	if retry != nil && retry.MaxAttempts < 1 {
+		r := *retry
+		r.MaxAttempts = 1
+		retry = &r
+	}
+	return &resilience{
+		retry:        retry,
+		breaker:      breaker,
+		breakers:     make(map[string]*breakerState),
+		mRetries:     reg.Counter("rmi_retries_total"),
+		mTimeouts:    reg.Counter("rmi_call_timeouts_total"),
+		mBudgetOut:   reg.Counter("rmi_retry_budget_exhausted_total"),
+		mFastFails:   reg.Counter("rmi_breaker_fastfail_total"),
+		mTransitions: reg.CounterVec("rmi_breaker_transitions_total", "to"),
+	}
+}
+
+func (res *resilience) transition(b *breakerState, to int, now time.Duration) {
+	b.state = to
+	switch to {
+	case breakerOpen:
+		b.openedAt = now
+		res.mTransitions.With("open").Inc()
+	case breakerHalfOpen:
+		res.mTransitions.With("half-open").Inc()
+	case breakerClosed:
+		b.fails = 0
+		res.mTransitions.With("closed").Inc()
+	}
+}
+
+// allow gates one attempt through the breaker for key, failing fast while
+// the circuit is open and cooling down.
+func (res *resilience) allow(now time.Duration, caller, target string) error {
+	if res.breaker == nil {
+		return nil
+	}
+	key := caller + "|" + target
+	b := res.breakers[key]
+	if b == nil {
+		b = &breakerState{}
+		res.breakers[key] = b
+	}
+	switch b.state {
+	case breakerOpen:
+		if now-b.openedAt >= res.breaker.Cooldown {
+			res.transition(b, breakerHalfOpen, now)
+			return nil
+		}
+		res.mFastFails.Inc()
+		return &BreakerOpenError{Caller: caller, Target: target}
+	default:
+		return nil
+	}
+}
+
+// record feeds one attempt's outcome (network-level ok or failure) back into
+// the breaker.
+func (res *resilience) record(now time.Duration, caller, target string, ok bool) {
+	if res.breaker == nil {
+		return
+	}
+	b := res.breakers[caller+"|"+target]
+	if b == nil {
+		return
+	}
+	if ok {
+		if b.state != breakerClosed {
+			res.transition(b, breakerClosed, now)
+		}
+		b.fails = 0
+		return
+	}
+	b.fails++
+	switch {
+	case b.state == breakerHalfOpen:
+		res.transition(b, breakerOpen, now)
+	case b.state == breakerClosed && b.fails >= res.breaker.Threshold:
+		res.transition(b, breakerOpen, now)
+	}
+}
+
+// takeBudget consumes one retry from the runtime-wide budget.
+func (res *resilience) takeBudget() bool {
+	if res.retry.Budget > 0 && res.budgetUsed >= res.retry.Budget {
+		res.mBudgetOut.Inc()
+		return false
+	}
+	res.budgetUsed++
+	return true
+}
+
+// isNetworkError reports whether err is a transport-level failure (and thus
+// retryable), as opposed to an application error from the remote handler.
+func isNetworkError(err error) bool {
+	var ue *simnet.UnreachableError
+	var de *simnet.DroppedError
+	return errors.As(err, &ue) || errors.As(err, &de) || errors.Is(err, ErrCallTimeout)
+}
+
+// transferOrTimeout performs one one-way transfer; a silent drop charges the
+// per-call timeout (the caller has no signal until its timer fires) and maps
+// to ErrCallTimeout.
+func (s *Stub) transferOrTimeout(p *sim.Proc, from, to string, bytes int) error {
+	err := s.rt.net.Transfer(p, from, to, bytes)
+	var de *simnet.DroppedError
+	if errors.As(err, &de) && s.rt.resil.retry != nil {
+		s.rt.resil.mTimeouts.Inc()
+		if t := s.rt.resil.retry.CallTimeout; t > 0 {
+			p.Sleep(t)
+		}
+		return fmt.Errorf("%w (%s -> %s)", ErrCallTimeout, de.From, de.To)
+	}
+	return err
+}
+
+// attemptRemote performs one marshal + request + dispatch + reply exchange.
+func (s *Stub) attemptRemote(p *sim.Proc, call *Call, reqBytes, replyBytes int) (any, error) {
+	rt := s.rt
+	p.Sleep(rt.opts.MarshalCPU)
+	if err := s.transferOrTimeout(p, s.caller, s.obj.Node, reqBytes); err != nil {
+		return nil, fmt.Errorf("rmi: invoke %s.%s: %w", s.obj.Name, call.Method, err)
+	}
+	result, err := s.obj.h(p, call)
+	if terr := s.transferOrTimeout(p, s.obj.Node, s.caller, replyBytes); terr != nil {
+		return nil, fmt.Errorf("rmi: invoke %s.%s (reply): %w", s.obj.Name, call.Method, terr)
+	}
+	if extra := rt.opts.Rounds - 1; extra > 0 {
+		rtt, rttErr := rt.net.RTT(s.caller, s.obj.Node)
+		if rttErr == nil {
+			p.Sleep(time.Duration(extra * float64(rtt)))
+		}
+	}
+	return result, err
+}
+
+// invokeResilient is the remote-call path when a retry or breaker policy is
+// active: breaker gate, attempt, then capped exponential backoff while the
+// failure is network-level and budget remains.
+func (s *Stub) invokeResilient(p *sim.Proc, call *Call, reqBytes, replyBytes int) (any, error) {
+	rt := s.rt
+	res := rt.resil
+	start := p.Now()
+	maxAttempts := 1
+	var backoff, backoffMax time.Duration
+	if res.retry != nil {
+		maxAttempts = res.retry.MaxAttempts
+		backoff = res.retry.Backoff
+		backoffMax = res.retry.BackoffMax
+	}
+	for attempt := 1; ; attempt++ {
+		if err := res.allow(p.Now(), s.caller, s.obj.Node); err != nil {
+			return nil, err
+		}
+		result, err := s.attemptRemote(p, call, reqBytes, replyBytes)
+		netFail := err != nil && isNetworkError(err)
+		res.record(p.Now(), s.caller, s.obj.Node, !netFail)
+		if !netFail {
+			rt.stats.WideAreaRTT += p.Now() - start
+			rt.mRemoteNs.Observe(p.Now() - start)
+			return result, err
+		}
+		if attempt >= maxAttempts || !res.takeBudget() {
+			return nil, err
+		}
+		res.mRetries.Inc()
+		if backoff > 0 {
+			p.Sleep(backoff)
+			backoff *= 2
+			if backoffMax > 0 && backoff > backoffMax {
+				backoff = backoffMax
+			}
+		}
+	}
+}

@@ -1,0 +1,247 @@
+package rmi
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"wadeploy/internal/metrics"
+	"wadeploy/internal/sim"
+	"wadeploy/internal/simnet"
+)
+
+func resilientOpts() Options {
+	o := DefaultOptions
+	o.Rounds = 1
+	o.Retry = &RetryPolicy{
+		CallTimeout: 500 * time.Millisecond,
+		MaxAttempts: 3,
+		Backoff:     100 * time.Millisecond,
+		BackoffMax:  time.Second,
+	}
+	o.Breaker = &BreakerPolicy{Threshold: 3, Cooldown: 2 * time.Second}
+	return o
+}
+
+func counter(t *testing.T, env *sim.Env, name string) int64 {
+	t.Helper()
+	return env.Metrics().CounterValue(name)
+}
+
+func TestRetryRecoversFromDrops(t *testing.T) {
+	env := sim.NewEnv(5)
+	net := twoNodeNet(t, env)
+	net.EnableFaults(5)
+	opts := resilientOpts()
+	opts.Breaker = nil
+	rt := NewRuntime(net, opts)
+	calls := 0
+	if _, err := rt.Bind("b", "svc", func(p *sim.Proc, c *Call) (any, error) {
+		calls++
+		return "ok", nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Heavy loss: many invocations still succeed thanks to retries, and
+	// timeout + retry counters move.
+	if err := net.SetLinkQuality("a", "b", simnet.LinkQuality{DropProb: 0.3}); err != nil {
+		t.Fatal(err)
+	}
+	ok, fail := 0, 0
+	env.Spawn("caller", func(p *sim.Proc) {
+		stub, err := rt.LocalStub("a", "b", "svc")
+		if err != nil {
+			t.Errorf("stub: %v", err)
+			return
+		}
+		for i := 0; i < 50; i++ {
+			if _, err := stub.Invoke(p, "m"); err != nil {
+				fail++
+			} else {
+				ok++
+			}
+		}
+	})
+	env.RunAll()
+	// Per-attempt success under 30% loss on two transfers is ~49%, so
+	// without retries ~25/50 succeed; with 3 attempts ~87% do.
+	if ok < 33 {
+		t.Fatalf("only %d/50 calls succeeded under 30%% loss with 3 attempts", ok)
+	}
+	if got := counter(t, env, "rmi_retries_total"); got == 0 {
+		t.Fatal("no retries recorded")
+	}
+	if got := counter(t, env, "rmi_call_timeouts_total"); got == 0 {
+		t.Fatal("no call timeouts recorded")
+	}
+}
+
+func TestDroppedCallChargesTimeoutAndBackoff(t *testing.T) {
+	env := sim.NewEnv(9)
+	net := twoNodeNet(t, env)
+	net.EnableFaults(9)
+	opts := resilientOpts()
+	opts.Breaker = nil
+	rt := NewRuntime(net, opts)
+	if _, err := rt.Bind("b", "svc", func(p *sim.Proc, c *Call) (any, error) {
+		return "ok", nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.SetLinkQuality("a", "b", simnet.LinkQuality{DropProb: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var elapsed time.Duration
+	var callErr error
+	env.Spawn("caller", func(p *sim.Proc) {
+		stub, _ := rt.LocalStub("a", "b", "svc")
+		_, callErr = stub.Invoke(p, "m")
+		elapsed = p.Now()
+	})
+	env.RunAll()
+	if !errors.Is(callErr, ErrCallTimeout) {
+		t.Fatalf("err = %v, want ErrCallTimeout", callErr)
+	}
+	// 3 attempts x (marshal + 500ms timeout) + backoffs of 100ms + 200ms.
+	want := 3*(DefaultOptions.MarshalCPU+500*time.Millisecond) + 300*time.Millisecond
+	if elapsed != want {
+		t.Fatalf("failed call took %v, want %v", elapsed, want)
+	}
+	if got := counter(t, env, "rmi_call_timeouts_total"); got != 3 {
+		t.Fatalf("timeouts = %d, want 3", got)
+	}
+	if got := counter(t, env, "rmi_retries_total"); got != 2 {
+		t.Fatalf("retries = %d, want 2", got)
+	}
+}
+
+func TestRetryBudgetExhaustion(t *testing.T) {
+	env := sim.NewEnv(2)
+	net := twoNodeNet(t, env)
+	net.EnableFaults(2)
+	opts := resilientOpts()
+	opts.Breaker = nil
+	opts.Retry.Budget = 3
+	rt := NewRuntime(net, opts)
+	if _, err := rt.Bind("b", "svc", func(p *sim.Proc, c *Call) (any, error) {
+		return "ok", nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.SetLinkQuality("a", "b", simnet.LinkQuality{DropProb: 1}); err != nil {
+		t.Fatal(err)
+	}
+	env.Spawn("caller", func(p *sim.Proc) {
+		stub, _ := rt.LocalStub("a", "b", "svc")
+		for i := 0; i < 4; i++ {
+			if _, err := stub.Invoke(p, "m"); err == nil {
+				t.Error("call unexpectedly succeeded with 100% loss")
+			}
+		}
+	})
+	env.RunAll()
+	if got := counter(t, env, "rmi_retries_total"); got != 3 {
+		t.Fatalf("retries = %d, want exactly the budget of 3", got)
+	}
+	if got := counter(t, env, "rmi_retry_budget_exhausted_total"); got == 0 {
+		t.Fatal("budget exhaustion not recorded")
+	}
+}
+
+func TestBreakerOpensFastFailsAndRecovers(t *testing.T) {
+	env := sim.NewEnv(3)
+	net := twoNodeNet(t, env)
+	opts := resilientOpts()
+	opts.Retry = nil // isolate the breaker
+	rt := NewRuntime(net, opts)
+	if _, err := rt.Bind("b", "svc", func(p *sim.Proc, c *Call) (any, error) {
+		return "ok", nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.SetLinkState("a", "b", false); err != nil {
+		t.Fatal(err)
+	}
+	env.Spawn("caller", func(p *sim.Proc) {
+		stub, _ := rt.LocalStub("a", "b", "svc")
+		// Three unreachable failures open the breaker.
+		for i := 0; i < 3; i++ {
+			var ue *simnet.UnreachableError
+			if _, err := stub.Invoke(p, "m"); !errors.As(err, &ue) {
+				t.Errorf("call %d: err = %v, want UnreachableError", i, err)
+			}
+		}
+		// While open, calls fail fast without touching the network.
+		before := p.Now()
+		var boe *BreakerOpenError
+		if _, err := stub.Invoke(p, "m"); !errors.As(err, &boe) {
+			t.Errorf("err = %v, want BreakerOpenError", err)
+		}
+		if p.Now() != before {
+			t.Errorf("fast-fail consumed %v of virtual time", p.Now()-before)
+		}
+		// Heal the link; after the cooldown a half-open probe succeeds and
+		// closes the circuit.
+		if err := net.SetLinkState("a", "b", true); err != nil {
+			t.Error(err)
+		}
+		p.Sleep(2 * time.Second)
+		if v, err := stub.Invoke(p, "m"); err != nil || v != "ok" {
+			t.Errorf("post-cooldown probe: %v, %v", v, err)
+		}
+		if v, err := stub.Invoke(p, "m"); err != nil || v != "ok" {
+			t.Errorf("post-recovery call: %v, %v", v, err)
+		}
+	})
+	env.RunAll()
+	if got := counter(t, env, "rmi_breaker_fastfail_total"); got != 1 {
+		t.Fatalf("fast fails = %d, want 1", got)
+	}
+	for state, want := range map[string]int64{"open": 1, "half-open": 1, "closed": 1} {
+		name := metrics.LabelName("rmi_breaker_transitions_total", "to", state)
+		if got := counter(t, env, name); got != want {
+			t.Fatalf("transitions to %s = %d, want %d", state, got, want)
+		}
+	}
+}
+
+func TestApplicationErrorsAreNotRetried(t *testing.T) {
+	env := sim.NewEnv(4)
+	net := twoNodeNet(t, env)
+	rt := NewRuntime(net, resilientOpts())
+	appErr := errors.New("boom")
+	calls := 0
+	if _, err := rt.Bind("b", "svc", func(p *sim.Proc, c *Call) (any, error) {
+		calls++
+		return nil, appErr
+	}); err != nil {
+		t.Fatal(err)
+	}
+	env.Spawn("caller", func(p *sim.Proc) {
+		stub, _ := rt.LocalStub("a", "b", "svc")
+		if _, err := stub.Invoke(p, "m"); !errors.Is(err, appErr) {
+			t.Errorf("err = %v, want app error", err)
+		}
+	})
+	env.RunAll()
+	if calls != 1 {
+		t.Fatalf("handler ran %d times, want 1 (no retries on app errors)", calls)
+	}
+	if got := counter(t, env, "rmi_retries_total"); got != 0 {
+		t.Fatalf("retries = %d, want 0", got)
+	}
+}
+
+func TestNoResilienceMetricsWithoutPolicies(t *testing.T) {
+	env := sim.NewEnv(6)
+	net := twoNodeNet(t, env)
+	_ = NewRuntime(net, DefaultOptions)
+	snap := env.Metrics().Snapshot()
+	for _, c := range snap.Counters {
+		switch c.Name {
+		case "rmi_retries_total", "rmi_call_timeouts_total",
+			"rmi_retry_budget_exhausted_total", "rmi_breaker_fastfail_total":
+			t.Fatalf("resilience metric %s registered without a policy", c.Name)
+		}
+	}
+}

@@ -73,6 +73,15 @@ type Options struct {
 	// MarshalCPU is the caller/callee CPU cost of serializing a remote
 	// call's request plus reply.
 	MarshalCPU time.Duration
+
+	// Retry, when non-nil, enables per-call timeouts and capped
+	// exponential backoff for remote calls that fail at the transport
+	// level. See RetryPolicy.
+	Retry *RetryPolicy
+
+	// Breaker, when non-nil, enables a per-destination circuit breaker
+	// for remote calls. See BreakerPolicy.
+	Breaker *BreakerPolicy
 }
 
 // DefaultOptions is a reasonable year-2002 JVM RMI cost model.
@@ -109,6 +118,10 @@ type Runtime struct {
 	mRemoteLkup *metrics.Counter
 	mStubHits   *metrics.Counter
 	mStubMiss   *metrics.Counter
+
+	// resil is nil unless a retry or breaker policy is configured; its
+	// metric families exist only in resilience-enabled runs.
+	resil *resilience
 }
 
 // NewRuntime creates an RMI runtime over net with the given cost options.
@@ -119,6 +132,7 @@ func NewRuntime(net *simnet.Network, opts Options) *Runtime {
 	mreg := net.Env().Metrics()
 	mreg.Gauge("rmi_configured_rounds_milli").Set(int64(opts.Rounds * 1000))
 	return &Runtime{
+		resil:       newResilience(mreg, opts.Retry, opts.Breaker),
 		net:         net,
 		opts:        opts,
 		reg:         make(map[string]map[string]*Object),
@@ -253,6 +267,9 @@ func (s *Stub) InvokeSized(p *sim.Proc, method string, reqBytes, replyBytes int,
 		rt.mWide.Inc()
 	}
 	defer p.Span("rmi", s.obj.Name+"."+method+" -> "+s.obj.Node)()
+	if rt.resil != nil {
+		return s.invokeResilient(p, call, reqBytes, replyBytes)
+	}
 	start := p.Now()
 	p.Sleep(rt.opts.MarshalCPU)
 	if err := rt.net.Transfer(p, s.caller, s.obj.Node, reqBytes); err != nil {

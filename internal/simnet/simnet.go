@@ -13,6 +13,7 @@ package simnet
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"wadeploy/internal/metrics"
@@ -29,10 +30,41 @@ func (e *UnreachableError) Error() string {
 	return fmt.Sprintf("simnet: no route from %s to %s", e.From, e.To)
 }
 
+// DroppedError is returned when a message is lost to a lossy link (a
+// non-zero DropProb in the link's quality). Unlike UnreachableError the
+// sender has no way to know the message is gone, so callers that model
+// request/response protocols should charge a timeout before reacting.
+type DroppedError struct {
+	From, To string
+}
+
+func (e *DroppedError) Error() string {
+	return fmt.Sprintf("simnet: message from %s to %s dropped", e.From, e.To)
+}
+
+// LinkQuality describes degraded service on a link. The zero value is
+// nominal quality (base latency, no jitter, no loss).
+type LinkQuality struct {
+	// LatencyMult scales the link's one-way propagation delay when > 0
+	// (1 is nominal; 5 models a congested WAN path). It also scales the
+	// link's routing weight, so a sufficiently degraded link is routed
+	// around when an alternate path exists.
+	LatencyMult float64
+	// JitterFrac adds a uniformly distributed extra delay in
+	// [0, JitterFrac × effective latency) per message. Requires
+	// EnableFaults; ignored otherwise.
+	JitterFrac float64
+	// DropProb is the per-message probability that the link loses the
+	// message. Requires EnableFaults; ignored otherwise.
+	DropProb float64
+}
+
 // Node is a machine in the topology with a limited-slot CPU.
 type Node struct {
 	ID  string
 	CPU *sim.Resource
+
+	down bool
 }
 
 // Link is a bidirectional connection between two nodes.
@@ -41,7 +73,8 @@ type Link struct {
 	Latency time.Duration // one-way propagation delay
 	Bps     float64       // bandwidth in bytes per second
 
-	down bool
+	down    bool
+	quality LinkQuality
 	// busyUntil tracks per-direction transmitter occupancy: [0] is A->B,
 	// [1] is B->A. A transfer must wait for the transmitter to drain
 	// before its serialization delay starts.
@@ -70,6 +103,13 @@ type Network struct {
 	mLinks    *metrics.Gauge
 	linkBytes *metrics.CounterVec
 	linkQueue *metrics.HistogramVec
+
+	// Fault-injection state, armed by EnableFaults. frng is a dedicated
+	// RNG for loss and jitter draws so fault randomness never perturbs
+	// the workload stream (env.Rand); mDropped is registered lazily so
+	// fault-free runs export byte-identical metric snapshots.
+	frng     *rand.Rand
+	mDropped *metrics.Counter
 }
 
 // New returns an empty network bound to env.
@@ -105,6 +145,16 @@ func (n *Network) AddNode(id string, cpuSlots int) (*Node, error) {
 
 // Node returns the node with the given ID, or nil.
 func (n *Network) Node(id string) *Node { return n.nodes[id] }
+
+// HasLink reports whether a link between a and b exists (in either order).
+func (n *Network) HasLink(a, b string) bool {
+	for _, l := range n.links {
+		if (l.A == a && l.B == b) || (l.A == b && l.B == a) {
+			return true
+		}
+	}
+	return false
+}
 
 // Nodes returns the number of nodes.
 func (n *Network) Nodes() int { return len(n.nodes) }
@@ -147,6 +197,69 @@ func (n *Network) SetLinkState(a, b string, up bool) error {
 	return fmt.Errorf("simnet: no link %s-%s", a, b)
 }
 
+// faultSeedSalt decorrelates the fault RNG stream from the env seed itself;
+// the derivation (seed XOR salt) is part of the reproducibility contract and
+// documented in DESIGN.md §7.
+const faultSeedSalt = 0x66617473 // "fats"
+
+// EnableFaults arms the network for probabilistic fault injection: loss and
+// jitter draws come from a dedicated RNG derived from seed (pass the env
+// seed; the stream is salted so it never collides with env.Rand), and the
+// simnet_dropped_total counter is registered. Until this is called, DropProb
+// and JitterFrac in link qualities are ignored, which keeps fault-free runs
+// byte-identical to builds without the fault subsystem.
+func (n *Network) EnableFaults(seed int64) {
+	if n.frng == nil {
+		n.frng = rand.New(rand.NewSource(seed ^ faultSeedSalt))
+	}
+	if n.mDropped == nil {
+		n.mDropped = n.env.Metrics().Counter("simnet_dropped_total")
+	}
+}
+
+// FaultsEnabled reports whether EnableFaults has been called.
+func (n *Network) FaultsEnabled() bool { return n.frng != nil }
+
+// SetLinkQuality replaces the a-b link's quality (latency multiplier, jitter
+// fraction, drop probability). The zero LinkQuality restores nominal service.
+// Routing weights follow the latency multiplier, so the route cache is
+// invalidated.
+func (n *Network) SetLinkQuality(a, b string, q LinkQuality) error {
+	if q.LatencyMult < 0 || q.JitterFrac < 0 || q.DropProb < 0 || q.DropProb > 1 {
+		return fmt.Errorf("simnet: invalid link quality %+v for %s-%s", q, a, b)
+	}
+	for _, l := range n.links {
+		if (l.A == a && l.B == b) || (l.A == b && l.B == a) {
+			l.quality = q
+			n.routes = make(map[[2]string][]*Link)
+			return nil
+		}
+	}
+	return fmt.Errorf("simnet: no link %s-%s", a, b)
+}
+
+// SetNodeState marks a node up (restarted) or down (crashed). Messages to,
+// from or through a down node fail with an UnreachableError.
+func (n *Network) SetNodeState(id string, up bool) error {
+	node, ok := n.nodes[id]
+	if !ok {
+		return fmt.Errorf("simnet: no node %q", id)
+	}
+	node.down = !up
+	n.routes = make(map[[2]string][]*Link)
+	return nil
+}
+
+// effLatency is the link's one-way propagation delay with any latency
+// multiplier applied (jitter excluded: routing and Latency() are
+// deterministic queries).
+func (l *Link) effLatency() time.Duration {
+	if l.quality.LatencyMult > 0 {
+		return time.Duration(float64(l.Latency) * l.quality.LatencyMult)
+	}
+	return l.Latency
+}
+
 // path returns the latency-shortest live path from a to b using Dijkstra.
 func (n *Network) path(a, b string) ([]*Link, error) {
 	if a == b {
@@ -158,6 +271,14 @@ func (n *Network) path(a, b string) ([]*Link, error) {
 			return nil, &UnreachableError{From: a, To: b}
 		}
 		return p, nil
+	}
+	if na, ok := n.nodes[a]; ok && na.down {
+		n.routes[key] = nil
+		return nil, &UnreachableError{From: a, To: b}
+	}
+	if nb, ok := n.nodes[b]; ok && nb.down {
+		n.routes[key] = nil
+		return nil, &UnreachableError{From: a, To: b}
 	}
 	type entry struct {
 		dist time.Duration
@@ -194,7 +315,10 @@ func (n *Network) path(a, b string) ([]*Link, error) {
 			if next == cur {
 				next = l.A
 			}
-			nd := dist[cur].dist + l.Latency
+			if nn, ok := n.nodes[next]; ok && nn.down {
+				continue
+			}
+			nd := dist[cur].dist + l.effLatency()
 			if e, ok := dist[next]; !ok || nd < e.dist {
 				dist[next] = entry{dist: nd, via: l, prev: cur}
 			}
@@ -224,7 +348,7 @@ func (n *Network) Latency(a, b string) (time.Duration, error) {
 	}
 	var total time.Duration
 	for _, l := range p {
-		total += l.Latency
+		total += l.effLatency()
 	}
 	return total, nil
 }
@@ -256,6 +380,18 @@ func (n *Network) Delay(from, to string, bytes int) (time.Duration, error) {
 	if err != nil {
 		return 0, err
 	}
+	if n.frng != nil {
+		// Loss sweep before any transmitter reservation: a dropped
+		// message consumes no bandwidth, and RNG draws happen only on
+		// lossy links so enabling loss on one link leaves every other
+		// link's timing untouched.
+		for _, l := range p {
+			if l.quality.DropProb > 0 && n.frng.Float64() < l.quality.DropProb {
+				n.mDropped.Inc()
+				return 0, &DroppedError{From: from, To: to}
+			}
+		}
+	}
 	now := n.env.Now()
 	depart := now // when the head of the message enters the next link
 	arrive := now
@@ -265,6 +401,10 @@ func (n *Network) Delay(from, to string, bytes int) (time.Duration, error) {
 		if l.A != at {
 			dir = 1
 		}
+		lat := l.effLatency()
+		if n.frng != nil && l.quality.JitterFrac > 0 {
+			lat += time.Duration(n.frng.Float64() * l.quality.JitterFrac * float64(lat))
+		}
 		ser := time.Duration(float64(bytes) / l.Bps * float64(time.Second))
 		start := depart
 		if l.busyUntil[dir] > start {
@@ -273,8 +413,8 @@ func (n *Network) Delay(from, to string, bytes int) (time.Duration, error) {
 		l.mBytes[dir].Add(int64(bytes))
 		l.mQueue[dir].Observe(start - depart)
 		l.busyUntil[dir] = start + ser
-		depart = start + l.Latency
-		arrive = start + ser + l.Latency
+		depart = start + lat
+		arrive = start + ser + lat
 		if l.A == at {
 			at = l.B
 		} else {

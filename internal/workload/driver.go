@@ -61,6 +61,12 @@ func (g Group) Rate() float64 {
 	return float64(g.Browsers+g.Writers) / g.Delay.Seconds()
 }
 
+// Observer sees every completed request — including warm-up and failures,
+// which Stats discards or aggregates away. now is the completion time, rt is
+// meaningful only when err is nil. Observers must be pure accumulators: they
+// run inside client processes and must not touch the RNG or the clock.
+type Observer func(now time.Duration, client Client, key SeriesKey, rt time.Duration, err error)
+
 // Config drives one experiment run.
 type Config struct {
 	Env    *sim.Env
@@ -69,6 +75,11 @@ type Config struct {
 	// Warmup is discarded; Duration is the measured interval after it.
 	Warmup   time.Duration
 	Duration time.Duration
+
+	// Observer, when non-nil, is invoked for every completed request.
+	// The availability experiment uses it to score per-node success rates
+	// inside a fault window, which Stats cannot express.
+	Observer Observer
 }
 
 // Run simulates the configured client load and returns collected statistics.
@@ -133,6 +144,9 @@ func spawnClient(cfg Config, stats *Stats, g Group, gi, ci int, pattern string, 
 					stats.RecordError(p.Now(), step.Page)
 				} else {
 					stats.Record(p.Now(), SeriesKey{Pattern: pattern, Page: step.Page, Local: g.Local}, rt)
+				}
+				if cfg.Observer != nil {
+					cfg.Observer(p.Now(), client, SeriesKey{Pattern: pattern, Page: step.Page, Local: g.Local}, rt, err)
 				}
 				// Soft think time: wait out the remainder of the
 				// Delay interval; if the response took longer than
