@@ -4,9 +4,9 @@ GO ?= go
 
 # Perf record written by `make bench`; bump the suffix per PR so the
 # trajectory (BENCH_PR1.json, BENCH_PR2.json, ...) stays comparable.
-BENCH_OUT ?= BENCH_PR5.json
+BENCH_OUT ?= BENCH_PR6.json
 
-.PHONY: all verify build vet test race bench bench-smoke repro repro-quick examples clean
+.PHONY: all verify build vet test race bench bench-smoke profile repro repro-quick examples clean
 
 all: verify
 
@@ -33,15 +33,25 @@ race:
 bench:
 	( $(GO) test -bench=BenchmarkEngine -benchmem -run '^$$' ./internal/sim && \
 	  $(GO) test -bench=BenchmarkSqldb -benchmem -run '^$$' ./internal/sqldb && \
-	  $(GO) test -bench=. -benchmem -benchtime=1x -run '^$$' . ) \
+	  $(GO) test -bench=. -benchmem -benchtime=1x -run '^$$' . && \
+	  $(GO) test -bench='SubstrateSimEventThroughput|WorkloadScaleSessions' -benchmem -run '^$$' . ) \
 	| $(GO) run ./cmd/benchjson -time-wadeploy -o $(BENCH_OUT)
 
 # One-iteration pass over every benchmark family: catches benchmarks that
 # no longer compile or crash, without paying measurement time. CI runs this.
+# The root `-bench=.` pass includes the engine-v2 throughput benchmarks
+# (SubstrateSimEventThroughput, WorkloadScaleSessions).
 bench-smoke:
 	$(GO) test -bench=BenchmarkSqldb -benchtime=1x -run '^$$' ./internal/sqldb
 	$(GO) test -bench=BenchmarkEngine -benchtime=1x -run '^$$' ./internal/sim
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+
+# CPU and heap profiles over the Figure-7 session benchmark (the workload
+# most representative of paper runs). Inspect with `go tool pprof
+# wadeploy.test cpu.out` / `go tool pprof wadeploy.test mem.out`.
+profile:
+	$(GO) test -bench=BenchmarkFigure7PetStoreSessions -benchtime=1x -run '^$$' \
+		-cpuprofile=cpu.out -memprofile=mem.out -o wadeploy.test .
 
 # Full paper-length reproduction: Tables 6-7 and Figures 7-8 at one virtual
 # hour per configuration (about a minute of wall-clock time), plus the

@@ -26,6 +26,7 @@ import (
 	"wadeploy/internal/simnet"
 	"wadeploy/internal/sqldb"
 	"wadeploy/internal/web"
+	"wadeploy/internal/workload"
 )
 
 // benchRunOptions keeps per-iteration cost low while preserving the shapes.
@@ -356,16 +357,77 @@ func BenchmarkSubstrateSQLPointQuery(b *testing.B) {
 	}
 }
 
+// benchTick is a self-rescheduling task; the fleet stops when the shared
+// countdown reaches zero.
+type benchTick struct {
+	remaining *int64
+	period    time.Duration
+}
+
+func (t *benchTick) Fire(e *sim.Env) {
+	if *t.remaining <= 0 {
+		return
+	}
+	*t.remaining--
+	e.AfterTask(t.period, t)
+}
+
+// BenchmarkSubstrateSimEventThroughput measures the engine's event hot path
+// — the timer wheel plus the closure-free task dispatch that the streaming
+// workload engine schedules sessions on. 256 concurrent tick tasks
+// self-reschedule until b.N events have fired. The engine-v1 form of this
+// benchmark drove a goroutine Proc through Sleep (two channel handoffs per
+// event); the task path is the same schedule without the handoffs.
 func BenchmarkSubstrateSimEventThroughput(b *testing.B) {
+	b.ReportAllocs()
 	env := sim.NewEnv(1)
-	env.Spawn("ticker", func(p *sim.Proc) {
-		for i := 0; i < b.N; i++ {
-			p.Sleep(time.Microsecond)
-		}
-	})
+	remaining := int64(b.N)
+	const lanes = 256
+	for i := 0; i < lanes; i++ {
+		t := &benchTick{remaining: &remaining, period: time.Microsecond}
+		env.AfterTask(time.Duration(i+1)*time.Microsecond, t)
+	}
 	b.ResetTimer()
 	env.RunAll()
+	b.StopTimer()
+	b.ReportMetric(float64(env.Dispatched())/b.Elapsed().Seconds(), "events/s")
 	env.Close()
+}
+
+// BenchmarkWorkloadScaleSessions drives the streaming workload engine at
+// 25k and 100k concurrent sessions (the paper runs 240): 16 session classes
+// across eight edge nodes, sharded over eight lanes. Memory is bounded per
+// session class — B/op is the one-time ~90-byte-per-client state slab plus
+// class-level constants, with zero steady-state allocation per page, so
+// bytes per completed session shrink as runs lengthen.
+func BenchmarkWorkloadScaleSessions(b *testing.B) {
+	for _, clients := range []int{25000, 100000} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			b.ReportAllocs()
+			var events, pages, sessions uint64
+			for i := 0; i < b.N; i++ {
+				// 170s of virtual time covers one full browser session
+				// (20 pages x 8s soft think) for every client.
+				res, err := workload.RunStream(workload.StreamConfig{
+					Seed:     1,
+					Classes:  petstore.StreamWorkload(clients),
+					Warmup:   2 * time.Second,
+					Duration: 170 * time.Second,
+					Shards:   8,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				events += res.Events
+				pages += res.Pages
+				sessions += res.Sessions
+			}
+			sec := b.Elapsed().Seconds()
+			b.ReportMetric(float64(events)/sec, "events/s")
+			b.ReportMetric(float64(pages)/sec, "simulated_pages/s")
+			b.ReportMetric(float64(sessions)/float64(b.N), "sessions/op")
+		})
+	}
 }
 
 // --- Sensitivity sweeps (extension experiments): latency and load. ---

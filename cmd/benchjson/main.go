@@ -123,6 +123,7 @@ func parseBenchLine(line string) (string, benchResult, bool) {
 	if len(res.Metrics) == 0 {
 		return "", benchResult{}, false
 	}
+	promoteThroughput(res.Metrics)
 	name := strings.TrimPrefix(fields[0], "Benchmark")
 	// Strip the -GOMAXPROCS suffix so names stay stable across machines.
 	if i := strings.LastIndexByte(name, '-'); i > 0 {
@@ -131,6 +132,26 @@ func parseBenchLine(line string) (string, benchResult, bool) {
 		}
 	}
 	return name, res, true
+}
+
+// promoteThroughput records the engine's throughput numbers under stable
+// snake_case names so perf records can be compared across PRs without
+// knowing which benchmark reported which unit. Directly reported rates win;
+// otherwise the rate is derived from the matching per-op count and ns/op.
+func promoteThroughput(m map[string]float64) {
+	promote := func(key, rate, perOp string) {
+		if v, ok := m[rate]; ok {
+			m[key] = v
+			return
+		}
+		if c, ok := m[perOp]; ok {
+			if ns, ok := m["ns/op"]; ok && ns > 0 {
+				m[key] = c * 1e9 / ns
+			}
+		}
+	}
+	promote("events_per_sec", "events/s", "events/op")
+	promote("simulated_pages_per_sec", "simulated_pages/s", "pages/op")
 }
 
 func fatal(err error) {

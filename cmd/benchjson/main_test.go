@@ -32,6 +32,30 @@ func TestParseBenchLine(t *testing.T) {
 			metric:   "ns/op",
 			value:    5,
 		},
+		{
+			// Directly reported rates are promoted to snake_case names.
+			line:     "BenchmarkSubstrateSimEventThroughput-8 \t18524526\t138.9 ns/op\t7197384 events/s\t0 B/op\t0 allocs/op",
+			wantName: "SubstrateSimEventThroughput",
+			wantOK:   true,
+			metric:   "events_per_sec",
+			value:    7197384,
+		},
+		{
+			line:     "BenchmarkWorkloadScaleSessions/clients=100000-8 \t1\t2462362104 ns/op\t1745732 events/s\t872622 simulated_pages/s\t120000 sessions/op",
+			wantName: "WorkloadScaleSessions/clients=100000",
+			wantOK:   true,
+			metric:   "simulated_pages_per_sec",
+			value:    872622,
+		},
+		{
+			// Without a direct rate, events_per_sec derives from
+			// events/op over ns/op: 500 events in 1000 ns = 5e8/s.
+			line:     "BenchmarkDerived-8 \t100\t1000 ns/op\t500 events/op",
+			wantName: "Derived",
+			wantOK:   true,
+			metric:   "events_per_sec",
+			value:    5e8,
+		},
 		{line: "ok  \twadeploy\t10.258s", wantOK: false},
 		{line: "PASS", wantOK: false},
 		{line: "goos: linux", wantOK: false},

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	wadeploy [flags] table6|table7|fig7|fig8|metrics|faults|inventory|plan|explain|sweep-latency|sweep-load|all
+//	wadeploy [flags] table6|table7|fig7|fig8|metrics|faults|inventory|plan|explain|sweep-latency|sweep-load|scale|all
 //
 // table6/fig7 run Java Pet Store, table7/fig8 run RUBiS; each table run
 // executes all five configurations (centralized, remote façade, stateful
@@ -30,6 +30,12 @@
 // sweep-load are WAN-latency and offered-load sensitivity studies. Runs are
 // independent seeded simulations, so any -parallel setting prints
 // byte-identical tables (and writes byte-identical -metrics-out files).
+//
+// scale exercises the streaming workload engine (internal/workload.RunStream)
+// with -sessions concurrent Pet Store clients spread over eight edge nodes
+// and -shards engine lanes. Its stdout block depends only on the seed,
+// session count, shard count and durations — never on -parallel — so CI can
+// diff it across worker counts; wall-clock throughput goes to stderr.
 package main
 
 import (
@@ -45,6 +51,7 @@ import (
 	"wadeploy/internal/faults"
 	"wadeploy/internal/metrics"
 	"wadeploy/internal/petstore"
+	"wadeploy/internal/workload"
 )
 
 func main() {
@@ -72,6 +79,8 @@ func run(args []string) error {
 	appFlag := fs.String("app", "petstore", "application for sweeps: petstore|rubis")
 	cfgFlag := fs.String("config", "async-updates", "configuration for sweeps: centralized|remote-facade|stateful-caching|query-caching|async-updates")
 	faultsFlag := fs.String("faults", "", "fault schedule: 'canonical' or a JSON schedule file; arms the WAN-outage script and the resilience policies on every run")
+	sessions := fs.Int("sessions", 100000, "scale: concurrent client sessions")
+	shards := fs.Int("shards", 8, "scale: engine lanes (results depend on the shard count, never the worker count)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -191,6 +200,10 @@ func run(args []string) error {
 			}
 			fmt.Printf("Load sweep: %s / %s\n", app, cfg.Title())
 			fmt.Print(experiment.FormatSweep("offered-req-s", pts))
+		case "scale":
+			if err := scale(*sessions, *shards, *parallel, opts); err != nil {
+				return err
+			}
 		case "all":
 			for _, app := range []experiment.AppID{experiment.PetStore, experiment.RUBiS} {
 				var results []*experiment.Result
@@ -217,7 +230,7 @@ func run(args []string) error {
 				}
 			}
 		default:
-			return fmt.Errorf("unknown command %q (want table6|table7|fig7|fig8|metrics|faults|inventory|plan|explain|sweep-latency|sweep-load|all)", cmd)
+			return fmt.Errorf("unknown command %q (want table6|table7|fig7|fig8|metrics|faults|inventory|plan|explain|sweep-latency|sweep-load|scale|all)", cmd)
 		}
 	}
 	return nil
@@ -261,6 +274,35 @@ func availability(app experiment.AppID, opts experiment.RunOptions, diag bool, m
 	if metricsOut != "" {
 		return writeMetrics(metricsOut, app, opts, full)
 	}
+	return nil
+}
+
+// scale runs the streaming workload engine at -sessions concurrent clients.
+// The stdout block is deterministic in (seed, sessions, shards, durations)
+// and independent of -parallel, so CI diffs it across worker counts;
+// wall-clock throughput goes to stderr.
+func scale(sessionsN, shardsN, workers int, opts experiment.RunOptions) error {
+	cfg := workload.StreamConfig{
+		Seed:     opts.Seed,
+		Classes:  petstore.StreamWorkload(sessionsN),
+		Warmup:   opts.Warmup,
+		Duration: opts.Duration,
+		Shards:   shardsN,
+		Workers:  workers, // <1 falls back to one worker per shard
+	}
+	start := time.Now()
+	res, err := workload.RunStream(cfg)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+	fmt.Printf("Scale run: %d clients, %d shards, seed %d, %v warm-up + %v measured\n",
+		sessionsN, shardsN, opts.Seed, opts.Warmup, opts.Duration)
+	fmt.Printf("events=%d pages=%d sessions=%d errors=%d\n",
+		res.Events, res.Pages, res.Sessions, res.Stats.Errors())
+	fmt.Print(res.Stats)
+	fmt.Fprintf(os.Stderr, "scale: wall %.2fs, %.0f events/s, %.0f simulated pages/s\n",
+		wall.Seconds(), float64(res.Events)/wall.Seconds(), float64(res.Pages)/wall.Seconds())
 	return nil
 }
 

@@ -90,6 +90,29 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.buckets[b]++
 }
 
+// Merge folds every observation of o into h. Bucket counts, count, sum and
+// the exact min/max add up exactly as if each sample had been observed on h,
+// so merging per-shard histograms loses nothing beyond bucket resolution.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	if h.count == 0 || o.minV < h.minV {
+		h.minV = o.minV
+	}
+	if h.count == 0 || o.maxV > h.maxV {
+		h.maxV = o.maxV
+	}
+	h.count += o.count
+	h.sum += o.sum
+	for len(h.buckets) < len(o.buckets) {
+		h.buckets = append(h.buckets, 0)
+	}
+	for b, c := range o.buckets {
+		h.buckets[b] += c
+	}
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count }
 

@@ -1,0 +1,8 @@
+//go:build !race
+
+package petstore
+
+// raceEnabled reports whether the race detector is compiled in. Allocation
+// guards are skipped under -race because race instrumentation itself
+// allocates on synchronization operations.
+const raceEnabled = false

@@ -25,22 +25,9 @@ const (
 	NumItems            = NumProducts * ItemsPerProduct
 )
 
-// ID helpers: categories are "C01".."C10", products "C01-P01" and so on,
-// items append "-I1".."-I5".
-func CategoryID(i int) string { return fmt.Sprintf("C%02d", i+1) }
-
-// ProductID returns the id of product p within category c (zero-based).
-func ProductID(c, p int) string {
-	return fmt.Sprintf("%s-P%02d", CategoryID(c), p+1)
-}
-
-// ItemID returns the id of item n of product p in category c (zero-based).
-func ItemID(c, p, n int) string {
-	return fmt.Sprintf("%s-I%d", ProductID(c, p), n+1)
-}
-
-// UserID returns the id of account u (zero-based).
-func UserID(u int) string { return fmt.Sprintf("user%03d", u+1) }
+// ID helpers — CategoryID, ProductID, ItemID, UserID — live in ids.go as
+// precomputed-table lookups: categories are "C01".."C10", products
+// "C01-P01" and so on, items append "-I1".."-I5".
 
 // Every experiment run seeds identical data, so the seed script executes
 // once per process into a template database whose snapshot later runs

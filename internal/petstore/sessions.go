@@ -96,6 +96,70 @@ func BuyerSession(rng *rand.Rand) []workload.Step {
 	return steps
 }
 
+// browserWeightTotal is the Table 2 weight sum, computed once.
+var browserWeightTotal = func() int {
+	total := 0
+	for _, bp := range BrowserPages {
+		total += bp.Weight
+	}
+	return total
+}()
+
+// BrowserRefill is BrowserSession in pooled form: identical RNG draw
+// sequence and identical step values (the paper-table goldens pin this), but
+// the session is written into the caller's reused buffer with GrowStep and
+// every parameter string comes from the precomputed ID tables — zero
+// steady-state allocations per session.
+func BrowserRefill(rng *rand.Rand, steps []workload.Step) []workload.Step {
+	steps = workload.GrowStep(steps, PageMain)
+	cat := rng.Intn(NumCategories)
+	pcat, pprod := cat, rng.Intn(ProductsPerCategory)
+	for n := 1; n < BrowserSessionLength; n++ {
+		r := rng.Intn(browserWeightTotal)
+		page := PageMain
+		for _, bp := range BrowserPages {
+			if r < bp.Weight {
+				page = bp.Page
+				break
+			}
+			r -= bp.Weight
+		}
+		steps = workload.GrowStep(steps, page)
+		s := &steps[len(steps)-1]
+		switch page {
+		case PageCategory:
+			cat = rng.Intn(NumCategories)
+			s.Set("cat", categoryIDs[cat])
+		case PageProduct:
+			pcat, pprod = cat, rng.Intn(ProductsPerCategory)
+			s.Set("product", productIDs[pcat][pprod])
+		case PageItem:
+			s.Set("item", itemIDs[pcat][pprod][rng.Intn(ItemsPerProduct)])
+		case PageSearch:
+			s.Set("q", searchQs[rng.Intn(ProductsPerCategory)])
+		}
+	}
+	return steps
+}
+
+// BuyerRefill is BuyerSession in pooled form (same RNG draws, same values).
+func BuyerRefill(rng *rand.Rand, steps []workload.Step) []workload.Step {
+	u := rng.Intn(NumAccounts)
+	item := itemIDs[rng.Intn(NumCategories)][rng.Intn(ProductsPerCategory)][rng.Intn(ItemsPerProduct)]
+	for _, page := range BuyerPages {
+		steps = workload.GrowStep(steps, page)
+		s := &steps[len(steps)-1]
+		switch page {
+		case PageVerifySignin:
+			s.Set("user", userIDs[u])
+			s.Set("password", passwords[u])
+		case PageCart:
+			s.Set("item", item)
+		}
+	}
+	return steps
+}
+
 // PaperWorkload returns the three client groups of Section 3.3: 30 page
 // requests per second combined, 80% browsers / 20% buyers, split equally
 // between one local and two remote groups (10 req/s each). With an 8-second
@@ -136,6 +200,8 @@ func PaperWorkloadScaled(a *App, scale float64) []workload.Group {
 			WriterPattern:  PatternBuyer,
 			BrowserGen:     BrowserSession,
 			WriterGen:      BuyerSession,
+			BrowserRefill:  BrowserRefill,
+			WriterRefill:   BuyerRefill,
 			Request:        a.RequestFunc(),
 		})
 	}

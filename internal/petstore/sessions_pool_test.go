@@ -1,0 +1,127 @@
+package petstore
+
+import (
+	"math/rand"
+	"testing"
+
+	"wadeploy/internal/workload"
+)
+
+// stepsEqual compares two step sequences including params.
+func stepsEqual(a, b []workload.Step) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Page != b[i].Page || len(a[i].Params) != len(b[i].Params) {
+			return false
+		}
+		for k, v := range a[i].Params {
+			if b[i].Params[k] != v {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// copySteps deep-copies a session so refill reuse cannot alias it.
+func copySteps(steps []workload.Step) []workload.Step {
+	out := make([]workload.Step, len(steps))
+	for i, s := range steps {
+		out[i] = workload.Step{Page: s.Page}
+		if s.Params != nil {
+			out[i].Params = make(map[string]string, len(s.Params))
+			for k, v := range s.Params {
+				out[i].Params[k] = v
+			}
+		}
+	}
+	return out
+}
+
+// TestRefillMatchesSession pins the RefillGen contract: for the same RNG
+// stream, the pooled generators produce exactly the sessions the allocating
+// generators do — page by page, param by param — across many consecutive
+// sessions reusing one buffer.
+func TestRefillMatchesSession(t *testing.T) {
+	cases := []struct {
+		name   string
+		gen    workload.SessionGen
+		refill workload.RefillGen
+	}{
+		{"browser", BrowserSession, BrowserRefill},
+		{"buyer", BuyerSession, BuyerRefill},
+	}
+	for _, tc := range cases {
+		genRNG := rand.New(rand.NewSource(11))
+		refRNG := rand.New(rand.NewSource(11))
+		var buf []workload.Step
+		for s := 0; s < 50; s++ {
+			want := tc.gen(genRNG)
+			buf = tc.refill(refRNG, buf[:0])
+			if !stepsEqual(want, buf) {
+				t.Fatalf("%s session %d: refill differs from gen\ngen:    %+v\nrefill: %+v", tc.name, s, want, buf)
+			}
+			// The next refill reuses buf; keep a copy only to fail loudly if
+			// aliasing ever corrupts a prior comparison.
+			_ = copySteps(buf)
+		}
+	}
+}
+
+// TestRefillAllocs guards the satellite claim: once the step buffer has
+// grown, generating further sessions allocates nothing.
+func TestRefillAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts differ under -race")
+	}
+	rng := rand.New(rand.NewSource(3))
+	var buf []workload.Step
+	for s := 0; s < 20; s++ { // grow the buffer and its param maps
+		buf = BrowserRefill(rng, buf[:0])
+		buf = BuyerRefill(rng, buf[:0])
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = BrowserRefill(rng, buf[:0])
+		buf = BuyerRefill(rng, buf[:0])
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state session generation allocates %.1f objects, want 0", allocs)
+	}
+}
+
+// TestStreamMatchesSession pins the streaming generators against the
+// allocating ones: same RNG stream, same emitted steps.
+func TestStreamMatchesSession(t *testing.T) {
+	cases := []struct {
+		name   string
+		gen    workload.SessionGen
+		stream workload.StreamGen
+	}{
+		{"browser", BrowserSession, BrowserStream},
+		{"buyer", BuyerSession, BuyerStream},
+	}
+	for _, tc := range cases {
+		genRNG := rand.New(rand.NewSource(29))
+		strRNG := rand.New(rand.NewSource(29))
+		for s := 0; s < 50; s++ {
+			want := tc.gen(genRNG)
+			var st workload.StreamState
+			for i, wantStep := range want {
+				var step workload.Step
+				if !tc.stream(strRNG, &st, &step) {
+					t.Fatalf("%s session %d: stream ended at step %d of %d", tc.name, s, i, len(want))
+				}
+				st.Pos++
+				if !stepsEqual([]workload.Step{wantStep}, []workload.Step{step}) {
+					t.Fatalf("%s session %d step %d: stream %+v, gen %+v", tc.name, s, i, step, wantStep)
+				}
+			}
+			var step workload.Step
+			if tc.stream(strRNG, &st, &step) {
+				t.Fatalf("%s session %d: stream continued past %d steps", tc.name, s, len(want))
+			}
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package rubis
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Precomputed string tables. RUBiS request parameters are small integers
+// (item/user ids up to 400, regions and categories up to 20, five ratings)
+// and one of 500 possible bid amounts, so every parameter string the
+// generators can emit is interned at package init and the hot path performs
+// table lookups instead of strconv formatting.
+var (
+	smallInts [NumItems + 1]string // "0".."400": items, users, sellers, regions, categories
+	ratings   [5]string            // "1".."5"
+	bidStrs   [500]string          // "5.00".."504.00"
+	nicknames [NumUsers]string
+	userPws   [NumUsers]string
+)
+
+func init() {
+	for i := range smallInts {
+		smallInts[i] = strconv.Itoa(i)
+	}
+	for i := range ratings {
+		ratings[i] = strconv.Itoa(i + 1)
+	}
+	for i := range bidStrs {
+		bidStrs[i] = strconv.FormatFloat(5.0+float64(i), 'f', 2, 64)
+	}
+	for u := range nicknames {
+		nicknames[u] = fmt.Sprintf("bidder%03d", u+1)
+		userPws[u] = "pw-" + nicknames[u]
+	}
+}
+
+// intStr returns the interned decimal string for v (formatting out-of-range
+// values so it stays total).
+func intStr(v int64) string {
+	if v >= 0 && v < int64(len(smallInts)) {
+		return smallInts[v]
+	}
+	return strconv.FormatInt(v, 10)
+}
+
+// Nickname returns user u's nickname (zero-based).
+func Nickname(u int) string {
+	if u >= 0 && u < NumUsers {
+		return nicknames[u]
+	}
+	return fmt.Sprintf("bidder%03d", u+1)
+}
+
+// Password returns user u's password.
+func Password(u int) string {
+	if u >= 0 && u < NumUsers {
+		return userPws[u]
+	}
+	return "pw-" + Nickname(u)
+}

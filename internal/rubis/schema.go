@@ -23,11 +23,7 @@ const (
 	SeedComments    = 400
 )
 
-// Nickname returns user u's nickname (zero-based).
-func Nickname(u int) string { return fmt.Sprintf("bidder%03d", u+1) }
-
-// Password returns user u's password.
-func Password(u int) string { return "pw-" + Nickname(u) }
+// Nickname and Password live in ids.go as precomputed-table lookups.
 
 // As in petstore, the seed script runs once per process into a template
 // database; later runs restore its snapshot instead of replaying SQL. The

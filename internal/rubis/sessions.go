@@ -110,6 +110,95 @@ func BidderSession(rng *rand.Rand) []workload.Step {
 	}
 }
 
+// browserWeightTotal is the Table 4 weight sum, computed once.
+var browserWeightTotal = func() int {
+	total := 0
+	for _, bp := range BrowserPages {
+		total += bp.Weight
+	}
+	return total
+}()
+
+// BrowserRefill is BrowserSession in pooled form: identical RNG draw
+// sequence and values (pinned by the paper-table goldens), written into the
+// caller's reused buffer with interned parameter strings.
+func BrowserRefill(rng *rand.Rand, steps []workload.Step) []workload.Step {
+	steps = workload.GrowStep(steps, PageMain)
+	cat := int64(rng.Intn(NumCategories) + 1)
+	region := int64(rng.Intn(NumRegions) + 1)
+	lastItem := itemInCategory(rng, cat)
+	for n := 1; n < BrowserSessionLength; n++ {
+		r := rng.Intn(browserWeightTotal)
+		page := PageMain
+		for _, bp := range BrowserPages {
+			if r < bp.Weight {
+				page = bp.Page
+				break
+			}
+			r -= bp.Weight
+		}
+		steps = workload.GrowStep(steps, page)
+		s := &steps[len(steps)-1]
+		switch page {
+		case PageRegion:
+			region = int64(rng.Intn(NumRegions) + 1)
+			s.Set("region", intStr(region))
+		case PageCategory:
+			cat = int64(rng.Intn(NumCategories) + 1)
+			s.Set("cat", intStr(cat))
+		case PageCatRegion:
+			cat = int64(rng.Intn(NumCategories) + 1)
+			s.Set("cat", intStr(cat))
+			s.Set("region", intStr(region))
+		case PageItem:
+			lastItem = itemInCategory(rng, cat)
+			s.Set("item", intStr(lastItem))
+		case PageBids:
+			s.Set("item", intStr(lastItem))
+		case PageUserInfo:
+			s.Set("user", intStr(int64(rng.Intn(NumUsers)+1)))
+		}
+	}
+	return steps
+}
+
+// BidderRefill is BidderSession in pooled form (same RNG draws, same
+// values).
+func BidderRefill(rng *rand.Rand, steps []workload.Step) []workload.Step {
+	u := rng.Intn(NumUsers)
+	nick, pass := nicknames[u], userPws[u]
+	item := int64(rng.Intn(NumItems) + 1)
+	seller := (item-1)%NumUsers + 1
+	bid := rng.Intn(500)
+	itemS, sellerS := intStr(item), intStr(seller)
+	setAuth := func(s *workload.Step) {
+		s.Set("nick", nick)
+		s.Set("password", pass)
+	}
+	for _, page := range BidderPages {
+		steps = workload.GrowStep(steps, page)
+		s := &steps[len(steps)-1]
+		switch page {
+		case PagePutBidForm:
+			setAuth(s)
+			s.Set("item", itemS)
+		case PageStoreBid:
+			setAuth(s)
+			s.Set("item", itemS)
+			s.Set("bid", bidStrs[bid])
+		case PagePutCommentForm:
+			setAuth(s)
+			s.Set("to", sellerS)
+		case PageStoreComment:
+			setAuth(s)
+			s.Set("to", sellerS)
+			s.Set("item", itemS)
+			s.Set("rating", ratings[rng.Intn(5)])
+		}
+	}
+	return steps
+}
+
 // RequestFunc adapts the app to the workload driver.
 func (a *App) RequestFunc() workload.RequestFunc {
 	return func(p *sim.Proc, client workload.Client, step workload.Step) (time.Duration, error) {
@@ -156,6 +245,8 @@ func PaperWorkloadScaled(a *App, scale float64) []workload.Group {
 			WriterPattern:  PatternBidder,
 			BrowserGen:     BrowserSession,
 			WriterGen:      BidderSession,
+			BrowserRefill:  BrowserRefill,
+			WriterRefill:   BidderRefill,
 			Request:        a.RequestFunc(),
 		})
 	}

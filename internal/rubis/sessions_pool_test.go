@@ -1,0 +1,105 @@
+package rubis
+
+import (
+	"math/rand"
+	"testing"
+
+	"wadeploy/internal/workload"
+)
+
+func stepsEqual(a, b []workload.Step) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Page != b[i].Page || len(a[i].Params) != len(b[i].Params) {
+			return false
+		}
+		for k, v := range a[i].Params {
+			if b[i].Params[k] != v {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestRefillMatchesSession pins the pooled generators against the
+// allocating ones: same RNG stream, same sessions.
+func TestRefillMatchesSession(t *testing.T) {
+	cases := []struct {
+		name   string
+		gen    workload.SessionGen
+		refill workload.RefillGen
+	}{
+		{"browser", BrowserSession, BrowserRefill},
+		{"bidder", BidderSession, BidderRefill},
+	}
+	for _, tc := range cases {
+		genRNG := rand.New(rand.NewSource(17))
+		refRNG := rand.New(rand.NewSource(17))
+		var buf []workload.Step
+		for s := 0; s < 50; s++ {
+			want := tc.gen(genRNG)
+			buf = tc.refill(refRNG, buf[:0])
+			if !stepsEqual(want, buf) {
+				t.Fatalf("%s session %d: refill differs from gen\ngen:    %+v\nrefill: %+v", tc.name, s, want, buf)
+			}
+		}
+	}
+}
+
+// TestRefillAllocs guards steady-state allocation-free session generation.
+func TestRefillAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts differ under -race")
+	}
+	rng := rand.New(rand.NewSource(3))
+	var buf []workload.Step
+	for s := 0; s < 20; s++ {
+		buf = BrowserRefill(rng, buf[:0])
+		buf = BidderRefill(rng, buf[:0])
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = BrowserRefill(rng, buf[:0])
+		buf = BidderRefill(rng, buf[:0])
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state session generation allocates %.1f objects, want 0", allocs)
+	}
+}
+
+// TestStreamMatchesSession pins the streaming generators against the
+// allocating ones.
+func TestStreamMatchesSession(t *testing.T) {
+	cases := []struct {
+		name   string
+		gen    workload.SessionGen
+		stream workload.StreamGen
+	}{
+		{"browser", BrowserSession, BrowserStream},
+		{"bidder", BidderSession, BidderStream},
+	}
+	for _, tc := range cases {
+		genRNG := rand.New(rand.NewSource(23))
+		strRNG := rand.New(rand.NewSource(23))
+		for s := 0; s < 50; s++ {
+			want := tc.gen(genRNG)
+			var st workload.StreamState
+			for i, wantStep := range want {
+				var step workload.Step
+				if !tc.stream(strRNG, &st, &step) {
+					t.Fatalf("%s session %d: stream ended at step %d of %d", tc.name, s, i, len(want))
+				}
+				st.Pos++
+				if !stepsEqual([]workload.Step{wantStep}, []workload.Step{step}) {
+					t.Fatalf("%s session %d step %d: stream %+v, gen %+v", tc.name, s, i, step, wantStep)
+				}
+			}
+			var step workload.Step
+			if tc.stream(strRNG, &st, &step) {
+				t.Fatalf("%s session %d: stream continued past %d steps", tc.name, s, len(want))
+			}
+		}
+	}
+}

@@ -32,22 +32,27 @@ var errKilled = errors.New("sim: process killed by Env.Close")
 // ErrClosed is returned by operations on an environment that has been closed.
 var ErrClosed = errors.New("sim: environment closed")
 
-// event is a scheduled callback or process resumption. seq breaks ties so
-// that events scheduled earlier at the same instant run first, keeping runs
-// deterministic.
+// event is a scheduled callback, process resumption or task firing. seq
+// breaks ties so that events scheduled earlier at the same instant run first,
+// keeping runs deterministic.
 //
-// Process resumptions are the engine's hot path (every Sleep, Await wake-up
-// and Resource hand-off is one), so they are stored as a *Proc rather than a
-// `func() { e.step(p) }` closure: the scheduler calls step directly and the
-// heap slot carries no per-event heap allocation.
+// Process resumptions and task firings are the engine's hot paths (every
+// Sleep, Await wake-up, Resource hand-off and streaming-session transition is
+// one), so they are stored as a *Proc / Task interface rather than a
+// `func() { ... }` closure: the scheduler dispatches directly and the queue
+// slot carries no per-event heap allocation.
 type event struct {
 	at   time.Duration
 	seq  uint64
-	fn   func() // raw callback (Env.At/After); nil for process resumptions
-	proc *Proc  // process to resume; nil for raw callbacks
+	fn   func() // raw callback (Env.At/After); nil otherwise
+	proc *Proc  // process to resume; nil otherwise
+	task Task   // task to fire (Env.AtTask/AfterTask); nil otherwise
 }
 
-// eventHeap is a min-heap of events ordered by (at, seq).
+// eventHeap is a min-heap of events ordered by (at, seq). The engine's event
+// queue (timerQueue) uses it for wheel slots and the far-timer overflow; the
+// wheel property test also replays schedules through a bare eventHeap as the
+// ordering oracle, since a single global heap is trivially correct.
 type eventHeap []event
 
 func (h eventHeap) Len() int { return len(h) }
@@ -115,10 +120,11 @@ func (h eventHeap) down(i int) {
 // Create one with NewEnv; it is not safe for concurrent use from multiple
 // OS-level goroutines other than through the engine's own handoff protocol.
 type Env struct {
-	now    time.Duration
-	seq    uint64
-	events eventHeap
-	rng    *rand.Rand
+	now        time.Duration
+	seq        uint64
+	events     timerQueue
+	dispatched uint64
+	rng        *rand.Rand
 
 	yield  chan struct{}  // a running process signals the scheduler here
 	live   map[*Proc]bool // processes that have started and not finished
@@ -132,11 +138,13 @@ type Env struct {
 
 // NewEnv returns a fresh environment whose random source is seeded with seed.
 func NewEnv(seed int64) *Env {
-	return &Env{
+	e := &Env{
 		rng:   rand.New(rand.NewSource(seed)),
 		yield: make(chan struct{}),
 		live:  make(map[*Proc]bool),
 	}
+	e.events.memoTick = -1
+	return e
 }
 
 // Now returns the current virtual time, measured from the start of the run.
@@ -158,7 +166,16 @@ func (e *Env) Metrics() *metrics.Registry {
 }
 
 // Pending reports the number of scheduled events not yet executed.
-func (e *Env) Pending() int { return len(e.events) }
+func (e *Env) Pending() int { return e.events.len() }
+
+// Dispatched reports the total number of events executed since the
+// environment was created — the engine's events-per-second numerator.
+func (e *Env) Dispatched() uint64 { return e.dispatched }
+
+// NextEventAt returns the virtual time of the earliest pending event, or
+// false when the queue is empty. The sharded runner uses it to size barrier
+// rounds; it does not advance the clock.
+func (e *Env) NextEventAt() (time.Duration, bool) { return e.events.nextAt() }
 
 // Live reports the number of processes that have been spawned and have
 // neither finished nor been killed.
@@ -174,7 +191,7 @@ func (e *Env) At(at time.Duration, fn func()) {
 		at = e.now
 	}
 	e.seq++
-	e.events.push(event{at: at, seq: e.seq, fn: fn})
+	e.events.push(event{at: at, seq: e.seq, fn: fn}, e.now)
 }
 
 // After schedules fn to run d from now.
@@ -192,7 +209,7 @@ func (e *Env) scheduleProc(at time.Duration, p *Proc) {
 		at = e.now
 	}
 	e.seq++
-	e.events.push(event{at: at, seq: e.seq, proc: p})
+	e.events.push(event{at: at, seq: e.seq, proc: p}, e.now)
 }
 
 // Proc is a simulation process: a goroutine whose execution is interleaved
@@ -299,16 +316,20 @@ func (p *Proc) Sleep(d time.Duration) {
 func (e *Env) Run(until time.Duration) {
 	e.inRun = true
 	defer func() { e.inRun = false }()
-	for !e.closed && len(e.events) > 0 {
-		if e.events[0].at > until {
+	for !e.closed && e.events.len() > 0 {
+		if at, _ := e.events.nextAt(); at > until {
 			e.now = until
 			return
 		}
 		ev := e.events.pop()
 		e.now = ev.at
-		if ev.proc != nil {
+		e.dispatched++
+		switch {
+		case ev.proc != nil:
 			e.step(ev.proc)
-		} else {
+		case ev.task != nil:
+			ev.task.Fire(e)
+		default:
 			ev.fn()
 		}
 	}
@@ -321,12 +342,16 @@ func (e *Env) Run(until time.Duration) {
 func (e *Env) RunAll() {
 	e.inRun = true
 	defer func() { e.inRun = false }()
-	for !e.closed && len(e.events) > 0 {
+	for !e.closed && e.events.len() > 0 {
 		ev := e.events.pop()
 		e.now = ev.at
-		if ev.proc != nil {
+		e.dispatched++
+		switch {
+		case ev.proc != nil:
 			e.step(ev.proc)
-		} else {
+		case ev.task != nil:
+			ev.task.Fire(e)
+		default:
 			ev.fn()
 		}
 	}
@@ -345,7 +370,10 @@ func (e *Env) Close() {
 		p.kill = true
 		e.step(p)
 	}
-	e.events = nil
+	// Pending events — raw callbacks and task firings included — are
+	// dropped, never executed: tasks have no goroutine to unwind, so Close
+	// for them means "will not fire" (pinned by TestTaskCloseSemantics).
+	e.events.reset()
 }
 
 // Promise is a write-once container used for request/response rendezvous

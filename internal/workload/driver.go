@@ -3,6 +3,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 	"time"
 
 	"wadeploy/internal/sim"
@@ -14,10 +15,48 @@ type Step struct {
 	Params map[string]string
 }
 
+// Set stores one request parameter, allocating the map on first use. With
+// GrowStep's map reuse, steady-state sessions Set into already-allocated
+// maps and the pair is allocation-free.
+func (s *Step) Set(key, value string) {
+	if s.Params == nil {
+		s.Params = make(map[string]string, 4)
+	}
+	s.Params[key] = value
+}
+
+// GrowStep appends one step for page to steps, reusing the vacated slot —
+// including its params map, which is cleared in place — when the slice has
+// capacity. Generators written against it (the RefillGen form) stop
+// allocating a fresh []Step and a map per page once the per-client buffer
+// has grown to the longest session seen.
+func GrowStep(steps []Step, page string) []Step {
+	if len(steps) < cap(steps) {
+		steps = steps[:len(steps)+1]
+		s := &steps[len(steps)-1]
+		s.Page = page
+		if s.Params != nil {
+			clear(s.Params)
+		}
+		return steps
+	}
+	return append(steps, Step{Page: page})
+}
+
 // SessionGen produces the step sequence of one session. Generators are
 // application-specific: the Pet Store Browser draws pages with the Table 2
 // weights, the Buyer follows the fixed Table 3 sequence, and so on.
 type SessionGen func(rng *rand.Rand) []Step
+
+// RefillGen is the pooled form of SessionGen: it writes the session into
+// steps (passed with length 0 and whatever capacity previous sessions grew)
+// and returns the filled slice. A RefillGen must draw exactly the same RNG
+// sequence as its SessionGen counterpart so the two are interchangeable
+// without disturbing byte-identical outputs; the paper-table goldens pin
+// this. Params maps in reused slots arrive cleared but allocated — requests
+// consume them synchronously, so handing the same map to every session is
+// safe.
+type RefillGen func(rng *rand.Rand, steps []Step) []Step
 
 // Client identifies one simulated client machine process: its network node
 // and a unique ID that applications use to key per-client web sessions.
@@ -49,6 +88,13 @@ type Group struct {
 	WriterPattern  string
 	BrowserGen     SessionGen
 	WriterGen      SessionGen
+
+	// BrowserRefill/WriterRefill, when set, are used instead of the Gen
+	// counterparts on the request hot path, reusing one step buffer per
+	// client. The Gen forms remain required wherever sessions are sampled
+	// outside the driver (planner visit estimation).
+	BrowserRefill RefillGen
+	WriterRefill  RefillGen
 
 	Request RequestFunc
 }
@@ -93,24 +139,25 @@ func Run(cfg Config) (*Stats, error) {
 		return nil, fmt.Errorf("workload: non-positive duration")
 	}
 	stats := NewStats(cfg.Warmup)
-	for gi, g := range cfg.Groups {
+	for _, g := range cfg.Groups {
 		if g.Request == nil {
 			return nil, fmt.Errorf("workload: group %q has no request function", g.Name)
 		}
 		if g.Delay <= 0 {
 			return nil, fmt.Errorf("workload: group %q has non-positive delay", g.Name)
 		}
-		if g.Browsers > 0 && g.BrowserGen == nil {
+		if g.Browsers > 0 && g.BrowserGen == nil && g.BrowserRefill == nil {
 			return nil, fmt.Errorf("workload: group %q has browsers but no generator", g.Name)
 		}
-		if g.Writers > 0 && g.WriterGen == nil {
+		if g.Writers > 0 && g.WriterGen == nil && g.WriterRefill == nil {
 			return nil, fmt.Errorf("workload: group %q has writers but no generator", g.Name)
 		}
+		ids := makeIdentities(cfg.Env, g)
 		for i := 0; i < g.Browsers; i++ {
-			spawnClient(cfg, stats, g, gi, i, g.BrowserPattern, g.BrowserGen)
+			spawnClient(cfg, stats, g, ids[i], g.BrowserPattern, g.BrowserGen, g.BrowserRefill)
 		}
 		for i := 0; i < g.Writers; i++ {
-			spawnClient(cfg, stats, g, gi, g.Browsers+i, g.WriterPattern, g.WriterGen)
+			spawnClient(cfg, stats, g, ids[g.Browsers+i], g.WriterPattern, g.WriterGen, g.WriterRefill)
 		}
 	}
 	cfg.Env.Run(cfg.Warmup + cfg.Duration)
@@ -118,22 +165,61 @@ func Run(cfg Config) (*Stats, error) {
 	return stats, nil
 }
 
+// clientIdentity is one client's precomputed name, start jitter and private
+// RNG seed.
+type clientIdentity struct {
+	name   string
+	jitter time.Duration
+	seed   int64
+}
+
+// makeIdentities computes every client identity of a group up front, in the
+// exact order clients spawn: browsers then writers, each drawing its jitter
+// and then its seed from the env RNG (the draw order the paper goldens pin).
+// Names are built with one append-formatted allocation per client instead of
+// spawnClient's former fmt.Sprintf, and the per-pattern prefix is shared.
+func makeIdentities(env *sim.Env, g Group) []clientIdentity {
+	ids := make([]clientIdentity, g.Browsers+g.Writers)
+	buf := make([]byte, 0, 64)
+	prefix := func(pattern string) []byte {
+		buf = buf[:0]
+		buf = append(buf, "client/"...)
+		buf = append(buf, g.Name...)
+		buf = append(buf, '/')
+		buf = append(buf, pattern...)
+		buf = append(buf, '-')
+		return buf
+	}
+	for i := range ids {
+		pattern := g.BrowserPattern
+		if i >= g.Browsers {
+			pattern = g.WriterPattern
+		}
+		ids[i] = clientIdentity{
+			name:   string(strconv.AppendInt(prefix(pattern), int64(i), 10)),
+			jitter: time.Duration(env.Rand().Int63n(int64(g.Delay))),
+			seed:   env.Rand().Int63(),
+		}
+	}
+	return ids
+}
+
 // spawnClient starts one client process running sessions back to back. Each
 // client's first request is jittered across one Delay interval so arrivals
 // spread evenly instead of thundering in at t=0.
-func spawnClient(cfg Config, stats *Stats, g Group, gi, ci int, pattern string, gen SessionGen) {
+func spawnClient(cfg Config, stats *Stats, g Group, id clientIdentity, pattern string, gen SessionGen, refill RefillGen) {
 	env := cfg.Env
-	name := fmt.Sprintf("client/%s/%s-%d", g.Name, pattern, ci)
-	// Deterministic per-client jitter derived from the env RNG at spawn
-	// time (not inside the process, so spawn order fixes the seeds).
-	jitter := time.Duration(env.Rand().Int63n(int64(g.Delay)))
-	seed := env.Rand().Int63()
-	client := Client{Node: g.ClientNode, ID: name}
-	env.SpawnAt(env.Now()+jitter, name, func(p *sim.Proc) {
-		rng := rand.New(rand.NewSource(seed))
+	client := Client{Node: g.ClientNode, ID: id.name}
+	env.SpawnAt(env.Now()+id.jitter, id.name, func(p *sim.Proc) {
+		rng := rand.New(rand.NewSource(id.seed))
 		end := cfg.Warmup + cfg.Duration
+		var steps []Step
 		for p.Now() < end {
-			steps := gen(rng)
+			if refill != nil {
+				steps = refill(rng, steps[:0])
+			} else {
+				steps = gen(rng)
+			}
 			for _, step := range steps {
 				if p.Now() >= end {
 					return

@@ -88,6 +88,27 @@ func (st *Stats) RecordError(now time.Duration, page string) {
 	st.errors[page]++
 }
 
+// Merge folds every series and error count of o into st. Histogram merging
+// is exact in count/sum/min/max, so per-shard Stats merged in any order give
+// the same totals as a single collector (the streaming engine relies on
+// this for worker-count-independent results).
+func (st *Stats) Merge(o *Stats) {
+	if o == nil {
+		return
+	}
+	for k, s := range o.series {
+		dst, ok := st.series[k]
+		if !ok {
+			dst = &Summary{}
+			st.series[k] = dst
+		}
+		dst.hist.Merge(&s.hist)
+	}
+	for page, n := range o.errors {
+		st.errors[page] += n
+	}
+}
+
 // Errors returns the total number of failed requests after warm-up.
 func (st *Stats) Errors() int {
 	total := 0

@@ -1,0 +1,176 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"wadeploy/internal/sim"
+)
+
+// testStreamGen emits a 5-step session alternating two pages, carrying a
+// drawn id through the registers.
+func testStreamGen(rng *rand.Rand, st *StreamState, step *Step) bool {
+	if st.Pos >= 5 {
+		return false
+	}
+	if st.Pos == 0 {
+		st.R[0] = int64(rng.Intn(100))
+		step.Page = "Main"
+		return true
+	}
+	if st.Pos%2 == 1 {
+		step.Page = "Detail"
+		step.Set("id", "x")
+	} else {
+		step.Page = "List"
+	}
+	return true
+}
+
+func testStreamRequest(env *sim.Env, c *StreamClass, st *StreamState, step *Step) (time.Duration, error) {
+	rt := 20 * time.Millisecond
+	rt += time.Duration(env.Rand().Int63n(int64(10 * time.Millisecond)))
+	if step.Page == "Detail" && st.R[0] == 13 {
+		return rt, fmt.Errorf("unlucky id")
+	}
+	return rt, nil
+}
+
+func testStreamConfig(workers int) StreamConfig {
+	classes := []StreamClass{}
+	for n := 0; n < 4; n++ {
+		classes = append(classes, StreamClass{
+			Name:    fmt.Sprintf("c%d", n),
+			Node:    fmt.Sprintf("node-%d", n),
+			Local:   n == 0,
+			Pattern: "Browser",
+			Clients: 50,
+			Delay:   time.Second,
+			Gen:     testStreamGen,
+			Request: testStreamRequest,
+		})
+	}
+	return StreamConfig{
+		Seed:     7,
+		Classes:  classes,
+		Warmup:   2 * time.Second,
+		Duration: 20 * time.Second,
+		Shards:   4,
+		Workers:  workers,
+		Window:   5 * time.Millisecond,
+	}
+}
+
+func streamFingerprint(res *StreamResult) string {
+	out := fmt.Sprintf("events=%d pages=%d sessions=%d errors=%d\n",
+		res.Events, res.Pages, res.Sessions, res.Stats.Errors())
+	for _, k := range res.Stats.Keys() {
+		s := res.Stats.Series(k)
+		out += fmt.Sprintf("%s/%s/%v n=%d mean=%v min=%v max=%v p95=%v\n",
+			k.Pattern, k.Page, k.Local, s.Count(), s.Mean(), s.Min(), s.Max(), s.Percentile(95))
+	}
+	return out
+}
+
+// TestStreamWorkerCountInvariance pins that results are byte-identical for
+// any worker count (the sharded engine's core guarantee surfaced through the
+// workload layer).
+func TestStreamWorkerCountInvariance(t *testing.T) {
+	res, err := RunStream(testStreamConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := streamFingerprint(res)
+	if res.Stats.TotalSamples() == 0 {
+		t.Fatal("no samples recorded")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		res, err := RunStream(testStreamConfig(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := streamFingerprint(res); got != want {
+			t.Errorf("workers=%d differs:\n--- workers=1\n%s--- workers=%d\n%s", workers, want, workers, got)
+		}
+	}
+}
+
+// TestStreamSoftThinkPacing checks the request cadence: with response times
+// far below Delay, each client completes one page per Delay interval.
+func TestStreamSoftThinkPacing(t *testing.T) {
+	cfg := StreamConfig{
+		Seed: 1,
+		Classes: []StreamClass{{
+			Name: "c", Node: "n", Pattern: "Browser", Clients: 10,
+			Delay: time.Second, Gen: testStreamGen,
+			Request: func(env *sim.Env, c *StreamClass, st *StreamState, step *Step) (time.Duration, error) {
+				return 10 * time.Millisecond, nil
+			},
+		}},
+		Duration: 100 * time.Second,
+	}
+	res, err := RunStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 clients x ~100 page starts (jitter trims at most one per client).
+	if res.Pages < 950 || res.Pages > 1010 {
+		t.Errorf("pages = %d, want ~1000", res.Pages)
+	}
+	// 5-step sessions: about one session completion per 5 pages.
+	if res.Sessions < 180 || res.Sessions > 210 {
+		t.Errorf("sessions = %d, want ~200", res.Sessions)
+	}
+}
+
+// TestStreamErrorsRecorded checks failed requests land in the error counts,
+// not the series.
+func TestStreamErrorsRecorded(t *testing.T) {
+	res, err := RunStream(testStreamConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ErrorsFor("Detail") == 0 {
+		t.Error("expected Detail errors from the unlucky id")
+	}
+	if res.Stats.ErrorsFor("Main") != 0 {
+		t.Error("Main should never fail")
+	}
+}
+
+// TestStreamSteadyStateMemory pins the bounded-memory claim: with the client
+// population fixed, running 4x longer — roughly 4x the pages and sessions —
+// must not grow the heap footprint appreciably, because completed sessions
+// recycle their task struct and the class scratch instead of allocating.
+func TestStreamSteadyStateMemory(t *testing.T) {
+	heapAfter := func(duration time.Duration) (uint64, *StreamResult) {
+		cfg := testStreamConfig(1)
+		cfg.Workers = 1
+		cfg.Shards = 1
+		cfg.Duration = duration
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		res, err := RunStream(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runtime.ReadMemStats(&after)
+		return after.TotalAlloc - before.TotalAlloc, res
+	}
+	short, shortRes := heapAfter(30 * time.Second)
+	long, longRes := heapAfter(120 * time.Second)
+	if longRes.Sessions < 3*shortRes.Sessions {
+		t.Fatalf("long run completed %d sessions vs %d short — expected ~4x", longRes.Sessions, shortRes.Sessions)
+	}
+	// Allow generous slack for histogram growth and GC noise: the old
+	// per-session materialization would make this ratio track the 4x
+	// session ratio.
+	if long > short*2 {
+		t.Errorf("bytes allocated grew with run length: %d for %d sessions vs %d for %d sessions",
+			long, longRes.Sessions, short, shortRes.Sessions)
+	}
+}
