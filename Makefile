@@ -4,7 +4,7 @@ GO ?= go
 
 # Perf record written by `make bench`; bump the suffix per PR so the
 # trajectory (BENCH_PR1.json, BENCH_PR2.json, ...) stays comparable.
-BENCH_OUT ?= BENCH_PR6.json
+BENCH_OUT ?= BENCH_PR7.json
 
 .PHONY: all verify build vet test race bench bench-smoke profile repro repro-quick examples clean
 
@@ -34,7 +34,7 @@ bench:
 	( $(GO) test -bench=BenchmarkEngine -benchmem -run '^$$' ./internal/sim && \
 	  $(GO) test -bench=BenchmarkSqldb -benchmem -run '^$$' ./internal/sqldb && \
 	  $(GO) test -bench=. -benchmem -benchtime=1x -run '^$$' . && \
-	  $(GO) test -bench='SubstrateSimEventThroughput|WorkloadScaleSessions' -benchmem -run '^$$' . ) \
+	  $(GO) test -bench='SubstrateSimEventThroughput|WorkloadScaleSessions|TraceOverhead' -benchmem -run '^$$' . ) \
 	| $(GO) run ./cmd/benchjson -time-wadeploy -o $(BENCH_OUT)
 
 # One-iteration pass over every benchmark family: catches benchmarks that
@@ -44,6 +44,7 @@ bench:
 bench-smoke:
 	$(GO) test -bench=BenchmarkSqldb -benchtime=1x -run '^$$' ./internal/sqldb
 	$(GO) test -bench=BenchmarkEngine -benchtime=1x -run '^$$' ./internal/sim
+	$(GO) test -bench=. -benchtime=1x -run '^$$' ./internal/trace
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
 
 # CPU and heap profiles over the Figure-7 session benchmark (the workload

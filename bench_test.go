@@ -25,6 +25,7 @@ import (
 	"wadeploy/internal/sim"
 	"wadeploy/internal/simnet"
 	"wadeploy/internal/sqldb"
+	"wadeploy/internal/trace"
 	"wadeploy/internal/web"
 	"wadeploy/internal/workload"
 )
@@ -613,6 +614,44 @@ func BenchmarkAblationSeqVsParallelFanOut(b *testing.B) {
 			env.RunAll()
 			env.Close()
 			reportMs(b, "write-ms", mean)
+		})
+	}
+}
+
+// BenchmarkTraceOverhead measures what arming the causal tracer costs the
+// streaming workload engine: the same 25k-session run with tracing off, with
+// the flight recorder sampling 1 in 16 pages, and sampling every page. The
+// off/recorder gap is the PR-7 acceptance budget (<= 5% events/s); the
+// recorder case uses the scale command's 128-slot per-lane ring, which keeps
+// the recycled-trace working set cache-resident.
+func BenchmarkTraceOverhead(b *testing.B) {
+	cases := []struct {
+		name  string
+		trace *trace.Options
+	}{
+		{"off", nil},
+		{"recorder-1in16", &trace.Options{SampleEvery: 16, MaxTraces: 128}},
+		{"sample-all", &trace.Options{SampleEvery: 1}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				res, err := workload.RunStream(workload.StreamConfig{
+					Seed:     1,
+					Classes:  petstore.StreamWorkload(25000),
+					Warmup:   2 * time.Second,
+					Duration: 170 * time.Second,
+					Shards:   8,
+					Trace:    tc.trace,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				events += res.Events
+			}
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
 		})
 	}
 }

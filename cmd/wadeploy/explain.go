@@ -12,26 +12,83 @@ import (
 	"wadeploy/internal/rubis"
 	"wadeploy/internal/sim"
 	"wadeploy/internal/simnet"
+	"wadeploy/internal/trace"
 	"wadeploy/internal/workload"
 )
 
-// spanRecord is one explain -json output line: a traced span tagged with the
-// page whose request produced it.
+// spanRecord is one explain -json output line: a span of the page's causal
+// tree tagged with the page whose request produced it. The page, layer,
+// label, start_ns, end_ns and depth fields predate the causal tracer and
+// keep their shape; trace_id, span_id, parent_id, node, peer, cause and
+// async carry the cross-node causality the tracer added.
 type spanRecord struct {
-	Page    string `json:"page"`
-	Layer   string `json:"layer"`
-	Label   string `json:"label"`
-	StartNs int64  `json:"start_ns"`
-	EndNs   int64  `json:"end_ns"`
-	Depth   int    `json:"depth"`
+	Page     string `json:"page"`
+	Layer    string `json:"layer"`
+	Label    string `json:"label"`
+	StartNs  int64  `json:"start_ns"`
+	EndNs    int64  `json:"end_ns"`
+	Depth    int    `json:"depth"`
+	TraceID  string `json:"trace_id"`
+	SpanID   int32  `json:"span_id"`
+	ParentID int32  `json:"parent_id"`
+	Node     string `json:"node"`
+	Peer     string `json:"peer,omitempty"`
+	Cause    string `json:"cause"`
+	Async    bool   `json:"async,omitempty"`
 }
 
-// explain deploys the app under cfg and prints a per-layer trace of every
+// spanDepths returns each span's distance from the root. Spans are appended
+// in open order, so a parent always precedes its children.
+func spanDepths(t *trace.Trace) []int {
+	depths := make([]int, len(t.Spans))
+	for i := 1; i < len(t.Spans); i++ {
+		if p := t.Spans[i].Parent; p >= 0 && int(p) < i {
+			depths[i] = depths[p] + 1
+		}
+	}
+	return depths
+}
+
+// writeSpans emits one trace's spans as JSONL records in creation order.
+func writeSpans(enc *json.Encoder, t *trace.Trace) error {
+	depths := spanDepths(t)
+	for i, s := range t.Spans {
+		rec := spanRecord{
+			Page:     t.Page,
+			Layer:    s.Layer,
+			Label:    s.Label,
+			StartNs:  int64(s.Start),
+			EndNs:    int64(s.End),
+			Depth:    depths[i],
+			TraceID:  fmt.Sprintf("%#016x", uint64(t.ID)),
+			SpanID:   int32(s.ID),
+			ParentID: int32(s.Parent),
+			Node:     s.Node,
+			Peer:     s.Peer,
+			Cause:    s.Cause.String(),
+			Async:    s.Async,
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// explain deploys the app under cfg and prints the causal span tree of every
 // page in a representative remote-client session — where each page's
-// milliseconds go (TCP, RMI, SQL, rendering, pushes). With asJSON it emits
-// the spans machine-readably instead: one JSON object per line.
+// milliseconds go (TCP, RMI, SQL, rendering, pushes), on which node, and
+// why (service, WAN wait, queueing, retry). With asJSON it emits the spans
+// machine-readably instead: one JSON object per line.
 func explain(appID experiment.AppID, cfg core.ConfigID, seed int64, asJSON bool) error {
 	env := sim.NewEnv(seed)
+	var finished []*trace.Trace
+	tracer := trace.New(env, trace.Options{
+		SampleEvery: 1,
+		MaxTraces:   64,
+		OnFinish:    func(t *trace.Trace) { finished = append(finished, t) },
+	})
+	tracer.Install(env)
 	var request workload.RequestFunc
 	var steps []workload.Step
 	switch appID {
@@ -85,14 +142,16 @@ func explain(appID experiment.AppID, cfg core.ConfigID, seed int64, asJSON bool)
 	}
 
 	client := workload.Client{Node: simnet.NodeClientsEdge1, ID: "explain-client"}
-	enc := json.NewEncoder(os.Stdout)
 	if !asJSON {
-		fmt.Printf("Per-page layer traces: %s / %s (remote client %s; stub caches warm)\n\n",
+		fmt.Printf("Per-page causal traces: %s / %s (remote client %s; stub caches warm)\n\n",
 			appID, cfg.Title(), client.Node)
 	}
+	key := trace.ClientKey(client.ID)
+	ids := make([]trace.TraceID, len(steps))
+	rts := make([]time.Duration, len(steps))
 	var failed error
 	env.Spawn("explain", func(p *sim.Proc) {
-		// First pass warms stub caches and session state silently.
+		// First pass warms stub caches and session state untraced.
 		for _, step := range steps {
 			if _, err := request(p, client, step); err != nil {
 				failed = fmt.Errorf("warm %s: %w", step.Page, err)
@@ -100,35 +159,42 @@ func explain(appID experiment.AppID, cfg core.ConfigID, seed int64, asJSON bool)
 			}
 		}
 		// Second pass traces every page.
-		for _, step := range steps {
-			tr := p.StartTrace()
+		for i, step := range steps {
+			ids[i] = trace.PageTraceID(key, uint64(i))
+			done := tracer.StartPage(p, ids[i], "explain", step.Page, client.Node, false)
 			rt, err := request(p, client, step)
-			p.StopTrace()
+			done()
 			if err != nil {
 				failed = fmt.Errorf("%s: %w", step.Page, err)
 				return
 			}
-			if asJSON {
-				for _, s := range tr.Spans() {
-					rec := spanRecord{
-						Page:    step.Page,
-						Layer:   s.Layer,
-						Label:   s.Label,
-						StartNs: int64(s.Start),
-						EndNs:   int64(s.End),
-						Depth:   s.Depth,
-					}
-					if err := enc.Encode(rec); err != nil {
-						failed = err
-						return
-					}
-				}
-				continue
-			}
-			fmt.Printf("%s — %v\n%s\n", step.Page, rt.Round(100*time.Microsecond), tr)
+			rts[i] = rt
 		}
 	})
 	env.RunAll()
 	env.Close()
-	return failed
+	if failed != nil {
+		return failed
+	}
+	// Traces finish when their async hand-offs (JMS pushes, replica pulls)
+	// complete, which may be after the page returns; re-order by page.
+	byID := make(map[trace.TraceID]*trace.Trace, len(finished))
+	for _, t := range finished {
+		byID[t.ID] = t
+	}
+	enc := json.NewEncoder(os.Stdout)
+	for i, step := range steps {
+		t := byID[ids[i]]
+		if t == nil {
+			return fmt.Errorf("%s: trace did not finish (leaked async context)", step.Page)
+		}
+		if asJSON {
+			if err := writeSpans(enc, t); err != nil {
+				return err
+			}
+			continue
+		}
+		fmt.Printf("%s — %v\n%s\n", step.Page, rts[i].Round(100*time.Microsecond), trace.Format(t))
+	}
+	return nil
 }

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	wadeploy [flags] table6|table7|fig7|fig8|metrics|faults|inventory|plan|explain|sweep-latency|sweep-load|scale|all
+//	wadeploy [flags] table6|table7|fig7|fig8|metrics|faults|inventory|plan|explain|trace|sweep-latency|sweep-load|scale|all
 //
 // table6/fig7 run Java Pet Store, table7/fig8 run RUBiS; each table run
 // executes all five configurations (centralized, remote façade, stateful
@@ -25,17 +25,26 @@
 // (internal/planner): it ranks every valid pattern combination by predicted
 // mean response time and prints the recommended placement; -sim adds
 // simulated means and prediction error, -json emits the full advisor
-// document. explain prints per-page layer traces
-// (TCP/RMI/SQL/render/push) for a remote client; sweep-latency and
-// sweep-load are WAN-latency and offered-load sensitivity studies. Runs are
-// independent seeded simulations, so any -parallel setting prints
-// byte-identical tables (and writes byte-identical -metrics-out files).
+// document. explain prints per-page causal span trees
+// (TCP/RMI/SQL/render/push, with node and cause attribution) for a remote
+// client; trace runs every configuration with the causal tracer armed
+// (-sample selects the deterministic 1-in-N page sampler) and prints the
+// critical-path blame tables, with -config choosing which configuration
+// also gets per-page detail and example span trees, and -json exporting the
+// observed page mix + per-link blame in the shape the deployment advisor
+// consumes; sweep-latency and sweep-load are WAN-latency and offered-load
+// sensitivity studies. Runs are independent seeded simulations, so any
+// -parallel setting prints byte-identical tables (and writes byte-identical
+// -metrics-out files).
 //
 // scale exercises the streaming workload engine (internal/workload.RunStream)
 // with -sessions concurrent Pet Store clients spread over eight edge nodes
 // and -shards engine lanes. Its stdout block depends only on the seed,
 // session count, shard count and durations — never on -parallel — so CI can
 // diff it across worker counts; wall-clock throughput goes to stderr.
+// -trace arms the bounded flight recorder and blame aggregation on every
+// lane; the trace block (sampled/evicted counts plus per-page cause blame)
+// joins the deterministic stdout.
 package main
 
 import (
@@ -51,6 +60,7 @@ import (
 	"wadeploy/internal/faults"
 	"wadeploy/internal/metrics"
 	"wadeploy/internal/petstore"
+	"wadeploy/internal/trace"
 	"wadeploy/internal/workload"
 )
 
@@ -81,6 +91,8 @@ func run(args []string) error {
 	faultsFlag := fs.String("faults", "", "fault schedule: 'canonical' or a JSON schedule file; arms the WAN-outage script and the resilience policies on every run")
 	sessions := fs.Int("sessions", 100000, "scale: concurrent client sessions")
 	shards := fs.Int("shards", 8, "scale: engine lanes (results depend on the shard count, never the worker count)")
+	sample := fs.Uint64("sample", 16, "trace/scale -trace: sample 1 in N page views (pure function of the trace ID)")
+	traceOn := fs.Bool("trace", false, "scale: arm the flight recorder and critical-path blame aggregation")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -201,7 +213,17 @@ func run(args []string) error {
 			fmt.Printf("Load sweep: %s / %s\n", app, cfg.Title())
 			fmt.Print(experiment.FormatSweep("offered-req-s", pts))
 		case "scale":
-			if err := scale(*sessions, *shards, *parallel, opts); err != nil {
+			if err := scale(*sessions, *shards, *parallel, *traceOn, *sample, opts); err != nil {
+				return err
+			}
+		case "trace":
+			app := experiment.PetStore
+			if *appFlag == "rubis" {
+				app = experiment.RUBiS
+			} else if *appFlag != "petstore" {
+				return fmt.Errorf("unknown app %q (want petstore|rubis)", *appFlag)
+			}
+			if err := traceReport(app, opts, *cfgFlag, *jsonOut, *ext, *sample); err != nil {
 				return err
 			}
 		case "all":
@@ -280,8 +302,10 @@ func availability(app experiment.AppID, opts experiment.RunOptions, diag bool, m
 // scale runs the streaming workload engine at -sessions concurrent clients.
 // The stdout block is deterministic in (seed, sessions, shards, durations)
 // and independent of -parallel, so CI diffs it across worker counts;
-// wall-clock throughput goes to stderr.
-func scale(sessionsN, shardsN, workers int, opts experiment.RunOptions) error {
+// wall-clock throughput goes to stderr. With -trace the flight recorder and
+// blame aggregation run alongside: the trace block (sampled/dropped counts
+// plus per-page cause blame) is part of the deterministic stdout.
+func scale(sessionsN, shardsN, workers int, traceOn bool, sample uint64, opts experiment.RunOptions) error {
 	cfg := workload.StreamConfig{
 		Seed:     opts.Seed,
 		Classes:  petstore.StreamWorkload(sessionsN),
@@ -289,6 +313,15 @@ func scale(sessionsN, shardsN, workers int, opts experiment.RunOptions) error {
 		Duration: opts.Duration,
 		Shards:   shardsN,
 		Workers:  workers, // <1 falls back to one worker per shard
+	}
+	if traceOn {
+		if sample < 1 {
+			sample = 1
+		}
+		// A small per-lane ring keeps the recorder's working set (ring slots
+		// plus the recycled trace objects cycling through them) cache-resident;
+		// large rings turn every push into a cache miss and cost ~10% events/s.
+		cfg.Trace = &trace.Options{SampleEvery: sample, MaxTraces: 128}
 	}
 	start := time.Now()
 	res, err := workload.RunStream(cfg)
@@ -301,9 +334,34 @@ func scale(sessionsN, shardsN, workers int, opts experiment.RunOptions) error {
 	fmt.Printf("events=%d pages=%d sessions=%d errors=%d\n",
 		res.Events, res.Pages, res.Sessions, res.Stats.Errors())
 	fmt.Print(res.Stats)
+	if res.Blame != nil {
+		fmt.Printf("trace: 1 in %d sampled=%d evicted=%d recorded=%d\n",
+			sample, res.TraceSampled, res.TraceDropped, len(res.Traces))
+		for _, e := range res.Blame.Pages() {
+			loc := "remote"
+			if e.Key.Local {
+				loc = "local"
+			}
+			var mean time.Duration
+			if e.Agg.Count > 0 {
+				mean = e.Agg.Total / time.Duration(e.Agg.Count)
+			}
+			fmt.Printf("blame %-8s %-14s %-6s views=%-8d mean=%-8v svc=%v wan=%v\n",
+				e.Key.Pattern, e.Key.Page, loc, e.Agg.Count, mean,
+				e.Agg.ByCause[trace.CauseService]/time.Duration(max64(e.Agg.Count, 1)),
+				e.Agg.ByCause[trace.CauseWAN]/time.Duration(max64(e.Agg.Count, 1)))
+		}
+	}
 	fmt.Fprintf(os.Stderr, "scale: wall %.2fs, %.0f events/s, %.0f simulated pages/s\n",
 		wall.Seconds(), float64(res.Events)/wall.Seconds(), float64(res.Pages)/wall.Seconds())
 	return nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // sweepTarget resolves the -app and -config flags.

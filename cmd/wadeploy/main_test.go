@@ -85,3 +85,24 @@ func TestRunErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestRunExplainJSON(t *testing.T) {
+	if err := run([]string{"-app", "petstore", "-config", "async-updates", "-json", "explain"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTraceTiny(t *testing.T) {
+	if err := run(tiny("-sample", "4", "trace")); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(tiny("-sample", "4", "-json", "-app", "rubis", "trace")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunScaleTraced(t *testing.T) {
+	if err := run(tiny("-sessions", "2000", "-shards", "2", "-trace", "-sample", "8", "scale")); err != nil {
+		t.Fatal(err)
+	}
+}

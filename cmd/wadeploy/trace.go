@@ -1,0 +1,90 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"wadeploy/internal/experiment"
+	"wadeploy/internal/trace"
+)
+
+// maxExampleTrees bounds the span trees printed by the text report.
+const maxExampleTrees = 3
+
+// traceFile is the `wadeploy trace -json` document: per configuration, the
+// observed page mix with per-cause and per-link critical-path blame. The
+// profile shape is what planner models consume (see
+// planner.Model.WithObservedVisits and trace.Profile.VisitShares).
+type traceFile struct {
+	App         experiment.AppID `json:"app"`
+	Seed        int64            `json:"seed"`
+	SampleEvery uint64           `json:"sample_every"`
+	Runs        []traceRun       `json:"runs"`
+}
+
+type traceRun struct {
+	Config  string         `json:"config"`
+	Sampled int64          `json:"sampled"`
+	Dropped int64          `json:"dropped"`
+	Profile *trace.Profile `json:"profile"`
+}
+
+// traceReport runs every configuration with the causal tracer armed and
+// prints the critical-path blame tables (text) or the aggregated profile
+// document (-json). detail selects which configuration gets the per-page
+// table and example span trees.
+func traceReport(app experiment.AppID, opts experiment.RunOptions, detail string, asJSON, ext bool, sample uint64) error {
+	if sample < 1 {
+		sample = 1
+	}
+	opts.Trace = &trace.Options{SampleEvery: sample}
+	var results []*experiment.Result
+	var err error
+	if ext {
+		results, err = experiment.RunTableWithExtensions(app, opts)
+	} else {
+		results, err = experiment.RunTable(app, opts)
+	}
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		doc := traceFile{App: app, Seed: opts.Seed, SampleEvery: sample}
+		for _, r := range results {
+			if r.Trace == nil {
+				continue
+			}
+			doc.Runs = append(doc.Runs, traceRun{
+				Config:  r.Config.String(),
+				Sampled: r.Trace.Sampled,
+				Dropped: r.Trace.Dropped,
+				Profile: r.Trace.Profile(),
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
+	}
+	fmt.Printf("Causal tracing: %s, 1 in %d page views sampled.\n", app, sample)
+	fmt.Print(experiment.FormatBlame(results))
+	for _, r := range results {
+		if r.Config.String() != detail || r.Trace == nil {
+			continue
+		}
+		fmt.Println()
+		fmt.Print(experiment.FormatBlamePages(r))
+		if len(r.Trace.Traces) == 0 {
+			continue
+		}
+		fmt.Printf("\nExample span trees (flight recorder holds %d of %d sampled):\n",
+			len(r.Trace.Traces), r.Trace.Sampled)
+		for i, t := range r.Trace.Traces {
+			if i >= maxExampleTrees {
+				break
+			}
+			fmt.Print(trace.Format(t))
+		}
+	}
+	return nil
+}

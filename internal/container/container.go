@@ -23,8 +23,12 @@ import (
 	"wadeploy/internal/sim"
 	"wadeploy/internal/simnet"
 	"wadeploy/internal/sqldb"
+	"wadeploy/internal/trace"
 	"wadeploy/internal/web"
 )
+
+// noopSpan avoids allocating a fresh closure on untraced SQL paths.
+var noopSpan = func() {}
 
 // Errors shared by the container layer.
 var (
@@ -214,7 +218,7 @@ func (s *Server) Compute(p *sim.Proc, d time.Duration) {
 	if d <= 0 {
 		return
 	}
-	s.node.CPU.Use(p, d)
+	trace.Use(p, s.node.CPU, s.name, d)
 }
 
 // bindName is the JNDI name a bean is bound under.
@@ -260,16 +264,16 @@ func (s *Server) SQLReplica(p *sim.Proc, query string, args ...sqldb.Value) (*sq
 	}
 	s.sqlStatements++
 	s.mReplicaSQL.Inc()
-	label := query
-	if len(label) > 48 {
-		label = label[:48] + "..."
+	endSQL := noopSpan
+	if trace.Active(p) {
+		endSQL = trace.Op(p, "sql-replica", s.replicaDB.Describe(query), s.name, "", trace.CauseService)
 	}
-	defer p.Span("sql-replica", label)()
+	defer endSQL()
 	res, err := s.replicaDB.Exec(query, args...)
 	if err != nil {
 		return nil, err
 	}
-	s.node.CPU.Use(p, res.Cost)
+	trace.Use(p, s.node.CPU, s.name, res.Cost)
 	return res, nil
 }
 
@@ -288,12 +292,20 @@ func (s *Server) SQLTx(p *sim.Proc, tx *sqldb.Tx, query string, args ...sqldb.Va
 func (s *Server) sqlOn(p *sim.Proc, tx *sqldb.Tx, query string, args ...sqldb.Value) (*sqldb.Result, error) {
 	s.sqlStatements++
 	s.mSQL.Inc()
-	label := query
-	if len(label) > 48 {
-		label = label[:48] + "..."
-	}
-	defer p.Span("sql", label)()
 	remote := s.dbSrv.ID != s.name
+	endSQL := noopSpan
+	if trace.Active(p) {
+		sqlCause := trace.CauseService
+		var sqlPeer string
+		if remote {
+			sqlPeer = s.name
+			if s.net.WideArea(s.name, s.dbSrv.ID) {
+				sqlCause = trace.CauseWAN
+			}
+		}
+		endSQL = trace.Op(p, "sql", s.db.Describe(query), s.dbSrv.ID, sqlPeer, sqlCause)
+	}
+	defer endSQL()
 	if remote {
 		rounds := s.costs.JDBCRounds
 		if rounds < 1 {
@@ -316,6 +328,6 @@ func (s *Server) sqlOn(p *sim.Proc, tx *sqldb.Tx, query string, args ...sqldb.Va
 		return nil, err
 	}
 	// Charge the statement's service time to the database node's CPU.
-	s.dbSrv.CPU.Use(p, res.Cost)
+	trace.Use(p, s.dbSrv.CPU, s.dbSrv.ID, res.Cost)
 	return res, nil
 }

@@ -11,6 +11,7 @@ import (
 	"wadeploy/internal/rmi"
 	"wadeploy/internal/sim"
 	"wadeploy/internal/sqldb"
+	"wadeploy/internal/trace"
 )
 
 // ErrNoSuchEntity is returned when an entity row does not exist.
@@ -680,7 +681,21 @@ func (sp *SyncPropagator) batchBytes(updates []Update) int {
 
 // Propagate blocks while each target applies the batch.
 func (sp *SyncPropagator) Propagate(p *sim.Proc, updates []Update) error {
-	defer p.Span("push", "sync fan-out")()
+	// Sequential pushes nest their rmi spans right here, so the fan-out
+	// span's self-time is ~0 and each call claims its own cause. Parallel
+	// pushes run on spawned processes (async spans), leaving the wait for
+	// the slowest target as this span's self-time — wide-area wait whenever
+	// any target is across a WAN link.
+	pushCause := trace.CauseService
+	if sp.Parallel && len(sp.targets) > 1 && trace.Active(p) {
+		for _, t := range sp.targets {
+			if t.Server != sp.srv.name && sp.srv.net.WideArea(sp.srv.name, t.Server) {
+				pushCause = trace.CauseWAN
+				break
+			}
+		}
+	}
+	defer trace.Op(p, "push", "sync fan-out", sp.srv.name, "", pushCause)()
 	start := p.Now()
 	defer func() { sp.mPushNs.Observe(p.Now() - start) }()
 	payload := sp.batchBytes(updates)
@@ -721,7 +736,9 @@ func (sp *SyncPropagator) propagateParallel(p *sim.Proc, payload int, updates []
 		t := t
 		pr := sim.NewPromise[struct{}](env)
 		promises[i] = pr
+		ctx := trace.Capture(p)
 		env.Spawn("sync-push:"+t.Server, func(pp *sim.Proc) {
+			defer trace.Adopt(pp, ctx, "push", "apply batch", t.Server, trace.CauseService)()
 			if err := sp.pushOne(pp, t, payload, updates); err != nil {
 				pr.Fail(err)
 				return
@@ -776,7 +793,7 @@ func (ap *AsyncPropagator) Topic() string { return ap.topic }
 
 // Propagate publishes the batch and returns without waiting for delivery.
 func (ap *AsyncPropagator) Propagate(p *sim.Proc, updates []Update) error {
-	defer p.Span("jms", "publish "+ap.topic)()
+	defer trace.Opf(p, "jms", ap.srv.name, "", trace.CauseService, "publish ", ap.topic, "")()
 	if err := ap.srv.jms.Publish(p, ap.srv.name, ap.topic, updates, ap.bytes); err != nil {
 		return fmt.Errorf("async push: %w", err)
 	}

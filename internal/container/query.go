@@ -7,6 +7,7 @@ import (
 
 	"wadeploy/internal/metrics"
 	"wadeploy/internal/sim"
+	"wadeploy/internal/trace"
 )
 
 // QueryFetch re-executes a cached query on a miss or pull refresh. On an
@@ -109,9 +110,14 @@ func (qc *QueryCache) Get(p *sim.Proc, key string) (any, error) {
 	if ok && !e.stale && !expired {
 		qc.hits++
 		qc.mHits.Inc()
+		endHit := trace.Opf(p, "cache", qc.srv.name, "", trace.CauseService, "hit ", qc.name, "")
 		qc.srv.Compute(p, qc.srv.costs.CacheHitCPU)
+		endHit()
 		return e.result, nil
 	}
+	// Misses and refreshes run the fetch path (the facade's remote query or
+	// local SQL), which contributes its own spans under this one.
+	defer trace.Opf(p, "cache", qc.srv.name, "", trace.CauseService, "fetch ", qc.name, "")()
 	if qc.fetch == nil {
 		return nil, fmt.Errorf("query cache %s: no entry for %q and no fetch path", qc.name, key)
 	}

@@ -7,6 +7,7 @@ import (
 	"wadeploy/internal/metrics"
 	"wadeploy/internal/rmi"
 	"wadeploy/internal/sim"
+	"wadeploy/internal/trace"
 )
 
 // Invocation is the context passed to a session-bean business method.
@@ -207,7 +208,7 @@ func (b *StatefulBean) handle(p *sim.Proc, call *rmi.Call) (any, error) {
 
 // replicate pushes the session instance's state to the buddy server.
 func (b *StatefulBean) replicate(p *sim.Proc, sessionKey string, st State) error {
-	defer p.Span("session-repl", b.name+" -> "+b.replicaServer)()
+	defer trace.Opf(p, "session-repl", b.replicaServer, "", trace.CauseService, b.name, " -> ", b.replicaServer)()
 	stub, err := b.srv.StubFor(p, b.replicaServer, b.name)
 	if err != nil {
 		return err

@@ -20,6 +20,7 @@ import (
 	"wadeploy/internal/sim"
 	"wadeploy/internal/simnet"
 	"wadeploy/internal/sqldb"
+	"wadeploy/internal/trace"
 )
 
 // Replica is one edge copy of the database.
@@ -162,28 +163,31 @@ func (p *Primary) Attach(node string, init func(db *sqldb.DB) error) (*Replica, 
 }
 
 // ship streams one committed write statement to every replica,
-// asynchronously and in order per replica.
+// asynchronously and in order per replica. The write hook carries no process
+// parameter, so the causal context is read off the environment's currently
+// executing process (the one whose statement committed).
 func (p *Primary) ship(sql string, args []sqldb.Value) {
 	p.shipped++
 	p.mShipped.Inc()
 	argsCopy := append([]sqldb.Value(nil), args...)
 	for _, r := range p.replicas {
-		p.shipTo(r, sql, argsCopy, 0)
+		p.shipTo(r, sql, argsCopy, trace.CaptureEnv(p.env), 0)
 	}
 }
 
 // shipTo attempts delivery of one statement to one replica; attempt counts
 // retries already spent.
-func (p *Primary) shipTo(r *Replica, sql string, argsCopy []sqldb.Value, attempt int) {
+func (p *Primary) shipTo(r *Replica, sql string, argsCopy []sqldb.Value, ctx trace.Ctx, attempt int) {
 	delay, err := p.net.Delay(p.node, r.node.ID, p.bytes)
 	if err != nil {
 		if attempt < p.retryMax {
 			p.mRetries.Inc()
-			p.env.After(p.retryDelay, func() { p.shipTo(r, sql, argsCopy, attempt+1) })
+			p.env.After(p.retryDelay, func() { p.shipTo(r, sql, argsCopy, ctx, attempt+1) })
 			return
 		}
 		r.dropped++
 		p.mDropped.Inc()
+		ctx.Drop()
 		return
 	}
 	shippedAt := p.env.Now()
@@ -192,10 +196,15 @@ func (p *Primary) shipTo(r *Replica, sql string, argsCopy []sqldb.Value, attempt
 		arrival = r.lastArrival
 	}
 	r.lastArrival = arrival
+	cause := trace.CauseService
+	if attempt > 0 {
+		cause = trace.CauseRetry
+	}
 	p.env.At(arrival, func() {
 		p.env.Spawn("dbrepl-apply", func(proc *sim.Proc) {
+			defer trace.Adoptf(proc, ctx, "dbrepl", r.node.ID, cause, "replay ", sql[:min(len(sql), 24)], "")()
 			if p.applyMS > 0 {
-				r.node.CPU.Use(proc, p.applyMS)
+				trace.Use(proc, r.node.CPU, r.node.ID, p.applyMS)
 			}
 			res, err := r.DB.Exec(sql, argsCopy...)
 			if err != nil {
@@ -203,7 +212,7 @@ func (p *Primary) shipTo(r *Replica, sql string, argsCopy []sqldb.Value, attempt
 				p.mFailed.Inc()
 				return
 			}
-			r.node.CPU.Use(proc, res.Cost)
+			trace.Use(proc, r.node.CPU, r.node.ID, res.Cost)
 			r.applied++
 			p.mApplied.Inc()
 			lag := proc.Now() - shippedAt

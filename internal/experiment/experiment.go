@@ -15,6 +15,7 @@ import (
 	"wadeploy/internal/petstore"
 	"wadeploy/internal/rubis"
 	"wadeploy/internal/sim"
+	"wadeploy/internal/trace"
 	"wadeploy/internal/workload"
 )
 
@@ -71,6 +72,14 @@ type RunOptions struct {
 	// timer callback (no process, no RNG draw), so enabling it does not
 	// perturb the workload schedule.
 	MetricsTick time.Duration
+
+	// Trace, when non-nil, installs a causal tracer on the run's environment
+	// before the deployment is built: every substrate records spans for the
+	// sampled page requests and Result.Trace carries the blame aggregates
+	// plus the flight recorder's surviving span trees. Tracing draws no
+	// randomness and adds no delays, so enabling it leaves every table and
+	// figure byte-identical.
+	Trace *trace.Options
 }
 
 // DefaultRunOptions mirrors the paper's methodology (each test ran for about
@@ -120,7 +129,22 @@ type Result struct {
 	// Metrics is the run's full registry snapshot, taken after the workload
 	// finishes (deterministic: same seed, same snapshot).
 	Metrics *metrics.Snapshot
+
+	// Trace carries the causal-tracing outputs when RunOptions.Trace was set.
+	Trace *TraceReport
 }
+
+// TraceReport is one run's tracing harvest: the blame aggregates over every
+// sampled page view and the flight recorder's surviving span trees.
+type TraceReport struct {
+	Blame   *trace.Aggregator
+	Traces  []*trace.Trace
+	Sampled int64 // traces recorded (post-sampling)
+	Dropped int64 // flight-recorder evictions
+}
+
+// Profile renders the report's aggregates in the JSON export shape.
+func (tr *TraceReport) Profile() *trace.Profile { return tr.Blame.Profile() }
 
 // Cell returns the cell for (pattern, page), or nil.
 func (r *Result) Cell(pattern, page string) *PageCell {
@@ -192,6 +216,9 @@ var RUBiSColumns = []struct {
 // Run executes one (application, configuration) experiment.
 func Run(app AppID, cfg core.ConfigID, opts RunOptions) (*Result, error) {
 	env := sim.NewEnv(opts.Seed)
+	if opts.Trace != nil {
+		trace.New(env, *opts.Trace).Install(env)
+	}
 	switch app {
 	case PetStore:
 		copts := core.DefaultOptions()
@@ -305,6 +332,14 @@ func collect(app AppID, cfg core.ConfigID, d *core.Deployment, opts RunOptions,
 		res.SessionMeans[pat] = map[bool]time.Duration{
 			true:  stats.SessionMean(pat, true),
 			false: stats.SessionMean(pat, false),
+		}
+	}
+	if tr := trace.FromEnv(d.Env); tr != nil {
+		res.Trace = &TraceReport{
+			Blame:   tr.Aggregator(),
+			Traces:  tr.Recorder().Traces(),
+			Sampled: int64(tr.Recorder().Len()) + int64(tr.Recorder().Evicted()),
+			Dropped: int64(tr.Recorder().Evicted()),
 		}
 	}
 	mainNode := d.Net.Node(d.Main.Name())

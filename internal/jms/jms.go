@@ -17,6 +17,7 @@ import (
 	"wadeploy/internal/metrics"
 	"wadeploy/internal/sim"
 	"wadeploy/internal/simnet"
+	"wadeploy/internal/trace"
 )
 
 // ErrNoSuchTopic is returned when publishing to an undeclared topic.
@@ -200,7 +201,10 @@ func (pr *Provider) Publish(p *sim.Proc, fromNode, topic string, body any, bytes
 	pr.mPub.Inc()
 	t.mPub.Inc()
 	for _, sub := range t.subs {
-		pr.deliver(t, sub, msg, 1)
+		// Each subscription gets its own captured context, so a traced
+		// publish stays open until every delivery (or redelivery chain)
+		// lands, is dropped, or dead-letters.
+		pr.deliver(t, sub, msg, trace.Capture(p), 1)
 	}
 	return nil
 }
@@ -209,19 +213,21 @@ func (pr *Provider) Publish(p *sim.Proc, fromNode, topic string, body any, bytes
 // dropped (at-most-once, the historical behavior) unless a redelivery policy
 // is configured, in which case it is re-attempted up to the policy's cap and
 // then counted as a dead letter.
-func (pr *Provider) deliver(t *Topic, sub *subscription, msg *Message, attempt int) {
+func (pr *Provider) deliver(t *Topic, sub *subscription, msg *Message, ctx trace.Ctx, attempt int) {
 	delay, err := pr.net.Delay(pr.node, sub.node, msg.Bytes)
 	if err != nil {
 		rd := pr.opts.Redelivery
 		if rd == nil {
 			// Partitioned subscriber: drop (at-most-once across failures).
+			ctx.Drop()
 			return
 		}
 		if attempt < rd.MaxAttempts {
 			pr.mRedeliver.Inc()
-			pr.env.After(rd.Delay, func() { pr.deliver(t, sub, msg, attempt+1) })
+			pr.env.After(rd.Delay, func() { pr.deliver(t, sub, msg, ctx, attempt+1) })
 		} else {
 			pr.mDeadLetter.Inc()
+			ctx.Drop()
 		}
 		return
 	}
@@ -230,8 +236,15 @@ func (pr *Provider) deliver(t *Topic, sub *subscription, msg *Message, attempt i
 		arrival = sub.lastArrival // FIFO per subscription
 	}
 	sub.lastArrival = arrival
+	// Redelivered messages carry the retry cause so the delivery tail shows
+	// up as retry/backoff time in the blame decomposition.
+	cause := trace.CauseService
+	if attempt > 1 {
+		cause = trace.CauseRetry
+	}
 	pr.env.At(arrival, func() {
 		pr.env.Spawn("jms:"+sub.name, func(dp *sim.Proc) {
+			defer trace.Adoptf(dp, ctx, "jms", sub.node, cause, "deliver ", sub.name, "")()
 			dp.Sleep(pr.opts.DeliverCPU)
 			pr.delivered++
 			pr.mDel.Inc()

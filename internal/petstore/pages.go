@@ -5,6 +5,7 @@ import (
 
 	"wadeploy/internal/container"
 	"wadeploy/internal/sim"
+	"wadeploy/internal/trace"
 	"wadeploy/internal/web"
 )
 
@@ -46,7 +47,7 @@ var BuyerPages = []string{
 
 // render charges the page's application-side cost on srv.
 func (a *App) render(p *sim.Proc, srv *container.Server, page string) {
-	defer p.Span("render", page)()
+	defer trace.Op(p, "render", page, srv.Name(), "", trace.CauseService)()
 	c := a.costs[page]
 	srv.Compute(p, c.CPU)
 	p.Sleep(c.Lat)

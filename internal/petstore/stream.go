@@ -115,6 +115,19 @@ func StreamRequestModel(local bool) workload.StreamRequest {
 	}
 }
 
+// StreamTraceWAN is the critical-path hint matching StreamRequestModel: a
+// remote class's pages spend one WAN round trip of their response time on
+// the wide area; local pages spend none. nil for local classes keeps the
+// tracing-on hot path free of a useless indirect call.
+func StreamTraceWAN(local bool) func(page string, rt time.Duration) time.Duration {
+	if local {
+		return nil
+	}
+	return func(page string, rt time.Duration) time.Duration {
+		return streamWANRoundTrip
+	}
+}
+
 // StreamWorkload builds the scale workload: totalClients spread across eight
 // edge nodes (the first co-located with the application main site), each
 // node carrying the paper's 80/20 browser/buyer mix with the 8-second soft
@@ -134,24 +147,26 @@ func StreamWorkload(totalClients int) []workload.StreamClass {
 		writers := clients - browsers
 		classes = append(classes,
 			workload.StreamClass{
-				Name:    node + "/browser",
-				Node:    node,
-				Local:   local,
-				Pattern: PatternBrowser,
-				Clients: browsers,
-				Delay:   8 * time.Second,
-				Gen:     BrowserStream,
-				Request: StreamRequestModel(local),
+				Name:     node + "/browser",
+				Node:     node,
+				Local:    local,
+				Pattern:  PatternBrowser,
+				Clients:  browsers,
+				Delay:    8 * time.Second,
+				Gen:      BrowserStream,
+				Request:  StreamRequestModel(local),
+				TraceWAN: StreamTraceWAN(local),
 			},
 			workload.StreamClass{
-				Name:    node + "/buyer",
-				Node:    node,
-				Local:   local,
-				Pattern: PatternBuyer,
-				Clients: writers,
-				Delay:   8 * time.Second,
-				Gen:     BuyerStream,
-				Request: StreamRequestModel(local),
+				Name:     node + "/buyer",
+				Node:     node,
+				Local:    local,
+				Pattern:  PatternBuyer,
+				Clients:  writers,
+				Delay:    8 * time.Second,
+				Gen:      BuyerStream,
+				Request:  StreamRequestModel(local),
+				TraceWAN: StreamTraceWAN(local),
 			})
 	}
 	return classes

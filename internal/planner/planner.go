@@ -278,6 +278,45 @@ func (m *Model) component(name string) *Component {
 	return nil
 }
 
+// WithObservedVisits returns a copy of m whose per-pattern page-visit
+// weights are redistributed according to observed visit shares — the shape
+// trace.Profile.VisitShares exports from a traced run. Each pattern keeps
+// its modeled visit total per session (so absolute cost scales stay
+// comparable); only the split across pages moves to what the tracer actually
+// saw. Patterns or pages absent from shares keep their modeled weights —
+// the planner never drops a page just because sampling missed it.
+func (m *Model) WithObservedVisits(shares map[string]map[string]float64) *Model {
+	out := *m
+	out.Patterns = make([]Pattern, len(m.Patterns))
+	for i, pat := range m.Patterns {
+		out.Patterns[i] = pat
+		obs := shares[pat.Name]
+		if len(obs) == 0 {
+			continue
+		}
+		var modeled, observed float64
+		for _, v := range pat.Visits {
+			modeled += v
+		}
+		for _, s := range obs {
+			observed += s
+		}
+		if modeled <= 0 || observed <= 0 {
+			continue
+		}
+		visits := make(map[string]float64, len(pat.Visits))
+		for page, v := range pat.Visits {
+			if s, ok := obs[page]; ok {
+				visits[page] = s / observed * modeled
+			} else {
+				visits[page] = v
+			}
+		}
+		out.Patterns[i].Visits = visits
+	}
+	return &out
+}
+
 // pattern looks a usage pattern up by name, or returns nil.
 func (m *Model) pattern(name string) *Pattern {
 	for i := range m.Patterns {

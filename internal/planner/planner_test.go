@@ -230,3 +230,48 @@ func TestExtensionThresholdPositive(t *testing.T) {
 		t.Errorf("threshold not increasing in write rate: %v -> %v", thr, thr2)
 	}
 }
+
+func TestWithObservedVisits(t *testing.T) {
+	m := &planner.Model{Patterns: []planner.Pattern{
+		{Name: "Browser", Visits: map[string]float64{"Main": 2, "Product": 6}},
+		{Name: "Buyer", Visits: map[string]float64{"Cart": 1}},
+	}}
+	got := m.WithObservedVisits(map[string]map[string]float64{
+		"Browser": {"Main": 0.75, "Product": 0.25},
+	})
+	// The Browser total (8 visits/session) is preserved, redistributed 3:1.
+	bv := got.Patterns[0].Visits
+	if bv["Main"] != 6 || bv["Product"] != 2 {
+		t.Errorf("Browser visits = %v, want Main:6 Product:2", bv)
+	}
+	// Patterns without observations keep their modeled weights.
+	if got.Patterns[1].Visits["Cart"] != 1 {
+		t.Errorf("Buyer visits perturbed: %v", got.Patterns[1].Visits)
+	}
+	// The receiver is untouched.
+	if m.Patterns[0].Visits["Main"] != 2 {
+		t.Errorf("original model mutated: %v", m.Patterns[0].Visits)
+	}
+}
+
+func TestWithObservedVisitsUnknownPagesKept(t *testing.T) {
+	m := &planner.Model{Patterns: []planner.Pattern{
+		{Name: "Browser", Visits: map[string]float64{"Main": 4, "Search": 4}},
+	}}
+	// Sampling only saw Main; Search keeps its modeled weight.
+	got := m.WithObservedVisits(map[string]map[string]float64{"Browser": {"Main": 1.0}})
+	bv := got.Patterns[0].Visits
+	if bv["Main"] != 8 || bv["Search"] != 4 {
+		t.Errorf("visits = %v, want Main:8 Search:4", bv)
+	}
+}
+
+func TestWithObservedVisitsSearchSmoke(t *testing.T) {
+	m := testModel()
+	adapted := m.WithObservedVisits(map[string]map[string]float64{
+		"Reader": {"View": 1.0},
+	})
+	if _, err := planner.Search(adapted); err != nil {
+		t.Fatalf("Search over adapted model: %v", err)
+	}
+}

@@ -16,7 +16,11 @@ import (
 	"wadeploy/internal/metrics"
 	"wadeploy/internal/sim"
 	"wadeploy/internal/simnet"
+	"wadeploy/internal/trace"
 )
+
+// noopCloser avoids allocating a fresh closure per untraced first attempt.
+var noopCloser = func() {}
 
 // ErrCallTimeout wraps remote calls that waited out the per-call timeout
 // after the network silently dropped a request or reply.
@@ -250,7 +254,15 @@ func (s *Stub) invokeResilient(p *sim.Proc, call *Call, reqBytes, replyBytes int
 		if err := res.allow(p.Now(), s.caller, s.obj.Node); err != nil {
 			return nil, err
 		}
+		// Re-attempts after a network failure are charged to retry/backoff
+		// in the critical-path decomposition; the first attempt stays part
+		// of the surrounding rmi span (WAN wait).
+		endAttempt := noopCloser
+		if attempt > 1 {
+			endAttempt = trace.Opf(p, "retry", s.obj.Node, "", trace.CauseRetry, "reattempt ", call.Method, "")
+		}
 		result, err := s.attemptRemote(p, call, reqBytes, replyBytes)
+		endAttempt()
 		netFail := err != nil && isNetworkError(err)
 		res.record(p.Now(), s.caller, s.obj.Node, !netFail)
 		if !netFail {
@@ -263,7 +275,9 @@ func (s *Stub) invokeResilient(p *sim.Proc, call *Call, reqBytes, replyBytes int
 		}
 		res.mRetries.Inc()
 		if backoff > 0 {
+			endBackoff := trace.Op(p, "retry", "backoff", s.caller, "", trace.CauseRetry)
 			p.Sleep(backoff)
+			endBackoff()
 			backoff *= 2
 			if backoffMax > 0 && backoff > backoffMax {
 				backoff = backoffMax

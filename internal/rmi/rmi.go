@@ -19,13 +19,13 @@ import (
 	"wadeploy/internal/metrics"
 	"wadeploy/internal/sim"
 	"wadeploy/internal/simnet"
+	"wadeploy/internal/trace"
 )
 
 // wideAreaOneWay is the one-way latency above which a remote call is
-// classified wide-area. The paper's WAN links are 100 ms each way and its
-// LANs are sub-millisecond, so any threshold between the two works; 10 ms
-// keeps the classification robust for sweep topologies too.
-const wideAreaOneWay = 10 * time.Millisecond
+// classified wide-area. The threshold lives in simnet so the tracing layer
+// classifies network spans identically.
+const wideAreaOneWay = simnet.WideAreaOneWay
 
 // ErrNotBound is returned when a name is not present in a registry.
 var ErrNotBound = errors.New("rmi: name not bound")
@@ -207,7 +207,15 @@ func (s *Stub) Remote() bool { return s.obj.Node != s.caller }
 func (rt *Runtime) Lookup(p *sim.Proc, callerNode, registryNode, name string) (*Stub, error) {
 	rt.stats.Lookups++
 	rt.mLookups.Inc()
-	defer p.Span("jndi", name+" @ "+registryNode)()
+	lookupCause := trace.CauseService
+	var lookupPeer string
+	if callerNode != registryNode {
+		lookupPeer = callerNode
+		if trace.Active(p) && rt.net.WideArea(callerNode, registryNode) {
+			lookupCause = trace.CauseWAN
+		}
+	}
+	defer trace.Opf(p, "jndi", registryNode, lookupPeer, lookupCause, name, " @ ", registryNode)()
 	if callerNode != registryNode {
 		rt.stats.RemoteLkups++
 		rt.mRemoteLkup.Inc()
@@ -257,16 +265,27 @@ func (s *Stub) InvokeSized(p *sim.Proc, method string, reqBytes, replyBytes int,
 	if !s.Remote() {
 		rt.stats.LocalCalls++
 		rt.mLocal.Inc()
-		defer p.Span("call", s.obj.Name+"."+method)()
+		defer trace.Opf(p, "call", s.caller, "", trace.CauseService, s.obj.Name, ".", method)()
 		p.Sleep(rt.opts.LocalDispatch)
 		return s.obj.h(p, call)
 	}
 	rt.stats.RemoteCalls++
 	rt.mRemote.Inc()
-	if oneWay, owErr := rt.net.Latency(s.caller, s.obj.Node); owErr == nil && oneWay >= wideAreaOneWay {
-		rt.mWide.Inc()
+	wide := true // unreachable counts as wide: whatever stalls there, a LAN did not
+	if oneWay, owErr := rt.net.Latency(s.caller, s.obj.Node); owErr == nil {
+		wide = oneWay >= wideAreaOneWay
+		if wide {
+			rt.mWide.Inc()
+		}
 	}
-	defer p.Span("rmi", s.obj.Name+"."+method+" -> "+s.obj.Node)()
+	callCause := trace.CauseService
+	if wide {
+		callCause = trace.CauseWAN
+	}
+	// The rmi span's self-time is marshalling plus network round trips; the
+	// handler runs on the calling process, so its work (SQL, nested calls)
+	// nests as child spans and claims its own causes.
+	defer trace.Opf(p, "rmi", s.obj.Node, s.caller, callCause, s.obj.Name, ".", method)()
 	if rt.resil != nil {
 		return s.invokeResilient(p, call, reqBytes, replyBytes)
 	}

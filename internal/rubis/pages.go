@@ -5,6 +5,7 @@ import (
 
 	"wadeploy/internal/container"
 	"wadeploy/internal/sim"
+	"wadeploy/internal/trace"
 	"wadeploy/internal/web"
 )
 
@@ -54,7 +55,7 @@ var BidderPages = []string{
 }
 
 func (a *App) render(p *sim.Proc, srv *container.Server, page string) {
-	defer p.Span("render", page)()
+	defer trace.Op(p, "render", page, srv.Name(), "", trace.CauseService)()
 	c := a.costs[page]
 	srv.Compute(p, c.CPU)
 	p.Sleep(c.Lat)

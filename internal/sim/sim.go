@@ -134,6 +134,8 @@ type Env struct {
 	fatal  any   // panic value captured from a process, re-raised by the scheduler
 
 	metrics *metrics.Registry // lazily created; reads the virtual clock
+
+	traceHook any // opaque slot for a causal tracer (internal/trace); sim stays tracer-agnostic
 }
 
 // NewEnv returns a fresh environment whose random source is seeded with seed.
@@ -149,6 +151,20 @@ func NewEnv(seed int64) *Env {
 
 // Now returns the current virtual time, measured from the start of the run.
 func (e *Env) Now() time.Duration { return e.now }
+
+// Current returns the process currently holding control, or nil when the
+// scheduler is running a raw callback or task. Hooks invoked from code that
+// has no *Proc parameter (the sqldb write hook, for one) use it to reach the
+// executing process's trace context.
+func (e *Env) Current() *Proc { return e.curr }
+
+// SetTraceHook installs an opaque causal tracer on the environment.
+// Substrates retrieve it with TraceHook at construction time; sim never
+// interprets the value.
+func (e *Env) SetTraceHook(v any) { e.traceHook = v }
+
+// TraceHook returns the value installed with SetTraceHook (nil if none).
+func (e *Env) TraceHook() any { return e.traceHook }
 
 // Rand returns the environment's deterministic random source.
 func (e *Env) Rand() *rand.Rand { return e.rng }
@@ -215,12 +231,22 @@ func (e *Env) scheduleProc(at time.Duration, p *Proc) {
 // Proc is a simulation process: a goroutine whose execution is interleaved
 // deterministically with all other processes by the environment.
 type Proc struct {
-	env    *Env
-	name   string
-	resume chan struct{}
-	kill   bool
-	trace  *Trace
+	env      *Env
+	name     string
+	resume   chan struct{}
+	kill     bool
+	trace    *Trace
+	traceCtx any // opaque per-process slot for a causal tracer's span state
 }
+
+// SetTraceCtx stores an opaque causal-tracing context on the process. The
+// slot belongs to whatever tracer is installed on the environment; sim itself
+// never reads it.
+func (p *Proc) SetTraceCtx(v any) { p.traceCtx = v }
+
+// TraceCtx returns the value stored with SetTraceCtx (nil when untraced —
+// the zero-cost fast-path check instrumentation relies on).
+func (p *Proc) TraceCtx() any { return p.traceCtx }
 
 // Env returns the environment the process belongs to.
 func (p *Proc) Env() *Env { return p.env }

@@ -32,7 +32,10 @@ type Trace struct {
 // Spans returns the recorded spans in start order.
 func (t *Trace) Spans() []Span { return append([]Span(nil), t.spans...) }
 
-// Total returns the duration from the first span's start to the latest end.
+// Total returns the duration from the earliest span start to the latest span
+// end. Spans are appended in open order, which is not start order once a span
+// opened on another process (an async child adopted before a late root
+// re-entry) lands first, so the minimum start must be computed, not assumed.
 func (t *Trace) Total() time.Duration {
 	if len(t.spans) == 0 {
 		return 0
@@ -40,6 +43,9 @@ func (t *Trace) Total() time.Duration {
 	start := t.spans[0].Start
 	var end time.Duration
 	for _, s := range t.spans {
+		if s.Start < start {
+			start = s.Start
+		}
 		if s.End > end {
 			end = s.End
 		}

@@ -96,3 +96,71 @@ func TestTraceOutOfOrderCloseIsDefensive(t *testing.T) {
 	})
 	e.RunAll()
 }
+
+// Total must scan for the minimum start: spans are stored in open order, and
+// a span opened earlier in virtual time can be appended after a later one
+// when closers interleave across re-entries.
+func TestTraceTotalUsesMinimumStart(t *testing.T) {
+	e := NewEnv(1)
+	var tr *Trace
+	e.Spawn("p", func(p *Proc) {
+		p.Sleep(30 * time.Millisecond)
+		tr = p.StartTrace()
+		// First recorded span starts at t=30ms...
+		end := p.Span("late", "re-entry")
+		p.Sleep(10 * time.Millisecond)
+		end()
+		p.StopTrace()
+	})
+	e.RunAll()
+	// ...then an earlier span is spliced in front of it in virtual time,
+	// appended after it in storage order (as an adopted async child would be).
+	tr.spans = append(tr.spans, Span{Layer: "early", Start: 5 * time.Millisecond, End: 15 * time.Millisecond})
+	if got, want := tr.Total(), 35*time.Millisecond; got != want {
+		t.Fatalf("Total = %v, want %v (min start 5ms to max end 40ms)", got, want)
+	}
+}
+
+func TestTraceCtxSlotRoundTrips(t *testing.T) {
+	e := NewEnv(1)
+	e.Spawn("p", func(p *Proc) {
+		if p.TraceCtx() != nil {
+			t.Error("fresh process has non-nil trace ctx")
+		}
+		v := &struct{ x int }{x: 7}
+		p.SetTraceCtx(v)
+		if p.TraceCtx() != any(v) {
+			t.Error("trace ctx did not round-trip")
+		}
+		p.SetTraceCtx(nil)
+		if p.TraceCtx() != nil {
+			t.Error("trace ctx not cleared")
+		}
+	})
+	e.RunAll()
+	e.Close()
+	if e.TraceHook() != nil {
+		t.Fatal("fresh env has non-nil trace hook")
+	}
+	e.SetTraceHook("tracer")
+	if e.TraceHook() != "tracer" {
+		t.Fatal("trace hook did not round-trip")
+	}
+}
+
+func TestEnvCurrentTracksRunningProc(t *testing.T) {
+	e := NewEnv(1)
+	var inProc, inCallback *Proc
+	e.Spawn("p", func(p *Proc) {
+		inProc = e.Current()
+	})
+	e.After(time.Millisecond, func() { inCallback = e.Current() })
+	e.RunAll()
+	e.Close()
+	if inProc == nil || inProc.Name() != "p" {
+		t.Fatalf("Current inside process = %v", inProc)
+	}
+	if inCallback != nil {
+		t.Fatalf("Current inside raw callback = %v, want nil", inCallback)
+	}
+}

@@ -339,6 +339,20 @@ func (n *Network) path(a, b string) ([]*Link, error) {
 	return p, nil
 }
 
+// WideAreaOneWay is the one-way latency at or above which a path counts as
+// wide-area. The paper's WAN links are 40–120 ms one way while LAN hops are
+// well under a millisecond, so any threshold in between classifies
+// identically; tracing and the rmi statistics share this one.
+const WideAreaOneWay = 10 * time.Millisecond
+
+// WideArea reports whether the current shortest live path from a to b
+// crosses a wide-area distance (one-way latency ≥ WideAreaOneWay).
+// Unreachable pairs count as wide: whatever stalls there, a LAN did not.
+func (n *Network) WideArea(a, b string) bool {
+	d, err := n.Latency(a, b)
+	return err != nil || d >= WideAreaOneWay
+}
+
 // Latency returns the one-way propagation delay from a to b along the
 // current shortest live path.
 func (n *Network) Latency(a, b string) (time.Duration, error) {

@@ -221,6 +221,8 @@ type DB struct {
 	mu       sync.Mutex
 	tables   map[string]*table
 	prepared map[string]Stmt
+	// labels interns Describe's "verb table" span labels per statement text.
+	labels map[string]string
 	cost     CostModel
 
 	// statements counts executed statements, for instrumentation.
@@ -322,6 +324,54 @@ func (db *DB) prepareLocked(sql string) (Stmt, error) {
 	}
 	db.prepared[sql] = st
 	return st, nil
+}
+
+// Describe returns a compact "verb table" label for sql ("select item",
+// "update account"), parsing through the prepared-statement cache. Labels
+// are interned alongside the parse, so repeated calls with the same
+// statement text return the same string without allocating — tracing layers
+// can label per-statement spans at no steady-state cost. Unparseable text
+// is labeled "sql" (execution will surface the error).
+func (db *DB) Describe(sql string) string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if label, ok := db.labels[sql]; ok {
+		return label
+	}
+	label := "sql"
+	if st, err := db.prepareLocked(sql); err == nil {
+		label = describeStmt(st)
+	}
+	if db.labels == nil {
+		db.labels = make(map[string]string)
+	}
+	db.labels[sql] = label
+	return label
+}
+
+// describeStmt renders one parsed statement as "verb table".
+func describeStmt(st Stmt) string {
+	switch s := st.(type) {
+	case *SelectStmt:
+		if len(s.From) == 0 {
+			return "select"
+		}
+		return "select " + s.From[0].Table
+	case *InsertStmt:
+		return "insert " + s.Table
+	case *UpdateStmt:
+		return "update " + s.Table
+	case *DeleteStmt:
+		return "delete " + s.Table
+	case *CreateTableStmt:
+		return "create-table " + s.Name
+	case *CreateIndexStmt:
+		return "create-index " + s.Table
+	case *DropTableStmt:
+		return "drop-table " + s.Name
+	default:
+		return "sql"
+	}
 }
 
 // SetWriteHook registers fn to observe every successful mutating statement

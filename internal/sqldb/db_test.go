@@ -479,3 +479,25 @@ func TestPrepareCachesParse(t *testing.T) {
 		t.Fatal("prepare did not cache")
 	}
 }
+
+func TestDescribeLabels(t *testing.T) {
+	db := New()
+	mustExec(t, db, "CREATE TABLE item (id TEXT PRIMARY KEY, qty INT)")
+	cases := map[string]string{
+		"SELECT id FROM item WHERE qty > ?":  "select item",
+		"INSERT INTO item VALUES (?, ?)":     "insert item",
+		"UPDATE item SET qty = ? WHERE id=?": "update item",
+		"DELETE FROM item WHERE id = ?":      "delete item",
+		"not sql at all":                     "sql",
+	}
+	for sql, want := range cases {
+		if got := db.Describe(sql); got != want {
+			t.Errorf("Describe(%q) = %q, want %q", sql, got, want)
+		}
+	}
+	// Labels are interned: the same statement text returns the same string.
+	a, b := db.Describe("SELECT id FROM item"), db.Describe("SELECT id FROM item")
+	if a != b || a != "select item" {
+		t.Errorf("interned label mismatch: %q vs %q", a, b)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"wadeploy/internal/metrics"
 	"wadeploy/internal/sim"
 	"wadeploy/internal/simnet"
+	"wadeploy/internal/trace"
 )
 
 // ErrNoSuchPage is returned for requests to unregistered pages.
@@ -159,7 +160,7 @@ func (c *Container) serve(p *sim.Proc, req *Request) (*Response, error) {
 	c.served++
 	c.mReqs.Inc()
 	c.pageVec.With(req.Page).Inc()
-	c.node.CPU.Use(p, c.opts.DispatchCPU)
+	trace.Use(p, c.node.CPU, c.node.ID, c.opts.DispatchCPU)
 	resp, err := h(p, req)
 	if err != nil {
 		c.mErrors.Inc()
@@ -183,23 +184,31 @@ func (c *Container) serve(p *sim.Proc, req *Request) (*Response, error) {
 func (c *Container) Get(p *sim.Proc, clientNode, page string, params map[string]string, sess *Session) (*Response, time.Duration, error) {
 	start := p.Now()
 	server := c.node.ID
-	defer p.Span("page", page+" @ "+server)()
+	// The http span's self-time is the request/response transfers; the
+	// handshake and servlet work get their own child spans. Client-to-server
+	// transfer time is WAN wait when the client sits across a wide link.
+	netCause := trace.CauseService
+	if trace.Active(p) && c.net.WideArea(clientNode, server) {
+		netCause = trace.CauseWAN
+	}
+	defer trace.Opf(p, "http", server, clientNode, netCause, page, " @ ", server)()
 	if !c.opts.KeepAlive {
-		endTCP := p.Span("tcp", "handshake "+clientNode+" -> "+server)
+		endTCP := trace.Opf(p, "tcp", server, clientNode, netCause, "handshake ", clientNode, " -> "+server)
 		// TCP three-way handshake: one round trip before data flows.
-		if err := c.net.Transfer(p, clientNode, server, 64); err != nil {
-			return nil, 0, fmt.Errorf("web: connect %s->%s: %w", clientNode, server, err)
-		}
-		if err := c.net.Transfer(p, server, clientNode, 64); err != nil {
-			return nil, 0, fmt.Errorf("web: connect %s->%s: %w", clientNode, server, err)
+		err := c.net.Transfer(p, clientNode, server, 64)
+		if err == nil {
+			err = c.net.Transfer(p, server, clientNode, 64)
 		}
 		endTCP()
+		if err != nil {
+			return nil, 0, fmt.Errorf("web: connect %s->%s: %w", clientNode, server, err)
+		}
 	}
 	if err := c.net.Transfer(p, clientNode, server, c.opts.RequestBytes); err != nil {
 		return nil, 0, fmt.Errorf("web: request %s: %w", page, err)
 	}
 	req := &Request{Page: page, Params: params, Session: sess, ClientNode: clientNode}
-	endServe := p.Span("servlet", page)
+	endServe := trace.Op(p, "servlet", page, server, "", trace.CauseService)
 	resp, err := c.serve(p, req)
 	endServe()
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"wadeploy/internal/sim"
+	"wadeploy/internal/trace"
 )
 
 // Step is one page request within a session.
@@ -207,13 +208,23 @@ func makeIdentities(env *sim.Env, g Group) []clientIdentity {
 // spawnClient starts one client process running sessions back to back. Each
 // client's first request is jittered across one Delay interval so arrivals
 // spread evenly instead of thundering in at t=0.
+//
+// When a tracer is installed on the environment, every page request gets a
+// trace ID derived from the client's stable name and its page ordinal — pure
+// logical identity, so the sampler picks the same requests no matter how the
+// surrounding experiment is parallelized.
 func spawnClient(cfg Config, stats *Stats, g Group, id clientIdentity, pattern string, gen SessionGen, refill RefillGen) {
 	env := cfg.Env
 	client := Client{Node: g.ClientNode, ID: id.name}
+	tracer := trace.FromEnv(env)
 	env.SpawnAt(env.Now()+id.jitter, id.name, func(p *sim.Proc) {
 		rng := rand.New(rand.NewSource(id.seed))
 		end := cfg.Warmup + cfg.Duration
 		var steps []Step
+		var traceKey, traceSeq uint64
+		if tracer != nil {
+			traceKey = trace.ClientKey(id.name)
+		}
 		for p.Now() < end {
 			if refill != nil {
 				steps = refill(rng, steps[:0])
@@ -225,7 +236,15 @@ func spawnClient(cfg Config, stats *Stats, g Group, id clientIdentity, pattern s
 					return
 				}
 				start := p.Now()
+				var endTrace func()
+				if tracer != nil {
+					endTrace = tracer.StartPage(p, trace.PageTraceID(traceKey, traceSeq), pattern, step.Page, g.ClientNode, g.Local)
+					traceSeq++
+				}
 				rt, err := g.Request(p, client, step)
+				if endTrace != nil {
+					endTrace()
+				}
 				if err != nil {
 					stats.RecordError(p.Now(), step.Page)
 				} else {

@@ -3,9 +3,11 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"wadeploy/internal/sim"
+	"wadeploy/internal/trace"
 )
 
 // The streaming engine runs session *classes* rather than session processes:
@@ -55,6 +57,12 @@ type StreamClass struct {
 
 	Gen     StreamGen
 	Request StreamRequest
+
+	// TraceWAN, used only when tracing is enabled, reports how much of one
+	// request's response time was wide-area wait. The streaming request
+	// models are closed-form, so the critical-path split is declared by the
+	// model rather than observed span by span.
+	TraceWAN func(page string, rt time.Duration) time.Duration
 }
 
 // StreamConfig drives one streaming run.
@@ -79,6 +87,13 @@ type StreamConfig struct {
 	// 10ms). The streaming engine itself sends no cross-lane traffic, so
 	// the window only sets barrier frequency.
 	Window time.Duration
+
+	// Trace, when non-nil, installs a flight-recorder tracer on every lane.
+	// Trace IDs derive from (class name, slab index, page ordinal) — pure
+	// logical identity — so the sampled ID set is byte-identical for any
+	// Workers value and invariant to the Shards count, even though response
+	// times themselves depend on lane seeds.
+	Trace *trace.Options
 }
 
 // StreamResult aggregates one streaming run.
@@ -87,6 +102,14 @@ type StreamResult struct {
 	Events   uint64 // engine events dispatched across all lanes
 	Pages    uint64 // page requests completed (including warm-up)
 	Sessions uint64 // sessions completed (including warm-up)
+
+	// Tracing outputs, populated when StreamConfig.Trace is set: the merged
+	// per-lane blame aggregates, the surviving flight-recorder contents
+	// (ordered by root start time, then trace ID), and the recorder totals.
+	Blame        *trace.Aggregator
+	Traces       []*trace.Trace
+	TraceSampled uint64 // traces recorded (post-sampling), all lanes
+	TraceDropped uint64 // flight-recorder evictions, all lanes
 }
 
 // classRunner is the shared per-(class, lane) state every session of the
@@ -98,6 +121,11 @@ type classRunner struct {
 	rng     *rand.Rand
 	scratch Step
 	end     time.Duration
+
+	// tracer is the lane's tracer, nil when tracing is off; classKey seeds
+	// per-session trace identity.
+	tracer   *trace.Tracer
+	classKey uint64
 
 	pages    uint64
 	sessions uint64
@@ -111,8 +139,13 @@ type streamSession struct {
 	pageStart time.Duration
 	rt        time.Duration
 	st        StreamState
-	inFlight  bool
-	failed    bool
+	// key is the session's stable trace identity (class key × slab index);
+	// seq counts completed page requests. Both are maintained only when the
+	// lane has a tracer.
+	key      uint64
+	seq      uint64
+	inFlight bool
+	failed   bool
 }
 
 // Fire advances the session state machine by one transition.
@@ -126,7 +159,17 @@ func (s *streamSession) Fire(e *sim.Env) {
 			cr.stats.RecordError(e.Now(), s.page)
 		} else {
 			cr.stats.Record(e.Now(), SeriesKey{Pattern: cr.class.Pattern, Page: s.page, Local: cr.class.Local}, s.rt)
+			if tr := cr.tracer; tr != nil {
+				if id := trace.PageTraceID(s.key, s.seq); tr.Sampled(id) {
+					var wan time.Duration
+					if f := cr.class.TraceWAN; f != nil {
+						wan = f(s.page, s.rt)
+					}
+					tr.PageSync(id, cr.class.Pattern, s.page, cr.class.Node, cr.class.Local, s.pageStart, s.rt, wan)
+				}
+			}
 		}
+		s.seq++
 		cr.pages++
 		next := s.pageStart + cr.class.Delay
 		if next < e.Now() {
@@ -201,6 +244,14 @@ func RunStream(cfg StreamConfig) (*StreamResult, error) {
 	}
 
 	lanes := sim.NewShards(cfg.Seed, shards, window)
+	var tracers []*trace.Tracer
+	if cfg.Trace != nil {
+		tracers = make([]*trace.Tracer, shards)
+		for i := range tracers {
+			tracers[i] = trace.New(lanes.Env(i), *cfg.Trace)
+			tracers[i].Install(lanes.Env(i))
+		}
+	}
 	// Class setup order is fixed, so the master stream hands every class the
 	// same RNG seed regardless of sharding or worker count.
 	master := rand.New(rand.NewSource(cfg.Seed))
@@ -225,12 +276,19 @@ func RunStream(cfg StreamConfig) (*StreamResult, error) {
 			rng:   rand.New(rand.NewSource(master.Int63())),
 			end:   end,
 		}
+		if tracers != nil {
+			cr.tracer = tracers[si]
+			cr.classKey = trace.ClientKey(c.Name)
+		}
 		runners = append(runners, cr)
 		// One slab holds every client of the class; start times are
 		// jittered across one Delay as in the process driver.
 		sessions := make([]streamSession, c.Clients)
 		for j := range sessions {
 			sessions[j].cr = cr
+			if tracers != nil {
+				sessions[j].key = trace.SessionKey(cr.classKey, uint64(j))
+			}
 			jitter := time.Duration(cr.rng.Int63n(int64(c.Delay)))
 			cr.env.AtTask(jitter, &sessions[j])
 		}
@@ -245,6 +303,24 @@ func RunStream(cfg StreamConfig) (*StreamResult, error) {
 	for _, cr := range runners {
 		res.Pages += cr.pages
 		res.Sessions += cr.sessions
+	}
+	if tracers != nil {
+		res.Blame = trace.NewAggregator()
+		for _, tr := range tracers {
+			res.Blame.Merge(tr.Aggregator())
+			res.Traces = append(res.Traces, tr.Recorder().Traces()...)
+			res.TraceSampled += uint64(tr.Recorder().Len()) + uint64(tr.Recorder().Evicted())
+			res.TraceDropped += uint64(tr.Recorder().Evicted())
+		}
+		// Per-lane rings evict independently; order the merged survivors by
+		// root start time (then ID) so the view is stable for any Workers.
+		sort.Slice(res.Traces, func(i, j int) bool {
+			a, b := res.Traces[i], res.Traces[j]
+			if a.Root().Start != b.Root().Start {
+				return a.Root().Start < b.Root().Start
+			}
+			return a.ID < b.ID
+		})
 	}
 	return res, nil
 }

@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sort"
 	"testing"
 	"time"
 
 	"wadeploy/internal/sim"
+	"wadeploy/internal/trace"
 )
 
 // testStreamGen emits a 5-step session alternating two pages, carrying a
@@ -172,5 +174,127 @@ func TestStreamSteadyStateMemory(t *testing.T) {
 	if long > short*2 {
 		t.Errorf("bytes allocated grew with run length: %d for %d sessions vs %d for %d sessions",
 			long, longRes.Sessions, short, shortRes.Sessions)
+	}
+}
+
+// tracedStreamConfig is testStreamConfig with tracing enabled: 1-in-4
+// sampling, a recorder large enough to hold every sampled trace, and a WAN
+// hint on the remote classes.
+func tracedStreamConfig(shards, workers int) StreamConfig {
+	cfg := testStreamConfig(workers)
+	cfg.Shards = shards
+	cfg.Trace = &trace.Options{SampleEvery: 4, MaxTraces: 1 << 16}
+	for i := range cfg.Classes {
+		if !cfg.Classes[i].Local {
+			cfg.Classes[i].TraceWAN = func(page string, rt time.Duration) time.Duration {
+				return 5 * time.Millisecond
+			}
+		}
+	}
+	return cfg
+}
+
+func sampledIDs(res *StreamResult) []trace.TraceID {
+	ids := make([]trace.TraceID, len(res.Traces))
+	for i, tr := range res.Traces {
+		ids[i] = tr.ID
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// TestStreamTraceShardInvariantSampling pins the sampler's identity
+// contract: the set of sampled trace IDs is byte-identical across shard and
+// worker counts, because trace IDs derive from (class, session index, page
+// ordinal) and never from lane timing or seeds.
+func TestStreamTraceShardInvariantSampling(t *testing.T) {
+	base, err := RunStream(tracedStreamConfig(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.TraceSampled == 0 || base.TraceDropped != 0 {
+		t.Fatalf("sampled=%d dropped=%d, want >0 sampled with no evictions", base.TraceSampled, base.TraceDropped)
+	}
+	if uint64(len(base.Traces)) != base.TraceSampled {
+		t.Fatalf("recorder holds %d traces, %d sampled", len(base.Traces), base.TraceSampled)
+	}
+	if base.TraceSampled >= base.Pages {
+		t.Fatalf("sampling recorded %d of %d pages; expected a strict subset", base.TraceSampled, base.Pages)
+	}
+	want := sampledIDs(base)
+	for _, tc := range []struct{ shards, workers int }{{4, 1}, {4, 4}, {2, 2}} {
+		res, err := RunStream(tracedStreamConfig(tc.shards, tc.workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := sampledIDs(res)
+		if len(got) != len(want) {
+			t.Fatalf("shards=%d workers=%d sampled %d traces, want %d", tc.shards, tc.workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("shards=%d workers=%d trace ID set diverges at %d: %#x != %#x", tc.shards, tc.workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestStreamTraceWorkerByteIdentity pins that, at a fixed shard count, the
+// full recorded traces — spans, timings, blame — are byte-identical for any
+// worker count, matching the engine's stats guarantee.
+func TestStreamTraceWorkerByteIdentity(t *testing.T) {
+	render := func(res *StreamResult) string {
+		var out string
+		for _, tr := range res.Traces {
+			out += trace.Format(tr)
+		}
+		return out
+	}
+	base, err := RunStream(tracedStreamConfig(4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := render(base)
+	if want == "" {
+		t.Fatal("no traces recorded")
+	}
+	for _, workers := range []int{2, 8} {
+		res, err := RunStream(tracedStreamConfig(4, workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := render(res); got != want {
+			t.Errorf("workers=%d trace output differs from workers=1", workers)
+		}
+	}
+}
+
+// TestStreamTraceBlameUsesWANHint checks the declared WAN split lands in the
+// merged aggregates: remote pages carry wide-area blame, local pages none.
+func TestStreamTraceBlameUsesWANHint(t *testing.T) {
+	res, err := RunStream(tracedStreamConfig(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Blame == nil {
+		t.Fatal("no blame aggregator")
+	}
+	sawLocal, sawRemote := false, false
+	for _, e := range res.Blame.Pages() {
+		wan := e.Agg.ByCause[trace.CauseWAN]
+		if e.Key.Local {
+			sawLocal = true
+			if wan != 0 {
+				t.Errorf("local %s has WAN blame %v", e.Key.Page, wan)
+			}
+		} else {
+			sawRemote = true
+			if wan <= 0 {
+				t.Errorf("remote %s has no WAN blame", e.Key.Page)
+			}
+		}
+	}
+	if !sawLocal || !sawRemote {
+		t.Fatalf("aggregate missing a locality: local=%v remote=%v", sawLocal, sawRemote)
 	}
 }
