@@ -93,6 +93,8 @@ func run(args []string) error {
 	shards := fs.Int("shards", 8, "scale: engine lanes (results depend on the shard count, never the worker count)")
 	sample := fs.Uint64("sample", 16, "trace/scale -trace: sample 1 in N page views (pure function of the trace ID)")
 	traceOn := fs.Bool("trace", false, "scale: arm the flight recorder and critical-path blame aggregation")
+	observed := fs.String("observed", "", "plan: a `wadeploy trace -json` export; rank placements on its observed page mix (-config selects the run)")
+	epoch := fs.Duration("epoch", 30*time.Second, "adapt: controller observation epoch (virtual time)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -175,7 +177,15 @@ func run(args []string) error {
 			} else if *appFlag != "petstore" {
 				return fmt.Errorf("unknown app %q (want petstore|rubis)", *appFlag)
 			}
-			if err := plan(app, *jsonOut, *sim, opts); err != nil {
+			if err := plan(app, *jsonOut, *sim, *observed, *cfgFlag, opts); err != nil {
+				return err
+			}
+		case "adapt":
+			app, cfg, err := sweepTarget(*appFlag, *cfgFlag)
+			if err != nil {
+				return err
+			}
+			if err := adapt(app, cfg, *epoch, opts); err != nil {
 				return err
 			}
 		case "explain":
@@ -252,7 +262,7 @@ func run(args []string) error {
 				}
 			}
 		default:
-			return fmt.Errorf("unknown command %q (want table6|table7|fig7|fig8|metrics|faults|inventory|plan|explain|sweep-latency|sweep-load|scale|all)", cmd)
+			return fmt.Errorf("unknown command %q (want table6|table7|fig7|fig8|metrics|faults|adapt|inventory|plan|explain|sweep-latency|sweep-load|scale|all)", cmd)
 		}
 	}
 	return nil

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"wadeploy/internal/experiment"
@@ -22,11 +24,21 @@ func plannerModel(app experiment.AppID) *planner.Model {
 // plan runs the deployment advisor for one application: an exhaustive search
 // of the pattern space with the analytic cost model. With sim it also runs
 // the five paper configurations in the simulator and prints the predicted
-// vs. simulated error per configuration. The search itself is closed-form
+// vs. simulated error per configuration. With observed (a `wadeploy trace
+// -json` export) the model is reweighted by the page mix the flight recorder
+// actually measured before searching — the same code path the online
+// re-placement controller runs every epoch. The search itself is closed-form
 // and deterministic, so output is byte-identical across -parallel settings.
-func plan(app experiment.AppID, jsonOut, sim bool, opts experiment.RunOptions) error {
+func plan(app experiment.AppID, jsonOut, sim bool, observed, observedCfg string, opts experiment.RunOptions) error {
 	m := plannerModel(app)
-	res, err := planner.Search(m)
+	var shares map[string]map[string]float64
+	if observed != "" {
+		var err error
+		if shares, err = loadObservedShares(observed, app, observedCfg); err != nil {
+			return err
+		}
+	}
+	res, err := planner.SearchObserved(m, shares)
 	if err != nil {
 		return err
 	}
@@ -46,6 +58,42 @@ func plan(app experiment.AppID, jsonOut, sim bool, opts experiment.RunOptions) e
 	}
 	fmt.Print(planner.FormatResult(res, sims))
 	return nil
+}
+
+// loadObservedShares reads a `wadeploy trace -json` export and extracts the
+// observed visit shares (pattern → page → share) of the run matching cfg —
+// the -config flag, defaulting to the export's first run when empty or
+// unmatched is an error.
+func loadObservedShares(path string, app experiment.AppID, cfg string) (map[string]map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("-observed: %w", err)
+	}
+	var doc traceFile
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("-observed: parse %s: %w", path, err)
+	}
+	if doc.App != "" && doc.App != app {
+		return nil, fmt.Errorf("-observed: %s traces %s, not %s", path, doc.App, app)
+	}
+	if len(doc.Runs) == 0 {
+		return nil, fmt.Errorf("-observed: %s has no runs", path)
+	}
+	for _, run := range doc.Runs {
+		if run.Config != cfg || run.Profile == nil {
+			continue
+		}
+		shares := run.Profile.VisitShares()
+		if len(shares) == 0 {
+			return nil, fmt.Errorf("-observed: run %s in %s has no page visits", cfg, path)
+		}
+		return shares, nil
+	}
+	var have []string
+	for _, run := range doc.Runs {
+		have = append(have, run.Config)
+	}
+	return nil, fmt.Errorf("-observed: no run for config %q in %s (have %s)", cfg, path, strings.Join(have, ", "))
 }
 
 // simulatedOverall reproduces the planner's objective from a simulated run:

@@ -1,8 +1,10 @@
 // Autoscale: the paper's long-term goal (Section 6) — dynamic demand-driven
 // deployment of components. The app starts with NO edge replicas (deferred
-// wiring); remote clients' reads cross the WAN to the main server. An
-// autoscaler watches the wide-area call rate and extends the replica bundle
-// to the edge servers at runtime; remote read latency collapses mid-run.
+// wiring); remote clients' reads cross the WAN to the main server. The
+// online re-placement controller watches the wide-area call rate against the
+// deployment advisor's break-even threshold and live-migrates the replica
+// bundle to the edge servers at runtime — snapshot, catch-up, drain-buffer
+// replay, cut-over — and remote read latency collapses mid-run.
 package main
 
 import (
@@ -11,6 +13,7 @@ import (
 	"time"
 
 	"wadeploy/internal/container"
+	"wadeploy/internal/controller"
 	"wadeploy/internal/core"
 	"wadeploy/internal/planner"
 	"wadeploy/internal/sim"
@@ -19,8 +22,12 @@ import (
 )
 
 // pushBytes is the replica-refresh payload for the Price bundle; the
-// autoscaler threshold below is derived from the same value.
+// controller threshold below is derived from the same value.
 const pushBytes = 256
+
+// seed keys the run: the workload, the simulation and the controller's
+// retry-jitter stream all derive from it.
+const seed = 23
 
 func main() {
 	if err := run(); err != nil {
@@ -30,7 +37,7 @@ func main() {
 }
 
 func run() error {
-	env := sim.NewEnv(23)
+	env := sim.NewEnv(seed)
 	d, err := core.NewPaperDeployment(env, core.DefaultOptions())
 	if err != nil {
 		return err
@@ -103,17 +110,26 @@ func run() error {
 	fmt.Printf("advisor: extension threshold %.1f wide-area calls/s (provisioned for %.1f writes/s)\n",
 		threshold, provisionedWrites)
 
-	scaler, err := core.StartAutoscaler(d, wiring, core.AutoscalerConfig{
-		Interval:  10 * time.Second,
-		Threshold: threshold,
-		Cooldown:  20 * time.Second,
+	// The re-placement controller in threshold mode: observe the remote-call
+	// rate each epoch, and once it clears the advisor's break-even rate for
+	// two consecutive epochs, live-migrate the replica bundle edge by edge.
+	ctrl, err := controller.Start(controller.Config{
+		Deployment: d,
+		Wiring:     wiring,
+		Threshold:  threshold,
+		Seed:       seed,
+		Options: controller.Options{
+			Epoch:         10 * time.Second,
+			ConfirmEpochs: 2,
+			Cooldown:      20 * time.Second,
+		},
 	})
 	if err != nil {
 		return err
 	}
 
 	// readPrice reads id 7 the best way currently available on the edge:
-	// a local replica if the autoscaler has deployed one, otherwise a
+	// a local replica if the controller has migrated one in, otherwise a
 	// wide-area façade call.
 	readPrice := func(p *sim.Proc, edge *container.Server) (time.Duration, error) {
 		start := p.Now()
@@ -162,14 +178,17 @@ func run() error {
 		}
 	})
 	env.Run(3 * time.Minute)
-	scaler.Stop()
 	env.Close()
 	if failed != nil {
 		return failed
 	}
-	for _, dec := range scaler.Decisions() {
-		fmt.Printf("autoscaler: extended replicas to %s at t=%v (%.1f wide-area calls/s)\n",
-			dec.Server, dec.At.Round(time.Second), dec.Rate)
+	rep := ctrl.Report()
+	for _, ev := range rep.Events {
+		fmt.Printf("controller: %-14s %-6s t=%-5v %s\n", ev.Kind, ev.Server, ev.At.Round(time.Second), ev.Detail)
+	}
+	for _, m := range rep.Migrations {
+		fmt.Printf("controller: migrated Price bundle to %s in %v (%d snapshot bytes, %d catch-up rounds, %d updates replayed)\n",
+			m.Server, (m.End - m.Start).Round(time.Millisecond), m.SnapshotBytes, m.Rounds, m.Replayed)
 	}
 	return nil
 }

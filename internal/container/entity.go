@@ -147,6 +147,48 @@ func (b *RWEntity) Writes() int64 { return b.writes }
 // AddPropagator attaches an update propagator (read-mostly pattern wiring).
 func (b *RWEntity) AddPropagator(pr Propagator) { b.props = append(b.props, pr) }
 
+// PrependPropagator attaches a propagator ahead of the existing chain, so it
+// observes every commit before any blocking push runs. A migration's drain
+// buffer must attach this way: propagation to already-wired edges sleeps on
+// WAN pushes, and a buffer attached behind it would see a commit only after
+// that sleep — by which time the cut-over may already have drained and
+// detached it, losing the update for the newly wired edge.
+func (b *RWEntity) PrependPropagator(pr Propagator) {
+	b.props = append([]Propagator{pr}, b.props...)
+}
+
+// RemovePropagator detaches a previously attached propagator (the migration
+// cut-over detaches its drain buffer here). Removing a propagator that is
+// not attached is a no-op.
+func (b *RWEntity) RemovePropagator(pr Propagator) {
+	for i, cur := range b.props {
+		if cur == pr {
+			b.props = append(b.props[:i], b.props[i+1:]...)
+			return
+		}
+	}
+}
+
+// Snapshot reads the bean's entire backing table in one bulk SELECT and
+// returns a full-state Update per entity in table order — the base image of
+// a live migration's state transfer. It pays the real SQL and ejbLoad CPU
+// cost on the bean's server; the caller pays the wire cost of shipping the
+// image (sum of WireBytes) separately.
+func (b *RWEntity) Snapshot(p *sim.Proc) ([]Update, error) {
+	b.srv.Compute(p, b.srv.costs.EntityLoadCPU)
+	res, err := b.srv.SQL(p, b.findPrefix)
+	if err != nil {
+		return nil, fmt.Errorf("entity %s snapshot: %w", b.name, err)
+	}
+	now := p.Now()
+	out := make([]Update, 0, res.Len())
+	for _, row := range res.Rows {
+		st := StateFromRow(res.Cols, row)
+		out = append(out, Update{Bean: b.name, PK: st[b.pkCol], State: st, CommittedAt: now})
+	}
+	return out, nil
+}
+
 // SetDeltaPush makes UpdateFields propagate only the changed fields instead
 // of the full post-write state (Section 4.3's bandwidth optimization;
 // requires push-refresh replicas, which merge deltas into their copies).
@@ -427,6 +469,17 @@ func (b *ROEntity) MeanPropagationDelay() time.Duration {
 // Cached returns the number of locally cached entities.
 func (b *ROEntity) Cached() int { return len(b.entries) }
 
+// Peek returns the locally cached state for pk without touching the fetch
+// path, hit/miss accounting, or CPU costs — a white-box view for tests and
+// diagnostics that must observe cache contents without mutating them.
+func (b *ROEntity) Peek(pk sqldb.Value) (State, bool) {
+	e, ok := b.entries[pkKey(pk)]
+	if !ok {
+		return nil, false
+	}
+	return e.state, true
+}
+
 func pkKey(pk sqldb.Value) string { return pk.String() }
 
 // expired reports whether an entry has outlived the timeout invalidation.
@@ -511,6 +564,15 @@ func (b *ROEntity) ApplyUpdate(u Update) {
 	b.entries[k] = roEntry{state: u.State.Clone(), loadedAt: now}
 }
 
+// Reset drops every cached entry. A resync migration clears the replica
+// before installing a fresh snapshot, so rows deleted while the replica was
+// cut off do not linger past the resync.
+func (b *ROEntity) Reset() {
+	for k := range b.entries {
+		delete(b.entries, k)
+	}
+}
+
 // Invalidate marks one entity stale (pull-based refresh).
 func (b *ROEntity) Invalidate(pk sqldb.Value) {
 	k := pkKey(pk)
@@ -582,6 +644,21 @@ func (u *UpdaterFacade) Apply(p *sim.Proc, updates []Update) {
 	}
 }
 
+// ApplyLocal applies a batch with no CPU accounting — the zero-virtual-time
+// replay a migration cut-over performs inside a single simulation event.
+// Charging compute here would let concurrent requests interleave with the
+// replay and observe a half-replayed replica; the migration instead books
+// the replay's cost against its own transfer accounting.
+func (u *UpdaterFacade) ApplyLocal(updates []Update) {
+	for _, up := range updates {
+		u.applied++
+		u.mApplied.Inc()
+		for _, a := range u.appliers[up.Bean] {
+			a.ApplyUpdate(up)
+		}
+	}
+}
+
 func (u *UpdaterFacade) handle(p *sim.Proc, call *rmi.Call) (any, error) {
 	if call.Method != MethodApply {
 		return nil, fmt.Errorf("container: %s.%s: %w", u.name, call.Method, ErrNoSuchMethod)
@@ -593,6 +670,45 @@ func (u *UpdaterFacade) handle(p *sim.Proc, call *rmi.Call) (any, error) {
 	u.srv.Compute(p, u.srv.costs.MethodCPU)
 	u.Apply(p, updates)
 	return len(updates), nil
+}
+
+// UpdateBuffer is a Propagator that records committed updates instead of
+// delivering them anywhere — the drain buffer of a live migration. One
+// buffer attached to every bean of a migrating bundle captures all their
+// writes in global commit order (propagate runs on the writer's process, so
+// append order is commit order). It is a pure accumulator: no cost, no
+// network, no RNG, which keeps buffering invisible to the rest of the run.
+type UpdateBuffer struct {
+	updates []Update
+}
+
+// NewUpdateBuffer returns an empty drain buffer.
+func NewUpdateBuffer() *UpdateBuffer { return &UpdateBuffer{} }
+
+// Propagate records the batch.
+func (ub *UpdateBuffer) Propagate(_ *sim.Proc, updates []Update) error {
+	ub.updates = append(ub.updates, updates...)
+	return nil
+}
+
+// Len returns the number of buffered updates.
+func (ub *UpdateBuffer) Len() int { return len(ub.updates) }
+
+// WireBytes sums the payload estimate of the buffered updates — what a
+// catch-up round of the migration must ship.
+func (ub *UpdateBuffer) WireBytes() int {
+	total := 0
+	for _, u := range ub.updates {
+		total += u.WireBytes()
+	}
+	return total
+}
+
+// Drain returns the buffered updates in commit order and clears the buffer.
+func (ub *UpdateBuffer) Drain() []Update {
+	out := ub.updates
+	ub.updates = nil
+	return out
 }
 
 // SyncPropagator pushes updates synchronously over RMI to updater façades on
@@ -657,6 +773,18 @@ func (sp *SyncPropagator) AddTarget(t SyncTarget) {
 		}
 	}
 	sp.targets = append(sp.targets, t)
+}
+
+// RemoveTarget detaches a replica destination at runtime (retirement of a
+// remote replica bundle, or suspension of pushes to an unreachable edge).
+// Removing an absent target is a no-op.
+func (sp *SyncPropagator) RemoveTarget(t SyncTarget) {
+	for i, cur := range sp.targets {
+		if cur == t {
+			sp.targets = append(sp.targets[:i], sp.targets[i+1:]...)
+			return
+		}
+	}
 }
 
 // Targets returns the number of replica destinations.

@@ -1,0 +1,89 @@
+package container_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"wadeploy/internal/container"
+	"wadeploy/internal/core"
+	"wadeploy/internal/sim"
+	"wadeploy/internal/simnet"
+)
+
+// TestRebindNoDanglingBinding is the live-migration cut-over invariant: while
+// RedeployStateless repeatedly swaps a bean's implementation, concurrent
+// remote callers must never observe an unbound name or a failed dispatch —
+// every call lands on the implementation bound at some point during the
+// call, so the versions a sequential caller observes are monotone.
+func TestRebindNoDanglingBinding(t *testing.T) {
+	env := sim.NewEnv(3)
+	d, err := core.NewPaperDeployment(env, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	methods := func(version int) map[string]container.Method {
+		return map[string]container.Method{
+			"get": func(p *sim.Proc, inv *container.Invocation) (any, error) {
+				return version, nil
+			},
+		}
+	}
+	if _, err := container.DeployStateless(d.Main, "Flip", methods(0)); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		swaps      = 40
+		swapEvery  = 25 * time.Millisecond
+		requesters = 6
+	)
+	env.Spawn("rebinder", func(p *sim.Proc) {
+		for v := 1; v <= swaps; v++ {
+			p.Sleep(swapEvery)
+			if _, err := container.RedeployStateless(d.Main, "Flip", methods(v)); err != nil {
+				t.Errorf("redeploy v%d: %v", v, err)
+				return
+			}
+		}
+	})
+
+	for i := 0; i < requesters; i++ {
+		edge := d.Edges[i%len(d.Edges)]
+		env.Spawn(fmt.Sprintf("requester-%d", i), func(p *sim.Proc) {
+			last := -1
+			calls := 0
+			for p.Now() < time.Duration(swaps+4)*swapEvery {
+				stub, err := edge.StubFor(p, simnet.NodeMain, "Flip")
+				if err != nil {
+					t.Errorf("lookup during rebind: %v", err)
+					return
+				}
+				v, err := stub.Invoke(p, "get")
+				if err != nil {
+					t.Errorf("call during rebind: %v", err)
+					return
+				}
+				got, ok := v.(int)
+				if !ok || got < 0 || got > swaps {
+					t.Errorf("response %v from outside the bound-version range", v)
+					return
+				}
+				if got < last {
+					t.Errorf("version went backwards: %d after %d", got, last)
+					return
+				}
+				last = got
+				calls++
+			}
+			if calls == 0 {
+				t.Error("requester made no calls")
+			}
+			if last == 0 {
+				t.Error("requester never observed a rebound implementation")
+			}
+		})
+	}
+	env.RunAll()
+	env.Close()
+}

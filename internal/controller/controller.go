@@ -1,0 +1,516 @@
+// Package controller closes the loop from static placement advisor to
+// online re-placement: a control process running inside the simulation
+// observes the workload (flight-recorder page mix, metrics-registry deltas,
+// reachability of the edge servers) on a fixed virtual-clock epoch tick,
+// re-prices the placement candidates with the planner's cost model over the
+// *observed* page mix, and — when the predicted win clears a hysteresis
+// threshold for enough consecutive epochs — executes live migrations that
+// extend the replica bundle to the edges while traffic flows. It also
+// reacts to faults: an edge unreachable for several epochs has its
+// synchronous pushes suspended (retirement), and a recovered edge is
+// resynchronized with a fresh state transfer before pushes resume — the
+// fault → detect → re-place → recover story.
+//
+// Determinism contract: every decision derives from the virtual clock
+// (epoch ticks are p.Sleep on the env), from deterministic observations
+// (reachability probes, counter values, the blame aggregator's sorted
+// profile), and from a dedicated RNG stream (env seed XOR ctrlSeedSalt)
+// used only for migration retry backoff jitter — the controller never
+// touches env.Rand, so a controller-off run is byte-identical to a build
+// without the subsystem, and a controller-on run replays identically at any
+// -parallel/-shards setting. All controller_* metric families register
+// lazily in Start, following the resilience and tracing layers' pattern.
+package controller
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"wadeploy/internal/container"
+	"wadeploy/internal/core"
+	"wadeploy/internal/metrics"
+	"wadeploy/internal/planner"
+	"wadeploy/internal/sim"
+	"wadeploy/internal/trace"
+)
+
+// ctrlSeedSalt decorrelates the controller's RNG stream from the env seed
+// (and from the fault stream's salt); the derivation (seed XOR salt) is part
+// of the reproducibility contract documented in DESIGN.md §7.
+const ctrlSeedSalt = 0x6374726c // "ctrl"
+
+// Options tunes the controller's epoch clock and decision thresholds.
+type Options struct {
+	// Epoch is the virtual-time observation interval (default 30s).
+	Epoch time.Duration
+
+	// Hysteresis is the minimum predicted fractional win (1 − target/current
+	// session mean) before an extension is considered (default 0.10).
+	Hysteresis float64
+
+	// ConfirmEpochs is how many consecutive epochs the win must persist
+	// before the controller acts (default 2) — the damper that keeps a
+	// transient spike from triggering a migration.
+	ConfirmEpochs int
+
+	// Cooldown is the minimum virtual time between committing to one
+	// extension program and considering the next (default 2m).
+	Cooldown time.Duration
+
+	// SuspendAfter is how many consecutive unreachable epochs an edge
+	// tolerates before its synchronous pushes are suspended (default 3).
+	SuspendAfter int
+
+	// TransferChunk is the bulk state-transfer chunk size in bytes
+	// (default 64 KiB); each chunk re-validates the path, so smaller chunks
+	// detect mid-transfer link failures sooner.
+	TransferChunk int
+
+	// MaxRetries bounds transfer retry attempts per migration (default 8).
+	MaxRetries int
+
+	// RetryBackoff is the base backoff between transfer retries (default
+	// 2s), doubled per attempt up to 16× and jittered from the controller's
+	// dedicated RNG stream.
+	RetryBackoff time.Duration
+
+	// MaxCatchUpRounds bounds the pre-copy catch-up iterations that ship
+	// updates buffered during a transfer (default 4); whatever still
+	// accumulates after the last round is replayed at cut-over.
+	MaxCatchUpRounds int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Epoch <= 0 {
+		o.Epoch = 30 * time.Second
+	}
+	if o.Hysteresis <= 0 {
+		o.Hysteresis = 0.10
+	}
+	if o.ConfirmEpochs <= 0 {
+		o.ConfirmEpochs = 2
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = 2 * time.Minute
+	}
+	if o.SuspendAfter <= 0 {
+		o.SuspendAfter = 3
+	}
+	if o.TransferChunk <= 0 {
+		o.TransferChunk = 64 << 10
+	}
+	if o.MaxRetries <= 0 {
+		o.MaxRetries = 8
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 2 * time.Second
+	}
+	if o.MaxCatchUpRounds <= 0 {
+		o.MaxCatchUpRounds = 4
+	}
+	return o
+}
+
+// Config binds a controller to a deployment.
+type Config struct {
+	// Deployment and Wiring identify the system under control. The wiring
+	// must exist (typically wired Deferred so the controller owns all
+	// extension decisions), but may already cover some servers.
+	Deployment *core.Deployment
+	Wiring     *core.Wiring
+
+	// Model, when non-nil, enables observed-model re-planning: each epoch
+	// the planner search re-runs on the model reweighted by the flight
+	// recorder's observed page mix, and the controller extends when the
+	// wiring's target placement beats the current one by Hysteresis. When
+	// nil the controller runs in threshold mode on Threshold.
+	Model *planner.Model
+
+	// Current is the planner candidate describing the starting placement
+	// (model mode); typically {ReplicateWeb: true} for a remote-façade
+	// deployment awaiting extension.
+	Current planner.Candidate
+
+	// Threshold, in remote calls per second, is the extension trigger in
+	// threshold mode (Model nil) — the planner.ExtensionThreshold rate at
+	// which paying for replicas and their update pushes becomes worthwhile.
+	Threshold float64
+
+	// Seed is the run's seed; the controller derives its private RNG
+	// stream from it (seed XOR ctrlSeedSalt).
+	Seed int64
+
+	// OnExtend, when non-nil, runs inside an extension migration's cut-over
+	// event, after the replica state is installed and replayed — the
+	// application's chance to rebind its edge façades (JNDI handler swap)
+	// onto the freshly wired replicas. It must not sleep: the cut-over's
+	// atomicity guarantee is that everything happens in one simulation
+	// event.
+	OnExtend func(server *container.Server) error
+
+	// Apply, when non-nil, is invoked once the extension program completes
+	// on every edge, with the paper configuration the placement now
+	// corresponds to (the hook adaptive apps use to update their reported
+	// effective configuration).
+	Apply func(core.ConfigID)
+
+	Options Options
+}
+
+// EventKind classifies one entry of the adaptation log.
+type EventKind string
+
+// The controller's observable decisions.
+const (
+	EventFaultDetected EventKind = "fault-detected"
+	EventRecovered     EventKind = "recovered"
+	EventExtendDecided EventKind = "extend-decided"
+	EventMigrated      EventKind = "migrated"
+	EventMigrateFailed EventKind = "migration-failed"
+	EventSuspended     EventKind = "suspended"
+	EventResynced      EventKind = "resynced"
+)
+
+// Event is one timestamped controller decision or observation.
+type Event struct {
+	At     time.Duration
+	Epoch  int
+	Kind   EventKind
+	Server string  // edge concerned, when applicable
+	Win    float64 // predicted fractional win (extend decisions)
+	Detail string
+}
+
+// Migration records one live state migration end to end.
+type Migration struct {
+	Server        string
+	Resync        bool // state refresh of an already-wired edge
+	Start, End    time.Duration
+	SnapshotBytes int // base image shipped
+	CatchUpBytes  int // pre-copy catch-up rounds shipped
+	Rounds        int // catch-up rounds run
+	Retries       int // transfer retries (link flaps mid-transfer)
+	Replayed      int // drain-buffered updates replayed at cut-over
+	Failed        bool
+	Err           string
+}
+
+// Report is the controller's run summary.
+type Report struct {
+	Epochs     int
+	Events     []Event
+	Migrations []Migration
+
+	// Extended reports whether the extension program completed on every
+	// edge; FinalConfig is the paper configuration the final placement
+	// corresponds to.
+	Extended    bool
+	FinalConfig core.ConfigID
+}
+
+// Controller is the online re-placement control loop.
+type Controller struct {
+	cfg  Config
+	opts Options
+	env  *sim.Env
+	rng  *rand.Rand
+	tr   *trace.Tracer
+
+	epoch     int
+	confirm   int
+	decided   bool          // extension program active
+	extended  bool          // extension program complete
+	decidedAt time.Duration // cooldown anchor
+	current   planner.Candidate
+	target    planner.Candidate
+
+	lastRemote int64 // rmi remote-call count at last tick (threshold mode)
+	wideCtr    *metrics.Counter
+	lastWide   int64 // wide-area call count at last tick (activity signal)
+
+	down      map[string]int // consecutive unreachable epochs per edge
+	suspended map[string]bool
+	needSync  map[string]bool // wired edges whose state must be resynced
+
+	events []Event
+	migs   []Migration
+
+	mEpochs    *metrics.Counter
+	mDecisions *metrics.CounterVec
+	mMigs      *metrics.Counter
+	mMigFails  *metrics.Counter
+	mBytes     *metrics.Counter
+	mRetries   *metrics.Counter
+	mReplayed  *metrics.Counter
+	mMigNs     *metrics.Histogram
+}
+
+// Start validates the configuration, registers the controller_* metric
+// families (lazily — controller-off runs never see them) and spawns the
+// epoch-tick control process on the deployment's environment.
+func Start(cfg Config) (*Controller, error) {
+	if cfg.Deployment == nil {
+		return nil, fmt.Errorf("controller: nil deployment")
+	}
+	if cfg.Wiring == nil {
+		return nil, fmt.Errorf("controller: nil wiring")
+	}
+	if cfg.Model == nil && cfg.Threshold <= 0 {
+		return nil, fmt.Errorf("controller: need a planner model or a positive threshold")
+	}
+	opts := cfg.Options.withDefaults()
+	env := cfg.Deployment.Env
+	reg := env.Metrics()
+	ent, qry, asy := cfg.Wiring.Provides()
+	c := &Controller{
+		cfg:  cfg,
+		opts: opts,
+		env:  env,
+		rng:  rand.New(rand.NewSource(cfg.Seed ^ ctrlSeedSalt)),
+		tr:   trace.FromEnv(env),
+
+		current: cfg.Current,
+		target: planner.Candidate{
+			ReplicateWeb:   true,
+			EntityReplicas: ent,
+			QueryCaches:    qry,
+			AsyncUpdates:   asy,
+		},
+		wideCtr:   reg.Counter("rmi_wide_area_calls_total"),
+		down:      make(map[string]int),
+		suspended: make(map[string]bool),
+		needSync:  make(map[string]bool),
+
+		mEpochs:    reg.Counter("controller_epochs_total"),
+		mDecisions: reg.CounterVec("controller_decisions_total", "kind"),
+		mMigs:      reg.Counter("controller_migrations_total"),
+		mMigFails:  reg.Counter("controller_migration_failures_total"),
+		mBytes:     reg.Counter("controller_migration_bytes_total"),
+		mRetries:   reg.Counter("controller_transfer_retries_total"),
+		mReplayed:  reg.Counter("controller_replayed_updates_total"),
+		mMigNs:     reg.Histogram("controller_migration_ns"),
+	}
+	env.Spawn("controller", func(p *sim.Proc) {
+		for {
+			p.Sleep(c.opts.Epoch)
+			c.tick(p)
+		}
+	})
+	return c, nil
+}
+
+// record appends an adaptation-log entry and bumps its decision counter.
+func (c *Controller) record(p *sim.Proc, ev Event) {
+	ev.At = p.Now()
+	ev.Epoch = c.epoch
+	c.events = append(c.events, ev)
+	c.mDecisions.With(string(ev.Kind)).Inc()
+}
+
+// tick runs one observe → re-plan → act epoch.
+func (c *Controller) tick(p *sim.Proc) {
+	c.epoch++
+	c.mEpochs.Inc()
+	c.watchReachability(p)
+	c.replan(p)
+	c.act(p)
+}
+
+// watchReachability probes main ↔ edge liveness (a free control-plane
+// heartbeat: routing queries only, no traffic, no RNG), detecting
+// partitions and crashes, suspending pushes to long-dead edges and
+// scheduling resyncs when they return.
+func (c *Controller) watchReachability(p *sim.Proc) {
+	d := c.cfg.Deployment
+	w := c.cfg.Wiring
+	main := d.Main.Name()
+	for _, edge := range d.Edges {
+		name := edge.Name()
+		if d.Net.Reachable(main, name) {
+			if c.down[name] > 0 {
+				c.record(p, Event{Kind: EventRecovered, Server: name,
+					Detail: fmt.Sprintf("unreachable for %d epochs", c.down[name])})
+				c.down[name] = 0
+				if w.DeployedOn(name) {
+					// State diverged while cut off — even without an
+					// explicit suspension, best-effort pushes were dropped
+					// on the dead path — so refresh the replicas before
+					// trusting them again.
+					c.needSync[name] = true
+				}
+			}
+			continue
+		}
+		c.down[name]++
+		if c.down[name] == 1 {
+			c.record(p, Event{Kind: EventFaultDetected, Server: name,
+				Detail: "main<->edge path lost"})
+		}
+		if c.down[name] == c.opts.SuspendAfter && w.DeployedOn(name) && !c.suspended[name] {
+			w.SuspendTargets(name)
+			c.suspended[name] = true
+			c.record(p, Event{Kind: EventSuspended, Server: name,
+				Detail: fmt.Sprintf("sync pushes parked after %d unreachable epochs", c.down[name])})
+		}
+	}
+}
+
+// replan re-prices the placement on the observed workload and arms the
+// extension program when the predicted win clears the hysteresis bar for
+// ConfirmEpochs consecutive epochs (outside the cooldown window).
+func (c *Controller) replan(p *sim.Proc) {
+	if c.decided || c.extended {
+		return
+	}
+	if c.decidedAt > 0 && p.Now()-c.decidedAt < c.opts.Cooldown {
+		return
+	}
+	win, detail, ok := c.predictedWin(p)
+	if !ok || win < c.opts.Hysteresis {
+		c.confirm = 0
+		return
+	}
+	c.confirm++
+	if c.confirm < c.opts.ConfirmEpochs {
+		return
+	}
+	c.decided = true
+	c.decidedAt = p.Now()
+	c.confirm = 0
+	c.record(p, Event{Kind: EventExtendDecided, Win: win, Detail: detail})
+}
+
+// predictedWin computes the extension trigger signal: in model mode the
+// fractional session-mean win of the wiring's target placement over the
+// current one, priced on the observed page mix; in threshold mode the
+// remote-call rate against the provisioned break-even threshold.
+func (c *Controller) predictedWin(p *sim.Proc) (win float64, detail string, ok bool) {
+	wide := c.wideCtr.Value()
+	wideDelta := wide - c.lastWide
+	c.lastWide = wide
+
+	if c.cfg.Model == nil {
+		remote := c.cfg.Deployment.RMI.Stats().RemoteCalls
+		delta := remote - c.lastRemote
+		c.lastRemote = remote
+		rate := float64(delta) / c.opts.Epoch.Seconds()
+		if rate < c.cfg.Threshold {
+			return 0, "", false
+		}
+		// Normalized overshoot stands in for the fractional win.
+		win = rate/c.cfg.Threshold - 1
+		return win, fmt.Sprintf("remote rate %.1f/s over threshold %.1f/s", rate, c.cfg.Threshold), true
+	}
+
+	var shares map[string]map[string]float64
+	observed := "modeled mix"
+	if c.tr != nil {
+		shares = c.tr.Aggregator().Profile().VisitShares()
+		if len(shares) > 0 {
+			observed = "observed mix"
+		}
+	}
+	res, err := planner.SearchObserved(c.cfg.Model, shares)
+	if err != nil {
+		return 0, "", false
+	}
+	var curCost, tgtCost time.Duration
+	for _, r := range res.Ranked {
+		if r.Candidate == c.current {
+			curCost = r.Overall
+		}
+		if r.Candidate == c.target {
+			tgtCost = r.Overall
+		}
+	}
+	if curCost <= 0 || tgtCost <= 0 || tgtCost >= curCost {
+		return 0, "", false
+	}
+	win = 1 - float64(tgtCost)/float64(curCost)
+	detail = fmt.Sprintf("%s: predicted %v -> %v (%s, %d wide-area calls this epoch, best=%s)",
+		observed, curCost.Round(time.Millisecond), tgtCost.Round(time.Millisecond),
+		c.target, wideDelta, res.Best().Candidate)
+	return win, detail, true
+}
+
+// act advances at most one migration per epoch: resyncs take priority (a
+// recovered edge is serving stale state), then the extension program covers
+// the next reachable unwired edge. One migration per epoch bounds the
+// control traffic and keeps decisions attributable to their epoch.
+func (c *Controller) act(p *sim.Proc) {
+	d := c.cfg.Deployment
+	w := c.cfg.Wiring
+	main := d.Main.Name()
+
+	for _, edge := range d.Edges {
+		name := edge.Name()
+		if !c.needSync[name] || !d.Net.Reachable(main, name) {
+			continue
+		}
+		m := c.migrate(p, edge, true)
+		if m.Failed {
+			c.record(p, Event{Kind: EventMigrateFailed, Server: name, Detail: m.Err})
+			return
+		}
+		c.needSync[name] = false
+		if c.suspended[name] {
+			w.ResumeTargets(name)
+			c.suspended[name] = false
+		}
+		c.record(p, Event{Kind: EventResynced, Server: name,
+			Detail: fmt.Sprintf("%d bytes, %d updates replayed", m.SnapshotBytes+m.CatchUpBytes, m.Replayed)})
+		return
+	}
+
+	if !c.decided {
+		return
+	}
+	for _, edge := range d.Edges {
+		name := edge.Name()
+		if w.DeployedOn(name) || !d.Net.Reachable(main, name) {
+			continue
+		}
+		m := c.migrate(p, edge, false)
+		if m.Failed {
+			c.record(p, Event{Kind: EventMigrateFailed, Server: name, Detail: m.Err})
+			return
+		}
+		c.record(p, Event{Kind: EventMigrated, Server: name,
+			Detail: fmt.Sprintf("%d bytes, %d catch-up rounds, %d updates replayed", m.SnapshotBytes+m.CatchUpBytes, m.Rounds, m.Replayed)})
+		break
+	}
+	// Extension completes when every edge is wired (unreachable edges keep
+	// the program armed; they are picked up after recovery).
+	for _, edge := range d.Edges {
+		if !w.DeployedOn(edge.Name()) {
+			return
+		}
+	}
+	c.decided = false
+	c.extended = true
+	c.current = c.target
+	if c.cfg.Apply != nil {
+		if id, ok := c.target.Config(); ok {
+			c.cfg.Apply(id)
+		}
+	}
+}
+
+// Epochs returns the number of completed epochs.
+func (c *Controller) Epochs() int { return c.epoch }
+
+// Report snapshots the adaptation log.
+func (c *Controller) Report() *Report {
+	rep := &Report{
+		Epochs:     c.epoch,
+		Events:     append([]Event(nil), c.events...),
+		Migrations: append([]Migration(nil), c.migs...),
+		Extended:   c.extended,
+	}
+	cur := c.current
+	if id, ok := cur.Config(); ok {
+		rep.FinalConfig = id
+	}
+	return rep
+}

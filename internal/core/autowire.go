@@ -253,6 +253,57 @@ func (w *Wiring) ExtendTo(server *container.Server) error {
 	return nil
 }
 
+// ReplicaBeans returns the read-write bean names the descriptor replicates,
+// in descriptor order — the bundle a live migration moves.
+func (w *Wiring) ReplicaBeans() []string {
+	out := make([]string, 0, len(w.ext.Replicas))
+	for _, spec := range w.ext.Replicas {
+		out = append(out, spec.Bean)
+	}
+	return out
+}
+
+// Deployment returns the deployment the wiring extends.
+func (w *Wiring) Deployment() *Deployment { return w.d }
+
+// Provides reports which distribution patterns the descriptor materializes
+// when extended to a server: entity replicas, query caches, asynchronous
+// update propagation. The re-placement controller maps these onto a planner
+// candidate to price the extended placement.
+func (w *Wiring) Provides() (entities, queries, async bool) {
+	return len(w.ext.Replicas) > 0, len(w.ext.CachedQueries) > 0, w.anyAsync
+}
+
+// UpdaterFacadeName returns the JNDI name of the per-server updater façade.
+func (w *Wiring) UpdaterFacadeName() string { return w.updaterName() }
+
+// SuspendTargets stops synchronous pushes to server's updater façade — the
+// retirement half of the controller's decisions, taken when an edge has been
+// unreachable for several epochs. The replica bundle stays deployed (a
+// restarted edge resumes serving within its staleness bound, until a resync
+// migration refreshes it) but writers stop paying for pushes that cannot be
+// delivered. Async (JMS) propagation is left alone: the provider's
+// redelivery machinery already decouples writers from dead subscribers.
+// A no-op when the server is not wired or already suspended.
+func (w *Wiring) SuspendTargets(server string) {
+	for _, sp := range w.syncProps {
+		sp.RemoveTarget(container.SyncTarget{Server: server, Facade: w.updaterName()})
+	}
+}
+
+// ResumeTargets re-attaches synchronous pushes to server's updater façade
+// after SuspendTargets — the final step of a resync migration, once the
+// replica state has been refreshed. A no-op when the server is not wired;
+// AddTarget makes re-attachment idempotent.
+func (w *Wiring) ResumeTargets(server string) {
+	if !w.DeployedOn(server) {
+		return
+	}
+	for _, sp := range w.syncProps {
+		sp.AddTarget(container.SyncTarget{Server: server, Facade: w.updaterName()})
+	}
+}
+
 // affectedFunc builds the update→invalidated-prefixes mapping declared in
 // the descriptor: an update to bean B invalidates every cached query that
 // lists B among its invalidating operations.

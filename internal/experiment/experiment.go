@@ -9,10 +9,12 @@ import (
 	"fmt"
 	"time"
 
+	"wadeploy/internal/controller"
 	"wadeploy/internal/core"
 	"wadeploy/internal/faults"
 	"wadeploy/internal/metrics"
 	"wadeploy/internal/petstore"
+	"wadeploy/internal/planner"
 	"wadeploy/internal/rubis"
 	"wadeploy/internal/sim"
 	"wadeploy/internal/trace"
@@ -80,6 +82,13 @@ type RunOptions struct {
 	// randomness and adds no delays, so enabling it leaves every table and
 	// figure byte-identical.
 	Trace *trace.Options
+
+	// Adaptive, when non-nil, deploys the app in adaptive mode (starting at
+	// RemoteFacade with the target configuration's descriptor wired
+	// deferred) and starts the online re-placement controller with these
+	// options; cfg becomes the controller's extension target. PetStore
+	// only. Result.Adapt carries the adaptation report.
+	Adaptive *controller.Options
 }
 
 // DefaultRunOptions mirrors the paper's methodology (each test ran for about
@@ -132,6 +141,10 @@ type Result struct {
 
 	// Trace carries the causal-tracing outputs when RunOptions.Trace was set.
 	Trace *TraceReport
+
+	// Adapt is the online re-placement controller's report when
+	// RunOptions.Adaptive was set.
+	Adapt *controller.Report
 }
 
 // TraceReport is one run's tracing harvest: the blame aggregates over every
@@ -227,12 +240,41 @@ func Run(app AppID, cfg core.ConfigID, opts RunOptions) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		a, err := petstore.Deploy(d, cfg)
+		var a *petstore.App
+		var ctrl *controller.Controller
+		if opts.Adaptive != nil {
+			a, err = petstore.DeployAdaptive(d, cfg)
+			if err != nil {
+				return nil, err
+			}
+			ctrl, err = controller.Start(controller.Config{
+				Deployment: d,
+				Wiring:     a.Wiring(),
+				Model:      petstore.PlannerModel(),
+				Current:    planner.Candidate{ReplicateWeb: true},
+				Seed:       opts.Seed,
+				OnExtend:   a.ActivateEdgeCatalog,
+				Apply:      a.SetEffectiveConfig,
+				Options:    *opts.Adaptive,
+			})
+			if err != nil {
+				return nil, err
+			}
+		} else if a, err = petstore.Deploy(d, cfg); err != nil {
+			return nil, err
+		}
+		res, err := collect(app, cfg, d, opts, petstore.PaperWorkload(a), petStorePatterns, columnsFor(app))
 		if err != nil {
 			return nil, err
 		}
-		return collect(app, cfg, d, opts, petstore.PaperWorkload(a), petStorePatterns, columnsFor(app))
+		if ctrl != nil {
+			res.Adapt = ctrl.Report()
+		}
+		return res, nil
 	case RUBiS:
+		if opts.Adaptive != nil {
+			return nil, fmt.Errorf("experiment: adaptive mode is PetStore-only")
+		}
 		copts := rubis.DeployOptions()
 		copts.Resilience = opts.Resilience
 		d, err := core.NewPaperDeployment(env, copts)

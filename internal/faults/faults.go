@@ -375,6 +375,21 @@ func (s *Schedule) Links() []string {
 	return out
 }
 
+// Onsets returns the distinct fault start times, ascending — the reference
+// marks adaptation-lag reporting measures controller reactions against.
+func (s *Schedule) Onsets() []time.Duration {
+	seen := make(map[time.Duration]bool, len(s.Events))
+	out := make([]time.Duration, 0, len(s.Events))
+	for _, e := range s.Events {
+		if !seen[e.At] {
+			seen[e.At] = true
+			out = append(out, e.At)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // Canonical builds the canonical WAN-outage schedule used by the
 // availability experiment, scaled to a run of the given warm-up and
 // measurement length. Times are absolute virtual time (warm-up included):

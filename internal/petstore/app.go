@@ -49,6 +49,14 @@ type App struct {
 	d   *core.Deployment
 	cfg core.ConfigID
 
+	// adaptive marks a DeployAdaptive instance: the app starts serving at
+	// RemoteFacade and the online re-placement controller extends it toward
+	// target at runtime. target drives the extended descriptor (which
+	// replica bundle a migration materializes); cfg tracks the currently
+	// effective configuration.
+	adaptive bool
+	target   core.ConfigID
+
 	categoryRW  *container.RWEntity
 	productRW   *container.RWEntity
 	itemRW      *container.RWEntity
@@ -113,12 +121,32 @@ func DefaultPageCosts() PageCosts {
 // the read-only replicas, query caches and update propagation (via the
 // extended-descriptor AutoWire machinery).
 func Deploy(d *core.Deployment, cfg core.ConfigID) (*App, error) {
+	return deploy(d, cfg, cfg, false)
+}
+
+// DeployAdaptive installs Pet Store for online re-placement: the app starts
+// serving at the remote-façade tier (web components everywhere, every
+// catalog read crossing the WAN) with the replica bundle's extended
+// descriptor wired in deferred mode — propagators attached, no replicas
+// materialized — so a controller can live-migrate the bundle described by
+// target (≥ StatefulCaching) onto the edges while traffic flows.
+func DeployAdaptive(d *core.Deployment, target core.ConfigID) (*App, error) {
+	if !target.AtLeast(core.StatefulCaching) {
+		return nil, fmt.Errorf("petstore: adaptive target %s has nothing to extend (need >= %s)",
+			target, core.StatefulCaching)
+	}
+	return deploy(d, core.RemoteFacade, target, true)
+}
+
+func deploy(d *core.Deployment, cfg, target core.ConfigID, adaptive bool) (*App, error) {
 	if err := InitSchema(d.DB); err != nil {
 		return nil, err
 	}
 	a := &App{
 		d:           d,
 		cfg:         cfg,
+		target:      target,
+		adaptive:    adaptive,
 		carts:       make(map[string]*container.StatefulBean),
 		controllers: make(map[string]*container.StatefulBean),
 		sessions:    make(map[string]*web.Session),
@@ -133,11 +161,17 @@ func Deploy(d *core.Deployment, cfg core.ConfigID) (*App, error) {
 	if err := a.deployWebTier(); err != nil {
 		return nil, err
 	}
-	if cfg.AtLeast(core.StatefulCaching) {
+	if a.descriptorConfig().AtLeast(core.StatefulCaching) {
 		if err := a.wireReplicas(); err != nil {
 			return nil, err
 		}
-		if err := a.deployEdgeCatalogs(); err != nil {
+		deployCatalogs := a.deployEdgeCatalogs
+		if a.adaptive {
+			// The replica-backed catalogs arrive by rebind when the
+			// controller cuts each edge over (ActivateEdgeCatalog).
+			deployCatalogs = a.deployEdgeCatalogDelegates
+		}
+		if err := deployCatalogs(); err != nil {
 			return nil, err
 		}
 	}
@@ -146,11 +180,32 @@ func Deploy(d *core.Deployment, cfg core.ConfigID) (*App, error) {
 			return nil, err
 		}
 	}
-	if err := a.Plan().Validate(); err != nil {
-		return nil, fmt.Errorf("petstore: %w", err)
+	if !adaptive {
+		// An adaptive deployment intentionally starts below its descriptor
+		// (replicas arrive by migration), so the static plan check does not
+		// apply until the controller finishes extending.
+		if err := a.Plan().Validate(); err != nil {
+			return nil, fmt.Errorf("petstore: %w", err)
+		}
 	}
 	return a, nil
 }
+
+// descriptorConfig is the configuration the extended deployment descriptor
+// is built for: the live one for static deploys, the controller's target
+// for adaptive ones.
+func (a *App) descriptorConfig() core.ConfigID {
+	if a.adaptive {
+		return a.target
+	}
+	return a.cfg
+}
+
+// SetEffectiveConfig records the configuration the running placement now
+// corresponds to (the controller's Apply hook after its extension program
+// completes). Request routing is identical for every configuration at or
+// above RemoteFacade, so this only affects reporting.
+func (a *App) SetEffectiveConfig(cfg core.ConfigID) { a.cfg = cfg }
 
 // wireDBReplicas sets up the Section 6 extension: asynchronous
 // statement-based database replication to every edge server, so highly
@@ -471,8 +526,22 @@ func (a *App) cartMethods(srv *container.Server) map[string]container.Method {
 // getItemVia fetches item details the way the current configuration
 // dictates: local read-only beans when the server has them, otherwise via
 // the Catalog façade (one RMI call from an edge).
+// useReplicas reports whether srv should answer catalog reads from its
+// read-only replicas. Checking the live wiring rather than the deployed
+// configuration is what lets an adaptive run change answer mid-flight: the
+// moment a migration cuts an edge over, its handlers start hitting the
+// replicas.
+func (a *App) useReplicas(srv *container.Server) bool {
+	return srv.Name() != simnet.NodeMain && a.wiring != nil && a.wiring.DeployedOn(srv.Name())
+}
+
+// useQueryCache mirrors useReplicas for the query-cache tier.
+func (a *App) useQueryCache(srv *container.Server) bool {
+	return a.wiring != nil && a.wiring.Cache(srv.Name()) != nil
+}
+
 func (a *App) getItemVia(p *sim.Proc, srv *container.Server, itemID string) (*ItemPage, error) {
-	if a.cfg.AtLeast(core.StatefulCaching) && srv.Name() != simnet.NodeMain {
+	if a.useReplicas(srv) {
 		itemRO := a.wiring.Replica(srv.Name(), BeanItem)
 		invRO := a.wiring.Replica(srv.Name(), BeanInventory)
 		item, err := itemRO.Get(p, sqldb.Str(itemID))
@@ -485,7 +554,14 @@ func (a *App) getItemVia(p *sim.Proc, srv *container.Server, itemID string) (*It
 		}
 		return &ItemPage{Item: item, Qty: qtySt["qty"].AsInt()}, nil
 	}
-	stub, err := a.catalogStub(p, srv)
+	// The fallback must target the central Catalog, not catalogStub: the
+	// edge Catalog façade's own getItem lands here, and in an adaptive
+	// deployment that façade exists before the replicas do — resolving the
+	// local catalog again would recurse forever. Static configurations are
+	// unaffected (below StatefulCaching no edge catalog exists, so
+	// catalogStub resolved to main anyway; at or above it, edges answer
+	// from replicas and never reach this branch).
+	stub, err := a.centralCatalogStub(p, srv)
 	if err != nil {
 		return nil, err
 	}
@@ -504,8 +580,9 @@ func (a *App) getItemVia(p *sim.Proc, srv *container.Server, itemID string) (*It
 // configuration: read-only Category/Product/Item/Inventory beans with push
 // refresh, query caches from QueryCaching on, and sync vs async propagation.
 func (a *App) wireReplicas() error {
+	dcfg := a.descriptorConfig()
 	update := container.SyncUpdate
-	if a.cfg.AtLeast(core.AsyncUpdates) {
+	if dcfg.AtLeast(core.AsyncUpdates) {
 		update = container.AsyncUpdate
 	}
 	ext := &container.ExtendedDescriptor{
@@ -517,7 +594,7 @@ func (a *App) wireReplicas() error {
 			{Bean: BeanInventory, Update: update, Refresh: container.PushRefresh},
 		},
 	}
-	if a.cfg.AtLeast(core.QueryCaching) {
+	if dcfg.AtLeast(core.QueryCaching) {
 		ext.CachedQueries = []container.CachedQuerySpec{
 			{Name: QueryProductsByCategory, InvalidatedBy: []string{BeanProduct, BeanCategory}},
 			{Name: QueryItemsByProduct, InvalidatedBy: []string{BeanItem, BeanProduct}},
@@ -526,6 +603,7 @@ func (a *App) wireReplicas() error {
 	w, err := core.AutoWire(a.d, ext, core.WireOptions{
 		PushBytes:   replicaPushBytes,
 		UpdaterName: "Updater",
+		Deferred:    a.adaptive,
 		FetchFor: func(server *container.Server, rwBean string) container.FetchFunc {
 			return func(p *sim.Proc, pk sqldb.Value) (container.State, error) {
 				stub, err := a.centralCatalogStub(p, server)
@@ -571,6 +649,11 @@ func (a *App) wireReplicas() error {
 		return fmt.Errorf("petstore: %w", err)
 	}
 	a.wiring = w
+	if a.adaptive {
+		// Replicas do not exist yet; each one receives its snapshot when
+		// the controller migrates it in.
+		return nil
+	}
 	return a.preloadReplicas()
 }
 
@@ -612,53 +695,102 @@ func (a *App) preloadReplicas() error {
 // read-only beans, query caches, or the central Catalog (Fig. 4/5 wiring).
 func (a *App) deployEdgeCatalogs() error {
 	for _, edge := range a.d.Edges {
-		edge := edge
-		delegate := func(p *sim.Proc, method, param string) (any, error) {
+		if _, err := container.DeployStateless(edge, BeanCatalog, a.edgeCatalogMethods(edge)); err != nil {
+			return fmt.Errorf("petstore: %w", err)
+		}
+	}
+	return nil
+}
+
+// edgeCatalogMethods builds the replica-backed edge Catalog implementation
+// for one edge server.
+func (a *App) edgeCatalogMethods(edge *container.Server) map[string]container.Method {
+	delegate := func(p *sim.Proc, method, param string) (any, error) {
+		stub, err := a.centralCatalogStub(p, edge)
+		if err != nil {
+			return nil, err
+		}
+		return stub.Invoke(p, method, param)
+	}
+	cached := func(p *sim.Proc, queryName, method, param string) (any, error) {
+		if a.useQueryCache(edge) {
+			return a.wiring.Cache(edge.Name()).Get(p, queryName+":"+param)
+		}
+		return delegate(p, method, param)
+	}
+	return map[string]container.Method{
+		"getProductsOf": func(p *sim.Proc, inv *container.Invocation) (any, error) {
+			return cached(p, QueryProductsByCategory, "getProductsOf", inv.StringArg(0))
+		},
+		"getItemsOf": func(p *sim.Proc, inv *container.Invocation) (any, error) {
+			return cached(p, QueryItemsByProduct, "getItemsOf", inv.StringArg(0))
+		},
+		"getItem": func(p *sim.Proc, inv *container.Invocation) (any, error) {
+			page, err := a.getItemVia(p, edge, inv.StringArg(0))
+			if err != nil {
+				return nil, err
+			}
+			return page, nil
+		},
+		// Aggregate keyword queries execute centrally — unless the
+		// DB-replication extension gives this edge a local replica.
+		"search": func(p *sim.Proc, inv *container.Invocation) (any, error) {
+			if edge.HasReplicaDB() {
+				kw := inv.StringArg(0)
+				res, err := edge.SQLReplica(p,
+					`SELECT * FROM product WHERE name LIKE ? OR descn LIKE ? ORDER BY productid LIMIT 25`,
+					sqldb.Str("%"+kw+"%"), sqldb.Str("%"+kw+"%"))
+				if err != nil {
+					return nil, err
+				}
+				return allStates(res), nil
+			}
+			return delegate(p, "search", inv.StringArg(0))
+		},
+	}
+}
+
+// delegateCatalogMethods builds the pre-extension edge Catalog of an
+// adaptive deployment: every method forwards to the central Catalog in one
+// WAN call, the remote-façade tier expressed as a local façade so the JNDI
+// name exists from the start and the cut-over is a pure handler swap.
+func (a *App) delegateCatalogMethods(edge *container.Server) map[string]container.Method {
+	delegate := func(method string) container.Method {
+		return func(p *sim.Proc, inv *container.Invocation) (any, error) {
 			stub, err := a.centralCatalogStub(p, edge)
 			if err != nil {
 				return nil, err
 			}
-			return stub.Invoke(p, method, param)
+			return stub.Invoke(p, method, inv.StringArg(0))
 		}
-		cached := func(p *sim.Proc, queryName, method, param string) (any, error) {
-			if a.cfg.AtLeast(core.QueryCaching) {
-				return a.wiring.Cache(edge.Name()).Get(p, queryName+":"+param)
-			}
-			return delegate(p, method, param)
-		}
-		methods := map[string]container.Method{
-			"getProductsOf": func(p *sim.Proc, inv *container.Invocation) (any, error) {
-				return cached(p, QueryProductsByCategory, "getProductsOf", inv.StringArg(0))
-			},
-			"getItemsOf": func(p *sim.Proc, inv *container.Invocation) (any, error) {
-				return cached(p, QueryItemsByProduct, "getItemsOf", inv.StringArg(0))
-			},
-			"getItem": func(p *sim.Proc, inv *container.Invocation) (any, error) {
-				page, err := a.getItemVia(p, edge, inv.StringArg(0))
-				if err != nil {
-					return nil, err
-				}
-				return page, nil
-			},
-			// Aggregate keyword queries execute centrally — unless the
-			// DB-replication extension gives this edge a local replica.
-			"search": func(p *sim.Proc, inv *container.Invocation) (any, error) {
-				if edge.HasReplicaDB() {
-					kw := inv.StringArg(0)
-					res, err := edge.SQLReplica(p,
-						`SELECT * FROM product WHERE name LIKE ? OR descn LIKE ? ORDER BY productid LIMIT 25`,
-						sqldb.Str("%"+kw+"%"), sqldb.Str("%"+kw+"%"))
-					if err != nil {
-						return nil, err
-					}
-					return allStates(res), nil
-				}
-				return delegate(p, "search", inv.StringArg(0))
-			},
-		}
-		if _, err := container.DeployStateless(edge, BeanCatalog, methods); err != nil {
+	}
+	return map[string]container.Method{
+		"getProductsOf": delegate("getProductsOf"),
+		"getItemsOf":    delegate("getItemsOf"),
+		"getItem":       delegate("getItem"),
+		"search":        delegate("search"),
+	}
+}
+
+// deployEdgeCatalogDelegates installs the delegate-only edge Catalogs an
+// adaptive deployment starts with.
+func (a *App) deployEdgeCatalogDelegates() error {
+	for _, edge := range a.d.Edges {
+		if _, err := container.DeployStateless(edge, BeanCatalog, a.delegateCatalogMethods(edge)); err != nil {
 			return fmt.Errorf("petstore: %w", err)
 		}
+	}
+	return nil
+}
+
+// ActivateEdgeCatalog rebinds one edge's Catalog JNDI name from the
+// delegate-only implementation to the replica-backed one — the application
+// half of a live-migration cut-over. The rebind happens in place within the
+// current simulation event: cached stubs follow on their next call and no
+// request ever observes the name unbound.
+func (a *App) ActivateEdgeCatalog(edge *container.Server) error {
+	if _, err := container.RedeployStateless(edge, BeanCatalog, a.edgeCatalogMethods(edge)); err != nil {
+		return fmt.Errorf("petstore: %w", err)
 	}
 	return nil
 }

@@ -1,0 +1,16 @@
+package planner
+
+// SearchObserved re-runs the placement search on the model reweighted by an
+// observed page mix — the shape trace.Profile.VisitShares exports, pattern →
+// page → share of that pattern's visits. This is the single code path shared
+// by the online re-placement controller (which feeds it the flight
+// recorder's live page mix each epoch) and `wadeploy plan -observed` (which
+// feeds it a `wadeploy trace -json` export offline): both rank placements
+// for the workload that was actually observed rather than the modeled one.
+// Empty shares fall back to the modeled mix unchanged.
+func SearchObserved(m *Model, shares map[string]map[string]float64) (*Result, error) {
+	if len(shares) > 0 {
+		m = m.WithObservedVisits(shares)
+	}
+	return Search(m)
+}

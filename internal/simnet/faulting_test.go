@@ -102,6 +102,66 @@ func TestFlapMidTransfer(t *testing.T) {
 	env.Close()
 }
 
+// TestBulkTransferSurfacesMidTransferLinkDown pins the contract the live-
+// migration path depends on, alongside TestFlapMidTransfer's cut-through
+// rule for ordinary messages: when SetLinkState downs the link while a bulk
+// state transfer is in flight, TransferBulk fails promptly with a retryable
+// *BulkError carrying the resume offset (fully delivered chunks only) rather
+// than silently stalling the lane, and retrying the remaining bytes after
+// the heal completes the transfer.
+func TestBulkTransferSurfacesMidTransferLinkDown(t *testing.T) {
+	env := sim.NewEnv(1)
+	n := New(env)
+	for _, id := range []string{"a", "b"} {
+		if _, err := n.AddNode(id, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 1 KB/s: each 500-byte chunk serializes for half a second, so the
+	// link-down at t=1.25s lands while chunk 3 is on the wire.
+	if _, err := n.AddLink("a", "b", 10*time.Millisecond, 1e3); err != nil {
+		t.Fatal(err)
+	}
+	env.At(1250*time.Millisecond, func() {
+		if err := n.SetLinkState("a", "b", false); err != nil {
+			t.Error(err)
+		}
+	})
+	env.At(2*time.Second, func() {
+		if err := n.SetLinkState("a", "b", true); err != nil {
+			t.Error(err)
+		}
+	})
+	env.Spawn("bulk", func(p *sim.Proc) {
+		err := n.TransferBulk(p, "a", "b", 3000, 500)
+		var be *BulkError
+		if !errors.As(err, &be) {
+			t.Fatalf("bulk transfer across link-down = %v, want *BulkError", err)
+		}
+		var ue *UnreachableError
+		if !errors.As(be, &ue) {
+			t.Errorf("BulkError cause = %v, want UnreachableError", be.Err)
+		}
+		// Chunks 1 and 2 (1000 bytes) were delivered before the drop;
+		// chunk 3 was on the wire when the link died and is charged lost.
+		if be.Sent != 1000 {
+			t.Errorf("BulkError.Sent = %d, want 1000", be.Sent)
+		}
+		// Retrying while the link is still down fails fast, zero progress.
+		err = n.TransferBulk(p, "a", "b", 3000-be.Sent, 500)
+		var be2 *BulkError
+		if !errors.As(err, &be2) || be2.Sent != 0 {
+			t.Errorf("retry during outage = %v, want immediate *BulkError with Sent=0", err)
+		}
+		p.Sleep(2*time.Second - p.Now() + time.Millisecond) // past the heal
+		if err := n.TransferBulk(p, "a", "b", 3000-be.Sent, 500); err != nil {
+			t.Errorf("resumed transfer after heal: %v", err)
+		}
+	})
+	env.RunAll()
+	env.Close()
+}
+
 // TestNodeDownBlocksTransit pins SetNodeState routing: a downed node carries
 // no transit traffic, endpoints behind it become unreachable, and recovery
 // restores the original routes.

@@ -452,6 +452,57 @@ func (n *Network) Transfer(p *sim.Proc, from, to string, bytes int) error {
 	return nil
 }
 
+// BulkError reports a bulk state transfer that failed part-way through.
+// Sent is the number of bytes already delivered and acknowledged before the
+// failure, so callers can resume from that offset instead of restarting; Err
+// is the underlying transport failure (*UnreachableError for a downed path,
+// *DroppedError for a chunk lost to a lossy link). Both causes are
+// retryable: a retransmit of the remaining bytes is always safe.
+type BulkError struct {
+	From, To string
+	Sent     int
+	Err      error
+}
+
+func (e *BulkError) Error() string {
+	return fmt.Sprintf("simnet: bulk transfer %s->%s interrupted after %d bytes: %v", e.From, e.To, e.Sent, e.Err)
+}
+
+// Unwrap exposes the underlying transport error to errors.Is/As.
+func (e *BulkError) Unwrap() error { return e.Err }
+
+// TransferBulk moves a bulk payload from from to to in chunk-sized pieces
+// (default 64 KiB when chunk <= 0), blocking the process for each chunk's
+// delivery delay. Unlike Transfer — whose cut-through delay is computed in
+// full at send time, so a link failure mid-sleep cannot interrupt it — a
+// bulk transfer re-validates the path at every chunk boundary: a link or
+// node downed mid-transfer surfaces as a *BulkError carrying the resume
+// offset rather than silently stalling the lane or delivering bytes over a
+// dead path. A chunk in flight when the path dies is counted as lost (the
+// sender never sees its ack), so Sent only covers fully delivered chunks.
+func (n *Network) TransferBulk(p *sim.Proc, from, to string, bytes, chunk int) error {
+	if chunk <= 0 {
+		chunk = 64 << 10
+	}
+	sent := 0
+	for sent < bytes {
+		sz := bytes - sent
+		if sz > chunk {
+			sz = chunk
+		}
+		d, err := n.Delay(from, to, sz)
+		if err != nil {
+			return &BulkError{From: from, To: to, Sent: sent, Err: err}
+		}
+		p.Sleep(d)
+		if !n.Reachable(from, to) {
+			return &BulkError{From: from, To: to, Sent: sent, Err: &UnreachableError{From: from, To: to}}
+		}
+		sent += sz
+	}
+	return nil
+}
+
 // Send delivers a message asynchronously: fn runs on the scheduler at the
 // delivery time. It returns the delivery delay. Use it for one-way messages
 // such as JMS publications.

@@ -1,0 +1,86 @@
+package workload
+
+import "time"
+
+// Bucket is one time slice of a WindowObserver: success/failure counts and
+// the response-time sum of successful requests completing in the slice.
+type Bucket struct {
+	OK, Fail int
+	RTSum    time.Duration
+}
+
+// Mean returns the bucket's mean successful response time (0 if empty).
+func (b Bucket) Mean() time.Duration {
+	if b.OK == 0 {
+		return 0
+	}
+	return b.RTSum / time.Duration(b.OK)
+}
+
+// Availability returns the bucket's success fraction (1 if empty — an idle
+// slice is not an outage).
+func (b Bucket) Availability() float64 {
+	n := b.OK + b.Fail
+	if n == 0 {
+		return 1
+	}
+	return float64(b.OK) / float64(n)
+}
+
+// WindowObserver is a time-bucketed request accumulator for adaptation
+// reporting: it slices a run into fixed-width buckets and tallies
+// success/failure counts and response-time sums per bucket, optionally for
+// one client node only. It is a pure accumulator (no RNG, no clock reads),
+// so attaching one never perturbs a run — the determinism contract for
+// workload Observers.
+type WindowObserver struct {
+	// Node, when non-empty, restricts accounting to clients on that node.
+	Node string
+	// Width is the bucket width (required, > 0).
+	Width time.Duration
+
+	buckets map[int]*Bucket
+}
+
+// NewWindowObserver builds a WindowObserver with the given bucket width,
+// counting clients on node only (every node when node is empty).
+func NewWindowObserver(node string, width time.Duration) *WindowObserver {
+	return &WindowObserver{Node: node, Width: width, buckets: make(map[int]*Bucket)}
+}
+
+// Observe is the workload.Observer hook.
+func (w *WindowObserver) Observe(now time.Duration, client Client, _ SeriesKey, rt time.Duration, err error) {
+	if w.Node != "" && client.Node != w.Node {
+		return
+	}
+	i := int(now / w.Width)
+	b := w.buckets[i]
+	if b == nil {
+		b = &Bucket{}
+		w.buckets[i] = b
+	}
+	if err != nil {
+		b.Fail++
+		return
+	}
+	b.OK++
+	b.RTSum += rt
+}
+
+// Range aggregates the buckets overlapping [from, to).
+func (w *WindowObserver) Range(from, to time.Duration) Bucket {
+	var out Bucket
+	if w.Width <= 0 {
+		return out
+	}
+	lo := int(from / w.Width)
+	hi := int((to - 1) / w.Width)
+	for i := lo; i <= hi; i++ {
+		if b := w.buckets[i]; b != nil {
+			out.OK += b.OK
+			out.Fail += b.Fail
+			out.RTSum += b.RTSum
+		}
+	}
+	return out
+}
