@@ -4,7 +4,7 @@ GO ?= go
 
 # Perf record written by `make bench`; bump the suffix per PR so the
 # trajectory (BENCH_PR1.json, BENCH_PR2.json, ...) stays comparable.
-BENCH_OUT ?= BENCH_PR8.json
+BENCH_OUT ?= BENCH_PR9.json
 
 .PHONY: all verify build vet test race bench bench-smoke profile repro repro-quick examples clean
 

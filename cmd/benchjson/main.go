@@ -152,6 +152,12 @@ func promoteThroughput(m map[string]float64) {
 	}
 	promote("events_per_sec", "events/s", "events/op")
 	promote("simulated_pages_per_sec", "simulated_pages/s", "pages/op")
+	// Replication-path metrics (the delta/full-state/batched push arms)
+	// promoted for cross-PR comparison of write latency and WAN cost.
+	promote("write_ms", "write-ms", "")
+	promote("commits_per_sec", "commits/s", "")
+	promote("wan_msgs_per_commit", "wan-msgs/commit", "")
+	promote("wan_bytes_per_commit", "wan-bytes/commit", "")
 }
 
 func fatal(err error) {

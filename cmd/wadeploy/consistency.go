@@ -1,0 +1,30 @@
+package main
+
+import (
+	"fmt"
+
+	"wadeploy/internal/experiment"
+)
+
+// consistency runs the staleness-latency spectrum: the asynchronous-updates
+// configuration re-run once per propagation arm (sync full-state, sync
+// delta, bounded-staleness leases, batched async deltas, plain async) and
+// one table of write-page response time against delivered replica staleness
+// and WAN messages per commit. Arms are independent seeded simulations, so
+// output is byte-identical at any -parallel setting.
+func consistency(app experiment.AppID, opts experiment.RunOptions, diag bool) error {
+	results, err := experiment.RunConsistency(app, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiment.FormatConsistency(results))
+	if diag {
+		full := make([]*experiment.Result, len(results))
+		for i, r := range results {
+			full[i] = r.Full
+		}
+		fmt.Println()
+		fmt.Print(experiment.FormatDiagnostics(full))
+	}
+	return nil
+}

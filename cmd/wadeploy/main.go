@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	wadeploy [flags] table6|table7|fig7|fig8|metrics|faults|inventory|plan|explain|trace|sweep-latency|sweep-load|scale|all
+//	wadeploy [flags] table6|table7|fig7|fig8|metrics|faults|adapt|consistency|inventory|plan|explain|trace|sweep-latency|sweep-load|scale|all
 //
 // table6/fig7 run Java Pet Store, table7/fig8 run RUBiS; each table run
 // executes all five configurations (centralized, remote façade, stateful
@@ -168,6 +168,16 @@ func run(args []string) error {
 			if err := availability(app, opts, *diag, *metricsOut); err != nil {
 				return err
 			}
+		case "consistency":
+			app := experiment.PetStore
+			if *appFlag == "rubis" {
+				app = experiment.RUBiS
+			} else if *appFlag != "petstore" {
+				return fmt.Errorf("unknown app %q (want petstore|rubis)", *appFlag)
+			}
+			if err := consistency(app, opts, *diag); err != nil {
+				return err
+			}
 		case "inventory":
 			printInventory()
 		case "plan":
@@ -262,7 +272,7 @@ func run(args []string) error {
 				}
 			}
 		default:
-			return fmt.Errorf("unknown command %q (want table6|table7|fig7|fig8|metrics|faults|adapt|inventory|plan|explain|sweep-latency|sweep-load|scale|all)", cmd)
+			return fmt.Errorf("unknown command %q (want table6|table7|fig7|fig8|metrics|faults|adapt|consistency|inventory|plan|explain|sweep-latency|sweep-load|scale|all)", cmd)
 		}
 	}
 	return nil

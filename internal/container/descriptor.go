@@ -36,6 +36,12 @@ const (
 	SyncUpdate UpdateMode = iota + 1
 	// AsyncUpdate publishes to a JMS topic and returns immediately.
 	AsyncUpdate
+	// LeaseUpdate sits between the two: the writer returns immediately,
+	// and a batching propagator coalesces everything committed inside a
+	// tick window into one last-writer delta per entity, pushed to each
+	// edge as a single RMI message per window. Staleness is bounded by
+	// the window (MaxStaleness, or an explicit BatchWindow).
+	LeaseUpdate
 )
 
 func (m UpdateMode) String() string {
@@ -44,6 +50,8 @@ func (m UpdateMode) String() string {
 		return "sync"
 	case AsyncUpdate:
 		return "async"
+	case LeaseUpdate:
+		return "lease"
 	default:
 		return fmt.Sprintf("UpdateMode(%d)", int(m))
 	}
@@ -96,6 +104,19 @@ type ReplicaSpec struct {
 	// DeltaPush propagates only changed fields (Section 4.3's "transfer
 	// only the changes" optimization). Requires PushRefresh.
 	DeltaPush bool
+	// FullState opts out of deltas-by-default
+	// (core.ReplicationOptions.DeltasByDefault): the replica keeps
+	// receiving full post-write state even when the wiring would
+	// otherwise switch it to delta pushes. Mutually exclusive with
+	// DeltaPush.
+	FullState bool
+	// BatchWindow, when positive, batches and coalesces pushes per
+	// (destination, window): async publishes collapse into one topic
+	// message per window, lease pushes into one RMI message per edge per
+	// window. A lease without an explicit window derives one from
+	// MaxStaleness. Not meaningful for SyncUpdate (the writer blocks per
+	// commit by definition).
+	BatchWindow time.Duration
 }
 
 // CachedQuerySpec is the extended-descriptor entry for one cached query:
@@ -135,8 +156,17 @@ func (d *ExtendedDescriptor) Validate() error {
 			return fmt.Errorf("%w: duplicate replica for bean %s", ErrBadDescriptor, r.Bean)
 		}
 		seen[r.Bean] = true
+		// A zero-valued mode means the descriptor author forgot the field
+		// entirely — report that as its own error instead of folding it
+		// into "unknown", so the fix ("set Update/Refresh") is obvious.
+		if r.Update == 0 {
+			return fmt.Errorf("%w: replica %s: update mode not set", ErrBadDescriptor, r.Bean)
+		}
+		if r.Refresh == 0 {
+			return fmt.Errorf("%w: replica %s: refresh mode not set (push or pull)", ErrBadDescriptor, r.Bean)
+		}
 		switch r.Update {
-		case SyncUpdate, AsyncUpdate:
+		case SyncUpdate, AsyncUpdate, LeaseUpdate:
 		default:
 			return fmt.Errorf("%w: replica %s: unknown update mode", ErrBadDescriptor, r.Bean)
 		}
@@ -150,6 +180,26 @@ func (d *ExtendedDescriptor) Validate() error {
 		}
 		if r.DeltaPush && r.Refresh != PushRefresh {
 			return fmt.Errorf("%w: replica %s: delta push requires push refresh", ErrBadDescriptor, r.Bean)
+		}
+		if r.DeltaPush && r.FullState {
+			return fmt.Errorf("%w: replica %s: delta push conflicts with full-state", ErrBadDescriptor, r.Bean)
+		}
+		if r.MaxStaleness < 0 {
+			return fmt.Errorf("%w: replica %s: negative max staleness", ErrBadDescriptor, r.Bean)
+		}
+		if r.BatchWindow < 0 {
+			return fmt.Errorf("%w: replica %s: negative batch window", ErrBadDescriptor, r.Bean)
+		}
+		if r.Update == LeaseUpdate {
+			if r.Refresh != PushRefresh {
+				return fmt.Errorf("%w: replica %s: lease update requires push refresh", ErrBadDescriptor, r.Bean)
+			}
+			if r.MaxStaleness <= 0 && r.BatchWindow <= 0 {
+				return fmt.Errorf("%w: replica %s: lease update needs a staleness budget (MaxStaleness or BatchWindow)", ErrBadDescriptor, r.Bean)
+			}
+		}
+		if r.Update == SyncUpdate && r.BatchWindow > 0 {
+			return fmt.Errorf("%w: replica %s: sync updates are unbatched (use a lease)", ErrBadDescriptor, r.Bean)
 		}
 	}
 	qseen := make(map[string]bool, len(d.CachedQueries))

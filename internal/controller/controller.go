@@ -31,6 +31,7 @@ import (
 	"wadeploy/internal/core"
 	"wadeploy/internal/metrics"
 	"wadeploy/internal/planner"
+	"wadeploy/internal/replog"
 	"wadeploy/internal/sim"
 	"wadeploy/internal/trace"
 )
@@ -186,6 +187,7 @@ type Event struct {
 type Migration struct {
 	Server        string
 	Resync        bool // state refresh of an already-wired edge
+	FromLog       bool // resynced by event-log replay instead of a snapshot
 	Start, End    time.Duration
 	SnapshotBytes int // base image shipped
 	CatchUpBytes  int // pre-copy catch-up rounds shipped
@@ -232,6 +234,14 @@ type Controller struct {
 	down      map[string]int // consecutive unreachable epochs per edge
 	suspended map[string]bool
 	needSync  map[string]bool // wired edges whose state must be resynced
+
+	// store is the event-log replication backend (nil unless the
+	// deployment armed core.ReplicationOptions.EventLog). When present,
+	// the controller seals one log epoch per tick, tracks the last epoch
+	// each healthy edge acknowledged, and resynchronizes recovered edges
+	// by replaying the coalesced log suffix instead of a snapshot.
+	store    *replog.Store
+	ackEpoch map[string]int // edge -> last acknowledged log epoch
 
 	events []Event
 	migs   []Migration
@@ -281,6 +291,8 @@ func Start(cfg Config) (*Controller, error) {
 		down:      make(map[string]int),
 		suspended: make(map[string]bool),
 		needSync:  make(map[string]bool),
+		store:     cfg.Deployment.Replog,
+		ackEpoch:  make(map[string]int),
 
 		mEpochs:    reg.Counter("controller_epochs_total"),
 		mDecisions: reg.CounterVec("controller_decisions_total", "kind"),
@@ -312,9 +324,40 @@ func (c *Controller) record(p *sim.Proc, ev Event) {
 func (c *Controller) tick(p *sim.Proc) {
 	c.epoch++
 	c.mEpochs.Inc()
+	if c.store != nil {
+		c.store.SealEpoch()
+	}
 	c.watchReachability(p)
+	c.ackReplicas()
 	c.replan(p)
 	c.act(p)
+}
+
+// ackReplicas advances each healthy edge's acknowledged log epoch. An edge
+// acknowledges the epoch sealed one tick ago, not the one just sealed: a
+// push committed right before this tick may still be in flight, but
+// anything sealed a full epoch earlier either arrived (the path was up at
+// both ticks) or the edge was marked down in between and is excluded here.
+// Replay is coalesced last-writer-wins, so the one-epoch lag only makes a
+// resync slightly larger, never wrong.
+func (c *Controller) ackReplicas() {
+	if c.store == nil {
+		return
+	}
+	acked := c.store.Epoch() - 1
+	if acked < 1 {
+		return
+	}
+	w := c.cfg.Wiring
+	for _, edge := range c.cfg.Deployment.Edges {
+		name := edge.Name()
+		if c.down[name] > 0 || c.suspended[name] || c.needSync[name] || !w.DeployedOn(name) {
+			continue
+		}
+		if acked > c.ackEpoch[name] {
+			c.ackEpoch[name] = acked
+		}
+	}
 }
 
 // watchReachability probes main ↔ edge liveness (a free control-plane
@@ -458,8 +501,17 @@ func (c *Controller) act(p *sim.Proc) {
 			w.ResumeTargets(name)
 			c.suspended[name] = false
 		}
+		if c.store != nil {
+			// The cut-over applied everything through the log head, which
+			// is at or past the most recent seal.
+			c.ackEpoch[name] = c.store.Epoch()
+		}
+		how := "snapshot"
+		if m.FromLog {
+			how = "log replay"
+		}
 		c.record(p, Event{Kind: EventResynced, Server: name,
-			Detail: fmt.Sprintf("%d bytes, %d updates replayed", m.SnapshotBytes+m.CatchUpBytes, m.Replayed)})
+			Detail: fmt.Sprintf("%d bytes, %d updates replayed (%s)", m.SnapshotBytes+m.CatchUpBytes, m.Replayed, how)})
 		return
 	}
 
@@ -475,6 +527,9 @@ func (c *Controller) act(p *sim.Proc) {
 		if m.Failed {
 			c.record(p, Event{Kind: EventMigrateFailed, Server: name, Detail: m.Err})
 			return
+		}
+		if c.store != nil {
+			c.ackEpoch[name] = c.store.Epoch()
 		}
 		c.record(p, Event{Kind: EventMigrated, Server: name,
 			Detail: fmt.Sprintf("%d bytes, %d catch-up rounds, %d updates replayed", m.SnapshotBytes+m.CatchUpBytes, m.Rounds, m.Replayed)})

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"wadeploy/internal/container"
+	"wadeploy/internal/replog"
 	"wadeploy/internal/sim"
 )
 
@@ -49,12 +50,15 @@ type Wiring struct {
 	Caches      map[string]*container.QueryCache
 	Subscribers map[string]*container.MDBean
 
-	d         *Deployment
-	ext       *container.ExtendedDescriptor
-	opts      WireOptions
-	syncProps map[string]*container.SyncPropagator // rw bean -> propagator
-	asyncProp *container.AsyncPropagator
-	anyAsync  bool
+	d          *Deployment
+	ext        *container.ExtendedDescriptor
+	specs      []container.ReplicaSpec // effective specs (replication overrides applied)
+	opts       WireOptions
+	syncProps  map[string]*container.SyncPropagator    // rw bean -> propagator
+	leaseProps map[string]*container.BatchingPropagator // rw bean -> lease propagator
+	asyncProp  *container.AsyncPropagator
+	asyncBatch *container.BatchingPropagator // shared batched-async publisher
+	anyAsync   bool
 }
 
 // Replica returns the read-only replica of rwBean on server, or nil.
@@ -99,7 +103,16 @@ func AutoWire(d *Deployment, ext *container.ExtendedDescriptor, opts WireOptions
 	if err := ext.Validate(); err != nil {
 		return nil, fmt.Errorf("core: autowire: %w", err)
 	}
-	for _, spec := range ext.Replicas {
+	// Apply the deployment's replication overrides (deltas-by-default,
+	// batch windows, experiment mode sweeps) and re-validate the result, so
+	// an override that produces an illegal combination fails as loudly as a
+	// hand-written descriptor would.
+	specs := d.Replication.effectiveReplicas(ext.Replicas)
+	eff := &container.ExtendedDescriptor{Replicas: specs, CachedQueries: ext.CachedQueries, Topic: ext.Topic}
+	if err := eff.Validate(); err != nil {
+		return nil, fmt.Errorf("core: autowire (replication overrides): %w", err)
+	}
+	for _, spec := range specs {
 		if d.RW(spec.Bean) == nil {
 			return nil, fmt.Errorf("core: autowire: read-write bean %s is not registered", spec.Bean)
 		}
@@ -112,10 +125,12 @@ func AutoWire(d *Deployment, ext *container.ExtendedDescriptor, opts WireOptions
 		Subscribers: make(map[string]*container.MDBean),
 		d:           d,
 		ext:         ext,
+		specs:       specs,
 		opts:        opts,
 		syncProps:   make(map[string]*container.SyncPropagator),
+		leaseProps:  make(map[string]*container.BatchingPropagator),
 	}
-	for _, spec := range ext.Replicas {
+	for _, spec := range specs {
 		if spec.Update == container.AsyncUpdate {
 			w.anyAsync = true
 		}
@@ -132,7 +147,7 @@ func AutoWire(d *Deployment, ext *container.ExtendedDescriptor, opts WireOptions
 
 	// Attach propagators to the read-write beans (targets accrue as
 	// servers are wired, so deferred wiring starts with empty fan-out).
-	for _, spec := range ext.Replicas {
+	for _, spec := range specs {
 		rw := d.RW(spec.Bean)
 		if spec.DeltaPush {
 			rw.SetDeltaPush(true)
@@ -150,7 +165,42 @@ func AutoWire(d *Deployment, ext *container.ExtendedDescriptor, opts WireOptions
 			w.syncProps[spec.Bean] = sp
 			rw.AddPropagator(sp)
 		case container.AsyncUpdate:
-			rw.AddPropagator(w.asyncProp)
+			if spec.BatchWindow > 0 {
+				// Batched async: M beans share one topic message per tick
+				// window, N commits per entity collapse to one delta.
+				if w.asyncBatch == nil {
+					bp, err := container.NewBatchingPropagator(d.Main, spec.BatchWindow, ext.Topic, nil, opts.PushBytes)
+					if err != nil {
+						return nil, fmt.Errorf("core: autowire: %w", err)
+					}
+					w.asyncBatch = bp
+				}
+				rw.AddPropagator(w.asyncBatch)
+			} else {
+				rw.AddPropagator(w.asyncProp)
+			}
+		case container.LeaseUpdate:
+			window := spec.BatchWindow
+			if window <= 0 {
+				window = replog.StalenessBudget(spec.MaxStaleness)
+			}
+			bp, err := container.NewBatchingPropagator(d.Main, window, "", nil, opts.PushBytes)
+			if err != nil {
+				return nil, fmt.Errorf("core: autowire: %w", err)
+			}
+			bp.BestEffort = spec.BestEffort || d.Resilience != nil
+			w.leaseProps[spec.Bean] = bp
+			rw.AddPropagator(bp)
+		}
+	}
+
+	// The event-log recorder observes every commit ahead of the chain
+	// (before any blocking push sleeps on the WAN), so a catch-up replay
+	// sealed mid-commit can never miss an update the replicas saw.
+	if d.Replog != nil {
+		rec := replog.NewRecorder(d.Replog)
+		for _, spec := range specs {
+			d.RW(spec.Bean).PrependPropagator(rec)
 		}
 	}
 
@@ -180,7 +230,7 @@ func (w *Wiring) ExtendTo(server *container.Server) error {
 	w.Updaters[server.Name()] = uf
 	w.Replicas[server.Name()] = make(map[string]*container.ROEntity)
 
-	for _, spec := range w.ext.Replicas {
+	for _, spec := range w.specs {
 		var fetch container.FetchFunc
 		if w.opts.FetchFor != nil {
 			fetch = w.opts.FetchFor(server, spec.Bean)
@@ -245,9 +295,12 @@ func (w *Wiring) ExtendTo(server *container.Server) error {
 		w.Subscribers[server.Name()] = sub
 	}
 
-	for _, spec := range w.ext.Replicas {
+	for _, spec := range w.specs {
 		if sp, ok := w.syncProps[spec.Bean]; ok {
 			sp.AddTarget(container.SyncTarget{Server: server.Name(), Facade: w.updaterName()})
+		}
+		if bp, ok := w.leaseProps[spec.Bean]; ok {
+			bp.AddTarget(container.SyncTarget{Server: server.Name(), Facade: w.updaterName()})
 		}
 	}
 	return nil
@@ -256,12 +309,22 @@ func (w *Wiring) ExtendTo(server *container.Server) error {
 // ReplicaBeans returns the read-write bean names the descriptor replicates,
 // in descriptor order — the bundle a live migration moves.
 func (w *Wiring) ReplicaBeans() []string {
-	out := make([]string, 0, len(w.ext.Replicas))
-	for _, spec := range w.ext.Replicas {
+	out := make([]string, 0, len(w.specs))
+	for _, spec := range w.specs {
 		out = append(out, spec.Bean)
 	}
 	return out
 }
+
+// LeasePropagator returns the bounded-staleness batcher for rwBean, or nil
+// when the bean is not lease-replicated.
+func (w *Wiring) LeasePropagator(rwBean string) *container.BatchingPropagator {
+	return w.leaseProps[rwBean]
+}
+
+// AsyncBatcher returns the shared batched-async publisher, or nil when
+// async pushes are unbatched.
+func (w *Wiring) AsyncBatcher() *container.BatchingPropagator { return w.asyncBatch }
 
 // Deployment returns the deployment the wiring extends.
 func (w *Wiring) Deployment() *Deployment { return w.d }
@@ -286,8 +349,12 @@ func (w *Wiring) UpdaterFacadeName() string { return w.updaterName() }
 // redelivery machinery already decouples writers from dead subscribers.
 // A no-op when the server is not wired or already suspended.
 func (w *Wiring) SuspendTargets(server string) {
+	t := container.SyncTarget{Server: server, Facade: w.updaterName()}
 	for _, sp := range w.syncProps {
-		sp.RemoveTarget(container.SyncTarget{Server: server, Facade: w.updaterName()})
+		sp.RemoveTarget(t)
+	}
+	for _, bp := range w.leaseProps {
+		bp.RemoveTarget(t)
 	}
 }
 
@@ -299,8 +366,12 @@ func (w *Wiring) ResumeTargets(server string) {
 	if !w.DeployedOn(server) {
 		return
 	}
+	t := container.SyncTarget{Server: server, Facade: w.updaterName()}
 	for _, sp := range w.syncProps {
-		sp.AddTarget(container.SyncTarget{Server: server, Facade: w.updaterName()})
+		sp.AddTarget(t)
+	}
+	for _, bp := range w.leaseProps {
+		bp.AddTarget(t)
 	}
 }
 

@@ -28,6 +28,7 @@ import (
 	"wadeploy/internal/container"
 	"wadeploy/internal/jms"
 	"wadeploy/internal/metrics"
+	"wadeploy/internal/replog"
 	"wadeploy/internal/rmi"
 	"wadeploy/internal/sim"
 	"wadeploy/internal/simnet"
@@ -118,6 +119,16 @@ type Deployment struct {
 	// staleness-fallback pieces to the replicas it materializes.
 	Resilience *ResilienceOptions
 
+	// Replication echoes Options.Replication so AutoWire can rewrite the
+	// propagation path (deltas-by-default, batching, leases) and arm the
+	// event-log backend.
+	Replication *ReplicationOptions
+
+	// Replog is the event-log replication store, non-nil when
+	// Replication.EventLog is set. AutoWire prepends a recorder to every
+	// replicated read-write bean; the controller replays it for catch-up.
+	Replog *replog.Store
+
 	rw map[string]*container.RWEntity
 }
 
@@ -136,6 +147,12 @@ type Options struct {
 	// bounds on AutoWired replicas and caches. Nil (the default) keeps
 	// strict semantics and byte-identical metric output.
 	Resilience *ResilienceOptions
+
+	// Replication, when non-nil, arms the event-log replication backend
+	// and the new propagation defaults (deltas-by-default, batched/
+	// coalesced pushes, bounded-staleness leases). Nil (the default)
+	// keeps the paper's propagation path and byte-identical table output.
+	Replication *ReplicationOptions
 }
 
 // DefaultOptions returns the substrate defaults.
@@ -180,13 +197,17 @@ func NewPaperDeployment(env *sim.Env, opts Options) (*Deployment, error) {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	d := &Deployment{
-		Env:        env,
-		Net:        net,
-		DB:         db,
-		RMI:        rt,
-		JMS:        provider,
-		Resilience: opts.Resilience,
-		rw:         make(map[string]*container.RWEntity),
+		Env:         env,
+		Net:         net,
+		DB:          db,
+		RMI:         rt,
+		JMS:         provider,
+		Resilience:  opts.Resilience,
+		Replication: opts.Replication,
+		rw:          make(map[string]*container.RWEntity),
+	}
+	if r := opts.Replication; r != nil && r.EventLog {
+		d.Replog = replog.NewStore(env.Metrics(), r.LogRetention)
 	}
 	for _, name := range simnet.ServerNodes {
 		srv, err := container.NewServer(container.Config{

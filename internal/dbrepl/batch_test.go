@@ -1,0 +1,116 @@
+package dbrepl
+
+import (
+	"testing"
+	"time"
+
+	"wadeploy/internal/sim"
+	"wadeploy/internal/simnet"
+	"wadeploy/internal/sqldb"
+)
+
+// newBatchFixture mirrors newFixture but ships with a 100ms batch window.
+func newBatchFixture(t *testing.T, window time.Duration) *fixture {
+	t.Helper()
+	env := sim.NewEnv(3)
+	net := simnet.New(env)
+	for _, id := range []string{"main", "edge"} {
+		if _, err := net.AddNode(id, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := net.AddLink("main", "edge", 100*time.Millisecond, 1e12); err != nil {
+		t.Fatal(err)
+	}
+	main := sqldb.New()
+	if err := initKV(main); err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions
+	opts.BatchWindow = window
+	p, err := NewPrimary(net, "main", main, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := p.Attach("edge", initKV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{env: env, net: net, primary: p, main: main, replica: r}
+}
+
+// TestBatchedShippingOneMessagePerWindow is the WAN-cost contract of
+// Options.BatchWindow: every statement committed inside one window ships to
+// each replica as a single message, applied in commit order, and an idle gap
+// longer than the window starts a fresh batch.
+func TestBatchedShippingOneMessagePerWindow(t *testing.T) {
+	f := newBatchFixture(t, 100*time.Millisecond)
+	f.env.Spawn("writer", func(p *sim.Proc) {
+		// Burst one: 10 commits inside one window.
+		for i := 1; i <= 10; i++ {
+			if _, err := f.main.Exec(`UPDATE kv SET v = ? WHERE id = 1`, sqldb.Int(int64(i))); err != nil {
+				t.Errorf("update: %v", err)
+			}
+			p.Sleep(5 * time.Millisecond)
+		}
+		// Idle past the flush, then burst two in its own window.
+		p.Sleep(300 * time.Millisecond)
+		for i := 1; i <= 5; i++ {
+			if _, err := f.main.Exec(`UPDATE kv SET v = ? WHERE id = 2`, sqldb.Int(int64(i))); err != nil {
+				t.Errorf("update: %v", err)
+			}
+			p.Sleep(5 * time.Millisecond)
+		}
+	})
+	f.env.RunAll()
+
+	if f.primary.Shipped() != 15 || f.replica.Applied() != 15 || f.replica.Failed() != 0 {
+		t.Fatalf("shipped=%d applied=%d failed=%d, want 15/15/0",
+			f.primary.Shipped(), f.replica.Applied(), f.replica.Failed())
+	}
+	if f.primary.Batches() != 2 {
+		t.Fatalf("batches = %d, want 2 (one WAN message per burst)", f.primary.Batches())
+	}
+	r, err := f.replica.DB.Query(`SELECT id, v FROM kv ORDER BY id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][1].AsInt() != 10 || r.Rows[1][1].AsInt() != 5 {
+		t.Fatalf("replica rows = %v, want last-writer values 10/5", r.Rows)
+	}
+	snap := f.env.Metrics().Snapshot()
+	var got int64 = -1
+	for _, c := range snap.Counters {
+		if c.Name == "dbrepl_ship_batches_total" {
+			got = c.Value
+		}
+	}
+	if got != 2 {
+		t.Fatalf("dbrepl_ship_batches_total = %d, want 2", got)
+	}
+	f.env.Close()
+}
+
+// TestBatchedShippingLagBoundedByWindow: batching defers delivery by at most
+// one window on top of the WAN one-way; writers still never block.
+func TestBatchedShippingLagBoundedByWindow(t *testing.T) {
+	f := newBatchFixture(t, 100*time.Millisecond)
+	var writeCost time.Duration
+	f.env.Spawn("writer", func(p *sim.Proc) {
+		start := p.Now()
+		if _, err := f.main.Exec(`UPDATE kv SET v = 9 WHERE id = 1`); err != nil {
+			t.Errorf("update: %v", err)
+		}
+		writeCost = p.Now() - start
+	})
+	f.env.RunAll()
+	f.env.Close()
+	if writeCost != 0 {
+		t.Fatalf("write blocked %v on batched replication", writeCost)
+	}
+	// Lag is measured from the window flush, so batching adds nothing to
+	// it: about one WAN one-way, same as unbatched shipping.
+	if lag := f.replica.MeanLag(); lag < 90*time.Millisecond || lag > 300*time.Millisecond {
+		t.Fatalf("mean lag = %v, want about one WAN one-way", lag)
+	}
+}

@@ -73,6 +73,13 @@ type Primary struct {
 	retryMax   int
 	retryDelay time.Duration
 
+	// Batched shipping: statements committed inside one window share one
+	// WAN message per replica instead of paying a message each.
+	batchWindow time.Duration
+	pending     []stmt
+	batchArmed  bool
+	batches     int64
+
 	mShipped *metrics.Counter
 	mDropped *metrics.Counter
 	mApplied *metrics.Counter
@@ -81,6 +88,15 @@ type Primary struct {
 	// mRetries is registered only when retries are configured, so
 	// retry-free runs export byte-identical metric snapshots.
 	mRetries *metrics.Counter
+	// mBatches is registered only when a batch window is configured, for
+	// the same reason.
+	mBatches *metrics.Counter
+}
+
+// stmt is one buffered write-log record awaiting a batched ship.
+type stmt struct {
+	sql  string
+	args []sqldb.Value
 }
 
 // Options tunes the replication stream.
@@ -96,6 +112,11 @@ type Options struct {
 	// per replica.
 	RetryMax   int
 	RetryDelay time.Duration
+	// BatchWindow, when positive, buffers committed statements and ships
+	// everything from one window as a single WAN message per replica
+	// (applied in commit order on arrival). Writers still never wait;
+	// replica lag grows by at most one window.
+	BatchWindow time.Duration
 }
 
 // DefaultOptions models row-based log shipping of small OLTP statements.
@@ -132,9 +153,16 @@ func NewPrimary(net *simnet.Network, node string, db *sqldb.DB, opts Options) (*
 	if opts.RetryMax > 0 {
 		p.mRetries = reg.Counter("dbrepl_ship_retries_total")
 	}
+	if opts.BatchWindow > 0 {
+		p.batchWindow = opts.BatchWindow
+		p.mBatches = reg.Counter("dbrepl_ship_batches_total")
+	}
 	db.SetWriteHook(p.ship)
 	return p, nil
 }
+
+// Batches returns the number of batched ship windows flushed.
+func (p *Primary) Batches() int64 { return p.batches }
 
 // Shipped returns the number of statements shipped (per replica fan-out not
 // included: one write shipped to three replicas counts once).
@@ -170,9 +198,86 @@ func (p *Primary) ship(sql string, args []sqldb.Value) {
 	p.shipped++
 	p.mShipped.Inc()
 	argsCopy := append([]sqldb.Value(nil), args...)
+	if p.batchWindow > 0 {
+		p.pending = append(p.pending, stmt{sql: sql, args: argsCopy})
+		if !p.batchArmed {
+			p.batchArmed = true
+			p.env.After(p.batchWindow, p.flushShip)
+		}
+		return
+	}
 	for _, r := range p.replicas {
 		p.shipTo(r, sql, argsCopy, trace.CaptureEnv(p.env), 0)
 	}
+}
+
+// flushShip ships everything buffered in the closing window as one message
+// per replica; the next window arms on its first committed statement.
+func (p *Primary) flushShip() {
+	p.batchArmed = false
+	if len(p.pending) == 0 {
+		return
+	}
+	batch := p.pending
+	p.pending = nil
+	p.batches++
+	p.mBatches.Inc()
+	for _, r := range p.replicas {
+		p.shipBatchTo(r, batch, trace.CaptureEnv(p.env), 0)
+	}
+}
+
+// shipBatchTo attempts delivery of one window's batch to one replica: one
+// network message sized for the whole batch, applied statement by statement
+// in commit order on arrival.
+func (p *Primary) shipBatchTo(r *Replica, batch []stmt, ctx trace.Ctx, attempt int) {
+	delay, err := p.net.Delay(p.node, r.node.ID, p.bytes*len(batch))
+	if err != nil {
+		if attempt < p.retryMax {
+			p.mRetries.Inc()
+			p.env.After(p.retryDelay, func() { p.shipBatchTo(r, batch, ctx, attempt+1) })
+			return
+		}
+		r.dropped += int64(len(batch))
+		p.mDropped.Add(int64(len(batch)))
+		ctx.Drop()
+		return
+	}
+	shippedAt := p.env.Now()
+	arrival := shippedAt + delay
+	if arrival < r.lastArrival {
+		arrival = r.lastArrival
+	}
+	r.lastArrival = arrival
+	cause := trace.CauseService
+	if attempt > 0 {
+		cause = trace.CauseRetry
+	}
+	p.env.At(arrival, func() {
+		p.env.Spawn("dbrepl-apply-batch", func(proc *sim.Proc) {
+			defer trace.Adoptf(proc, ctx, "dbrepl", r.node.ID, cause, "replay batch of ", fmt.Sprint(len(batch)), "")()
+			for _, st := range batch {
+				if p.applyMS > 0 {
+					trace.Use(proc, r.node.CPU, r.node.ID, p.applyMS)
+				}
+				res, err := r.DB.Exec(st.sql, st.args...)
+				if err != nil {
+					r.failed++
+					p.mFailed.Inc()
+					continue
+				}
+				trace.Use(proc, r.node.CPU, r.node.ID, res.Cost)
+				r.applied++
+				p.mApplied.Inc()
+				lag := proc.Now() - shippedAt
+				r.lagSum += lag
+				if lag > r.lagMax {
+					r.lagMax = lag
+				}
+				p.mLag.Observe(lag)
+			}
+		})
+	})
 }
 
 // shipTo attempts delivery of one statement to one replica; attempt counts

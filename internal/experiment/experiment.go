@@ -58,6 +58,12 @@ type RunOptions struct {
 	// output.
 	Resilience *core.ResilienceOptions
 
+	// Replication, when non-nil, arms the delta-replication machinery
+	// (deltas-by-default, batched/coalesced pushes, bounded-staleness
+	// leases, the epoch-indexed event log) on the deployment under test.
+	// Nil keeps the paper's propagation path and byte-identical output.
+	Replication *core.ReplicationOptions
+
 	// Observer, when non-nil, sees every completed request (warm-up and
 	// failures included) — the hook behind availability scoring.
 	Observer workload.Observer
@@ -236,6 +242,7 @@ func Run(app AppID, cfg core.ConfigID, opts RunOptions) (*Result, error) {
 	case PetStore:
 		copts := core.DefaultOptions()
 		copts.Resilience = opts.Resilience
+		copts.Replication = opts.Replication
 		d, err := core.NewPaperDeployment(env, copts)
 		if err != nil {
 			return nil, err
@@ -277,6 +284,7 @@ func Run(app AppID, cfg core.ConfigID, opts RunOptions) (*Result, error) {
 		}
 		copts := rubis.DeployOptions()
 		copts.Resilience = opts.Resilience
+		copts.Replication = opts.Replication
 		d, err := core.NewPaperDeployment(env, copts)
 		if err != nil {
 			return nil, err

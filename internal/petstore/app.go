@@ -213,7 +213,13 @@ func (a *App) SetEffectiveConfig(cfg core.ConfigID) { a.cfg = cfg }
 // edges instead of crossing the WAN. Each replica starts from an identical
 // schema+seed snapshot; committed writes stream to it in order.
 func (a *App) wireDBReplicas() error {
-	primary, err := dbrepl.NewPrimary(a.d.Net, simnet.NodeDB, a.d.DB, dbrepl.DefaultOptions)
+	dopts := dbrepl.DefaultOptions
+	if r := a.d.Replication; r != nil && r.BatchWindow > 0 {
+		// Deltas-by-default's batch window applies to the statement stream
+		// too: one shipped WAN message per replica per window.
+		dopts.BatchWindow = r.BatchWindow
+	}
+	primary, err := dbrepl.NewPrimary(a.d.Net, simnet.NodeDB, a.d.DB, dopts)
 	if err != nil {
 		return fmt.Errorf("petstore: %w", err)
 	}

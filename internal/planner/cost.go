@@ -52,6 +52,12 @@ type Params struct {
 	PublishCPU     time.Duration
 	PushBytes      int // replica-refresh payload per blocking push
 	PushReplyBytes int // push acknowledgement
+
+	// Event-log replication (Options.Replication). Zero values — the
+	// paper default — leave every prediction untouched.
+	DeltaBytes   int           // wire size of a one-field delta push
+	DeltaDefault bool          // deltas-by-default armed
+	BatchWindow  time.Duration // batched/lease flush window (0 = unbatched)
 }
 
 // Substrate constants the model shares with the engine but that are not
@@ -59,7 +65,18 @@ type Params struct {
 const (
 	handshakeSegment = 64 // web container TCP SYN/SYN-ACK segment
 	pushReplySegment = 64 // propagation push acknowledgement
+
+	// Delta-push wire sizing, mirroring container.Update.WireBytes: a
+	// small header plus a per-changed-field charge.
+	deltaHeaderSegment = 64
+	deltaFieldSegment  = 96
 )
+
+// DeltaPushBytes is the wire size of a delta push carrying the given
+// number of changed fields (container.Update.WireBytes for a delta).
+func DeltaPushBytes(fields int) int {
+	return deltaHeaderSegment + deltaFieldSegment*fields
+}
 
 // Params derives the model constants from the application's deployment
 // options (the same values core.NewPaperDeployment builds the simulated
@@ -80,7 +97,7 @@ func (m *Model) Params() Params {
 	if topo.LANBps <= 0 {
 		topo.LANBps = simnet.LANBps
 	}
-	return Params{
+	p := Params{
 		WANOneWay: topo.WANOneWay,
 		LANOneWay: topo.LANOneWay,
 		WANBps:    topo.WANBps,
@@ -114,6 +131,14 @@ func (m *Model) Params() Params {
 		PushBytes:      m.PushBytes,
 		PushReplyBytes: pushReplySegment,
 	}
+	// One-field deltas dominate the paper workloads' write paths (cart
+	// quantity, inventory decrement, bid amount).
+	p.DeltaBytes = DeltaPushBytes(1)
+	if r := opts.Replication; r != nil {
+		p.DeltaDefault = r.DeltasByDefault
+		p.BatchWindow = r.BatchWindow
+	}
+	return p
 }
 
 // Evaluator computes predicted response times for one model.
@@ -188,13 +213,46 @@ func (ev *Evaluator) pushCost(c Candidate) time.Duration {
 	if c.AsyncUpdates {
 		return p.PublishCPU
 	}
+	bytes := p.PushBytes
+	if p.DeltaDefault {
+		// Deltas-by-default: the blocking push ships changed fields only.
+		bytes = p.DeltaBytes
+	}
 	apply := p.MethodCPU + p.CacheHitCPU // Updater façade applying the state
 	one := p.MarshalCPU
-	one += xfer(p.WANOneWay, p.PushBytes, p.WANBps)
+	one += xfer(p.WANOneWay, bytes, p.WANBps)
 	one += apply
 	one += xfer(p.WANOneWay, p.PushReplyBytes, p.WANBps)
 	one += time.Duration((p.Rounds - 1) * float64(2*p.WANOneWay))
 	return time.Duration(p.Edges) * one
+}
+
+// BatchedPushPerCommit prices the system-side WAN cost per commit under
+// batched/coalesced propagation (leases and batched async): one message
+// per edge per window, amortized over the commits the window coalesces.
+// The writer itself pays ~nothing — this is the number to weigh against
+// pushCost when deciding whether a staleness budget buys its bandwidth
+// back. fields sizes the coalesced delta per entity; distinct is how many
+// distinct entities a window's message carries.
+func (ev *Evaluator) BatchedPushPerCommit(commitsPerWindow, distinct float64, fields int) time.Duration {
+	p := ev.p
+	if commitsPerWindow < 1 {
+		commitsPerWindow = 1
+	}
+	if distinct < 1 {
+		distinct = 1
+	}
+	if distinct > commitsPerWindow {
+		distinct = commitsPerWindow
+	}
+	bytes := int(distinct) * DeltaPushBytes(fields)
+	apply := time.Duration(distinct) * (p.MethodCPU + p.CacheHitCPU)
+	one := p.MarshalCPU
+	one += xfer(p.WANOneWay, bytes, p.WANBps)
+	one += apply
+	one += xfer(p.WANOneWay, p.PushReplyBytes, p.WANBps)
+	perWindow := time.Duration(p.Edges) * one
+	return time.Duration(float64(perWindow) / commitsPerWindow)
 }
 
 // Op evaluation.

@@ -1,0 +1,251 @@
+// Package replog is the event-log replication backend: an ordered,
+// epoch-indexed delta log per replicated bean. Every commit a read-write
+// entity propagates is appended (by a Recorder prepended to the bean's
+// propagator chain, so the append happens in the commit event, before any
+// blocking push sleeps on the WAN). Edges that fall behind — a partitioned
+// replica resynchronizing, a migration's pre-copy catch-up — replay the
+// coalesced suffix of the log from their last acknowledged epoch instead of
+// receiving a full state snapshot.
+//
+// Invariant: replaying the log from any epoch over the state at that epoch
+// yields state identical to direct application of the original writes.
+// Coalescing is last-writer-wins per field (container.CoalesceUpdates), so
+// the replayed suffix may be shorter than the write history but never
+// different in outcome; deletes ride the log as tombstone entries.
+package replog
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"wadeploy/internal/container"
+	"wadeploy/internal/metrics"
+	"wadeploy/internal/sim"
+)
+
+// ErrCompacted reports that the requested suffix starts below the log's
+// retention horizon: the caller must fall back to a snapshot transfer.
+var ErrCompacted = errors.New("replog: requested entries compacted away")
+
+// DefaultRetention bounds how many entries each bean's log keeps when the
+// store is created with retention 0. At the paper's write rates this covers
+// many controller epochs; a log asked for older history returns
+// ErrCompacted and the caller falls back to a snapshot.
+const DefaultRetention = 4096
+
+// Entry is one committed write in a bean's log.
+type Entry struct {
+	Seq    uint64 // 1-based, dense, per-bean
+	Update container.Update
+}
+
+// epochSeal records the log head at the moment an epoch was sealed.
+type epochSeal struct {
+	epoch int
+	head  uint64
+}
+
+// Log is the ordered delta log for one bean.
+type Log struct {
+	bean    string
+	base    uint64 // seq of the newest compacted-away entry (0 = none)
+	entries []Entry
+	seals   []epochSeal
+	store   *Store
+}
+
+// Bean returns the bean the log records.
+func (l *Log) Bean() string { return l.bean }
+
+// Head returns the newest sequence number (0 for an empty log).
+func (l *Log) Head() uint64 { return l.base + uint64(len(l.entries)) }
+
+// Len returns the number of retained entries.
+func (l *Log) Len() int { return len(l.entries) }
+
+// Append records a committed update and returns its sequence number,
+// trimming the oldest entries past the retention bound.
+func (l *Log) Append(u container.Update) uint64 {
+	seq := l.Head() + 1
+	l.entries = append(l.entries, Entry{Seq: seq, Update: u})
+	l.store.appends++
+	l.store.mAppends.Inc()
+	l.store.mEntries.Add(1)
+	if n := len(l.entries) - l.store.retain; n > 0 {
+		l.base += uint64(n)
+		l.entries = append(l.entries[:0], l.entries[n:]...)
+		l.store.mTrims.Add(int64(n))
+		l.store.mEntries.Add(int64(-n))
+	}
+	return seq
+}
+
+// Since returns the entries with sequence numbers strictly greater than
+// seq, in order. It returns ErrCompacted when part of that suffix has been
+// trimmed away (the caller must snapshot instead).
+func (l *Log) Since(seq uint64) ([]Entry, error) {
+	if seq < l.base {
+		return nil, fmt.Errorf("%w: %s: want > %d, log starts at %d", ErrCompacted, l.bean, seq, l.base+1)
+	}
+	return l.entries[seq-l.base:], nil
+}
+
+// sealEpoch records the current head as epoch n's high-water mark.
+func (l *Log) sealEpoch(n int) {
+	l.seals = append(l.seals, epochSeal{epoch: n, head: l.Head()})
+}
+
+// HeadAtEpoch returns the log head as of the newest sealed epoch <= n —
+// the point a replica that acknowledged epoch n is known to have reached.
+// A log with no seal that old answers 0 (replay from the beginning).
+func (l *Log) HeadAtEpoch(n int) uint64 {
+	i := sort.Search(len(l.seals), func(i int) bool { return l.seals[i].epoch > n })
+	if i == 0 {
+		return 0
+	}
+	return l.seals[i-1].head
+}
+
+// CoalescedSince returns the last-writer-wins coalescing of the suffix
+// after seq — the batch a catching-up replica replays — or ErrCompacted.
+func (l *Log) CoalescedSince(seq uint64) ([]container.Update, error) {
+	entries, err := l.Since(seq)
+	if err != nil {
+		return nil, err
+	}
+	if len(entries) == 0 {
+		return nil, nil
+	}
+	ups := make([]container.Update, len(entries))
+	for i, e := range entries {
+		ups[i] = e.Update
+	}
+	return container.CoalesceUpdates(ups), nil
+}
+
+// Store holds one Log per replicated bean plus the epoch counter the
+// controller advances each tick. The replog_* metric family registers at
+// construction, so paper-default runs (which never build a store) keep
+// their metric snapshots byte-identical.
+type Store struct {
+	retain  int
+	epoch   int
+	logs    map[string]*Log
+	order   []string
+	appends int64
+
+	mAppends   *metrics.Counter
+	mTrims     *metrics.Counter
+	mEntries   *metrics.Gauge
+	mReplays   *metrics.Counter
+	mReplayed  *metrics.Counter
+	mFallbacks *metrics.Counter
+}
+
+// NewStore creates an event-log store. retain bounds entries kept per bean
+// (0 means DefaultRetention).
+func NewStore(reg *metrics.Registry, retain int) *Store {
+	if retain <= 0 {
+		retain = DefaultRetention
+	}
+	return &Store{
+		retain:     retain,
+		logs:       make(map[string]*Log),
+		mAppends:   reg.Counter("replog_appends_total"),
+		mTrims:     reg.Counter("replog_trimmed_total"),
+		mEntries:   reg.Gauge("replog_entries"),
+		mReplays:   reg.Counter("replog_replays_total"),
+		mReplayed:  reg.Counter("replog_replayed_updates_total"),
+		mFallbacks: reg.Counter("replog_snapshot_fallbacks_total"),
+	}
+}
+
+// Log returns (creating on demand) the log for bean.
+func (s *Store) Log(bean string) *Log {
+	l, ok := s.logs[bean]
+	if !ok {
+		l = &Log{bean: bean, store: s}
+		s.logs[bean] = l
+		s.order = append(s.order, bean)
+		sort.Strings(s.order)
+	}
+	return l
+}
+
+// Beans returns the recorded bean names in sorted order.
+func (s *Store) Beans() []string { return s.order }
+
+// Appends returns the total number of entries ever appended.
+func (s *Store) Appends() int64 { return s.appends }
+
+// Epoch returns the most recently sealed epoch (0 before the first seal).
+func (s *Store) Epoch() int { return s.epoch }
+
+// SealEpoch stamps every log's current head with a new epoch number and
+// returns it. The controller calls this once per tick; an edge observed
+// reachable and in sync acknowledges the sealed epoch, and a later
+// resynchronization replays only what was committed after it.
+func (s *Store) SealEpoch() int {
+	s.epoch++
+	for _, bean := range s.order {
+		s.logs[bean].sealEpoch(s.epoch)
+	}
+	return s.epoch
+}
+
+// CountReplay records a replay of n coalesced updates in the replog_*
+// metrics (callers apply the updates themselves, via RMI transfer or
+// zero-cost local application).
+func (s *Store) CountReplay(n int) {
+	s.mReplays.Inc()
+	s.mReplayed.Add(int64(n))
+}
+
+// CountFallback records a snapshot fallback (requested suffix compacted).
+func (s *Store) CountFallback() { s.mFallbacks.Inc() }
+
+// Recorder appends every propagated commit to the store. It must be
+// attached with PrependPropagator so the append happens in the commit
+// event, ahead of any blocking push's WAN sleep — otherwise a concurrent
+// catch-up could seal an epoch between the commit and its append and
+// replay a hole. Recording is free (no virtual time, no RNG): the log
+// models bookkeeping the primary's container does while committing.
+type Recorder struct {
+	store *Store
+}
+
+// NewRecorder creates a propagator that records into store.
+func NewRecorder(store *Store) *Recorder { return &Recorder{store: store} }
+
+// Store returns the backing store.
+func (r *Recorder) Store() *Store { return r.store }
+
+// Propagate appends the updates to their beans' logs.
+func (r *Recorder) Propagate(_ *sim.Proc, updates []container.Update) error {
+	for _, u := range updates {
+		r.store.Log(u.Bean).Append(u)
+	}
+	return nil
+}
+
+// WireBytes sums the wire-size estimate of a coalesced replay batch.
+func WireBytes(ups []container.Update) int {
+	total := 0
+	for _, u := range ups {
+		total += u.WireBytes()
+	}
+	return total
+}
+
+// StalenessBudget derives the flush window for a lease from its staleness
+// budget: half the budget, leaving the other half for WAN delivery and
+// apply, floored at 1ms so a tiny budget still batches something.
+func StalenessBudget(maxStaleness time.Duration) time.Duration {
+	w := maxStaleness / 2
+	if w < time.Millisecond {
+		w = time.Millisecond
+	}
+	return w
+}
