@@ -4,9 +4,15 @@ GO ?= go
 
 # Perf record written by `make bench`; bump the suffix per PR so the
 # trajectory (BENCH_PR1.json, BENCH_PR2.json, ...) stays comparable.
-BENCH_OUT ?= BENCH_PR9.json
+BENCH_OUT ?= BENCH_PR10.json
 
-.PHONY: all verify build vet test race bench bench-smoke profile repro repro-quick examples clean
+# Baseline record the bench-check gate compares against.
+BENCH_BASELINE ?= BENCH_PR9.json
+# Maximum fractional regression per promoted metric (0.3 = 30%; CI runners
+# are noisy, so the gate only catches real cliffs).
+BENCH_TOLERANCE ?= 0.3
+
+.PHONY: all verify build vet test race bench bench-smoke bench-check determinism profile repro repro-quick examples clean
 
 all: verify
 
@@ -46,6 +52,18 @@ bench-smoke:
 	$(GO) test -bench=BenchmarkEngine -benchtime=1x -run '^$$' ./internal/sim
 	$(GO) test -bench=. -benchtime=1x -run '^$$' ./internal/trace
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+
+# Bench-regression gate: run the measured benchmarks into a fresh record and
+# compare its promoted metrics against the checked-in baseline. Throughput
+# must not drop and WAN cost must not rise beyond BENCH_TOLERANCE.
+bench-check:
+	$(MAKE) bench BENCH_OUT=bench-check-new.json
+	$(GO) run ./cmd/benchjson -check $(BENCH_BASELINE) bench-check-new.json -tolerance $(BENCH_TOLERANCE)
+
+# Determinism gate: every deterministic surface byte-identical between the
+# sequential and the parallel scheduler (see scripts/determinism.sh).
+determinism:
+	sh scripts/determinism.sh
 
 # CPU and heap profiles over the Figure-7 session benchmark (the workload
 # most representative of paper runs). Inspect with `go tool pprof

@@ -470,6 +470,32 @@ func BenchmarkSweepLoad(b *testing.B) {
 	}
 }
 
+// BenchmarkTopoScaling records the hierarchical-topology scaling curve: the
+// partitioned query-caching deployment swept from the paper's 2 edges up to
+// 128 PoPs at constant total offered load. Remote-browser latency and WAN
+// traffic per point land in the perf record, so BENCH_*.json tracks the
+// curve across PRs.
+func BenchmarkTopoScaling(b *testing.B) {
+	edges := []int{2, 8, 32, 128}
+	var pts []experiment.TopoPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = experiment.TopoSweep(experiment.PetStore, edges, experiment.TopoSweepOptions{
+			RunOptions: benchRunOptions(),
+			Config:     core.QueryCaching,
+			Partitions: 8,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	for _, pt := range pts {
+		reportMs(b, fmt.Sprintf("rem-browse-%dedges-ms", pt.Edges), pt.RemoteBrowser)
+		b.ReportMetric(float64(pt.WANBytes)/1e6, fmt.Sprintf("wan-MB-%dedges", pt.Edges))
+	}
+}
+
 // BenchmarkAblationDeltaVsFullPush isolates Section 4.3's "transfer only the
 // changes" optimization on a thin WAN pipe, where full-state pushes pay for
 // their payload.

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// promotedDirections maps each promoted (stable snake_case) metric to its
+// good direction: +1 when higher is better, -1 when lower is better. Only
+// promoted metrics are compared — raw ns/op values shift with hardware, but
+// the promoted rates are what the perf trajectory tracks.
+var promotedDirections = map[string]int{
+	"events_per_sec":          +1,
+	"simulated_pages_per_sec": +1,
+	"commits_per_sec":         +1,
+	"write_ms":                -1,
+	"wan_msgs_per_commit":     -1,
+	"wan_bytes_per_commit":    -1,
+}
+
+// regression is one promoted metric that moved in the bad direction by more
+// than the tolerance.
+type regression struct {
+	Bench  string
+	Metric string
+	Old    float64
+	New    float64
+	Change float64 // signed fractional change, + = metric increased
+}
+
+// checkRecords compares the promoted metrics of two perf records. A metric
+// regresses when it moves in its bad direction by more than tolerance
+// (fractional, e.g. 0.3 = 30%). Benchmarks present in only one record are
+// skipped: renames and new benchmarks are not regressions.
+func checkRecords(oldRec, newRec *record, tolerance float64) (regressions []regression, compared int) {
+	names := make([]string, 0, len(oldRec.Benchmarks))
+	for name := range oldRec.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ob := oldRec.Benchmarks[name]
+		nb, ok := newRec.Benchmarks[name]
+		if !ok {
+			continue
+		}
+		metrics := make([]string, 0, len(ob.Metrics))
+		for m := range ob.Metrics {
+			if _, promoted := promotedDirections[m]; promoted {
+				metrics = append(metrics, m)
+			}
+		}
+		sort.Strings(metrics)
+		for _, m := range metrics {
+			ov := ob.Metrics[m]
+			nv, ok := nb.Metrics[m]
+			if !ok || ov == 0 {
+				continue
+			}
+			compared++
+			change := (nv - ov) / ov
+			bad := float64(promotedDirections[m]) * change * -1 // positive = worse
+			if bad > tolerance {
+				regressions = append(regressions, regression{
+					Bench: name, Metric: m, Old: ov, New: nv, Change: change,
+				})
+			}
+		}
+	}
+	return regressions, compared
+}
+
+func loadRecord(path string) (*record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rec, nil
+}
+
+// runCheck implements `benchjson -check old.json new.json [-tolerance F]`.
+// It prints a comparison of every promoted metric and exits nonzero when any
+// regresses beyond the tolerance.
+func runCheck(oldPath, newPath string, tolerance float64) error {
+	oldRec, err := loadRecord(oldPath)
+	if err != nil {
+		return err
+	}
+	newRec, err := loadRecord(newPath)
+	if err != nil {
+		return err
+	}
+	regressions, compared := checkRecords(oldRec, newRec, tolerance)
+	fmt.Printf("benchjson check: %s -> %s, tolerance %.0f%%, %d promoted metrics compared\n",
+		oldPath, newPath, tolerance*100, compared)
+	if compared == 0 {
+		fmt.Println("benchjson check: no comparable promoted metrics (benchmark sets disjoint?)")
+		return nil
+	}
+	if len(regressions) == 0 {
+		fmt.Println("benchjson check: OK")
+		return nil
+	}
+	var b strings.Builder
+	for _, r := range regressions {
+		fmt.Fprintf(&b, "  %s %s: %.4g -> %.4g (%+.1f%%)\n",
+			r.Bench, r.Metric, r.Old, r.New, r.Change*100)
+	}
+	return fmt.Errorf("%d promoted metric(s) regressed beyond %.0f%%:\n%s",
+		len(regressions), tolerance*100, b.String())
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func rec(benches map[string]map[string]float64) *record {
+	r := &record{Benchmarks: map[string]benchResult{}}
+	for name, metrics := range benches {
+		r.Benchmarks[name] = benchResult{Iterations: 1, Metrics: metrics}
+	}
+	return r
+}
+
+func TestCheckRecordsDirections(t *testing.T) {
+	oldR := rec(map[string]map[string]float64{
+		"Engine": {"events_per_sec": 1000, "ns/op": 50},
+		"Repl":   {"wan_bytes_per_commit": 100, "write_ms": 10},
+	})
+	// Throughput down 50% (regression), WAN bytes down 50% (improvement),
+	// write_ms up 50% (regression); ns/op is not promoted, so its change is
+	// ignored entirely.
+	newR := rec(map[string]map[string]float64{
+		"Engine": {"events_per_sec": 500, "ns/op": 500},
+		"Repl":   {"wan_bytes_per_commit": 50, "write_ms": 15},
+	})
+	regs, compared := checkRecords(oldR, newR, 0.3)
+	if compared != 3 {
+		t.Fatalf("compared = %d, want 3", compared)
+	}
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %+v, want events_per_sec and write_ms", regs)
+	}
+	got := map[string]bool{}
+	for _, r := range regs {
+		got[r.Metric] = true
+	}
+	if !got["events_per_sec"] || !got["write_ms"] {
+		t.Fatalf("regressions = %+v", regs)
+	}
+}
+
+func TestCheckRecordsTolerance(t *testing.T) {
+	oldR := rec(map[string]map[string]float64{"B": {"events_per_sec": 100}})
+	newR := rec(map[string]map[string]float64{"B": {"events_per_sec": 80}})
+	if regs, _ := checkRecords(oldR, newR, 0.3); len(regs) != 0 {
+		t.Fatalf("-20%% flagged at 30%% tolerance: %+v", regs)
+	}
+	if regs, _ := checkRecords(oldR, newR, 0.1); len(regs) != 1 {
+		t.Fatal("-20% not flagged at 10% tolerance")
+	}
+	// Improvements never flag, however large.
+	better := rec(map[string]map[string]float64{"B": {"events_per_sec": 10000}})
+	if regs, _ := checkRecords(oldR, better, 0); len(regs) != 0 {
+		t.Fatalf("improvement flagged: %+v", regs)
+	}
+}
+
+func TestCheckRecordsSkipsMissingBenchmarks(t *testing.T) {
+	oldR := rec(map[string]map[string]float64{
+		"Renamed": {"events_per_sec": 100},
+		"Kept":    {"events_per_sec": 100},
+	})
+	newR := rec(map[string]map[string]float64{
+		"NewName": {"events_per_sec": 1},
+		"Kept":    {"events_per_sec": 99},
+	})
+	regs, compared := checkRecords(oldR, newR, 0.3)
+	if compared != 1 || len(regs) != 0 {
+		t.Fatalf("compared=%d regs=%+v, want 1 comparison and no regressions", compared, regs)
+	}
+}
+
+func writeRec(t *testing.T, dir, name string, r *record) string {
+	t.Helper()
+	r.GoVersion = "go1.x"
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunCheckEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeRec(t, dir, "old.json", rec(map[string]map[string]float64{
+		"B": {"events_per_sec": 100},
+	}))
+	okP := writeRec(t, dir, "ok.json", rec(map[string]map[string]float64{
+		"B": {"events_per_sec": 95},
+	}))
+	badP := writeRec(t, dir, "bad.json", rec(map[string]map[string]float64{
+		"B": {"events_per_sec": 10},
+	}))
+	if err := runCheck(oldP, okP, 0.3); err != nil {
+		t.Fatalf("ok record flagged: %v", err)
+	}
+	err := runCheck(oldP, badP, 0.3)
+	if err == nil || !strings.Contains(err.Error(), "events_per_sec") {
+		t.Fatalf("bad record not flagged: %v", err)
+	}
+	if err := runCheck(filepath.Join(dir, "absent.json"), okP, 0.3); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -7,6 +7,13 @@
 // Usage:
 //
 //	go test -bench=. -benchmem ./... | go run ./cmd/benchjson -time-wadeploy -o BENCH_PR1.json
+//
+// Check mode compares the promoted metrics of two perf records and exits
+// nonzero when any regresses in its bad direction beyond the tolerance
+// (fractional; default 0.3). Throughput metrics must not drop, cost metrics
+// must not rise:
+//
+//	go run ./cmd/benchjson -check BENCH_PR9.json BENCH_PR10.json -tolerance 0.3
 package main
 
 import (
@@ -46,7 +53,39 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	timeWadeploy := flag.Bool("time-wadeploy", false,
 		"also time `wadeploy -quick all` sequentially and in parallel")
+	check := flag.Bool("check", false,
+		"compare two perf records (old.json new.json) instead of reading bench output")
+	tolerance := flag.Float64("tolerance", 0.3,
+		"check: maximum fractional regression per promoted metric")
 	flag.Parse()
+	if *check {
+		// Accept -tolerance after the positional files too, so
+		// `-check old.json new.json -tolerance 0.3` works as documented.
+		var files []string
+		args := flag.Args()
+		for i := 0; i < len(args); i++ {
+			if (args[i] == "-tolerance" || args[i] == "--tolerance") && i+1 < len(args) {
+				v, err := strconv.ParseFloat(args[i+1], 64)
+				if err != nil {
+					fatal(fmt.Errorf("-tolerance: %w", err))
+				}
+				*tolerance = v
+				i++
+				continue
+			}
+			files = append(files, args[i])
+		}
+		if len(files) != 2 {
+			fatal(fmt.Errorf("-check wants exactly two files (old.json new.json), got %d", len(files)))
+		}
+		if *tolerance < 0 {
+			fatal(fmt.Errorf("-tolerance must be >= 0, got %v", *tolerance))
+		}
+		if err := runCheck(files[0], files[1], *tolerance); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	rec := record{
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),

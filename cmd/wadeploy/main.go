@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	wadeploy [flags] table6|table7|fig7|fig8|metrics|faults|adapt|consistency|inventory|plan|explain|trace|sweep-latency|sweep-load|scale|all
+//	wadeploy [flags] table6|table7|fig7|fig8|metrics|faults|adapt|consistency|inventory|plan|explain|trace|sweep-latency|sweep-load|scale|topo|all
 //
 // table6/fig7 run Java Pet Store, table7/fig8 run RUBiS; each table run
 // executes all five configurations (centralized, remote façade, stateful
@@ -36,6 +36,13 @@
 // sensitivity studies. Runs are independent seeded simulations, so any
 // -parallel setting prints byte-identical tables (and writes byte-identical
 // -metrics-out files).
+//
+// topo sweeps hierarchical topologies: for each -edges count it builds a
+// main → hubs → edge-PoPs hierarchy, spreads the paper's total offered load
+// over the N edge client groups, optionally hash-partitions the hot entities
+// across the PoPs (-partitions, 0 = full replication), and prints session
+// latency, WAN traffic, replica footprint and push counts per point. The
+// stdout table is independent of -parallel.
 //
 // scale exercises the streaming workload engine (internal/workload.RunStream)
 // with -sessions concurrent Pet Store clients spread over eight edge nodes
@@ -95,6 +102,8 @@ func run(args []string) error {
 	traceOn := fs.Bool("trace", false, "scale: arm the flight recorder and critical-path blame aggregation")
 	observed := fs.String("observed", "", "plan: a `wadeploy trace -json` export; rank placements on its observed page mix (-config selects the run)")
 	epoch := fs.Duration("epoch", 30*time.Second, "adapt: controller observation epoch (virtual time)")
+	edgesFlag := fs.String("edges", "2,8,32,128", "topo: comma-separated edge counts to sweep")
+	partitions := fs.Int("partitions", 8, "topo: hash partitions for the hot entities (0 = full replication)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -236,6 +245,14 @@ func run(args []string) error {
 			if err := scale(*sessions, *shards, *parallel, *traceOn, *sample, opts); err != nil {
 				return err
 			}
+		case "topo":
+			app, cfg, err := sweepTarget(*appFlag, *cfgFlag)
+			if err != nil {
+				return err
+			}
+			if err := topo(app, cfg, *edgesFlag, *partitions, opts); err != nil {
+				return err
+			}
 		case "trace":
 			app := experiment.PetStore
 			if *appFlag == "rubis" {
@@ -272,7 +289,7 @@ func run(args []string) error {
 				}
 			}
 		default:
-			return fmt.Errorf("unknown command %q (want table6|table7|fig7|fig8|metrics|faults|adapt|consistency|inventory|plan|explain|sweep-latency|sweep-load|scale|all)", cmd)
+			return fmt.Errorf("unknown command %q (want table6|table7|fig7|fig8|metrics|faults|adapt|consistency|inventory|plan|explain|sweep-latency|sweep-load|scale|topo|all)", cmd)
 		}
 	}
 	return nil

@@ -117,6 +117,10 @@ type ReplicaSpec struct {
 	// MaxStaleness. Not meaningful for SyncUpdate (the writer blocks per
 	// commit by definition).
 	BatchWindow time.Duration
+	// Partition, when set, shards the bean's key space: each edge replica
+	// holds (and receives pushes for) only its assigned partitions instead
+	// of the full key set. nil keeps the paper's full replication.
+	Partition *PartitionSpec
 }
 
 // CachedQuerySpec is the extended-descriptor entry for one cached query:
@@ -200,6 +204,9 @@ func (d *ExtendedDescriptor) Validate() error {
 		}
 		if r.Update == SyncUpdate && r.BatchWindow > 0 {
 			return fmt.Errorf("%w: replica %s: sync updates are unbatched (use a lease)", ErrBadDescriptor, r.Bean)
+		}
+		if err := r.Partition.Validate(); err != nil {
+			return fmt.Errorf("replica %s: %w", r.Bean, err)
 		}
 	}
 	qseen := make(map[string]bool, len(d.CachedQueries))

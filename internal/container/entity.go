@@ -371,6 +371,12 @@ type ROEntity struct {
 	staleMaxAge time.Duration
 	staleServes int64
 
+	// owns, when set, restricts the replica to its partition slice: only
+	// owned keys are cached and refreshed locally; unowned keys pass
+	// through the fetch path every time without ever entering the cache.
+	owns       func(sqldb.Value) bool
+	remoteGets int64
+
 	hits, misses, staleRefreshes, pushes int64
 
 	// Propagation-delay accounting (commit at the read-write bean to
@@ -388,6 +394,8 @@ type ROEntity struct {
 	// byte-identical metric snapshots.
 	mStale    *metrics.Counter
 	mStaleAge *metrics.Histogram
+	// Registered lazily by SetOwnership for the same reason.
+	mRemoteGets *metrics.Counter
 }
 
 type roEntry struct {
@@ -455,6 +463,25 @@ func (b *ROEntity) SetServeStale(maxAge time.Duration) {
 // StaleServes returns the number of reads served from stale entries.
 func (b *ROEntity) StaleServes() int64 { return b.staleServes }
 
+// SetOwnership restricts the replica to a partition slice: reads for keys
+// outside owns go straight to the fetch path (a remote get) and are never
+// cached, preloads and pushed updates for unowned keys are dropped. nil
+// restores full replication.
+func (b *ROEntity) SetOwnership(owns func(sqldb.Value) bool) {
+	b.owns = owns
+	if owns != nil && b.mRemoteGets == nil {
+		b.mRemoteGets = b.srv.Env().Metrics().Counter("container_replica_remote_gets_total")
+	}
+}
+
+// Owns reports whether this replica's partition slice covers pk (always true
+// without partitioning).
+func (b *ROEntity) Owns(pk sqldb.Value) bool { return b.owns == nil || b.owns(pk) }
+
+// RemoteGets returns the number of reads for unowned keys that went to the
+// fetch path.
+func (b *ROEntity) RemoteGets() int64 { return b.remoteGets }
+
 // MaxPropagationDelay returns the largest observed commit-to-apply delay.
 func (b *ROEntity) MaxPropagationDelay() time.Duration { return b.delayMax }
 
@@ -490,6 +517,21 @@ func (b *ROEntity) expired(e roEntry) bool {
 // Get serves the entity's state: locally when fresh, via fetch on a miss,
 // after a pull invalidation, or after timeout expiry.
 func (b *ROEntity) Get(p *sim.Proc, pk sqldb.Value) (State, error) {
+	if !b.Owns(pk) {
+		// Outside this replica's partition slice: always a remote get,
+		// never cached locally (the slice is the whole point — an edge
+		// holds only its partitions).
+		if b.fetch == nil {
+			return nil, fmt.Errorf("read-only %s pk %v (unowned, no fetch path): %w", b.name, pk, ErrNoSuchEntity)
+		}
+		b.remoteGets++
+		b.mRemoteGets.Inc()
+		st, err := b.fetch(p, pk)
+		if err != nil {
+			return nil, fmt.Errorf("read-only %s remote get: %w", b.name, err)
+		}
+		return st, nil
+	}
 	k := pkKey(pk)
 	e, ok := b.entries[k]
 	if ok && !e.stale && !b.expired(e) {
@@ -527,14 +569,23 @@ func (b *ROEntity) Get(p *sim.Proc, pk sqldb.Value) (State, error) {
 	return st, nil
 }
 
-// Preload installs state without cost accounting (warm-up/seeding).
+// Preload installs state without cost accounting (warm-up/seeding). Keys
+// outside the replica's partition slice are dropped.
 func (b *ROEntity) Preload(pk sqldb.Value, st State) {
+	if !b.Owns(pk) {
+		return
+	}
 	b.entries[pkKey(pk)] = roEntry{state: st.Clone(), loadedAt: b.srv.Env().Now()}
 }
 
 // ApplyUpdate applies a pushed update (push-based refresh: replicas always
 // serve local reads).
 func (b *ROEntity) ApplyUpdate(u Update) {
+	if !b.Owns(u.PK) {
+		// A push for an unowned key (source-side filtering off, or a
+		// broadcast topic): drop it before any accounting.
+		return
+	}
 	b.pushes++
 	b.mPushes.Inc()
 	now := b.srv.Env().Now()
@@ -720,6 +771,13 @@ type SyncPropagator struct {
 	targets []SyncTarget
 	bytes   int
 
+	// filters holds optional per-target update filters (partitioned
+	// replicas: each edge only receives updates for keys it owns). Kept in
+	// a side map so SyncTarget stays comparable. A target without an entry
+	// receives everything — that path is byte-identical to the unfiltered
+	// propagator.
+	filters map[SyncTarget]func(Update) bool
+
 	// BestEffort makes unreachable replicas non-fatal: the push is skipped
 	// (and counted) instead of failing the writer's transaction. The
 	// default is strict, preserving the paper's zero-staleness guarantee;
@@ -777,7 +835,8 @@ func (sp *SyncPropagator) AddTarget(t SyncTarget) {
 
 // RemoveTarget detaches a replica destination at runtime (retirement of a
 // remote replica bundle, or suspension of pushes to an unreachable edge).
-// Removing an absent target is a no-op.
+// Removing an absent target is a no-op. The target's filter, if any, stays
+// registered so a later re-add (resume after suspension) keeps its scope.
 func (sp *SyncPropagator) RemoveTarget(t SyncTarget) {
 	for i, cur := range sp.targets {
 		if cur == t {
@@ -785,6 +844,36 @@ func (sp *SyncPropagator) RemoveTarget(t SyncTarget) {
 			return
 		}
 	}
+}
+
+// SetTargetFilter scopes pushes to t: only updates passing keep are sent
+// (partitioned replicas receive just their slice of the key space). A nil
+// keep removes the filter, restoring full propagation to t.
+func (sp *SyncPropagator) SetTargetFilter(t SyncTarget, keep func(Update) bool) {
+	if keep == nil {
+		delete(sp.filters, t)
+		return
+	}
+	if sp.filters == nil {
+		sp.filters = make(map[SyncTarget]func(Update) bool)
+	}
+	sp.filters[t] = keep
+}
+
+// updatesFor applies t's filter to the batch. The nil-filter path returns
+// the batch unsliced, keeping unpartitioned propagation byte-identical.
+func (sp *SyncPropagator) updatesFor(t SyncTarget, updates []Update) []Update {
+	keep, ok := sp.filters[t]
+	if !ok {
+		return updates
+	}
+	out := make([]Update, 0, len(updates))
+	for _, u := range updates {
+		if keep(u) {
+			out = append(out, u)
+		}
+	}
+	return out
 }
 
 // Targets returns the number of replica destinations.
@@ -831,7 +920,17 @@ func (sp *SyncPropagator) Propagate(p *sim.Proc, updates []Update) error {
 		return sp.propagateParallel(p, payload, updates)
 	}
 	for _, t := range sp.targets {
-		if err := sp.pushOne(p, t, payload, updates); err != nil {
+		batch, pl := updates, payload
+		if len(sp.filters) > 0 {
+			if batch = sp.updatesFor(t, updates); len(batch) == 0 {
+				// Nothing in this target's partition slice: no push at all.
+				continue
+			}
+			if len(batch) < len(updates) {
+				pl = sp.batchBytes(batch)
+			}
+		}
+		if err := sp.pushOne(p, t, pl, batch); err != nil {
 			if sp.BestEffort {
 				sp.skipped++
 				sp.mSkipped.Inc()
@@ -859,15 +958,24 @@ func (sp *SyncPropagator) pushOne(p *sim.Proc, t SyncTarget, payload int, update
 // propagateParallel fans pushes out concurrently and blocks for all of them.
 func (sp *SyncPropagator) propagateParallel(p *sim.Proc, payload int, updates []Update) error {
 	env := sp.srv.Env()
-	promises := make([]*sim.Promise[struct{}], len(sp.targets))
-	for i, t := range sp.targets {
+	promises := make([]*sim.Promise[struct{}], 0, len(sp.targets))
+	for _, t := range sp.targets {
 		t := t
+		batch, pl := updates, payload
+		if len(sp.filters) > 0 {
+			if batch = sp.updatesFor(t, updates); len(batch) == 0 {
+				continue
+			}
+			if len(batch) < len(updates) {
+				pl = sp.batchBytes(batch)
+			}
+		}
 		pr := sim.NewPromise[struct{}](env)
-		promises[i] = pr
+		promises = append(promises, pr)
 		ctx := trace.Capture(p)
 		env.Spawn("sync-push:"+t.Server, func(pp *sim.Proc) {
 			defer trace.Adopt(pp, ctx, "push", "apply batch", t.Server, trace.CauseService)()
-			if err := sp.pushOne(pp, t, payload, updates); err != nil {
+			if err := sp.pushOne(pp, t, pl, batch); err != nil {
 				pr.Fail(err)
 				return
 			}

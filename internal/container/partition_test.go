@@ -1,0 +1,249 @@
+package container
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"wadeploy/internal/sim"
+	"wadeploy/internal/sqldb"
+)
+
+func TestPartitionSpecValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		spec *PartitionSpec
+		ok   bool
+	}{
+		{"nil spec", nil, true},
+		{"hash", &PartitionSpec{Scheme: HashPartition, Partitions: 4}, true},
+		{"range", &PartitionSpec{Scheme: RangePartition, Partitions: 3, Bounds: []string{"g", "p"}}, true},
+		{"zero partitions", &PartitionSpec{Scheme: HashPartition}, false},
+		{"hash with bounds", &PartitionSpec{Scheme: HashPartition, Partitions: 2, Bounds: []string{"m"}}, false},
+		{"range bound count", &PartitionSpec{Scheme: RangePartition, Partitions: 3, Bounds: []string{"m"}}, false},
+		{"range unsorted", &PartitionSpec{Scheme: RangePartition, Partitions: 3, Bounds: []string{"p", "g"}}, false},
+		{"range duplicate", &PartitionSpec{Scheme: RangePartition, Partitions: 3, Bounds: []string{"g", "g"}}, false},
+		{"unknown scheme", &PartitionSpec{Partitions: 2}, false},
+	}
+	for _, tc := range cases {
+		err := tc.spec.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok {
+			if err == nil {
+				t.Errorf("%s: expected error", tc.name)
+			} else if !errors.Is(err, ErrBadDescriptor) {
+				t.Errorf("%s: error %v not ErrBadDescriptor", tc.name, err)
+			}
+		}
+	}
+}
+
+func TestHashPartitionDeterministicAndInRange(t *testing.T) {
+	spec := &PartitionSpec{Scheme: HashPartition, Partitions: 7}
+	hit := make(map[int]bool)
+	for _, k := range []string{"i1", "i2", "cat-01", "prod-0042", "user:9", "x"} {
+		p := spec.PartitionForKey(k)
+		if p < 0 || p >= spec.Partitions {
+			t.Fatalf("key %q mapped outside [0,%d): %d", k, spec.Partitions, p)
+		}
+		if q := spec.PartitionFor(sqldb.Str(k)); q != p {
+			t.Fatalf("key %q: PartitionFor %d != PartitionForKey %d", k, q, p)
+		}
+		hit[p] = true
+	}
+	if len(hit) < 2 {
+		t.Fatalf("all sample keys hashed to one partition: %v", hit)
+	}
+}
+
+func TestRangePartitionBounds(t *testing.T) {
+	spec := &PartitionSpec{Scheme: RangePartition, Partitions: 3, Bounds: []string{"g", "p"}}
+	for key, want := range map[string]int{
+		"a": 0, "f": 0,
+		"g": 1, // bounds are upper-exclusive: a key equal to a bound moves up
+		"m": 1, "o": 1,
+		"p": 2, "z": 2,
+	} {
+		if got := spec.PartitionForKey(key); got != want {
+			t.Errorf("key %q -> partition %d, want %d", key, got, want)
+		}
+	}
+}
+
+func TestPartitionedReplicaOwnership(t *testing.T) {
+	f := newFixture(t)
+	fetches := 0
+	ro, err := DeployROEntity(f.edge, "RO", "RW", func(p *sim.Proc, pk sqldb.Value) (State, error) {
+		fetches++
+		return State{"v": sqldb.Int(99)}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two range partitions split at "i2"; the edge owns only partition 0
+	// (keys below "i2", i.e. "i1").
+	spec := &PartitionSpec{Scheme: RangePartition, Partitions: 2, Bounds: []string{"i2"}}
+	ro.SetOwnership(spec.Owns([]int{0}))
+
+	// Preload drops unowned keys.
+	ro.Preload(sqldb.Str("i1"), State{"v": sqldb.Int(1)})
+	ro.Preload(sqldb.Str("i2"), State{"v": sqldb.Int(2)})
+	if ro.Cached() != 1 {
+		t.Fatalf("cached = %d, want 1 (unowned preload dropped)", ro.Cached())
+	}
+	if _, ok := ro.Peek(sqldb.Str("i2")); ok {
+		t.Fatal("unowned key entered the cache via Preload")
+	}
+
+	// Pushed updates for unowned keys are dropped before any accounting.
+	ro.ApplyUpdate(Update{Bean: "RW", PK: sqldb.Str("i2"), State: State{"v": sqldb.Int(3)}})
+	if ro.Pushes() != 0 || ro.Cached() != 1 {
+		t.Fatalf("unowned push applied: pushes=%d cached=%d", ro.Pushes(), ro.Cached())
+	}
+	ro.ApplyUpdate(Update{Bean: "RW", PK: sqldb.Str("i1"), State: State{"v": sqldb.Int(4)}})
+	if ro.Pushes() != 1 {
+		t.Fatalf("owned push not applied: pushes=%d", ro.Pushes())
+	}
+
+	f.run(t, func(p *sim.Proc) {
+		// Owned key: served locally, no fetch.
+		if st, err := ro.Get(p, sqldb.Str("i1")); err != nil || st["v"].AsInt() != 4 {
+			t.Errorf("owned get: %v, %v", st, err)
+		}
+		// Unowned key: remote get every time, never cached.
+		for i := 0; i < 2; i++ {
+			if st, err := ro.Get(p, sqldb.Str("i2")); err != nil || st["v"].AsInt() != 99 {
+				t.Errorf("unowned get: %v, %v", st, err)
+			}
+		}
+	})
+	if fetches != 2 {
+		t.Fatalf("fetches = %d, want 2 (one per unowned read)", fetches)
+	}
+	if ro.RemoteGets() != 2 {
+		t.Fatalf("remote gets = %d, want 2", ro.RemoteGets())
+	}
+	if ro.Hits() != 1 || ro.Misses() != 0 {
+		t.Fatalf("hits=%d misses=%d (unowned reads must not touch hit/miss accounting)", ro.Hits(), ro.Misses())
+	}
+	if ro.Cached() != 1 {
+		t.Fatalf("cached = %d after unowned reads, want 1", ro.Cached())
+	}
+}
+
+func TestSyncPropagatorTargetFilter(t *testing.T) {
+	f := newFixture(t)
+	rw, err := DeployRWEntity(f.main, "InventoryRW", "inventory", "item_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro, err := DeployROEntity(f.edge, "InventoryRO", "InventoryRW", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uf, err := DeployUpdaterFacade(f.edge, "Updater")
+	if err != nil {
+		t.Fatal(err)
+	}
+	uf.Register("InventoryRW", ro)
+	target := SyncTarget{Server: "edge", Facade: "Updater"}
+	sp := NewSyncPropagator(f.main, []SyncTarget{target}, 512)
+	spec := &PartitionSpec{Scheme: RangePartition, Partitions: 2, Bounds: []string{"i2"}}
+	sp.SetTargetFilter(target, spec.UpdateFilter([]int{0}))
+	rw.AddPropagator(sp)
+
+	var outside time.Duration
+	f.run(t, func(p *sim.Proc) {
+		// A write outside the edge's partition slice: no push at all, so
+		// the writer never pays the WAN round trip.
+		start := p.Now()
+		if _, err := rw.UpdateFields(p, sqldb.Str("i2"), State{"qty": sqldb.Int(1)}); err != nil {
+			t.Errorf("update i2: %v", err)
+		}
+		outside = p.Now() - start
+		// A write inside the slice propagates synchronously.
+		if _, err := rw.UpdateFields(p, sqldb.Str("i1"), State{"qty": sqldb.Int(7)}); err != nil {
+			t.Errorf("update i1: %v", err)
+		}
+	})
+	if outside >= 100*time.Millisecond {
+		t.Fatalf("out-of-slice write cost %v; filtered target must not be pushed", outside)
+	}
+	if uf.Applied() != 1 || ro.Pushes() != 1 {
+		t.Fatalf("applied=%d pushes=%d, want 1/1 (only the owned write)", uf.Applied(), ro.Pushes())
+	}
+	if st, ok := ro.Peek(sqldb.Str("i1")); !ok || st["qty"].AsInt() != 7 {
+		t.Fatalf("owned write not applied at replica: %v %v", st, ok)
+	}
+	if _, ok := ro.Peek(sqldb.Str("i2")); ok {
+		t.Fatal("out-of-slice write reached the replica")
+	}
+
+	// Clearing the filter restores full propagation.
+	sp.SetTargetFilter(target, nil)
+	f.env.Spawn("test2", func(p *sim.Proc) {
+		if _, err := rw.UpdateFields(p, sqldb.Str("i2"), State{"qty": sqldb.Int(9)}); err != nil {
+			t.Errorf("update i2 unfiltered: %v", err)
+		}
+	})
+	f.env.RunAll()
+	if ro.Pushes() != 2 {
+		t.Fatalf("pushes = %d after filter removal, want 2", ro.Pushes())
+	}
+}
+
+// TestPartitionScopedServeStale pins the graceful-degradation contract under
+// partitioning: when the central site is unreachable, an edge keeps serving
+// its owned slice from stale local copies, while unowned keys — which are
+// always remote gets — fail fast instead of silently serving nothing.
+func TestPartitionScopedServeStale(t *testing.T) {
+	f := newFixture(t)
+	central := true
+	ro, err := DeployROEntity(f.edge, "RO", "RW", func(p *sim.Proc, pk sqldb.Value) (State, error) {
+		if !central {
+			return nil, errors.New("central site unreachable")
+		}
+		return State{"v": sqldb.Int(99)}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := &PartitionSpec{Scheme: RangePartition, Partitions: 2, Bounds: []string{"i2"}}
+	ro.SetOwnership(spec.Owns([]int{0}))
+	ro.SetServeStale(time.Hour)
+	ro.Preload(sqldb.Str("i1"), State{"v": sqldb.Int(1)})
+
+	f.run(t, func(p *sim.Proc) {
+		central = false
+		// Owned key, invalidated, refresh fails: served stale.
+		ro.Invalidate(sqldb.Str("i1"))
+		st, err := ro.Get(p, sqldb.Str("i1"))
+		if err != nil || st["v"].AsInt() != 1 {
+			t.Errorf("owned stale serve: %v, %v", st, err)
+		}
+		// Unowned key: remote get fails, and there is no stale fallback
+		// because the edge never cached it.
+		if _, err := ro.Get(p, sqldb.Str("i2")); err == nil {
+			t.Error("unowned get succeeded with central site down")
+		}
+	})
+	if ro.StaleServes() != 1 {
+		t.Fatalf("stale serves = %d, want 1", ro.StaleServes())
+	}
+}
+
+func TestDescriptorValidatesPartitionSpec(t *testing.T) {
+	d := &ExtendedDescriptor{Replicas: []ReplicaSpec{{
+		Bean: "Item", Update: SyncUpdate, Refresh: PushRefresh,
+		Partition: &PartitionSpec{Scheme: RangePartition, Partitions: 2},
+	}}}
+	if err := d.Validate(); !errors.Is(err, ErrBadDescriptor) {
+		t.Fatalf("err = %v, want ErrBadDescriptor (bad bounds)", err)
+	}
+	d.Replicas[0].Partition = &PartitionSpec{Scheme: HashPartition, Partitions: 4}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("valid partitioned descriptor rejected: %v", err)
+	}
+}

@@ -32,6 +32,12 @@ type WireOptions struct {
 	UpdaterName    string
 	SubscriberName string
 
+	// PartitionAssignments maps a partitioned bean name to its per-server
+	// partition assignment. A bean with a PartitionSpec but no assignment
+	// here is fully replicated (the spec declares how to shard, the
+	// assignment arms it).
+	PartitionAssignments map[string]PartitionAssignment
+
 	// Deferred skips the initial per-edge deployment: propagators are
 	// created (with no targets) and attached to the read-write beans, but
 	// no replicas, caches or subscribers are materialized until
@@ -54,7 +60,7 @@ type Wiring struct {
 	ext        *container.ExtendedDescriptor
 	specs      []container.ReplicaSpec // effective specs (replication overrides applied)
 	opts       WireOptions
-	syncProps  map[string]*container.SyncPropagator    // rw bean -> propagator
+	syncProps  map[string]*container.SyncPropagator     // rw bean -> propagator
 	leaseProps map[string]*container.BatchingPropagator // rw bean -> lease propagator
 	asyncProp  *container.AsyncPropagator
 	asyncBatch *container.BatchingPropagator // shared batched-async publisher
@@ -257,6 +263,7 @@ func (w *Wiring) ExtendTo(server *container.Server) error {
 		} else {
 			uf.Register(spec.Bean, pullInvalidator{ro})
 		}
+		w.applyPartitioning(server.Name(), spec, ro)
 		w.Replicas[server.Name()][spec.Bean] = ro
 	}
 

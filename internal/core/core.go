@@ -130,6 +130,11 @@ type Deployment struct {
 	Replog *replog.Store
 
 	rw map[string]*container.RWEntity
+
+	// clientOf maps server node -> collocated client-group node. Nil (the
+	// paper deployment) falls back to simnet.ClientNodeFor; hierarchical
+	// deployments populate it from their topology.
+	clientOf map[string]string
 }
 
 // Options configures a paper-topology deployment.
@@ -307,11 +312,20 @@ func (d *Deployment) ServerFor(clientNode string, cfg ConfigID) *container.Serve
 		return d.Main
 	}
 	for _, s := range d.Servers() {
-		if simnet.ClientNodeFor[s.Name()] == clientNode {
+		if d.ClientNodeOf(s.Name()) == clientNode {
 			return s
 		}
 	}
 	return d.Main
+}
+
+// ClientNodeOf returns the client-group node collocated with a server node
+// ("" when the server has no local client group).
+func (d *Deployment) ClientNodeOf(server string) string {
+	if d.clientOf != nil {
+		return d.clientOf[server]
+	}
+	return simnet.ClientNodeFor[server]
 }
 
 // RegisterRW records a deployed read-write entity bean so AutoWire can

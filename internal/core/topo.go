@@ -1,0 +1,137 @@
+// Hierarchical deployments: the paper's fixed 1-main+2-edge star generalized
+// to main -> regional hubs -> N edge PoPs, with entity partitions assigned
+// per edge so each PoP holds a slice of the key space instead of a full
+// replica.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"wadeploy/internal/container"
+	"wadeploy/internal/jms"
+	"wadeploy/internal/replog"
+	"wadeploy/internal/rmi"
+	"wadeploy/internal/sim"
+	"wadeploy/internal/simnet"
+	"wadeploy/internal/sqldb"
+)
+
+// NewHierarchicalDeployment builds a deployment over a hierarchical topology:
+// one application server on main and on every edge PoP (hubs route but host
+// nothing), the database and JMS provider on main, and the per-edge client
+// groups from the hierarchy. The paper deployment is untouched — this is the
+// opt-in N-edge path.
+func NewHierarchicalDeployment(env *sim.Env, opts Options, spec simnet.HierarchySpec) (*Deployment, *simnet.Hierarchy, error) {
+	h, err := simnet.BuildHierarchy(env, spec)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: %w", err)
+	}
+	db := sqldb.New()
+	db.SetCostModel(opts.DBCost)
+	InstrumentDB(env.Metrics(), db)
+	if r := opts.Resilience; r != nil {
+		opts.RMI.Retry = r.Retry
+		opts.RMI.Breaker = r.Breaker
+		opts.JMS.Redelivery = r.Redelivery
+	}
+	rt := rmi.NewRuntime(h.Net, opts.RMI)
+	provider, err := jms.NewProvider(h.Net, simnet.NodeMain, opts.JMS)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: %w", err)
+	}
+	d := &Deployment{
+		Env:         env,
+		Net:         h.Net,
+		DB:          db,
+		RMI:         rt,
+		JMS:         provider,
+		Resilience:  opts.Resilience,
+		Replication: opts.Replication,
+		rw:          make(map[string]*container.RWEntity),
+		clientOf:    h.ClientMap(),
+	}
+	if r := opts.Replication; r != nil && r.EventLog {
+		d.Replog = replog.NewStore(env.Metrics(), r.LogRetention)
+	}
+	for _, name := range h.ServerNodes() {
+		srv, err := container.NewServer(container.Config{
+			Name:   name,
+			DBNode: simnet.NodeDB,
+			DB:     db,
+			Net:    h.Net,
+			RMI:    rt,
+			JMS:    provider,
+			Web:    opts.Web,
+			Costs:  opts.Costs,
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: server %s: %w", name, err)
+		}
+		if name == simnet.NodeMain {
+			d.Main = srv
+		} else {
+			d.Edges = append(d.Edges, srv)
+		}
+	}
+	return d, h, nil
+}
+
+// PartitionAssignment maps server node -> the partition indices it owns for
+// one partitioned bean. Servers absent from the map own nothing.
+type PartitionAssignment map[string][]int
+
+// RoundRobinAssignment spreads partitions over the edges in ring order
+// (partition p lands on edges[p mod len(edges)]) — the deterministic default
+// when the planner has no rate information to do better.
+func RoundRobinAssignment(spec *container.PartitionSpec, edges []string) PartitionAssignment {
+	asg := make(PartitionAssignment, len(edges))
+	if spec == nil || len(edges) == 0 {
+		return asg
+	}
+	for p := 0; p < spec.Partitions; p++ {
+		e := edges[p%len(edges)]
+		asg[e] = append(asg[e], p)
+	}
+	return asg
+}
+
+// Owned returns the sorted partition list assigned to server.
+func (a PartitionAssignment) Owned(server string) []int {
+	owned := append([]int(nil), a[server]...)
+	sort.Ints(owned)
+	return owned
+}
+
+// applyPartitioning arms a freshly deployed replica and its sync-propagation
+// target with the bean's partition slice for this server. No-op for
+// unpartitioned beans or beans without an assignment (full replication).
+func (w *Wiring) applyPartitioning(server string, spec container.ReplicaSpec, ro *container.ROEntity) {
+	if spec.Partition == nil {
+		return
+	}
+	asg, ok := w.opts.PartitionAssignments[spec.Bean]
+	if !ok {
+		return
+	}
+	owned := asg.Owned(server)
+	ro.SetOwnership(spec.Partition.Owns(owned))
+	if sp, ok := w.syncProps[spec.Bean]; ok {
+		t := container.SyncTarget{Server: server, Facade: w.updaterName()}
+		sp.SetTargetFilter(t, spec.Partition.UpdateFilter(owned))
+	}
+	// Lease and async propagation stay unfiltered at the source: the
+	// replica-side ownership check drops unowned pushes on arrival, and a
+	// batched/topic message is shared across edges anyway.
+}
+
+// OwnsKey reports whether the replica of bean on server owns pk — the hook
+// query caches use to scope cached results to the local partition slice.
+// True when the bean is unpartitioned or the server is not wired.
+func (w *Wiring) OwnsKey(server, bean string, pk sqldb.Value) bool {
+	ro := w.Replica(server, bean)
+	if ro == nil {
+		return true
+	}
+	return ro.Owns(pk)
+}

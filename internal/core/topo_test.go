@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+
+	"wadeploy/internal/container"
+	"wadeploy/internal/sim"
+	"wadeploy/internal/simnet"
+	"wadeploy/internal/sqldb"
+)
+
+func newHierDeployment(t *testing.T, spec simnet.HierarchySpec) (*Deployment, *simnet.Hierarchy) {
+	t.Helper()
+	env := sim.NewEnv(11)
+	d, h, err := NewHierarchicalDeployment(env, DefaultOptions(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, h
+}
+
+func TestHierarchicalDeploymentShape(t *testing.T) {
+	d, h := newHierDeployment(t, simnet.HierarchySpec{Edges: 6, Hubs: 2})
+	if d.Main == nil || d.Main.Name() != simnet.NodeMain {
+		t.Fatalf("main = %v", d.Main)
+	}
+	if len(d.Edges) != 6 {
+		t.Fatalf("edges = %d", len(d.Edges))
+	}
+	if d.JMS.Node() != simnet.NodeMain {
+		t.Fatalf("jms node = %s", d.JMS.Node())
+	}
+	// ServerFor routes each edge client group to its collocated PoP.
+	for i, edge := range d.Edges {
+		clients := h.ClientNode(edge.Name())
+		if s := d.ServerFor(clients, RemoteFacade); s != edge {
+			t.Errorf("edge %d clients -> %s, want %s", i, s.Name(), edge.Name())
+		}
+		if s := d.ServerFor(clients, Centralized); s != d.Main {
+			t.Errorf("centralized edge %d clients -> %s, want main", i, s.Name())
+		}
+	}
+	if s := d.ServerFor(simnet.NodeClientsMain, QueryCaching); s != d.Main {
+		t.Errorf("main clients -> %s", s.Name())
+	}
+}
+
+func TestRoundRobinAssignment(t *testing.T) {
+	spec := &container.PartitionSpec{Scheme: container.HashPartition, Partitions: 5}
+	asg := RoundRobinAssignment(spec, []string{"e0", "e1"})
+	if got := asg.Owned("e0"); len(got) != 3 || got[0] != 0 || got[1] != 2 || got[2] != 4 {
+		t.Fatalf("e0 owns %v", got)
+	}
+	if got := asg.Owned("e1"); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("e1 owns %v", got)
+	}
+	if got := asg.Owned("absent"); len(got) != 0 {
+		t.Fatalf("absent owns %v", got)
+	}
+}
+
+// TestAutoWirePartitionedReplicas pins the end-to-end partitioning contract:
+// with a PartitionSpec and an assignment, each edge's replica owns a disjoint
+// slice, preloads outside the slice are dropped, and a sync write pushes to
+// exactly the owning edge.
+func TestAutoWirePartitionedReplicas(t *testing.T) {
+	d, _ := newHierDeployment(t, simnet.HierarchySpec{Edges: 2, Hubs: 1})
+	if _, err := d.DB.Exec(`CREATE TABLE item (id TEXT PRIMARY KEY, qty INT NOT NULL)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.DB.Exec(`INSERT INTO item VALUES ('a1', 10), ('m1', 20)`); err != nil {
+		t.Fatal(err)
+	}
+	rw, err := container.DeployRWEntity(d.Main, "ItemRW", "item", "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.RegisterRW(rw)
+	// Two range partitions split at "m": edge000 owns keys below "m",
+	// edge001 the rest.
+	pspec := &container.PartitionSpec{Scheme: container.RangePartition, Partitions: 2, Bounds: []string{"m"}}
+	ext := &container.ExtendedDescriptor{
+		Replicas: []container.ReplicaSpec{
+			{Bean: "ItemRW", Update: container.SyncUpdate, Refresh: container.PushRefresh, Partition: pspec},
+		},
+	}
+	edges := []string{d.Edges[0].Name(), d.Edges[1].Name()}
+	w, err := AutoWire(d, ext, WireOptions{
+		PushBytes: 256,
+		PartitionAssignments: map[string]PartitionAssignment{
+			"ItemRW": {edges[0]: []int{0}, edges[1]: []int{1}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro0 := w.Replica(edges[0], "ItemRW")
+	ro1 := w.Replica(edges[1], "ItemRW")
+	// Ownership is disjoint and OwnsKey reflects it.
+	if !ro0.Owns(sqldb.Str("a1")) || ro0.Owns(sqldb.Str("m1")) {
+		t.Fatalf("%s ownership wrong", edges[0])
+	}
+	if ro1.Owns(sqldb.Str("a1")) || !ro1.Owns(sqldb.Str("m1")) {
+		t.Fatalf("%s ownership wrong", edges[1])
+	}
+	if !w.OwnsKey(edges[0], "ItemRW", sqldb.Str("a1")) || w.OwnsKey(edges[0], "ItemRW", sqldb.Str("m1")) {
+		t.Fatal("OwnsKey disagrees with replica ownership")
+	}
+	// Unpartitioned beans always own.
+	if !w.OwnsKey(edges[0], "NoSuchBean", sqldb.Str("m1")) {
+		t.Fatal("OwnsKey must default to true for unknown beans")
+	}
+	// Preloads land only on the owner.
+	for _, ro := range []*container.ROEntity{ro0, ro1} {
+		ro.Preload(sqldb.Str("a1"), container.State{"qty": sqldb.Int(10)})
+		ro.Preload(sqldb.Str("m1"), container.State{"qty": sqldb.Int(20)})
+	}
+	if ro0.Cached() != 1 || ro1.Cached() != 1 {
+		t.Fatalf("cached: %s=%d %s=%d, want 1 each", edges[0], ro0.Cached(), edges[1], ro1.Cached())
+	}
+	// A sync write pushes to exactly the owning edge.
+	RunWarm(d.Env, "writer", func(p *sim.Proc) {
+		if _, err := rw.UpdateFields(p, sqldb.Str("a1"), container.State{"qty": sqldb.Int(3)}); err != nil {
+			t.Errorf("update: %v", err)
+		}
+	})
+	if ro0.Pushes() != 1 || ro1.Pushes() != 0 {
+		t.Fatalf("pushes after write to a1: %s=%d %s=%d, want 1/0", edges[0], ro0.Pushes(), edges[1], ro1.Pushes())
+	}
+	if st, ok := ro0.Peek(sqldb.Str("a1")); !ok || st["qty"].AsInt() != 3 {
+		t.Fatalf("owner replica state: %v %v", st, ok)
+	}
+}

@@ -1,0 +1,230 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"wadeploy/internal/container"
+	"wadeploy/internal/core"
+	"wadeploy/internal/metrics"
+	"wadeploy/internal/petstore"
+	"wadeploy/internal/rubis"
+	"wadeploy/internal/sim"
+	"wadeploy/internal/simnet"
+)
+
+// TopoSweepOptions parameterizes a topology scaling sweep.
+type TopoSweepOptions struct {
+	RunOptions
+
+	// Config is the configuration under test (default QueryCaching — the
+	// paper's best all-round pattern, and the one whose replica footprint
+	// partitioning shrinks).
+	Config core.ConfigID
+
+	// Partitions > 0 shards the hot entities (Item/Inventory for Pet Store,
+	// Item for RUBiS) into this many hash partitions spread round-robin over
+	// the edges. 0 keeps the paper's full replication at every PoP.
+	Partitions int
+
+	// Hierarchy overrides per-point spec fields other than Edges (link
+	// classes, hub count, redundancy). The zero value uses the defaults.
+	Hierarchy simnet.HierarchySpec
+}
+
+// TopoPoint is one measurement of the edge-count scaling sweep.
+type TopoPoint struct {
+	Edges      int
+	Hubs       int
+	Partitions int
+
+	// Session means by pattern and locality — the per-page latency rollup.
+	LocalBrowser  time.Duration
+	RemoteBrowser time.Duration
+	LocalWriter   time.Duration
+	RemoteWriter  time.Duration
+
+	Samples int
+	Errors  int
+
+	// WANBytes is the traffic crossing backbone/metro links (every link with
+	// a hub endpoint) during the run, both directions.
+	WANBytes int64
+	// Msgs is the total message count across the whole network.
+	Msgs int64
+
+	// ReplicaEntries is the total entity state cached across every edge
+	// replica at the end of the run — the footprint partitioning exists to
+	// shrink (slices, not full copies).
+	ReplicaEntries int64
+	// Pushes counts replica push deliveries (sync + async); partition-scoped
+	// propagation sends each write to its owners only.
+	Pushes int64
+}
+
+// TopoSweep runs one scaling curve: for each edge count, build an N-edge
+// hierarchy, deploy the app partition-aware, offer the paper's total load
+// spread over the N edge client groups, and measure latency and WAN traffic.
+// Same seed, same options: byte-identical points at any Parallelism.
+func TopoSweep(app AppID, edgeCounts []int, opts TopoSweepOptions) ([]TopoPoint, error) {
+	if opts.Config == 0 {
+		opts.Config = core.QueryCaching
+	}
+	if !knownConfig(opts.Config) {
+		return nil, fmt.Errorf("experiment: unknown configuration %d", int(opts.Config))
+	}
+	for _, n := range edgeCounts {
+		if n < 1 {
+			return nil, fmt.Errorf("experiment: topo sweep needs >= 1 edges, got %d", n)
+		}
+	}
+	out := make([]TopoPoint, len(edgeCounts))
+	err := forEachParallel(opts.Parallelism, len(edgeCounts), func(i int) error {
+		pt, err := runTopoPoint(app, edgeCounts[i], opts)
+		if err != nil {
+			return fmt.Errorf("topo sweep %d edges: %w", edgeCounts[i], err)
+		}
+		out[i] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func runTopoPoint(app AppID, edges int, opts TopoSweepOptions) (TopoPoint, error) {
+	env := sim.NewEnv(opts.Seed)
+	spec := opts.Hierarchy
+	spec.Edges = edges
+	var depOpts core.Options
+	switch app {
+	case PetStore:
+		depOpts = core.DefaultOptions()
+	case RUBiS:
+		depOpts = rubis.DeployOptions()
+	default:
+		return TopoPoint{}, fmt.Errorf("experiment: unknown app %q", app)
+	}
+	depOpts.Resilience = opts.Resilience
+	depOpts.Replication = opts.Replication
+	d, h, err := core.NewHierarchicalDeployment(env, depOpts, spec)
+	if err != nil {
+		return TopoPoint{}, err
+	}
+	var pspec *container.PartitionSpec
+	if opts.Partitions > 0 {
+		pspec = &container.PartitionSpec{Scheme: container.HashPartition, Partitions: opts.Partitions}
+	}
+	var r *Result
+	var wiring *core.Wiring
+	switch app {
+	case PetStore:
+		a, err := petstore.DeployTopo(d, opts.Config, petstore.TopoOptions{Partition: pspec})
+		if err != nil {
+			return TopoPoint{}, err
+		}
+		wiring = a.Wiring()
+		r, err = collect(app, opts.Config, d, opts.RunOptions, petstore.TopoWorkload(a), petStorePatterns, columnsFor(app))
+		if err != nil {
+			return TopoPoint{}, err
+		}
+	default:
+		a, err := rubis.DeployTopo(d, opts.Config, rubis.TopoOptions{Partition: pspec})
+		if err != nil {
+			return TopoPoint{}, err
+		}
+		wiring = a.Wiring()
+		r, err = collect(app, opts.Config, d, opts.RunOptions, rubis.TopoWorkload(a), rubisPatterns, columnsFor(app))
+		if err != nil {
+			return TopoPoint{}, err
+		}
+	}
+	sp := point(app, r, float64(edges))
+	var entries int64
+	if wiring != nil {
+		for _, e := range d.Edges {
+			for _, ro := range wiring.Replicas[e.Name()] {
+				entries += int64(ro.Cached())
+			}
+		}
+	}
+	return TopoPoint{
+		Edges:          edges,
+		Hubs:           len(h.HubNames),
+		Partitions:     opts.Partitions,
+		LocalBrowser:   sp.LocalBrowser,
+		RemoteBrowser:  sp.RemoteBrowser,
+		LocalWriter:    sp.LocalWriter,
+		RemoteWriter:   sp.RemoteWriter,
+		Samples:        r.Samples,
+		Errors:         r.Errors,
+		WANBytes:       wanBytes(r.Metrics),
+		Msgs:           counterValue(r.Metrics, "simnet_messages_total"),
+		ReplicaEntries: entries,
+		Pushes:         counterValue(r.Metrics, "container_replica_pushes_total"),
+	}, nil
+}
+
+// knownConfig reports whether cfg is one of the study's configurations.
+func knownConfig(cfg core.ConfigID) bool {
+	for _, c := range core.Configs {
+		if cfg == c {
+			return true
+		}
+	}
+	for _, c := range core.ExtensionConfigs {
+		if cfg == c {
+			return true
+		}
+	}
+	return false
+}
+
+// wanBytes sums the per-link byte counters over links with a hub endpoint —
+// in a hierarchy every backbone (main<->hub) and metro (hub<->edge) link, and
+// nothing else, touches a hub.
+func wanBytes(s *metrics.Snapshot) int64 {
+	const prefix = `simnet_link_bytes_total{link="`
+	var total int64
+	for _, c := range s.Counters {
+		if !strings.HasPrefix(c.Name, prefix) {
+			continue
+		}
+		link := strings.TrimSuffix(strings.TrimPrefix(c.Name, prefix), `"}`)
+		if strings.Contains(link, "hub") {
+			total += c.Value
+		}
+	}
+	return total
+}
+
+func counterValue(s *metrics.Snapshot, name string) int64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// FormatTopo renders the scaling curve as an aligned table: per-pattern
+// session latency plus WAN traffic per edge count.
+func FormatTopo(app AppID, points []TopoPoint) string {
+	var b strings.Builder
+	part := "full replication"
+	if len(points) > 0 && points[0].Partitions > 0 {
+		part = fmt.Sprintf("%d hash partitions", points[0].Partitions)
+	}
+	fmt.Fprintf(&b, "topology scaling: %s, %s\n", app, part)
+	fmt.Fprintf(&b, "%-6s %-5s %12s %12s %12s %12s %10s %10s %10s %8s %8s\n",
+		"edges", "hubs", "loc-browse", "rem-browse", "loc-write", "rem-write", "wan-MB", "msgs", "replicas", "pushes", "errors")
+	for _, pt := range points {
+		fmt.Fprintf(&b, "%-6d %-5d %12s %12s %12s %12s %10.2f %10d %10d %8d %8d\n",
+			pt.Edges, pt.Hubs,
+			ms(pt.LocalBrowser), ms(pt.RemoteBrowser), ms(pt.LocalWriter), ms(pt.RemoteWriter),
+			float64(pt.WANBytes)/(1024*1024), pt.Msgs, pt.ReplicaEntries, pt.Pushes, pt.Errors)
+	}
+	return b.String()
+}

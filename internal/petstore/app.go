@@ -69,6 +69,12 @@ type App struct {
 
 	wiring *core.Wiring
 
+	// partSpec/partAssign arm entity partitioning (DeployTopo): Item and
+	// Inventory replicas hold key-space slices per the assignment instead
+	// of full copies. Nil for the paper's deployments.
+	partSpec   *container.PartitionSpec
+	partAssign core.PartitionAssignment
+
 	carts       map[string]*container.StatefulBean
 	controllers map[string]*container.StatefulBean
 
@@ -121,7 +127,7 @@ func DefaultPageCosts() PageCosts {
 // the read-only replicas, query caches and update propagation (via the
 // extended-descriptor AutoWire machinery).
 func Deploy(d *core.Deployment, cfg core.ConfigID) (*App, error) {
-	return deploy(d, cfg, cfg, false)
+	return deploy(d, cfg, cfg, false, nil, nil)
 }
 
 // DeployAdaptive installs Pet Store for online re-placement: the app starts
@@ -135,10 +141,10 @@ func DeployAdaptive(d *core.Deployment, target core.ConfigID) (*App, error) {
 		return nil, fmt.Errorf("petstore: adaptive target %s has nothing to extend (need >= %s)",
 			target, core.StatefulCaching)
 	}
-	return deploy(d, core.RemoteFacade, target, true)
+	return deploy(d, core.RemoteFacade, target, true, nil, nil)
 }
 
-func deploy(d *core.Deployment, cfg, target core.ConfigID, adaptive bool) (*App, error) {
+func deploy(d *core.Deployment, cfg, target core.ConfigID, adaptive bool, partSpec *container.PartitionSpec, partAssign core.PartitionAssignment) (*App, error) {
 	if err := InitSchema(d.DB); err != nil {
 		return nil, err
 	}
@@ -147,6 +153,8 @@ func deploy(d *core.Deployment, cfg, target core.ConfigID, adaptive bool) (*App,
 		cfg:         cfg,
 		target:      target,
 		adaptive:    adaptive,
+		partSpec:    partSpec,
+		partAssign:  partAssign,
 		carts:       make(map[string]*container.StatefulBean),
 		controllers: make(map[string]*container.StatefulBean),
 		sessions:    make(map[string]*web.Session),
@@ -596,8 +604,8 @@ func (a *App) wireReplicas() error {
 		Replicas: []container.ReplicaSpec{
 			{Bean: BeanCategory, Update: update, Refresh: container.PushRefresh},
 			{Bean: BeanProduct, Update: update, Refresh: container.PushRefresh},
-			{Bean: BeanItem, Update: update, Refresh: container.PushRefresh},
-			{Bean: BeanInventory, Update: update, Refresh: container.PushRefresh},
+			{Bean: BeanItem, Update: update, Refresh: container.PushRefresh, Partition: a.partSpec},
+			{Bean: BeanInventory, Update: update, Refresh: container.PushRefresh, Partition: a.partSpec},
 		},
 	}
 	if dcfg.AtLeast(core.QueryCaching) {
@@ -606,10 +614,20 @@ func (a *App) wireReplicas() error {
 			{Name: QueryItemsByProduct, InvalidatedBy: []string{BeanItem, BeanProduct}},
 		}
 	}
+	var assignments map[string]core.PartitionAssignment
+	if a.partSpec != nil && a.partAssign != nil {
+		// Item and Inventory share the itemid key space, so one assignment
+		// covers both.
+		assignments = map[string]core.PartitionAssignment{
+			BeanItem:      a.partAssign,
+			BeanInventory: a.partAssign,
+		}
+	}
 	w, err := core.AutoWire(a.d, ext, core.WireOptions{
-		PushBytes:   replicaPushBytes,
-		UpdaterName: "Updater",
-		Deferred:    a.adaptive,
+		PushBytes:            replicaPushBytes,
+		UpdaterName:          "Updater",
+		Deferred:             a.adaptive,
+		PartitionAssignments: assignments,
 		FetchFor: func(server *container.Server, rwBean string) container.FetchFunc {
 			return func(p *sim.Proc, pk sqldb.Value) (container.State, error) {
 				stub, err := a.centralCatalogStub(p, server)
@@ -719,7 +737,7 @@ func (a *App) edgeCatalogMethods(edge *container.Server) map[string]container.Me
 		return stub.Invoke(p, method, param)
 	}
 	cached := func(p *sim.Proc, queryName, method, param string) (any, error) {
-		if a.useQueryCache(edge) {
+		if a.useQueryCache(edge) && a.ownsQueryParam(edge, param) {
 			return a.wiring.Cache(edge.Name()).Get(p, queryName+":"+param)
 		}
 		return delegate(p, method, param)

@@ -1,0 +1,159 @@
+package petstore
+
+import (
+	"testing"
+
+	"wadeploy/internal/container"
+	"wadeploy/internal/core"
+	"wadeploy/internal/sim"
+	"wadeploy/internal/simnet"
+	"wadeploy/internal/sqldb"
+	"wadeploy/internal/workload"
+)
+
+// deployTopoApp builds an N-edge hierarchical deployment with Pet Store
+// installed partition-aware.
+func deployTopoApp(t *testing.T, edges int, cfg core.ConfigID, topo TopoOptions) (*App, *simnet.Hierarchy) {
+	t.Helper()
+	env := sim.NewEnv(5)
+	d, h, err := core.NewHierarchicalDeployment(env, core.DefaultOptions(), simnet.HierarchySpec{Edges: edges})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := DeployTopo(d, cfg, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, h
+}
+
+func TestDeployTopoUnpartitionedMatchesDeploy(t *testing.T) {
+	a, _ := deployTopoApp(t, 4, core.QueryCaching, TopoOptions{})
+	defer a.Deployment().Env.Close()
+	if a.partSpec != nil {
+		t.Fatal("nil TopoOptions must not partition")
+	}
+	// Every edge owns every query param: caching is unrestricted.
+	for _, edge := range a.Deployment().Edges {
+		if !a.ownsQueryParam(edge, ItemID(0, 0, 0)) {
+			t.Fatalf("%s should own all params without partitioning", edge.Name())
+		}
+	}
+	if err := a.Plan().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeployTopoPartitionedOwnership pins the tentpole contract end to end:
+// with a hash PartitionSpec over 4 edges, each edge's Item replica owns a
+// disjoint slice, reads for owned items come from the replica, and reads for
+// unowned items still succeed via the remote-get path.
+func TestDeployTopoPartitionedOwnership(t *testing.T) {
+	const edges = 4
+	pspec := &container.PartitionSpec{Scheme: container.HashPartition, Partitions: edges}
+	a, h := deployTopoApp(t, edges, core.QueryCaching, TopoOptions{Partition: pspec})
+	defer a.Deployment().Env.Close()
+
+	d := a.Deployment()
+	w := a.Wiring()
+	if w == nil {
+		t.Fatal("no wiring")
+	}
+	// Each item key is owned by exactly one edge (round-robin default
+	// assignment maps partition p to edge p%N = edge p here).
+	for c := 0; c < NumCategories; c++ {
+		id := ItemID(c, 0, 0)
+		owners := 0
+		for _, e := range d.Edges {
+			if w.Replica(e.Name(), BeanItem).Owns(sqldb.Str(id)) {
+				owners++
+			}
+		}
+		if owners != 1 {
+			t.Fatalf("item %s owned by %d edges, want exactly 1", id, owners)
+		}
+	}
+	// A request for any item succeeds from any edge's clients — owned items
+	// from the local slice, unowned ones over the remote-get path.
+	ownedID, unownedID := "", ""
+	edge0 := d.Edges[0]
+	for c := 0; c < NumCategories && (ownedID == "" || unownedID == ""); c++ {
+		for i := 0; i < ItemsPerProduct && (ownedID == "" || unownedID == ""); i++ {
+			id := ItemID(c, 0, i)
+			if w.Replica(edge0.Name(), BeanItem).Owns(sqldb.Str(id)) {
+				ownedID = id
+			} else {
+				unownedID = id
+			}
+		}
+	}
+	if ownedID == "" || unownedID == "" {
+		t.Fatal("could not find both an owned and an unowned item for edge000")
+	}
+	client := workload.Client{Node: h.ClientNode(edge0.Name()), ID: "c-e0"}
+	core.RunWarm(d.Env, "probe", func(p *sim.Proc) {
+		for _, id := range []string{ownedID, unownedID} {
+			if _, err := a.RequestFunc()(p, client, workload.Step{
+				Page: PageItem, Params: map[string]string{"item": id},
+			}); err != nil {
+				t.Errorf("item %s: %v", id, err)
+			}
+		}
+	})
+	itemRO := w.Replica(edge0.Name(), BeanItem)
+	if itemRO.RemoteGets() == 0 {
+		t.Error("unowned item read should count a remote get")
+	}
+	// Query caching is partition-scoped: the edge owns some catalog query
+	// params and not others.
+	if a.ownsQueryParam(edge0, ownedID) == a.ownsQueryParam(edge0, unownedID) {
+		t.Error("query-cache scoping should track the partition slice")
+	}
+}
+
+func TestDeployTopoRejectsBadSpec(t *testing.T) {
+	env := sim.NewEnv(5)
+	defer env.Close()
+	d, _, err := core.NewHierarchicalDeployment(env, core.DefaultOptions(), simnet.HierarchySpec{Edges: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &container.PartitionSpec{Scheme: container.RangePartition, Partitions: 3, Bounds: []string{"z", "a"}}
+	if _, err := DeployTopo(d, core.QueryCaching, TopoOptions{Partition: bad}); err == nil {
+		t.Fatal("unsorted range bounds accepted")
+	}
+}
+
+// TestTopoWorkloadSpread pins the constant-total-load property of the sweep
+// workload: whatever the edge count, the remote client population equals the
+// paper's two remote groups, spread deterministically.
+func TestTopoWorkloadSpread(t *testing.T) {
+	for _, edges := range []int{1, 2, 3, 5, 8} {
+		a, h := deployTopoApp(t, edges, core.QueryCaching, TopoOptions{})
+		groups := TopoWorkload(a)
+		if len(groups) != 1+edges {
+			t.Fatalf("edges=%d: %d groups", edges, len(groups))
+		}
+		if groups[0].Name != "local" || !groups[0].Local ||
+			groups[0].ClientNode != simnet.NodeClientsMain ||
+			groups[0].Browsers != 64 || groups[0].Writers != 16 {
+			t.Fatalf("edges=%d: local group %+v", edges, groups[0])
+		}
+		totB, totW := 0, 0
+		for i, g := range groups[1:] {
+			if g.Local {
+				t.Fatalf("edges=%d: remote group %s marked local", edges, g.Name)
+			}
+			wantNode := h.ClientNode(a.Deployment().Edges[i].Name())
+			if g.ClientNode != wantNode {
+				t.Fatalf("edges=%d: group %s on %s, want %s", edges, g.Name, g.ClientNode, wantNode)
+			}
+			totB += g.Browsers
+			totW += g.Writers
+		}
+		if totB != 128 || totW != 32 {
+			t.Fatalf("edges=%d: remote totals %d browsers / %d writers, want 128/32", edges, totB, totW)
+		}
+		a.Deployment().Env.Close()
+	}
+}

@@ -1,0 +1,317 @@
+// Per-partition placement over N-edge hierarchies. The paper's planner
+// searches eight pattern combinations exhaustively; at planet scale the
+// decision becomes per-partition: which edge PoPs hold a replica of which
+// partition of a bean's key space. An edge holding partition p serves its
+// reads locally but costs one WAN push per write to p; an edge without it
+// pays a remote get per read. The model prices both and the searches pick
+// the placement minimizing total WAN-seconds per second of workload.
+package planner
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// TopoModel is the per-partition placement problem: N edges, P partitions,
+// per-(edge, partition) read rates and per-partition write rates.
+type TopoModel struct {
+	// Edges are the candidate edge nodes, in deployment order.
+	Edges []string
+	// Partitions is the number of key-space partitions (P).
+	Partitions int
+
+	// ReadRate[e][p] is edge e's read rate (reads/s) into partition p.
+	ReadRate [][]float64
+	// WriteRate[p] is the central write rate (writes/s) into partition p.
+	WriteRate []float64
+
+	// RemoteRTT is the WAN round trip an edge pays per remote get.
+	RemoteRTT time.Duration
+	// PushCost is the WAN cost charged per owning edge per write.
+	PushCost time.Duration
+
+	// Capacity caps how many partitions one edge may hold (0 = unlimited) —
+	// the memory/footprint constraint that makes slices, not full replicas,
+	// the point of partitioning.
+	Capacity int
+}
+
+// Validate checks the model's dimensions.
+func (m *TopoModel) Validate() error {
+	if len(m.Edges) == 0 {
+		return fmt.Errorf("planner: topo model has no edges")
+	}
+	if m.Partitions < 1 {
+		return fmt.Errorf("planner: topo model needs >= 1 partitions, got %d", m.Partitions)
+	}
+	if len(m.ReadRate) != len(m.Edges) {
+		return fmt.Errorf("planner: read-rate rows %d != edges %d", len(m.ReadRate), len(m.Edges))
+	}
+	for e, row := range m.ReadRate {
+		if len(row) != m.Partitions {
+			return fmt.Errorf("planner: read-rate row %d has %d cols, want %d", e, len(row), m.Partitions)
+		}
+	}
+	if len(m.WriteRate) != m.Partitions {
+		return fmt.Errorf("planner: write rates %d != partitions %d", len(m.WriteRate), m.Partitions)
+	}
+	if m.RemoteRTT <= 0 || m.PushCost < 0 {
+		return fmt.Errorf("planner: topo model needs RemoteRTT > 0 and PushCost >= 0")
+	}
+	if m.Capacity < 0 {
+		return fmt.Errorf("planner: negative capacity")
+	}
+	return nil
+}
+
+// TopoPlacement is one evaluated placement: Assign[p] lists the edge indices
+// (sorted) holding a replica of partition p, Cost is the objective.
+type TopoPlacement struct {
+	Assign [][]int
+	// Cost is the expected WAN cost in latency-seconds per second of
+	// workload: remote-get RTTs for unheld partitions plus push costs for
+	// held ones.
+	Cost float64
+}
+
+// AssignmentFor renders the placement as an edge-name -> owned-partitions
+// map, the shape core.WireOptions.PartitionAssignments consumes.
+func (pl TopoPlacement) AssignmentFor(m *TopoModel) map[string][]int {
+	out := make(map[string][]int, len(m.Edges))
+	for p, edges := range pl.Assign {
+		for _, e := range edges {
+			name := m.Edges[e]
+			out[name] = append(out[name], p)
+		}
+	}
+	return out
+}
+
+// Cost prices an assignment under the model.
+func (m *TopoModel) Cost(assign [][]int) float64 {
+	rtt := m.RemoteRTT.Seconds()
+	push := m.PushCost.Seconds()
+	total := 0.0
+	for p := 0; p < m.Partitions; p++ {
+		held := make(map[int]bool, len(assign[p]))
+		for _, e := range assign[p] {
+			held[e] = true
+		}
+		for e := range m.Edges {
+			if !held[e] {
+				total += m.ReadRate[e][p] * rtt
+			}
+		}
+		total += m.WriteRate[p] * push * float64(len(assign[p]))
+	}
+	return total
+}
+
+// gain is the objective improvement from adding edge e to partition p's
+// replica set: remote gets saved minus pushes added. Independent of every
+// other (edge, partition) decision, which is what makes greedy exact here.
+func (m *TopoModel) gain(e, p int) float64 {
+	return m.ReadRate[e][p]*m.RemoteRTT.Seconds() - m.WriteRate[p]*m.PushCost.Seconds()
+}
+
+// emptyAssign is the all-central placement (no edge holds anything).
+func emptyAssign(partitions int) [][]int {
+	assign := make([][]int, partitions)
+	for p := range assign {
+		assign[p] = []int{}
+	}
+	return assign
+}
+
+// ExhaustiveTopo enumerates every subset assignment — (2^N)^P points — and
+// returns the cheapest, ties broken toward the lexicographically smallest
+// assignment. The oracle for small N; the sweeps use greedy/beam.
+func ExhaustiveTopo(m *TopoModel) (TopoPlacement, error) {
+	if err := m.Validate(); err != nil {
+		return TopoPlacement{}, err
+	}
+	n := len(m.Edges)
+	if n > 8 || m.Partitions > 8 {
+		return TopoPlacement{}, fmt.Errorf("planner: exhaustive topo search is an oracle for small instances (%d edges x %d partitions is too large)", n, m.Partitions)
+	}
+	subsets := 1 << n
+	best := TopoPlacement{Cost: -1}
+	assign := make([][]int, m.Partitions)
+	var walk func(p int, used []int)
+	walk = func(p int, used []int) {
+		if p == m.Partitions {
+			cost := m.Cost(assign)
+			if best.Cost < 0 || cost < best.Cost {
+				cp := make([][]int, len(assign))
+				for i, s := range assign {
+					cp[i] = append([]int(nil), s...)
+				}
+				best = TopoPlacement{Assign: cp, Cost: cost}
+			}
+			return
+		}
+		for mask := 0; mask < subsets; mask++ {
+			var set []int
+			ok := true
+			for e := 0; e < n; e++ {
+				if mask&(1<<e) == 0 {
+					continue
+				}
+				if m.Capacity > 0 && used[e] >= m.Capacity {
+					ok = false
+					break
+				}
+				set = append(set, e)
+			}
+			if !ok {
+				continue
+			}
+			assign[p] = set
+			for _, e := range set {
+				used[e]++
+			}
+			walk(p+1, used)
+			for _, e := range set {
+				used[e]--
+			}
+		}
+	}
+	walk(0, make([]int, n))
+	return best, nil
+}
+
+// GreedyTopo starts from the all-central placement and repeatedly applies
+// the single (partition, edge) addition with the largest positive gain,
+// respecting capacity, until none remains. Because gains are independent,
+// this is exact for the model (and the tests pin it against the oracle).
+// Ties break toward the lowest partition, then the lowest edge index.
+func GreedyTopo(m *TopoModel) (TopoPlacement, error) {
+	if err := m.Validate(); err != nil {
+		return TopoPlacement{}, err
+	}
+	assign := emptyAssign(m.Partitions)
+	used := make([]int, len(m.Edges))
+	held := make([]map[int]bool, m.Partitions)
+	for p := range held {
+		held[p] = make(map[int]bool)
+	}
+	for {
+		bestP, bestE, bestGain := -1, -1, 0.0
+		for p := 0; p < m.Partitions; p++ {
+			for e := range m.Edges {
+				if held[p][e] || (m.Capacity > 0 && used[e] >= m.Capacity) {
+					continue
+				}
+				if g := m.gain(e, p); g > bestGain {
+					bestP, bestE, bestGain = p, e, g
+				}
+			}
+		}
+		if bestP < 0 {
+			break
+		}
+		held[bestP][bestE] = true
+		used[bestE]++
+		assign[bestP] = append(assign[bestP], bestE)
+	}
+	for p := range assign {
+		sort.Ints(assign[p])
+	}
+	return TopoPlacement{Assign: assign, Cost: m.Cost(assign)}, nil
+}
+
+// BeamTopo runs a width-bounded beam search: partitions are decided in
+// order, each beam state carrying its per-edge usage; at every step each
+// state expands with every feasible subset for the next partition, states
+// with identical remaining capacity are deduplicated to the cheapest
+// (future cost depends only on the capacity vector, so this is dominance
+// pruning, not a heuristic), and the beam keeps the width cheapest states
+// (stable order — expansion order breaks ties, so results are
+// deterministic). Width >= 1; whenever width covers the capacity-state
+// space ((Capacity+1)^N states, or 1 without a capacity), the search is
+// exact — the tests pin it against the oracle there.
+func BeamTopo(m *TopoModel, width int) (TopoPlacement, error) {
+	if err := m.Validate(); err != nil {
+		return TopoPlacement{}, err
+	}
+	if width < 1 {
+		return TopoPlacement{}, fmt.Errorf("planner: beam width must be >= 1, got %d", width)
+	}
+	n := len(m.Edges)
+	rtt := m.RemoteRTT.Seconds()
+	push := m.PushCost.Seconds()
+	type state struct {
+		assign [][]int
+		used   []int
+		cost   float64
+	}
+	beam := []state{{assign: nil, used: make([]int, n), cost: 0}}
+	for p := 0; p < m.Partitions; p++ {
+		var next []state
+		for _, st := range beam {
+			for mask := 0; mask < (1 << n); mask++ {
+				var set []int
+				add := 0.0
+				ok := true
+				for e := 0; e < n; e++ {
+					if mask&(1<<e) == 0 {
+						add += m.ReadRate[e][p] * rtt
+						continue
+					}
+					if m.Capacity > 0 && st.used[e] >= m.Capacity {
+						ok = false
+						break
+					}
+					set = append(set, e)
+					add += m.WriteRate[p] * push
+				}
+				if !ok {
+					continue
+				}
+				used := append([]int(nil), st.used...)
+				for _, e := range set {
+					used[e]++
+				}
+				assign := make([][]int, len(st.assign), len(st.assign)+1)
+				copy(assign, st.assign)
+				if set == nil {
+					set = []int{}
+				}
+				assign = append(assign, set)
+				next = append(next, state{assign: assign, used: used, cost: st.cost + add})
+			}
+		}
+		sort.SliceStable(next, func(i, j int) bool { return next[i].cost < next[j].cost })
+		// Dominance pruning: two states with the same per-edge usage have
+		// identical futures, so only the cheaper (first, after the stable
+		// sort) can be part of an optimum. Without a capacity the usage
+		// vector is irrelevant and a single state survives.
+		seen := make(map[string]bool, len(next))
+		kept := next[:0]
+		for _, st := range next {
+			key := ""
+			if m.Capacity > 0 {
+				b := make([]byte, n)
+				for e, u := range st.used {
+					b[e] = byte(u)
+				}
+				key = string(b)
+			}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			kept = append(kept, st)
+		}
+		if len(kept) > width {
+			kept = kept[:width]
+		}
+		beam = kept
+	}
+	best := beam[0]
+	// Recompute canonically: the incremental sum can differ from Cost by
+	// floating-point rounding, and callers compare placements across
+	// searches by exact cost.
+	return TopoPlacement{Assign: best.assign, Cost: m.Cost(best.assign)}, nil
+}

@@ -1,0 +1,162 @@
+package planner
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// randTopoModel builds a deterministic pseudo-random instance.
+func randTopoModel(r *rand.Rand, edges, partitions, capacity int) *TopoModel {
+	names := make([]string, edges)
+	rates := make([][]float64, edges)
+	for e := 0; e < edges; e++ {
+		names[e] = string(rune('a' + e))
+		row := make([]float64, partitions)
+		for p := range row {
+			row[p] = float64(r.Intn(200)) / 10 // 0..19.9 reads/s
+		}
+		rates[e] = row
+	}
+	writes := make([]float64, partitions)
+	for p := range writes {
+		writes[p] = float64(r.Intn(100)) / 10 // 0..9.9 writes/s
+	}
+	return &TopoModel{
+		Edges: names, Partitions: partitions,
+		ReadRate: rates, WriteRate: writes,
+		RemoteRTT: 200 * time.Millisecond,
+		PushCost:  100 * time.Millisecond,
+		Capacity:  capacity,
+	}
+}
+
+// TestGreedyAndBeamMatchExhaustiveOracle pins the ISSUE invariant: for every
+// N <= 3 topology (and a spread of partition counts and capacities), greedy
+// and beam placement reach exactly the oracle's optimal cost.
+func TestGreedyAndBeamMatchExhaustiveOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for edges := 1; edges <= 3; edges++ {
+		for partitions := 1; partitions <= 4; partitions++ {
+			for _, capacity := range []int{0, 1, 2} {
+				for trial := 0; trial < 5; trial++ {
+					m := randTopoModel(r, edges, partitions, capacity)
+					oracle, err := ExhaustiveTopo(m)
+					if err != nil {
+						t.Fatalf("edges=%d parts=%d cap=%d: oracle: %v", edges, partitions, capacity, err)
+					}
+					greedy, err := GreedyTopo(m)
+					if err != nil {
+						t.Fatalf("greedy: %v", err)
+					}
+					// Width 32 covers the capacity-state space for every
+					// instance here ((2+1)^3 = 27), where beam is exact.
+					beam, err := BeamTopo(m, 32)
+					if err != nil {
+						t.Fatalf("beam: %v", err)
+					}
+					if greedy.Cost != oracle.Cost {
+						t.Errorf("edges=%d parts=%d cap=%d trial=%d: greedy cost %v != oracle %v (assign %v vs %v)",
+							edges, partitions, capacity, trial, greedy.Cost, oracle.Cost, greedy.Assign, oracle.Assign)
+					}
+					if beam.Cost != oracle.Cost {
+						t.Errorf("edges=%d parts=%d cap=%d trial=%d: beam cost %v != oracle %v (assign %v vs %v)",
+							edges, partitions, capacity, trial, beam.Cost, oracle.Cost, beam.Assign, oracle.Assign)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTopoPlacementShape(t *testing.T) {
+	// Two edges, two partitions: edge a reads partition 0 hot, edge b reads
+	// partition 1 hot; writes are cheap. Optimal: each edge holds its hot
+	// partition only.
+	m := &TopoModel{
+		Edges: []string{"a", "b"}, Partitions: 2,
+		ReadRate:  [][]float64{{10, 0}, {0, 10}},
+		WriteRate: []float64{1, 1},
+		RemoteRTT: 200 * time.Millisecond,
+		PushCost:  100 * time.Millisecond,
+	}
+	pl, err := GreedyTopo(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Assign[0]) != 1 || pl.Assign[0][0] != 0 {
+		t.Fatalf("partition 0 placed on %v, want [0]", pl.Assign[0])
+	}
+	if len(pl.Assign[1]) != 1 || pl.Assign[1][0] != 1 {
+		t.Fatalf("partition 1 placed on %v, want [1]", pl.Assign[1])
+	}
+	// Cost: no remote gets, 2 partitions x 1 write/s x 0.1s push.
+	if want := 0.2; pl.Cost != want {
+		t.Fatalf("cost = %v, want %v", pl.Cost, want)
+	}
+	asg := pl.AssignmentFor(m)
+	if len(asg["a"]) != 1 || asg["a"][0] != 0 || len(asg["b"]) != 1 || asg["b"][0] != 1 {
+		t.Fatalf("assignment map = %v", asg)
+	}
+}
+
+func TestTopoCapacityForcesChoice(t *testing.T) {
+	// One edge, two partitions, capacity one: only the hotter partition
+	// fits; both searches must make the same pick.
+	m := &TopoModel{
+		Edges: []string{"a"}, Partitions: 2,
+		ReadRate:  [][]float64{{3, 8}},
+		WriteRate: []float64{0.1, 0.1},
+		RemoteRTT: 200 * time.Millisecond,
+		PushCost:  100 * time.Millisecond,
+		Capacity:  1,
+	}
+	for name, search := range map[string]func() (TopoPlacement, error){
+		"greedy":     func() (TopoPlacement, error) { return GreedyTopo(m) },
+		"beam":       func() (TopoPlacement, error) { return BeamTopo(m, 4) },
+		"exhaustive": func() (TopoPlacement, error) { return ExhaustiveTopo(m) },
+	} {
+		pl, err := search()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(pl.Assign[0]) != 0 || len(pl.Assign[1]) != 1 {
+			t.Fatalf("%s placed %v, want partition 1 only (capacity 1)", name, pl.Assign)
+		}
+	}
+}
+
+func TestTopoModelValidation(t *testing.T) {
+	base := func() *TopoModel {
+		return &TopoModel{
+			Edges: []string{"a"}, Partitions: 1,
+			ReadRate: [][]float64{{1}}, WriteRate: []float64{1},
+			RemoteRTT: time.Millisecond, PushCost: time.Millisecond,
+		}
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("valid model rejected: %v", err)
+	}
+	bad := base()
+	bad.ReadRate = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("missing read rates accepted")
+	}
+	bad = base()
+	bad.WriteRate = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("missing write rates accepted")
+	}
+	bad = base()
+	bad.RemoteRTT = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero RTT accepted")
+	}
+	if _, err := BeamTopo(base(), 0); err == nil {
+		t.Error("zero beam width accepted")
+	}
+	big := &TopoModel{Edges: make([]string, 9), Partitions: 1}
+	if _, err := ExhaustiveTopo(big); err == nil {
+		t.Error("oversized exhaustive instance accepted")
+	}
+}

@@ -55,6 +55,11 @@ type App struct {
 
 	wiring *core.Wiring
 
+	// Partitioning (nil/absent = the paper's full Item replication): set by
+	// DeployTopo before wiring so each edge's Item replica holds a slice.
+	partSpec   *container.PartitionSpec
+	partAssign core.PartitionAssignment
+
 	bidSeq     int64
 	commentSeq int64
 

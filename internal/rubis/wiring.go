@@ -22,13 +22,21 @@ func (a *App) wireReplicas() error {
 	ext := &container.ExtendedDescriptor{
 		Topic: UpdateTopic,
 		Replicas: []container.ReplicaSpec{
-			{Bean: BeanItem, Update: update, Refresh: container.PushRefresh},
+			// Items partition when DeployTopo asks for it; Users stay fully
+			// replicated (tiny, read-mostly, and the edge auth path needs
+			// every nickname everywhere).
+			{Bean: BeanItem, Update: update, Refresh: container.PushRefresh, Partition: a.partSpec},
 			{Bean: BeanUser, Update: update, Refresh: container.PushRefresh},
 		},
 	}
+	var assignments map[string]core.PartitionAssignment
+	if a.partSpec != nil && a.partAssign != nil {
+		assignments = map[string]core.PartitionAssignment{BeanItem: a.partAssign}
+	}
 	opts := core.WireOptions{
-		PushBytes:   replicaPushBytes,
-		UpdaterName: "Updater",
+		PushBytes:            replicaPushBytes,
+		UpdaterName:          "Updater",
+		PartitionAssignments: assignments,
 		FetchFor: func(server *container.Server, rwBean string) container.FetchFunc {
 			return func(p *sim.Proc, pk sqldb.Value) (container.State, error) {
 				stub, err := server.StubFor(p, simnet.NodeMain, SBViewItem)

@@ -1,0 +1,246 @@
+package simnet
+
+import (
+	"fmt"
+	"time"
+
+	"wadeploy/internal/sim"
+)
+
+// LinkClass bundles the latency/bandwidth parameters of one tier of a
+// hierarchical topology (backbone, metro, LAN).
+type LinkClass struct {
+	OneWay time.Duration
+	Bps    float64
+}
+
+// Default link classes for CDN-style hierarchies: a continental backbone hop
+// from the main site to a regional hub, a metro hop from the hub to an edge
+// PoP, and the same switched-Ethernet LAN as the paper's testbed. Any
+// server-to-server path crosses at least one metro hop, so every inter-server
+// distance classifies as wide-area (>= WideAreaOneWay).
+var (
+	DefaultBackboneClass = LinkClass{OneWay: 40 * time.Millisecond, Bps: 10 * WANBps}
+	DefaultMetroClass    = LinkClass{OneWay: 10 * time.Millisecond, Bps: WANBps}
+	DefaultLANClass      = LinkClass{OneWay: LANOneWay, Bps: LANBps}
+)
+
+// HierarchySpec parameterizes BuildHierarchy: a main site (application server
+// + database + local clients) at the root, Hubs regional routing hubs one
+// backbone hop below it, and Edges edge PoPs (application server + client
+// group each) spread round-robin across the hubs one metro hop further down.
+type HierarchySpec struct {
+	// Edges is the number of edge PoPs (>= 1).
+	Edges int
+	// Hubs is the number of regional hubs; 0 derives one hub per eight
+	// edges (at least one).
+	Hubs int
+
+	// Per-level link classes; zero values select the defaults above.
+	Backbone LinkClass // main <-> hub
+	Metro    LinkClass // hub <-> edge
+	LAN      LinkClass // clients <-> server, db <-> main
+
+	// RedundantUplinks gives every edge a second metro uplink to the next
+	// hub in ring order, so a hub crash leaves an alternate route instead
+	// of partitioning the whole subtree. Meaningful only with Hubs >= 2.
+	RedundantUplinks bool
+
+	// ServerCPUs/ClientCPUs override the per-node CPU slot counts; zero
+	// selects the paper's values (2 server CPUs, effectively unlimited
+	// client CPUs).
+	ServerCPUs int
+	ClientCPUs int
+}
+
+// DefaultHierarchySpec returns the default spec for the given edge count.
+func DefaultHierarchySpec(edges int) HierarchySpec {
+	return HierarchySpec{Edges: edges}
+}
+
+// withDefaults fills zero fields.
+func (s HierarchySpec) withDefaults() HierarchySpec {
+	if s.Hubs <= 0 {
+		s.Hubs = (s.Edges + 7) / 8
+		if s.Hubs < 1 {
+			s.Hubs = 1
+		}
+	}
+	if s.Backbone.OneWay <= 0 {
+		s.Backbone.OneWay = DefaultBackboneClass.OneWay
+	}
+	if s.Backbone.Bps <= 0 {
+		s.Backbone.Bps = DefaultBackboneClass.Bps
+	}
+	if s.Metro.OneWay <= 0 {
+		s.Metro.OneWay = DefaultMetroClass.OneWay
+	}
+	if s.Metro.Bps <= 0 {
+		s.Metro.Bps = DefaultMetroClass.Bps
+	}
+	if s.LAN.OneWay <= 0 {
+		s.LAN.OneWay = DefaultLANClass.OneWay
+	}
+	if s.LAN.Bps <= 0 {
+		s.LAN.Bps = DefaultLANClass.Bps
+	}
+	if s.ServerCPUs <= 0 {
+		s.ServerCPUs = ServerCPUs
+	}
+	if s.ClientCPUs <= 0 {
+		s.ClientCPUs = ClientCPUs
+	}
+	return s
+}
+
+// HubName returns the canonical name of hub i (zero-based). Names are
+// zero-padded so lexicographic order equals numeric order for up to 100 hubs.
+func HubName(i int) string { return fmt.Sprintf("hub%02d", i) }
+
+// EdgeName returns the canonical name of edge PoP i (zero-based), zero-padded
+// for stable ordering up to 1000 edges.
+func EdgeName(i int) string { return fmt.Sprintf("edge%03d", i) }
+
+// EdgeClientsName returns the client-group node collocated with edge i.
+func EdgeClientsName(i int) string { return "clients-" + EdgeName(i) }
+
+// Hierarchy is a built hierarchical topology: the network plus the naming,
+// parent and client-group maps deployments and fault schedules navigate.
+type Hierarchy struct {
+	Net  *Network
+	Spec HierarchySpec // with defaults applied
+
+	// HubNames and EdgeNames are in construction (numeric) order.
+	HubNames  []string
+	EdgeNames []string
+
+	parent   map[string]string // edge -> primary hub; hub -> main
+	backup   map[string]string // edge -> redundant hub (RedundantUplinks only)
+	clientOf map[string]string // server -> collocated client-group node
+}
+
+// BuildHierarchy builds an N-edge hierarchical topology on env: main (with
+// database and local client group), Spec.Hubs routing hubs and Spec.Edges
+// edge PoPs, each with its own client group. Multi-hop routing, link-class
+// latencies and fault behavior all come from the underlying Network.
+func BuildHierarchy(env *sim.Env, spec HierarchySpec) (*Hierarchy, error) {
+	if spec.Edges < 1 {
+		return nil, fmt.Errorf("simnet: hierarchy needs at least 1 edge, got %d", spec.Edges)
+	}
+	spec = spec.withDefaults()
+	if spec.Hubs > spec.Edges {
+		spec.Hubs = spec.Edges
+	}
+	n := New(env)
+	h := &Hierarchy{
+		Net:      n,
+		Spec:     spec,
+		parent:   make(map[string]string, spec.Edges+spec.Hubs),
+		backup:   make(map[string]string, spec.Edges),
+		clientOf: make(map[string]string, spec.Edges+1),
+	}
+	fail := func(err error) (*Hierarchy, error) {
+		return nil, fmt.Errorf("simnet: hierarchy: %w", err)
+	}
+	// Root site: main application server, database, local clients.
+	if _, err := n.AddNode(NodeMain, spec.ServerCPUs); err != nil {
+		return fail(err)
+	}
+	if _, err := n.AddNode(NodeDB, spec.ServerCPUs); err != nil {
+		return fail(err)
+	}
+	if _, err := n.AddNode(NodeClientsMain, spec.ClientCPUs); err != nil {
+		return fail(err)
+	}
+	if _, err := n.AddLink(NodeDB, NodeMain, spec.LAN.OneWay, spec.LAN.Bps); err != nil {
+		return fail(err)
+	}
+	if _, err := n.AddLink(NodeClientsMain, NodeMain, spec.LAN.OneWay, spec.LAN.Bps); err != nil {
+		return fail(err)
+	}
+	h.clientOf[NodeMain] = NodeClientsMain
+	// Regional hubs: pure routing nodes one backbone hop below main.
+	for i := 0; i < spec.Hubs; i++ {
+		hub := HubName(i)
+		if _, err := n.AddNode(hub, spec.ServerCPUs); err != nil {
+			return fail(err)
+		}
+		if _, err := n.AddLink(NodeMain, hub, spec.Backbone.OneWay, spec.Backbone.Bps); err != nil {
+			return fail(err)
+		}
+		h.HubNames = append(h.HubNames, hub)
+		h.parent[hub] = NodeMain
+	}
+	// Edge PoPs: application server + client group, one metro hop below
+	// their primary hub (round-robin assignment keeps subtree sizes within
+	// one of each other).
+	for i := 0; i < spec.Edges; i++ {
+		edge, clients := EdgeName(i), EdgeClientsName(i)
+		hub := h.HubNames[i%spec.Hubs]
+		if _, err := n.AddNode(edge, spec.ServerCPUs); err != nil {
+			return fail(err)
+		}
+		if _, err := n.AddNode(clients, spec.ClientCPUs); err != nil {
+			return fail(err)
+		}
+		if _, err := n.AddLink(edge, hub, spec.Metro.OneWay, spec.Metro.Bps); err != nil {
+			return fail(err)
+		}
+		if _, err := n.AddLink(clients, edge, spec.LAN.OneWay, spec.LAN.Bps); err != nil {
+			return fail(err)
+		}
+		h.EdgeNames = append(h.EdgeNames, edge)
+		h.parent[edge] = hub
+		h.clientOf[edge] = clients
+		if spec.RedundantUplinks && spec.Hubs >= 2 {
+			alt := h.HubNames[(i+1)%spec.Hubs]
+			// Slightly longer than the primary so the redundant uplink
+			// only carries traffic when the primary path is gone.
+			if _, err := n.AddLink(edge, alt, spec.Metro.OneWay+spec.Metro.OneWay/4, spec.Metro.Bps); err != nil {
+				return fail(err)
+			}
+			h.backup[edge] = alt
+		}
+	}
+	return h, nil
+}
+
+// ServerNodes returns the application-server nodes in deployment order: main
+// first, then every edge. Hubs route but never host components.
+func (h *Hierarchy) ServerNodes() []string {
+	out := make([]string, 0, 1+len(h.EdgeNames))
+	out = append(out, NodeMain)
+	return append(out, h.EdgeNames...)
+}
+
+// ClientNode returns the client-group node collocated with server, or "".
+func (h *Hierarchy) ClientNode(server string) string { return h.clientOf[server] }
+
+// ClientMap returns a copy of the server -> client-group map.
+func (h *Hierarchy) ClientMap() map[string]string {
+	out := make(map[string]string, len(h.clientOf))
+	for k, v := range h.clientOf {
+		out[k] = v
+	}
+	return out
+}
+
+// Parent returns a node's parent in the tree (edge -> primary hub,
+// hub -> main), or "" for main and unknown nodes.
+func (h *Hierarchy) Parent(node string) string { return h.parent[node] }
+
+// BackupHub returns the hub an edge's redundant uplink reaches, or "" when
+// the spec has no redundant uplinks.
+func (h *Hierarchy) BackupHub(edge string) string { return h.backup[edge] }
+
+// Subtree returns the edge PoPs whose primary uplink goes through hub, in
+// numeric order — the blast radius of a hub outage (absent redundancy).
+func (h *Hierarchy) Subtree(hub string) []string {
+	var out []string
+	for _, e := range h.EdgeNames {
+		if h.parent[e] == hub {
+			out = append(out, e)
+		}
+	}
+	return out
+}

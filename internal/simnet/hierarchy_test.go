@@ -1,0 +1,176 @@
+package simnet
+
+import (
+	"testing"
+
+	"wadeploy/internal/sim"
+)
+
+func TestHierarchyShape(t *testing.T) {
+	for _, edges := range []int{1, 2, 3, 8, 16, 128} {
+		env := sim.NewEnv(1)
+		h, err := BuildHierarchy(env, DefaultHierarchySpec(edges))
+		if err != nil {
+			t.Fatalf("edges=%d: %v", edges, err)
+		}
+		if got := len(h.EdgeNames); got != edges {
+			t.Fatalf("edges=%d: got %d edge names", edges, got)
+		}
+		wantHubs := (edges + 7) / 8
+		if got := len(h.HubNames); got != wantHubs {
+			t.Fatalf("edges=%d: got %d hubs, want %d", edges, got, wantHubs)
+		}
+		if got := len(h.ServerNodes()); got != edges+1 {
+			t.Fatalf("edges=%d: got %d server nodes", edges, got)
+		}
+		// main + db + clients-main + hubs + edges + per-edge clients.
+		wantNodes := 3 + wantHubs + 2*edges
+		if got := h.Net.Nodes(); got != wantNodes {
+			t.Fatalf("edges=%d: got %d nodes, want %d", edges, got, wantNodes)
+		}
+		// Every edge reaches main through its hub: backbone + metro one-way.
+		spec := h.Spec
+		wantLat := spec.Backbone.OneWay + spec.Metro.OneWay
+		for _, e := range h.EdgeNames {
+			lat, err := h.Net.Latency(e, NodeMain)
+			if err != nil {
+				t.Fatalf("edges=%d: %s unreachable: %v", edges, e, err)
+			}
+			if lat != wantLat {
+				t.Fatalf("edges=%d: %s->main latency %v, want %v", edges, e, lat, wantLat)
+			}
+			if !h.Net.WideArea(e, NodeMain) {
+				t.Fatalf("edges=%d: %s->main should classify wide-area", edges, e)
+			}
+			clients := h.ClientNode(e)
+			if clients == "" {
+				t.Fatalf("edges=%d: %s has no client group", edges, e)
+			}
+			if h.Net.WideArea(clients, e) {
+				t.Fatalf("edges=%d: %s->%s should be LAN", edges, clients, e)
+			}
+		}
+		if h.ClientNode(NodeMain) != NodeClientsMain {
+			t.Fatalf("edges=%d: main client group missing", edges)
+		}
+	}
+}
+
+func TestHierarchyTwoEdgesSameHubLatency(t *testing.T) {
+	env := sim.NewEnv(1)
+	h, err := BuildHierarchy(env, HierarchySpec{Edges: 4, Hubs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Edges 0 and 2 share hub00 (round-robin over 2 hubs): their distance
+	// is two metro hops, never touching the backbone.
+	lat, err := h.Net.Latency(EdgeName(0), EdgeName(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * h.Spec.Metro.OneWay; lat != want {
+		t.Fatalf("same-hub edge latency %v, want %v", lat, want)
+	}
+	// Edges 0 and 1 sit under different hubs: metro + backbone + backbone + metro.
+	lat, err = h.Net.Latency(EdgeName(0), EdgeName(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2*h.Spec.Metro.OneWay + 2*h.Spec.Backbone.OneWay; lat != want {
+		t.Fatalf("cross-hub edge latency %v, want %v", lat, want)
+	}
+}
+
+func TestHubCrashPartitionsSubtree(t *testing.T) {
+	env := sim.NewEnv(1)
+	h, err := BuildHierarchy(env, HierarchySpec{Edges: 8, Hubs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := h.HubNames[0]
+	sub := h.Subtree(hub)
+	if len(sub) != 4 {
+		t.Fatalf("subtree of %s has %d edges, want 4", hub, len(sub))
+	}
+	if err := h.Net.SetNodeState(hub, false); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range sub {
+		if h.Net.Reachable(e, NodeMain) {
+			t.Fatalf("%s still reachable after %s crash", e, hub)
+		}
+		// Local clients keep their edge.
+		if !h.Net.Reachable(h.ClientNode(e), e) {
+			t.Fatalf("%s lost its local clients after %s crash", e, hub)
+		}
+	}
+	// The other subtree is untouched.
+	for _, e := range h.Subtree(h.HubNames[1]) {
+		if !h.Net.Reachable(e, NodeMain) {
+			t.Fatalf("%s unreachable though its hub is up", e)
+		}
+	}
+	// Restart restores the whole subtree.
+	if err := h.Net.SetNodeState(hub, true); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range sub {
+		if !h.Net.Reachable(e, NodeMain) {
+			t.Fatalf("%s unreachable after %s restart", e, hub)
+		}
+	}
+}
+
+func TestRedundantUplinkReroutesAroundHubCrash(t *testing.T) {
+	env := sim.NewEnv(1)
+	h, err := BuildHierarchy(env, HierarchySpec{Edges: 8, Hubs: 2, RedundantUplinks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := h.HubNames[0]
+	sub := h.Subtree(hub)
+	// Before the crash, the primary (shorter) uplink carries the traffic.
+	primary := h.Spec.Backbone.OneWay + h.Spec.Metro.OneWay
+	for _, e := range sub {
+		lat, err := h.Net.Latency(e, NodeMain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lat != primary {
+			t.Fatalf("%s pre-crash latency %v, want primary %v", e, lat, primary)
+		}
+	}
+	if err := h.Net.SetNodeState(hub, false); err != nil {
+		t.Fatal(err)
+	}
+	// After the crash, every subtree edge reroutes over its backup uplink:
+	// the redundant metro hop (1.25x) plus the backbone.
+	backup := h.Spec.Backbone.OneWay + h.Spec.Metro.OneWay + h.Spec.Metro.OneWay/4
+	for _, e := range sub {
+		if b := h.BackupHub(e); b == "" {
+			t.Fatalf("%s has no backup hub", e)
+		}
+		lat, err := h.Net.Latency(e, NodeMain)
+		if err != nil {
+			t.Fatalf("%s unreachable despite redundant uplink: %v", e, err)
+		}
+		if lat != backup {
+			t.Fatalf("%s post-crash latency %v, want backup-path %v", e, lat, backup)
+		}
+	}
+}
+
+func TestHierarchySpecValidation(t *testing.T) {
+	env := sim.NewEnv(1)
+	if _, err := BuildHierarchy(env, HierarchySpec{Edges: 0}); err == nil {
+		t.Fatal("expected error for zero edges")
+	}
+	// More hubs than edges clamps rather than fails.
+	h, err := BuildHierarchy(sim.NewEnv(1), HierarchySpec{Edges: 2, Hubs: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.HubNames) != 2 {
+		t.Fatalf("hub count not clamped: %d", len(h.HubNames))
+	}
+}

@@ -1,0 +1,61 @@
+#!/usr/bin/env sh
+# Determinism gate: every deterministic surface must be byte-identical
+# between the sequential and the parallel scheduler. CI runs this via
+# `make determinism`; it also works locally from the repo root.
+#
+# Each block runs one command twice (-parallel 1 vs -parallel 8) and diffs
+# the output. Snapshots (*-p1.txt, *-w1.txt, metrics-p1.json) are left in
+# the working directory so CI can upload them as artifacts.
+set -eu
+
+GO="${GO:-go}"
+
+echo '== table6 under the canonical WAN-outage schedule =='
+# Same seed, same tables, same metric snapshots at any parallelism.
+$GO run ./cmd/wadeploy -quick -faults canonical -parallel 1 -metrics-out metrics-p1.json table6 > table6-p1.txt
+$GO run ./cmd/wadeploy -quick -faults canonical -parallel 8 -metrics-out metrics-p8.json table6 > table6-p8.txt
+diff table6-p1.txt table6-p8.txt
+diff metrics-p1.json metrics-p8.json
+
+echo '== streaming workload engine across worker counts =='
+# Results depend on the shard count, never the worker count.
+$GO run ./cmd/wadeploy -quick -sessions 20000 -shards 4 -parallel 1 scale > scale-w1.txt
+$GO run ./cmd/wadeploy -quick -sessions 20000 -shards 4 -parallel 8 scale > scale-w8.txt
+diff scale-w1.txt scale-w8.txt
+
+echo '== causal tracing across parallelism =='
+# The sampler is a pure function of the trace ID, never of scheduling.
+$GO run ./cmd/wadeploy -quick -sample 4 -parallel 1 trace > trace-p1.txt
+$GO run ./cmd/wadeploy -quick -sample 4 -parallel 8 trace > trace-p8.txt
+diff trace-p1.txt trace-p8.txt
+$GO run ./cmd/wadeploy -quick -sessions 20000 -shards 4 -parallel 1 -trace scale > scale-trace-w1.txt
+$GO run ./cmd/wadeploy -quick -sessions 20000 -shards 4 -parallel 8 -trace scale > scale-trace-w8.txt
+diff scale-trace-w1.txt scale-trace-w8.txt
+
+echo '== online re-placement controller =='
+# The controller draws only on the virtual clock and its dedicated RNG
+# stream, never on scheduling order.
+$GO run ./cmd/wadeploy -quick -parallel 1 adapt > adapt-p1.txt
+$GO run ./cmd/wadeploy -quick -parallel 8 adapt > adapt-p8.txt
+diff adapt-p1.txt adapt-p8.txt
+
+echo '== consistency spectrum across arm parallelism =='
+# Each replication arm is an independent seeded simulation.
+$GO run ./cmd/wadeploy -quick -parallel 1 consistency > consistency-p1.txt
+$GO run ./cmd/wadeploy -quick -parallel 8 consistency > consistency-p8.txt
+diff consistency-p1.txt consistency-p8.txt
+
+echo '== topology sweep across point parallelism =='
+# Each edge-count point is an independent seeded simulation: the scaling
+# table (latency, WAN traffic, footprint, pushes) must be byte-identical
+# at any -parallel.
+$GO run ./cmd/wadeploy -quick -edges 2,4,8,16 -partitions 8 -config query-caching -parallel 1 topo > topo-p1.txt
+$GO run ./cmd/wadeploy -quick -edges 2,4,8,16 -partitions 8 -config query-caching -parallel 8 topo > topo-p8.txt
+diff topo-p1.txt topo-p8.txt
+
+echo '== engine goldens =='
+# Hierarchies, partitioning, delta replication, batching and the event log
+# are all opt-in, so the paper books never move.
+$GO test ./internal/experiment -run TestEngineGolden -count=1 -v
+
+echo 'determinism gate: OK'
